@@ -1,0 +1,129 @@
+// E16 — ablation: the two readings of Eq. (2).
+//
+// DESIGN.md documents why the message-passing knowledge recursion must let
+// messages carry the sender's outgoing port number (kPortTagged) for the
+// paper's Theorem 4.2 'if' direction to hold; the literal reading
+// (kLiteral) admits aligned wirings that freeze gcd-1 configurations.
+// This bench quantifies the gap: exact p(t) under both variants across
+// configurations × wirings, with the aligned counterexample front and
+// center, plus timing of the two recursions.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/probability.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+using rsb::bench::subheader;
+
+PortAssignment aligned_ports_2_3() {
+  return PortAssignment({{1, 2, 3, 4},
+                         {0, 2, 3, 4},
+                         {0, 1, 3, 4},
+                         {0, 1, 2, 4},
+                         {0, 1, 2, 3}});
+}
+
+void reproduce_ablation() {
+  header("Ablation — literal Eq. (2) vs port-tagged Eq. (2)");
+
+  subheader("the aligned counterexample: loads {2,3}, gcd = 1");
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  const PortAssignment aligned = aligned_ports_2_3();
+  std::printf("%4s %14s %14s\n", "t", "literal p(t)", "tagged p(t)");
+  bool literal_frozen = true, tagged_moves = false;
+  for (int t = 1; t <= 4; ++t) {
+    const Dyadic lit = exact_solve_probability_message_passing(
+        config, le, t, aligned, MessageVariant::kLiteral);
+    const Dyadic tag = exact_solve_probability_message_passing(
+        config, le, t, aligned, MessageVariant::kPortTagged);
+    std::printf("%4d %14.5f %14.5f\n", t, lit.to_double(), tag.to_double());
+    literal_frozen = literal_frozen && lit.is_zero();
+    tagged_moves = tagged_moves || !tag.is_zero();
+  }
+  check(literal_frozen,
+        "literal Eq.(2): aligned wiring freezes the gcd-1 configuration "
+        "(Theorem 4.2 'if' fails)");
+  check(tagged_moves,
+        "port-tagged Eq.(2): the same wiring makes progress (theorem holds)");
+
+  subheader("sweep: tagged ≥ literal everywhere (tags only refine)");
+  bool dominance = true;
+  Xoshiro256StarStar rng(8);
+  for (const auto& loads :
+       std::vector<std::vector<int>>{{1, 2}, {2, 2}, {2, 3}, {1, 1, 2}}) {
+    const auto cfg = SourceConfiguration::from_loads(loads);
+    const int n = cfg.num_parties();
+    const SymmetricTask task = SymmetricTask::leader_election(n);
+    for (int w = 0; w < 3; ++w) {
+      const PortAssignment ports =
+          w == 0 ? PortAssignment::cyclic(n) : PortAssignment::random(n, rng);
+      for (int t = 1; t <= 3; ++t) {
+        const Dyadic lit = exact_solve_probability_message_passing(
+            cfg, task, t, ports, MessageVariant::kLiteral);
+        const Dyadic tag = exact_solve_probability_message_passing(
+            cfg, task, t, ports, MessageVariant::kPortTagged);
+        if (lit > tag) {
+          dominance = false;
+          std::printf("  dominance VIOLATION at %s t=%d\n",
+                      loads_to_string(loads).c_str(), t);
+        }
+      }
+    }
+  }
+  check(dominance,
+        "p_tagged(t) ≥ p_literal(t) across the sweep — tags never lose "
+        "information");
+
+  subheader("impossibility side is tag-invariant");
+  const auto even = SourceConfiguration::from_loads({2, 4});
+  const SymmetricTask le6 = SymmetricTask::leader_election(6);
+  const PortAssignment adversarial = PortAssignment::adversarial_for(even);
+  bool both_zero = true;
+  for (int t = 1; t <= 3; ++t) {
+    both_zero = both_zero &&
+                exact_solve_probability_message_passing(
+                    even, le6, t, adversarial, MessageVariant::kLiteral)
+                    .is_zero() &&
+                exact_solve_probability_message_passing(
+                    even, le6, t, adversarial, MessageVariant::kPortTagged)
+                    .is_zero();
+  }
+  check(both_zero,
+        "loads {2,4} + adversarial wiring: frozen under BOTH variants — the "
+        "Lemma 4.3 automorphism preserves reciprocal ports");
+  rsb::bench::footer();
+}
+
+void BM_MessageRoundVariant(benchmark::State& state) {
+  const int n = 16;
+  const bool tagged = state.range(0) == 1;
+  const PortAssignment pa = PortAssignment::cyclic(n);
+  KnowledgeStore store;
+  std::vector<KnowledgeId> knowledge = initial_knowledge(store, n);
+  std::vector<bool> bits(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; i += 2) bits[static_cast<std::size_t>(i)] = true;
+  for (auto _ : state) {
+    knowledge = message_round(store, knowledge, bits, pa,
+                              tagged ? MessageVariant::kPortTagged
+                                     : MessageVariant::kLiteral);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MessageRoundVariant)
+    ->Arg(0)   // literal
+    ->Arg(1);  // tagged
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

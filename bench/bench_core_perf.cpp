@@ -1,0 +1,140 @@
+// E14 — engineering microbenchmarks for the core library: knowledge
+// interning throughput, model round operators, consistency partitions,
+// the exact-probability engine's 2^{kt} scaling, and the simplicial-map
+// existence search. No paper artifact — this is the performance record of
+// the substrate that makes the exhaustive reproductions feasible.
+#include <benchmark/benchmark.h>
+
+#include "core/consistency.hpp"
+#include "core/probability.hpp"
+#include "core/solvability.hpp"
+#include "randomness/source_bank.hpp"
+#include "topology/simplicial_map.hpp"
+
+namespace {
+
+using namespace rsb;
+
+void BM_KnowledgeInterningBlackboard(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  const auto config = SourceConfiguration::all_private(n);
+  SourceBank bank(config, 3);
+  const Realization rho = bank.realization_at(rounds);
+  for (auto _ : state) {
+    KnowledgeStore store;
+    benchmark::DoNotOptimize(knowledge_at_blackboard(store, rho));
+  }
+  state.SetItemsProcessed(state.iterations() * n * rounds);
+}
+BENCHMARK(BM_KnowledgeInterningBlackboard)
+    ->Args({4, 16})
+    ->Args({8, 16})
+    ->Args({16, 16})
+    ->Args({16, 64})
+    ->Args({32, 64});
+
+void BM_KnowledgeInterningMessagePassing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  const auto config = SourceConfiguration::all_private(n);
+  const PortAssignment pa = PortAssignment::cyclic(n);
+  SourceBank bank(config, 3);
+  const Realization rho = bank.realization_at(rounds);
+  for (auto _ : state) {
+    KnowledgeStore store;
+    benchmark::DoNotOptimize(knowledge_at_message_passing(store, rho, pa));
+  }
+  state.SetItemsProcessed(state.iterations() * n * rounds);
+}
+BENCHMARK(BM_KnowledgeInterningMessagePassing)
+    ->Args({4, 16})
+    ->Args({8, 16})
+    ->Args({16, 16})
+    ->Args({16, 64});
+
+void BM_KnowledgeStoreReuseAcrossRealizations(benchmark::State& state) {
+  // Shared-store enumeration is the probability engine's hot loop; the
+  // intern table amortizes across realizations.
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const int t = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    KnowledgeStore store;
+    std::size_t total = 0;
+    for_each_positive_realization(config, t, [&](const Realization& rho) {
+      total += knowledge_at_blackboard(store, rho).size();
+    });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_KnowledgeStoreReuseAcrossRealizations)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ConsistencyPartitionBlackboard(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto config = SourceConfiguration::all_private(n);
+  SourceBank bank(config, 11);
+  const Realization rho = bank.realization_at(32);
+  KnowledgeStore store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consistency_partition_blackboard(store, rho));
+  }
+}
+BENCHMARK(BM_ConsistencyPartitionBlackboard)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExactEngineScaling(benchmark::State& state) {
+  // kt is the exponent of the enumeration: wall time should scale as
+  // 2^{kt}.
+  const int k = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  std::vector<int> loads(static_cast<std::size_t>(k), 2);
+  const auto config = SourceConfiguration::from_loads(loads);
+  const SymmetricTask le =
+      SymmetricTask::leader_election(config.num_parties());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_solve_probability_blackboard(config, le, t));
+  }
+  state.SetComplexityN(1LL << (k * t));
+}
+BENCHMARK(BM_ExactEngineScaling)
+    ->Args({2, 4})
+    ->Args({2, 6})
+    ->Args({2, 8})
+    ->Args({3, 4})
+    ->Args({3, 6})
+    ->Args({4, 4})
+    ->Complexity(benchmark::oN);
+
+void BM_SimplicialMapSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SymmetricTask le = SymmetricTask::leader_election(n);
+  const OutputComplex codomain = le.output_complex();
+  // Domain: the projection of a facet with one singleton and the rest in
+  // one class — the typical solvable shape.
+  std::vector<Vertex<int>> verts;
+  for (int i = 0; i < n; ++i) verts.push_back({i, i == 0 ? 1 : 0});
+  const OutputComplex domain = project_facet(Simplex<int>(verts));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exists_simplicial_map(domain, codomain, true));
+  }
+}
+BENCHMARK(BM_SimplicialMapSearch)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MessageRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PortAssignment pa = PortAssignment::cyclic(n);
+  KnowledgeStore store;
+  std::vector<KnowledgeId> knowledge = initial_knowledge(store, n);
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bits[static_cast<std::size_t>(i)] = i % 2 == 0;
+  for (auto _ : state) {
+    knowledge = message_round(store, knowledge, bits, pa);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MessageRound)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// E17 — the conclusion's future-work task: leader + deputy election with
+// per-node role constraints (a non-symmetric output complex).
+//
+// The facet-level criterion of Definition 3.4 survives the loss of
+// symmetry: a facet solves iff the consistency classes can be assigned
+// values that every class member is allowed to hold, with an admissible
+// census. The bench prints, for a battery of role patterns ×
+// configurations, the blackboard-limit verdict and an exact p(t) series
+// computed with the named-class criterion — and verifies monotonicity and
+// zero-one behavior carry over.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/consistency.hpp"
+#include "tasks/role_constrained.hpp"
+#include "topology/symmetry.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+
+Dyadic exact_probability(const RoleConstrainedTask& task,
+                         const SourceConfiguration& config, int t) {
+  KnowledgeStore store;
+  std::uint64_t solving = 0;
+  for_each_positive_realization(config, t, [&](const Realization& rho) {
+    if (task.partition_solves(
+            consistency_partition_blackboard(store, rho))) {
+      ++solving;
+    }
+  });
+  return Dyadic(solving, config.num_sources() * t);
+}
+
+void reproduce_deputy() {
+  header("Conclusion's open task — leader + deputy with role constraints "
+         "(blackboard)");
+  struct Pattern {
+    const char* label;
+    std::vector<bool> can_lead;
+    std::vector<bool> can_deputy;
+  };
+  const std::vector<Pattern> patterns = {
+      {"all-roles", {true, true, true, true}, {true, true, true, true}},
+      {"lead01/dep23", {true, true, false, false}, {false, false, true, true}},
+      {"lead0-only", {true, false, false, false}, {false, true, true, true}},
+      {"no-deputy", {true, true, true, true}, {false, false, false, false}},
+  };
+  const std::vector<std::vector<int>> shapes = {
+      {1, 1, 1, 1}, {1, 1, 2}, {2, 2}, {1, 3}, {4}};
+
+  std::printf("%14s %12s %10s %10s %10s %10s\n", "roles", "loads",
+              "symmetric", "decider", "p(2)", "p(4)");
+  for (const auto& pattern : patterns) {
+    const RoleConstrainedTask task = RoleConstrainedTask::leader_and_deputy(
+        pattern.can_lead, pattern.can_deputy);
+    const bool symmetric = is_symmetric(task.output_complex());
+    for (const auto& loads : shapes) {
+      const auto config = SourceConfiguration::from_loads(loads);
+      const bool predicted = task.eventually_solvable_blackboard(config);
+      const Dyadic p2 = exact_probability(task, config, 2);
+      const Dyadic p4 = exact_probability(task, config, 4);
+      std::printf("%14s %12s %10s %10s %10.4f %10.4f\n", pattern.label,
+                  loads_to_string(loads).c_str(), symmetric ? "yes" : "no",
+                  predicted ? "solvable" : "no", p2.to_double(),
+                  p4.to_double());
+      // Zero-one consistency: the finite series must already be on the
+      // predicted side.
+      if (predicted) {
+        check(!p4.is_zero(), std::string(pattern.label) + " " +
+                                 loads_to_string(loads) +
+                                 ": positive probability when solvable");
+        check(p4 >= p2, std::string(pattern.label) + " " +
+                            loads_to_string(loads) + ": monotone series");
+      } else {
+        check(p2.is_zero() && p4.is_zero(),
+              std::string(pattern.label) + " " + loads_to_string(loads) +
+                  ": identically zero when unsolvable");
+      }
+    }
+  }
+
+  // Spot structural facts.
+  const RoleConstrainedTask all4 = RoleConstrainedTask::leader_and_deputy(
+      {true, true, true, true}, {true, true, true, true});
+  check(all4.output_complex().facet_count() == 12,
+        "unrestricted n=4: O has n(n-1) = 12 facets");
+  const RoleConstrainedTask fixed = RoleConstrainedTask::leader_and_deputy(
+      {true, false, false, false}, {false, true, false, false});
+  check(!is_symmetric(fixed.output_complex()),
+        "role restrictions produce a non-symmetric output complex");
+  rsb::bench::footer();
+}
+
+void BM_RolePartitionSolves(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<bool> lead(static_cast<std::size_t>(n)),
+      deputy(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lead[static_cast<std::size_t>(i)] = i % 2 == 0;
+    deputy[static_cast<std::size_t>(i)] = i % 3 != 0;
+  }
+  const RoleConstrainedTask task =
+      RoleConstrainedTask::leader_and_deputy(lead, deputy);
+  std::vector<int> partition(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    partition[static_cast<std::size_t>(i)] = i / 2;
+  }
+  const std::vector<int> canonical = canonical_blocks(partition);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task.partition_solves(canonical));
+  }
+}
+BENCHMARK(BM_RolePartitionSolves)->Arg(6)->Arg(10)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_deputy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

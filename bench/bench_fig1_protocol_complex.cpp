@@ -1,0 +1,103 @@
+// E1 — Figure 1: the evolution of the protocol complex P(t) for a 2-party
+// blackboard computation, t = 0, 1, 2.
+//
+// Paper claims regenerated here:
+//  * P(0) is a single edge (facet) on vertices (1,⊥), (2,⊥);
+//  * P(1) has 4 facets (edges), P(2) has 16 — each facet of P(t) evolves
+//    into exactly 4 facets of P(t+1), one per pair of round-(t+1) bits;
+//  * P(t) is pure of dimension 1 and h maps its facets bijectively onto
+//    the facets of R(t).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocol/complexes.hpp"
+#include "topology/homology.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+
+void reproduce_figure1() {
+  header("Figure 1 — P(t) for n = 2, t = 0, 1, 2 (blackboard)");
+  KnowledgeStore store;
+  std::printf("%4s %8s %10s %6s %6s\n", "t", "facets", "vertices", "dim",
+              "pure");
+  const std::size_t expected_facets[] = {1, 4, 16};
+  for (int t = 0; t <= 2; ++t) {
+    const KnowledgeComplex p = build_protocol_complex_blackboard(store, 2, t);
+    std::printf("%4d %8d %10d %6d %6s\n", t, p.facet_count(), p.vertex_count(),
+                p.dimension(), p.is_pure() ? "yes" : "no");
+    check(p.facet_count() == static_cast<int>(expected_facets[t]),
+          "P(" + std::to_string(t) + ") has " +
+              std::to_string(expected_facets[t]) + " facets");
+    check(p.dimension() == 1 && p.is_pure(),
+          "P(" + std::to_string(t) + ") is pure of dimension 1");
+    const RealizationComplex r = build_realization_complex(2, t);
+    check(h_is_facet_isomorphism(store, p, r),
+          "h : P(" + std::to_string(t) + ") → R(" + std::to_string(t) +
+              ") is a facet isomorphism");
+  }
+
+  // Branching: every facet of R(t) (≅ P(t)) has exactly 4 one-round
+  // extensions — the 4 arrows of Figure 1.
+  bool branching_ok = true;
+  for_each_realization_facet(2, 1, [&branching_ok](const Realization& rho) {
+    branching_ok = branching_ok && all_successors(rho).size() == 4;
+  });
+  check(branching_ok, "every facet of P(1) evolves into exactly 4 facets");
+
+  // The figure's component structure: P(1) is one 4-cycle; P(2) splits
+  // into four disjoint 4-cycles (pre-round-t bits become common
+  // knowledge). Homology confirms the picture.
+  const auto h1 =
+      homology(build_protocol_complex_blackboard(store, 2, 1));
+  const auto h2 =
+      homology(build_protocol_complex_blackboard(store, 2, 2));
+  std::printf("  P(1): %s\n  P(2): %s\n", h1.to_string().c_str(),
+              h2.to_string().c_str());
+  check(h1.betti == std::vector<std::size_t>({1, 1}),
+        "P(1) ≃ one circle (β = 1,1)");
+  check(h2.betti == std::vector<std::size_t>({4, 4}),
+        "P(2) ≃ four disjoint circles (β = 4,4) — Figure 1's four islands");
+  rsb::bench::footer();
+}
+
+void BM_BuildProtocolComplexBlackboard(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    KnowledgeStore store;
+    benchmark::DoNotOptimize(build_protocol_complex_blackboard(store, n, t));
+  }
+}
+BENCHMARK(BM_BuildProtocolComplexBlackboard)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3})
+    ->Args({3, 1})
+    ->Args({3, 2});
+
+void BM_BuildProtocolComplexMessagePassing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const PortAssignment pa = PortAssignment::cyclic(n);
+  for (auto _ : state) {
+    KnowledgeStore store;
+    benchmark::DoNotOptimize(
+        build_protocol_complex_message_passing(store, pa, t));
+  }
+}
+BENCHMARK(BM_BuildProtocolComplexMessagePassing)
+    ->Args({2, 2})
+    ->Args({3, 2});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

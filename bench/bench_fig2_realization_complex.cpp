@@ -1,0 +1,98 @@
+// E2 — Figure 2: the realization complex R(t) for a 3-party system,
+// t = 0 and t = 1.
+//
+// Paper claims regenerated here:
+//  * R(0) is the single facet {(1,⊥),(2,⊥),(3,⊥)};
+//  * R(1) has 2^3 = 8 facets on 6 vertices (i, 0/1) — the octahedral
+//    boundary of Figure 2;
+//  * generally R(t) has 2^{nt} facets and the positive-probability
+//    subcomplex under α has 2^{kt} (Lemma B.1's support).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocol/complexes.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+using rsb::bench::subheader;
+
+void reproduce_figure2() {
+  header("Figure 2 — R(0) and R(1) for n = 3");
+  const RealizationComplex r0 = build_realization_complex(3, 0);
+  const RealizationComplex r1 = build_realization_complex(3, 1);
+  std::printf("%4s %8s %10s %6s\n", "t", "facets", "vertices", "dim");
+  std::printf("%4d %8d %10d %6d\n", 0, r0.facet_count(), r0.vertex_count(),
+              r0.dimension());
+  std::printf("%4d %8d %10d %6d\n", 1, r1.facet_count(), r1.vertex_count(),
+              r1.dimension());
+  check(r0.facet_count() == 1 && r0.vertex_count() == 3,
+        "R(0) is the single facet {(i,⊥)}");
+  check(r1.facet_count() == 8 && r1.vertex_count() == 6,
+        "R(1) has 8 facets on 6 vertices");
+  check(r1.is_pure() && r1.dimension() == 2, "R(1) is pure of dimension 2");
+  // The octahedron boundary: f-vector (6, 12, 8).
+  const auto fv = r1.f_vector();
+  check(fv == std::vector<std::size_t>({6, 12, 8}),
+        "R(1) has f-vector (6, 12, 8) — the octahedron boundary");
+
+  subheader("facet counts: 2^{nt} overall vs 2^{kt} positive under α");
+  std::printf("%10s %4s %4s %10s %10s\n", "loads", "k", "t", "all", "positive");
+  for (const auto& loads :
+       std::vector<std::vector<int>>{{3}, {1, 2}, {1, 1, 1}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    for (int t = 1; t <= 2; ++t) {
+      const auto all = build_realization_complex(3, t);
+      const auto positive = build_realization_complex_positive(config, t);
+      std::printf("%10s %4d %4d %10d %10d\n",
+                  loads_to_string(loads).c_str(), config.num_sources(), t,
+                  all.facet_count(), positive.facet_count());
+      check(all.facet_count() == (1 << (3 * t)),
+            "|facets(R(" + std::to_string(t) + "))| = 2^{3t}");
+      check(positive.facet_count() == (1 << (config.num_sources() * t)),
+            loads_to_string(loads) + ": positive facets = 2^{kt}");
+    }
+  }
+  rsb::bench::footer();
+}
+
+void BM_BuildRealizationComplex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_realization_complex(n, t));
+  }
+}
+BENCHMARK(BM_BuildRealizationComplex)
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({4, 1});
+
+void BM_EnumeratePositiveRealizations(benchmark::State& state) {
+  const auto config = SourceConfiguration::from_loads(
+      {static_cast<int>(state.range(0)), static_cast<int>(state.range(1))});
+  const int t = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    for_each_positive_realization(
+        config, t, [&count](const Realization&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EnumeratePositiveRealizations)
+    ->Args({1, 2, 4})
+    ->Args({2, 3, 4})
+    ->Args({2, 3, 6});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// E3 — Figure 3: the leader-election output complex O_LE and its
+// consistency projection π(O_LE).
+//
+// Paper claims regenerated here (for n = 3 as drawn, and swept to n = 6):
+//  * O_LE has n facets τ_i, is pure of dimension n−1, and is symmetric;
+//  * π(τ_i) consists of the isolated vertex {(i,1)} plus the
+//    (n−2)-simplex {(j,0) : j ≠ i};
+//  * π(O_LE) has 2n facets: n isolated leader vertices and n defeated
+//    simplices.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tasks/tasks.hpp"
+#include "topology/symmetry.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+
+void reproduce_figure3() {
+  header("Figure 3 — O_LE and π(O_LE)");
+  std::printf("%4s %10s %12s %14s %10s\n", "n", "|O| fac.", "symmetric",
+              "|π(O)| fac.", "isolated");
+  for (int n = 3; n <= 6; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    const OutputComplex o = le.output_complex();
+    const OutputComplex po = le.projected_output_complex();
+    const bool symmetric = is_symmetric(o);
+    std::printf("%4d %10d %12s %14d %10zu\n", n, o.facet_count(),
+                symmetric ? "yes" : "no", po.facet_count(),
+                po.isolated_vertices().size());
+    check(o.facet_count() == n,
+          "n=" + std::to_string(n) + ": O_LE has n facets");
+    check(o.is_pure() && o.dimension() == n - 1,
+          "n=" + std::to_string(n) + ": O_LE pure of dimension n-1");
+    check(symmetric, "n=" + std::to_string(n) + ": O_LE is symmetric");
+    check(po.facet_count() == 2 * n,
+          "n=" + std::to_string(n) + ": π(O_LE) has 2n facets");
+    check(po.isolated_vertices().size() == static_cast<std::size_t>(n),
+          "n=" + std::to_string(n) + ": π(O_LE) has n isolated vertices");
+  }
+
+  // The drawn decomposition of π(τ_1) for n = 3.
+  const SymmetricTask le3 = SymmetricTask::leader_election(3);
+  const Simplex<int> tau1({{0, 1}, {1, 0}, {2, 0}});
+  const OutputComplex pi_tau1 = project_facet(tau1);
+  check(pi_tau1.facet_count() == 2 &&
+            pi_tau1.contains(Simplex<int>({{0, 1}})) &&
+            pi_tau1.contains(Simplex<int>({{1, 0}, {2, 0}})),
+        "π(τ_1) = {(1,1)} ⊔ {(2,0),(3,0)} as drawn in Figure 3");
+  rsb::bench::footer();
+}
+
+void BM_BuildOutputComplex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SymmetricTask le = SymmetricTask::leader_election(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(le.output_complex());
+  }
+}
+BENCHMARK(BM_BuildOutputComplex)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ProjectOutputComplex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SymmetricTask le = SymmetricTask::leader_election(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(le.projected_output_complex());
+  }
+}
+BENCHMARK(BM_ProjectOutputComplex)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_SymmetryCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OutputComplex o =
+      SymmetricTask::leader_election(n).output_complex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_symmetric(o));
+  }
+}
+BENCHMARK(BM_SymmetryCheck)->Arg(3)->Arg(5)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_figure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

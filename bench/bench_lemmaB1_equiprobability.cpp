@@ -1,0 +1,119 @@
+// E10 — Lemma B.1: given α with k sources, every realization at time t has
+// probability 0 (off the support) or exactly 2^{-tk}; the support
+// probabilities sum to 1.
+//
+// Checked two ways: exactly by enumeration (Pr[ρ|α] evaluation on every
+// facet of R(t)), and statistically by a chi-square test of sampled
+// executions against the uniform distribution on the 2^{kt} support
+// realizations.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "bench_util.hpp"
+#include "randomness/realization.hpp"
+#include "randomness/source_bank.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+using rsb::bench::subheader;
+
+void reproduce_lemmaB1() {
+  header("Lemma B.1 — all positive realizations are equiprobable (2^{-tk})");
+  std::printf("%12s %4s %4s %12s %14s %12s\n", "loads", "k", "t", "support",
+              "off-support", "sum");
+  for (const auto& loads :
+       std::vector<std::vector<int>>{{2}, {1, 1}, {1, 2}, {2, 2}, {1, 1, 1}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    const int n = config.num_parties();
+    const int k = config.num_sources();
+    for (int t = 1; t <= 2; ++t) {
+      const Dyadic expected = Dyadic::pow2_inverse(t * k);
+      std::uint64_t support = 0, off_support = 0;
+      bool all_exact = true;
+      Dyadic sum;
+      for_each_realization_facet(n, t, [&](const Realization& rho) {
+        const Dyadic p = rho.probability_given(config);
+        if (p.is_zero()) {
+          ++off_support;
+        } else {
+          ++support;
+          all_exact = all_exact && p == expected;
+          sum += p;
+        }
+      });
+      std::printf("%12s %4d %4d %12llu %14llu %12s\n",
+                  loads_to_string(loads).c_str(), k, t,
+                  static_cast<unsigned long long>(support),
+                  static_cast<unsigned long long>(off_support),
+                  sum.to_string().c_str());
+      check(support == (1ULL << (k * t)),
+            loads_to_string(loads) + " t=" + std::to_string(t) +
+                ": support size is 2^{kt}");
+      check(all_exact, loads_to_string(loads) + " t=" + std::to_string(t) +
+                           ": every support probability equals 2^{-tk}");
+      check(sum.is_one(), loads_to_string(loads) + " t=" + std::to_string(t) +
+                              ": support probabilities sum to 1");
+    }
+  }
+
+  subheader("chi-square of sampled executions vs uniform support");
+  const auto config = SourceConfiguration::from_loads({1, 2});
+  const int t = 3;
+  const std::uint64_t cells = 1ULL << (2 * t);  // 64 support realizations
+  const std::uint64_t trials = 64000;
+  std::map<std::string, std::uint64_t> histogram;
+  Xoshiro256StarStar rng(31337);
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    ++histogram[sample_realization(config, t, rng).to_string()];
+  }
+  const double expected_count =
+      static_cast<double>(trials) / static_cast<double>(cells);
+  double chi2 = 0.0;
+  for (const auto& [key, count] : histogram) {
+    const double d = static_cast<double>(count) - expected_count;
+    chi2 += d * d / expected_count;
+  }
+  // Degrees of freedom 63; the 99.9% quantile is ≈ 103.4.
+  std::printf("cells=%llu trials=%llu chi2=%.2f (df=63, crit@99.9%%≈103.4)\n",
+              static_cast<unsigned long long>(cells),
+              static_cast<unsigned long long>(trials), chi2);
+  check(histogram.size() == cells, "every support realization was sampled");
+  check(chi2 < 103.4, "sampled executions are uniform over the support");
+  rsb::bench::footer();
+}
+
+void BM_RealizationProbability(benchmark::State& state) {
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  SourceBank bank(config, 9);
+  const Realization rho = bank.realization_at(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rho.probability_given(config));
+  }
+}
+// t·k must stay below 64 for the exact dyadic representation (k = 2 here).
+BENCHMARK(BM_RealizationProbability)->Arg(4)->Arg(16)->Arg(31);
+
+void BM_SampleRealization(benchmark::State& state) {
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  Xoshiro256StarStar rng(5);
+  const int t = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_realization(config, t, rng));
+  }
+}
+BENCHMARK(BM_SampleRealization)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_lemmaB1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

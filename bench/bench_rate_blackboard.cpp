@@ -1,0 +1,84 @@
+// E6 — convergence rate of the Theorem 4.1 'if' direction.
+//
+// For the all-private configuration with k sources the proof lower-bounds
+// the success probability by
+//   p(t) ≥ (2^t − 1)^{k−1} / 2^{t(k−1)} ≥ 1 − (k−1)/2^t.
+// This bench prints the exact p(t) series next to both bounds and checks
+// the sandwich at every point; a Monte-Carlo column at larger t (beyond
+// the enumeration cap) confirms the trend.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/probability.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::subheader;
+
+void reproduce_rate() {
+  header("Theorem 4.1 rate — p(t) vs (1 − 2^{-t})^{k−1} vs 1 − (k−1)/2^t");
+  for (int k = 2; k <= 4; ++k) {
+    subheader("k = " + std::to_string(k) + " private sources (n = k)");
+    const auto config = SourceConfiguration::all_private(k);
+    const SymmetricTask le = SymmetricTask::leader_election(k);
+    std::printf("%4s %12s %12s %12s\n", "t", "p(t)", "tight-bound",
+                "paper-bound");
+    bool sandwich = true;
+    const int t_max = 20 / k;
+    for (int t = 1; t <= t_max; ++t) {
+      const double p =
+          exact_solve_probability_blackboard(config, le, t).to_double();
+      const double tight = theorem41_rate_lower_bound(k, t);
+      const double loose = 1.0 - static_cast<double>(k - 1) / (1 << t);
+      std::printf("%4d %12.6f %12.6f %12.6f\n", t, p, tight, loose);
+      sandwich = sandwich && p + 1e-12 >= tight && tight + 1e-12 >= loose;
+    }
+    check(sandwich, "k=" + std::to_string(k) +
+                        ": p(t) ≥ (1−2^{-t})^{k−1} ≥ 1 − (k−1)/2^t at all t");
+  }
+
+  subheader("Monte-Carlo extension past the enumeration cap (k = 6)");
+  const auto config6 = SourceConfiguration::all_private(6);
+  const SymmetricTask le6 = SymmetricTask::leader_election(6);
+  std::printf("%4s %12s %12s %12s\n", "t", "p̂(t)", "stderr", "paper-bound");
+  bool above = true;
+  for (int t : {2, 4, 6, 8}) {
+    const auto est = monte_carlo_solve_probability(config6, le6, t,
+                                                   std::nullopt, 40000, 99);
+    const double bound = 1.0 - 5.0 / (1 << t);
+    std::printf("%4d %12.5f %12.5f %12.5f\n", t, est.p_hat, est.std_error,
+                bound);
+    above = above && est.p_hat + 5 * est.std_error >= bound;
+  }
+  check(above, "k=6 Monte-Carlo stays above the paper bound (5σ slack)");
+  rsb::bench::footer();
+}
+
+void BM_MonteCarloSolveProbability(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int t = static_cast<int>(state.range(1));
+  const auto config = SourceConfiguration::all_private(k);
+  const SymmetricTask le = SymmetricTask::leader_election(k);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monte_carlo_solve_probability(
+        config, le, t, std::nullopt, 1000, seed++));
+  }
+}
+BENCHMARK(BM_MonteCarloSolveProbability)
+    ->Args({4, 8})
+    ->Args({6, 8})
+    ->Args({8, 8})
+    ->Args({8, 16});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_rate();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+// E12 — the Section 1.2 challenge: characterize m-leader election via the
+// framework (the paper invites the reader to derive 2-LE and compare).
+//
+// The framework yields (DESIGN.md):
+//  * blackboard:  m-LE eventually solvable ⇔ some subset of the loads
+//    {n_i} sums to m (assign 1 to those source classes);
+//  * message passing, worst-case ports: ⇔ the uniform partition into
+//    classes of size g = gcd(n_1..n_k) admits such a subset, i.e. g | m
+//    (and g | n−m, which follows).
+// The tables sweep n = 3..6, m = 1..3 over all load shapes, comparing the
+// derived predicates against exact enumeration (blackboard) and against
+// the adversarial-port enumeration plus protocol runs (message passing).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "algo/protocol.hpp"
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+using rsb::bench::subheader;
+
+void blackboard_table() {
+  subheader("blackboard m-LE: subset-sum(loads, m) vs exact enumeration");
+  std::printf("%12s %3s %12s %10s %7s\n", "loads", "m", "subset-sum",
+              "measured", "match");
+  int rows = 0, matched = 0;
+  for (int n = 3; n <= 6; ++n) {
+    for (int m = 1; m <= 3 && m < n; ++m) {
+      const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+      for (const auto& config :
+           SourceConfiguration::enumerate_load_shapes(n)) {
+        const bool predicted = subset_sums_to(config.loads(), m);
+        const int t_max = std::min(5, 20 / config.num_sources());
+        const auto series = exact_series_blackboard(config, task, t_max);
+        const LimitClass verdict = classify_limit(series);
+        const bool measured = verdict == LimitClass::kOne;
+        const bool ok =
+            predicted == measured && verdict != LimitClass::kUndetermined;
+        std::printf("%12s %3d %12s %10s %7s\n",
+                    loads_to_string(config.loads()).c_str(), m,
+                    predicted ? "solvable" : "no", measured ? "→1" : "0",
+                    ok ? "yes" : "NO");
+        ++rows;
+        matched += ok ? 1 : 0;
+        // The derived predicate must equal the general decider too.
+        if (eventually_solvable_blackboard(config, task) != predicted) {
+          check(false, "decider/subset-sum mismatch at " +
+                           loads_to_string(config.loads()));
+        }
+      }
+    }
+  }
+  std::printf("%d/%d rows match\n", matched, rows);
+  check(matched == rows, "blackboard m-LE frontier fully reproduced");
+}
+
+void message_passing_table() {
+  subheader("message-passing worst-case m-LE: g | m vs measurement");
+  std::printf("%12s %3s %4s %10s %16s %12s %7s\n", "loads", "m", "g",
+              "predicted", "adv-ports p(t)", "protocol", "match");
+  int rows = 0, matched = 0;
+  for (int n = 4; n <= 6; ++n) {
+    for (int m = 1; m <= 3 && m < n; ++m) {
+      for (const auto& config :
+           SourceConfiguration::enumerate_load_shapes(n)) {
+        const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+        const int g = config.gcd_of_loads();
+        const bool predicted = m % g == 0;
+        bool ok = true;
+        std::string adv_cell = "n/a", protocol_cell = "n/a";
+        if (!predicted) {
+          // Impossibility: adversarial ports freeze the task exactly.
+          const PortAssignment pa = PortAssignment::adversarial_for(config);
+          bool all_zero = true;
+          const int t_max = std::min(3, 15 / config.num_sources());
+          for (int t = 1; t <= t_max; ++t) {
+            all_zero = all_zero && exact_solve_probability_message_passing(
+                                       config, task, t, pa)
+                                       .is_zero();
+          }
+          adv_cell = all_zero ? "0 (frozen)" : ">0";
+          ok = all_zero;
+        } else {
+          // Possibility: the class-split protocol elects exactly m leaders
+          // under random ports.
+          const WaitForClassSplitMLE protocol(m);
+          Xoshiro256StarStar port_rng(
+              static_cast<std::uint64_t>(n * 100 + m));
+          int successes = 0;
+          const int runs = 8;
+          for (int seed = 1; seed <= runs; ++seed) {
+            const PortAssignment pa = PortAssignment::random(n, port_rng);
+            const auto outcome =
+                run_protocol(Model::kMessagePassing, config, pa, protocol,
+                             static_cast<std::uint64_t>(seed), 400);
+            if (outcome.terminated) {
+              int leaders = 0;
+              for (std::int64_t v : outcome.outputs) leaders += v == 1;
+              successes += leaders == m ? 1 : 0;
+            }
+          }
+          protocol_cell =
+              std::to_string(successes) + "/" + std::to_string(runs);
+          ok = successes == runs;
+        }
+        std::printf("%12s %3d %4d %10s %16s %12s %7s\n",
+                    loads_to_string(config.loads()).c_str(), m, g,
+                    predicted ? "solvable" : "no", adv_cell.c_str(),
+                    protocol_cell.c_str(), ok ? "yes" : "NO");
+        ++rows;
+        matched += ok ? 1 : 0;
+        if (eventually_solvable_message_passing_worst_case(config, task) !=
+            predicted) {
+          check(false, "decider/gcd-divides mismatch at " +
+                           loads_to_string(config.loads()) + " m=" +
+                           std::to_string(m));
+        }
+      }
+    }
+  }
+  std::printf("%d/%d rows match\n", matched, rows);
+  check(matched == rows, "message-passing m-LE frontier fully reproduced");
+}
+
+void port_driven_contrast() {
+  subheader("contrast: loads {4,6}, m = 2 — ports strictly beat the board");
+  // No subset of {4,6} sums to 2, so the blackboard can never split off two
+  // leaders; but gcd(4,6) = 2 divides 2, so message passing can — the ports
+  // must refine the 4-class below its source granularity.
+  const auto config = SourceConfiguration::from_loads({4, 6});
+  const SymmetricTask task = SymmetricTask::m_leader_election(10, 2);
+  check(!eventually_solvable_blackboard(config, task),
+        "{4,6} m=2: blackboard decider says unsolvable");
+  check(eventually_solvable_message_passing_worst_case(config, task),
+        "{4,6} m=2: message-passing worst-case decider says solvable");
+  const WaitForClassSplitMLE protocol(2);
+  Xoshiro256StarStar port_rng(77);
+  int successes = 0;
+  const int runs = 6;
+  for (int seed = 1; seed <= runs; ++seed) {
+    const PortAssignment pa = PortAssignment::random(10, port_rng);
+    const auto outcome =
+        run_protocol(Model::kMessagePassing, config, pa, protocol,
+                     static_cast<std::uint64_t>(seed), 400);
+    if (outcome.terminated) {
+      int leaders = 0;
+      for (std::int64_t v : outcome.outputs) leaders += v == 1;
+      successes += leaders == 2 ? 1 : 0;
+    }
+  }
+  std::printf("  protocol (random ports): %d/%d runs elected exactly 2\n",
+              successes, runs);
+  check(successes == runs,
+        "{4,6} m=2: protocol elects exactly 2 leaders under every sampled "
+        "wiring");
+}
+
+void reproduce_two_leader() {
+  header("Section 1.2 challenge — m-leader election via the framework");
+  blackboard_table();
+  message_passing_table();
+  port_driven_contrast();
+  rsb::bench::footer();
+}
+
+void BM_PartitionSolves(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SymmetricTask task = SymmetricTask::m_leader_election(n, n / 2);
+  std::vector<int> classes(static_cast<std::size_t>(n / 2), 2);
+  if (n % 2 == 1) classes.push_back(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task.partition_solves(classes));
+  }
+}
+BENCHMARK(BM_PartitionSolves)->Arg(6)->Arg(10)->Arg(16)->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_two_leader();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

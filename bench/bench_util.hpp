@@ -1,0 +1,52 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints the paper artifact it regenerates (a table or
+// series, with PASS/FAIL shape checks against the paper's claim) and then
+// runs its google-benchmark timings. The PASS/FAIL lines make
+// bench_output.txt a self-contained record of paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rsb::bench {
+
+inline int& failure_count() {
+  static int failures = 0;
+  return failures;
+}
+
+/// Prints a PASS/FAIL line for a shape check and records failures.
+inline void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++failure_count();
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline std::string loads_to_string(const std::vector<int>& loads) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(loads[i]);
+  }
+  return out + "}";
+}
+
+inline void footer() {
+  if (failure_count() == 0) {
+    std::printf("\nAll shape checks PASSED.\n\n");
+  } else {
+    std::printf("\n%d shape check(s) FAILED.\n\n", failure_count());
+  }
+}
+
+}  // namespace rsb::bench

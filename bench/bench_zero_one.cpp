@@ -1,0 +1,108 @@
+// E11 — Lemma 3.2 (Kolmogorov zero–one law): for every input-free
+// symmetry-breaking task and every randomness-configuration, the limit of
+// Pr[P(t) solves O | α] is 0 or 1 — never in between.
+//
+// The bench prints exact p(t) trajectories for a spread of configurations
+// and tasks in both models and classifies each as heading to 0 or to 1;
+// the shape checks require (a) monotonicity (solvability is cumulative)
+// and (b) a decisive classification agreeing with the analytic decider.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::loads_to_string;
+using rsb::bench::subheader;
+
+void print_series(const std::string& label,
+                  const std::vector<Dyadic>& series) {
+  std::printf("%22s :", label.c_str());
+  for (const auto& p : series) std::printf(" %7.4f", p.to_double());
+  std::printf("\n");
+}
+
+void reproduce_zero_one() {
+  header("Lemma 3.2 — every p(t) trajectory converges to 0 or 1");
+
+  subheader("blackboard, leader election, t = 1..6");
+  for (const auto& loads : std::vector<std::vector<int>>{
+           {1, 1}, {1, 2}, {2, 2}, {3}, {1, 2, 2}, {1, 1, 2}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    const SymmetricTask le =
+        SymmetricTask::leader_election(config.num_parties());
+    const int t_max = std::min(6, 22 / config.num_sources());
+    const auto series = exact_series_blackboard(config, le, t_max);
+    print_series("LE " + loads_to_string(loads), series);
+    check(is_monotone_non_decreasing(series),
+          "LE " + loads_to_string(loads) + ": monotone series");
+    const LimitClass verdict = classify_limit(series);
+    const LimitClass expected = eventually_solvable_blackboard(config, le)
+                                    ? LimitClass::kOne
+                                    : LimitClass::kZero;
+    check(verdict == expected && verdict != LimitClass::kUndetermined,
+          "LE " + loads_to_string(loads) + ": limit is the predicted 0/1");
+  }
+
+  subheader("blackboard, 2-leader election, t = 1..6");
+  for (const auto& loads : std::vector<std::vector<int>>{
+           {2, 2}, {1, 3}, {1, 1, 2}, {4}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    const SymmetricTask task =
+        SymmetricTask::m_leader_election(config.num_parties(), 2);
+    const auto series = exact_series_blackboard(config, task, 6);
+    print_series("2LE " + loads_to_string(loads), series);
+    const LimitClass verdict = classify_limit(series);
+    const LimitClass expected = eventually_solvable_blackboard(config, task)
+                                    ? LimitClass::kOne
+                                    : LimitClass::kZero;
+    check(verdict == expected && verdict != LimitClass::kUndetermined,
+          "2LE " + loads_to_string(loads) + ": limit is the predicted 0/1");
+  }
+
+  subheader("message passing (tagged), leader election, t = 1..4");
+  {
+    const auto config = SourceConfiguration::from_loads({2, 3});
+    const SymmetricTask le = SymmetricTask::leader_election(5);
+    const auto cyclic_series = exact_series_message_passing(
+        config, le, 4, PortAssignment::cyclic(5));
+    print_series("LE {2,3} cyclic", cyclic_series);
+    check(is_monotone_non_decreasing(cyclic_series),
+          "LE {2,3} cyclic ports: monotone series");
+    check(!cyclic_series.back().is_zero(),
+          "LE {2,3} cyclic ports: heading to 1 (gcd = 1)");
+
+    const auto adv_config = SourceConfiguration::from_loads({2, 4});
+    const SymmetricTask le6 = SymmetricTask::leader_election(6);
+    const auto adv_series = exact_series_message_passing(
+        adv_config, le6, 3, PortAssignment::adversarial_for(adv_config));
+    print_series("LE {2,4} adversarial", adv_series);
+    check(classify_limit(adv_series) == LimitClass::kZero,
+          "LE {2,4} adversarial ports: identically 0 (gcd = 2)");
+  }
+  rsb::bench::footer();
+}
+
+void BM_ExactSeriesBlackboard(benchmark::State& state) {
+  const auto config = SourceConfiguration::from_loads({1, 2});
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  const int t_max = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_series_blackboard(config, le, t_max));
+  }
+}
+BENCHMARK(BM_ExactSeriesBlackboard)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_zero_one();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

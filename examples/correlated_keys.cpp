@@ -1,0 +1,108 @@
+// The paper's Section 1 motivation, as a scenario: a fleet of devices whose
+// "independent" randomness is not independent at all.
+//
+// Real-world measurements found >250,000 devices sharing SSH keys and
+// ~1/172 RSA certificates sharing a prime factor with another one — the
+// symptom of firmware images shipping with identical PRNG seeds. We model
+// a fleet of n devices in which each *batch* (firmware image) shares one
+// randomness source, and ask: can the fleet still elect a coordinator?
+//
+// The framework answers exactly:
+//  * broadcast network (blackboard): possible iff some batch has a single
+//    device (Theorem 4.1);
+//  * point-to-point clique with local port numbers: possible iff the batch
+//    sizes are setwise coprime (Theorem 4.2), even in the worst wiring.
+//
+// Build & run:  ./build/examples/correlated_keys
+#include <cstdio>
+
+#include "algo/protocol.hpp"
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+
+using namespace rsb;
+
+namespace {
+
+void analyze_fleet(const char* name, const std::vector<int>& batch_sizes) {
+  const SourceConfiguration config = SourceConfiguration::from_loads(batch_sizes);
+  const int n = config.num_parties();
+  const SymmetricTask le = SymmetricTask::leader_election(n);
+
+  std::printf("\n=== fleet '%s': %d devices in %d batches (", name, n,
+              config.num_sources());
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", batch_sizes[i]);
+  }
+  std::printf(") ===\n");
+  std::printf("  gcd of batch sizes: %d; singleton batch: %s\n",
+              config.gcd_of_loads(),
+              config.has_singleton_source() ? "yes" : "no");
+  std::printf("  broadcast network   : %s\n",
+              eventually_solvable_blackboard(config, le)
+                  ? "coordinator electable"
+                  : "IMPOSSIBLE — correlated batches are indistinguishable");
+  std::printf("  point-to-point mesh : %s\n",
+              eventually_solvable_message_passing_worst_case(config, le)
+                  ? "coordinator electable under every wiring"
+                  : "IMPOSSIBLE under an adversarial wiring");
+
+  // How long until the symmetry actually breaks on a broadcast network?
+  if (eventually_solvable_blackboard(config, le) &&
+      config.num_sources() * 8 <= 24) {
+    std::printf("  broadcast election time (exact): ");
+    for (int t = 1; t <= 8; ++t) {
+      const double p =
+          exact_solve_probability_blackboard(config, le, t).to_double();
+      std::printf("p(%d)=%.3f ", t, p);
+      if (p > 0.999) break;
+    }
+    std::printf("\n");
+  }
+
+  // And a live run on the mesh.
+  const WaitForSingletonLE protocol;
+  Xoshiro256StarStar port_rng(4242);
+  const PortAssignment ports = PortAssignment::random(n, port_rng);
+  const auto outcome = run_protocol(Model::kMessagePassing, config, ports,
+                                    protocol, /*seed=*/7, /*max_rounds=*/200);
+  if (outcome.terminated) {
+    int leader = -1;
+    for (int i = 0; i < n; ++i) {
+      if (outcome.outputs[static_cast<std::size_t>(i)] == 1) leader = i;
+    }
+    std::printf("  live mesh run: device %d became coordinator after %d "
+                "rounds\n",
+                leader, outcome.rounds);
+  } else {
+    std::printf("  live mesh run: no coordinator after %d rounds (as "
+                "predicted)\n",
+                outcome.rounds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Correlated-randomness fleets (cf. duplicated SSH/RSA keys)\n");
+
+  // A healthy fleet: every device generated its own entropy.
+  analyze_fleet("healthy", {1, 1, 1, 1, 1});
+
+  // One big cloned batch plus a lone dev board: the dev board's unique
+  // entropy saves the day on any network.
+  analyze_fleet("cloned+dev-board", {4, 1});
+
+  // Two cloned batches of coprime sizes: broadcast fails (no singleton),
+  // but the mesh's port numbers break the tie — the paper's headline gap.
+  analyze_fleet("two-batches-coprime", {2, 3});
+
+  // Two cloned batches of even sizes: even the mesh can be wired so the
+  // fleet never elects anyone.
+  analyze_fleet("two-batches-even", {2, 4});
+
+  // A fully cloned fleet: hopeless everywhere.
+  analyze_fleet("fully-cloned", {5});
+
+  return 0;
+}

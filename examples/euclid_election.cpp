@@ -1,0 +1,104 @@
+// A traced leader election in the message-passing clique, showing the
+// Euclid-style dimension reduction of Theorem 4.2 as it happens.
+//
+// Parties: 5, wired as batches {2,3} (gcd 1, no singleton source — the
+// blackboard provably cannot elect here, Theorem 4.1). Each round we print
+// the consistency partition π̃ of the realized execution: watch the facets
+// split until an isolated vertex (the leader) appears, exactly the
+// recursion of Lemma 4.7 — class sizes evolve like Euclid's algorithm on
+// {2,3}: {2,3} → {2,2,1} or finer, down to a singleton.
+//
+// Build & run:  ./build/examples/euclid_election
+#include <cstdio>
+#include <string>
+
+#include "algo/protocol.hpp"
+#include "core/consistency.hpp"
+#include "core/deciders.hpp"
+#include "randomness/source_bank.hpp"
+#include "util/partitions.hpp"
+
+using namespace rsb;
+
+namespace {
+
+std::string render_partition(const std::vector<int>& partition) {
+  std::string out;
+  const int blocks = block_count(partition);
+  for (int b = 0; b < blocks; ++b) {
+    out += "{";
+    bool first = true;
+    for (std::size_t party = 0; party < partition.size(); ++party) {
+      if (partition[party] == b) {
+        if (!first) out += ",";
+        out += "P" + std::to_string(party);
+        first = false;
+      }
+    }
+    out += "} ";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const SourceConfiguration config = SourceConfiguration::from_loads({2, 3});
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  std::printf("loads {2,3}: blackboard solvable? %s   "
+              "message passing (worst case)? %s\n",
+              eventually_solvable_blackboard(config, le) ? "yes" : "no",
+              eventually_solvable_message_passing_worst_case(config, le)
+                  ? "yes"
+                  : "no");
+
+  // The cyclic wiring is vertex-transitive — the hardest symmetric case —
+  // so the splitting below is driven by randomness and class boundaries,
+  // not by accidental port asymmetry.
+  const PortAssignment ports = PortAssignment::cyclic(5);
+  std::printf("\nwiring: %s\n", ports.to_string().c_str());
+
+  const std::uint64_t seed = 1;
+  SourceBank bank(config, seed);
+  KnowledgeStore store;
+  std::vector<KnowledgeId> knowledge = initial_knowledge(store, 5);
+
+  std::printf("\nround-by-round consistency partition π̃ (facets of the "
+              "projected complex):\n");
+  int leader_round = -1;
+  for (int round = 1; round <= 40 && leader_round < 0; ++round) {
+    std::vector<bool> bits;
+    for (int party = 0; party < 5; ++party) {
+      bits.push_back(bank.party_bit(party, round));
+    }
+    knowledge = message_round(store, knowledge, bits, ports);
+    const auto partition = knowledge_partition(knowledge);
+    const auto sizes = block_sizes(partition);
+    std::printf("  t=%2d  %s", round, render_partition(partition).c_str());
+    bool singleton = false;
+    for (int s : sizes) singleton = singleton || s == 1;
+    if (singleton) {
+      std::printf("  ← isolated vertex: leader determined");
+      leader_round = round;
+    }
+    std::printf("\n");
+  }
+
+  // Re-run the same execution through the protocol runner to confirm all
+  // parties decide consistently one round after the split is visible.
+  const WaitForSingletonLE protocol;
+  const auto outcome = run_protocol(Model::kMessagePassing, config, ports,
+                                    protocol, seed, 100);
+  if (outcome.terminated) {
+    int leader = -1;
+    for (int i = 0; i < 5; ++i) {
+      if (outcome.outputs[static_cast<std::size_t>(i)] == 1) leader = i;
+    }
+    std::printf("\nprotocol outcome: party P%d elected at round %d "
+                "(symmetry broke at t=%d; +1 round to observe it)\n",
+                leader, outcome.rounds, leader_round);
+  } else {
+    std::printf("\nprotocol did not terminate (unexpected for gcd=1)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The Lemma 4.3 adversary, up close.
+//
+// For gcd(n_1,...,n_k) = g > 1 the paper constructs a port numbering under
+// which the consistency complex π̃(ρ) of *every* positive realization only
+// has facets of dimension ≡ −1 (mod g) — no isolated vertex, no leader,
+// ever. This example prints the construction for loads {2,4} (g = 2),
+// verifies its block-shift automorphism, contrasts the reachable class
+// structures under adversarial vs random wirings, and shows that the same
+// adversarial wiring is harmless when the gcd is 1.
+//
+// Build & run:  ./build/examples/port_adversary
+#include <cstdio>
+#include <map>
+
+#include "core/consistency.hpp"
+#include "util/partitions.hpp"
+
+using namespace rsb;
+
+namespace {
+
+void class_size_census(const SourceConfiguration& config,
+                       const PortAssignment& ports, int t) {
+  KnowledgeStore store;
+  std::map<std::vector<int>, int> census;
+  for_each_positive_realization(config, t, [&](const Realization& rho) {
+    std::vector<int> sizes = block_sizes(
+        consistency_partition_message_passing(store, rho, ports));
+    std::sort(sizes.begin(), sizes.end());
+    ++census[sizes];
+  });
+  for (const auto& [sizes, count] : census) {
+    std::printf("    classes {");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", sizes[i]);
+    }
+    std::printf("} : %d realizations\n", count);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const SourceConfiguration config = SourceConfiguration::from_loads({2, 4});
+  const int n = config.num_parties();
+  const int g = config.gcd_of_loads();
+  std::printf("loads {2,4}: n = %d parties, g = gcd = %d\n", n, g);
+
+  const PortAssignment adversarial = PortAssignment::adversarial_for(config);
+  std::printf("\nadversarial port table (party: neighbor per port 1..%d):\n",
+              n - 1);
+  std::printf("%s\n", adversarial.to_string().c_str());
+
+  // The block-shift automorphism f(m·g + r) = m·g + (r+1 mod g).
+  std::vector<int> f(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    f[static_cast<std::size_t>(i)] = (i / g) * g + (i % g + 1) % g;
+  }
+  std::printf("\nblock-shift f = (");
+  for (int i = 0; i < n; ++i) {
+    std::printf("%s%d→%d", i ? ", " : "", i, f[static_cast<std::size_t>(i)]);
+  }
+  std::printf(")\n  f is a port-preserving automorphism: %s\n",
+              adversarial.is_automorphism(f) ? "yes" : "no");
+
+  std::printf("\nreachable class-size multisets at t = 3:\n");
+  std::printf("  under the adversarial wiring (all sizes multiples of %d):\n",
+              g);
+  class_size_census(config, adversarial, 3);
+
+  Xoshiro256StarStar rng(99);
+  const PortAssignment random_ports = PortAssignment::random(n, rng);
+  std::printf("  under a random wiring (singletons appear, leaders "
+              "possible):\n");
+  class_size_census(config, random_ports, 3);
+
+  // With gcd 1 the adversary construction degenerates (g = 1 blocks) and
+  // cannot prevent symmetry breaking.
+  const SourceConfiguration coprime = SourceConfiguration::from_loads({2, 3});
+  const PortAssignment degenerate = PortAssignment::adversarial_for(coprime);
+  std::printf("\nloads {2,3} (gcd 1): the 'adversarial' wiring is powerless —"
+              "\n  class census at t = 3:\n");
+  class_size_census(coprime, degenerate, 3);
+
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's Section 1.2 exercise: derive the characterization of
+// 2-leader election with the framework, then generalize to m leaders.
+//
+// The framework reduces everything to one question about the consistency
+// classes: can some sub-collection of classes total exactly m parties?
+//  * blackboard: the finest reachable partition is the source partition
+//    {n_1..n_k} → solvable ⇔ some subset of loads sums to m;
+//  * message passing, worst-case ports: the finest guaranteed partition is
+//    uniform with class size g = gcd(n_1..n_k) → solvable ⇔ g | m.
+//
+// This example prints the m × configuration matrix for both models and
+// highlights rows where the two models disagree — including the striking
+// {1,4} case where 1-LE is solvable but 2-LE is not, on the blackboard.
+//
+// Build & run:  ./build/examples/two_leader
+#include <cstdio>
+
+#include "core/deciders.hpp"
+#include "tasks/tasks.hpp"
+#include "util/numeric.hpp"
+
+using namespace rsb;
+
+int main() {
+  const std::vector<std::vector<int>> shapes = {
+      {1, 1, 1}, {1, 2}, {3},    {1, 1, 2}, {2, 2},    {1, 3},
+      {4},       {1, 4}, {2, 3}, {5},       {2, 4},    {3, 3},
+      {1, 2, 3}, {6},    {2, 2, 2}};
+
+  std::printf("m-leader election: blackboard (B) vs worst-case message "
+              "passing (M)\n");
+  std::printf("legend: ✓ eventually solvable, · not solvable\n\n");
+  std::printf("%12s %4s |", "loads", "gcd");
+  for (int m = 1; m <= 4; ++m) std::printf("  m=%d(B) m=%d(M) |", m, m);
+  std::printf("\n");
+
+  for (const auto& loads : shapes) {
+    const SourceConfiguration config = SourceConfiguration::from_loads(loads);
+    const int n = config.num_parties();
+    std::string label = "{";
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      label += (i ? "," : "") + std::to_string(loads[i]);
+    }
+    label += "}";
+    std::printf("%12s %4d |", label.c_str(), config.gcd_of_loads());
+    for (int m = 1; m <= 4; ++m) {
+      if (m > n) {
+        std::printf("   -      -    |");
+        continue;
+      }
+      const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+      const bool board = eventually_solvable_blackboard(config, task);
+      const bool mesh =
+          eventually_solvable_message_passing_worst_case(config, task);
+      std::printf("   %s      %s    |", board ? "✓" : "·", mesh ? "✓" : "·");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nobservations the framework hands you for free:\n");
+  std::printf(" * {1,4}: 1-LE solvable on the blackboard (singleton source) "
+              "but 2-LE is NOT\n   — no subset of {1,4} sums to 2. Solvability "
+              "is not monotone in m.\n");
+  std::printf(" * {2,3}: nothing solvable on the blackboard except via the "
+              "mesh (gcd 1 ⇒ all m).\n");
+  std::printf(" * {2,4}: blackboard solves m ∈ {2,4} (subset sums) while the "
+              "mesh solves all even m.\n");
+  std::printf(" * {3,3}: only multiples of 3 anywhere; the mesh adds "
+              "nothing over the board here.\n");
+
+  // Cross-check the derived predicates against first principles.
+  bool consistent = true;
+  for (const auto& loads : shapes) {
+    const SourceConfiguration config = SourceConfiguration::from_loads(loads);
+    const int n = config.num_parties();
+    const int g = config.gcd_of_loads();
+    for (int m = 0; m <= n; ++m) {
+      const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+      consistent = consistent &&
+                   eventually_solvable_blackboard(config, task) ==
+                       subset_sums_to(config.loads(), m) &&
+                   eventually_solvable_message_passing_worst_case(config, task) ==
+                       (m % g == 0);
+    }
+  }
+  std::printf("\npredicate cross-check (subset-sum / gcd-divides): %s\n",
+              consistent ? "consistent" : "INCONSISTENT");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,349 @@
+#include "algo/agents.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace rsb::sim {
+
+namespace {
+
+constexpr char kSigPrefix[] = "S|";
+constexpr char kRankPrefix[] = "R|";
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+void RefinementAgent::begin(const Init& init) { init_ = init; }
+
+void RefinementAgent::send_phase(int round, std::uint64_t random_word,
+                                 Outbox& out) {
+  (void)round;
+  if (!awaiting_rank_) {
+    // Round A: transmit the previous step's label. The current round's bit
+    // is consumed here but never transmitted — Eqs. (1)/(2): messages carry
+    // time-(s−1) state; a party learns the others' round-s bits only at
+    // step s+1.
+    const bool bit = (random_word & 1ULL) != 0;
+    bits_.push_back(bit);
+    if (init_.model == Model::kBlackboard) {
+      out.post(kSigPrefix + std::to_string(label_));
+    } else {
+      for (int port = 1; port <= init_.num_parties - 1; ++port) {
+        // The outgoing port number rides along — the reciprocal tag of the
+        // port-tagged model.
+        out.send(port, std::string(kSigPrefix) + std::to_string(label_) + "|" +
+                           std::to_string(port));
+      }
+    }
+  } else {
+    // Round B: broadcast the completed signature for rank agreement.
+    if (init_.model == Model::kBlackboard) {
+      out.post(kRankPrefix + pending_signature_);
+    } else {
+      out.send_all(kRankPrefix + pending_signature_);
+    }
+  }
+}
+
+void RefinementAgent::receive_phase(int round, const Delivery& delivery) {
+  (void)round;
+  if (!awaiting_rank_) {
+    // End of round A: assemble the signature from own (label, bit) and the
+    // received labels — a multiset on the blackboard (Eq. 1), a
+    // port-indexed tagged tuple in the message-passing model (Eq. 2).
+    std::string sig =
+        std::to_string(label_) + "|" + (bits_.back() ? "1" : "0");
+    if (init_.model == Model::kBlackboard) {
+      std::vector<std::string> received;
+      for (const auto& payload : delivery.board) {
+        if (!has_prefix(payload, kSigPrefix)) {
+          throw ValidationError("RefinementAgent: unexpected board payload '" +
+                                payload + "'");
+        }
+        received.push_back(payload.substr(2));
+      }
+      std::sort(received.begin(), received.end());
+      sig += "|{";
+      for (std::size_t i = 0; i < received.size(); ++i) {
+        if (i != 0) sig += ",";
+        sig += received[i];
+      }
+      sig += "}";
+    } else {
+      for (const auto& msg : delivery.by_port) {  // sorted by (port, payload)
+        if (!has_prefix(msg.payload, kSigPrefix)) {
+          throw ValidationError("RefinementAgent: unexpected port payload '" +
+                                msg.payload + "'");
+        }
+        sig += "|" + std::to_string(msg.port) + ":" + msg.payload.substr(2);
+      }
+    }
+    pending_signature_ = std::move(sig);
+    awaiting_rank_ = true;
+    return;
+  }
+  // End of round B: rank agreement over all n signatures.
+  std::vector<std::string> all;
+  if (init_.model == Model::kBlackboard) {
+    for (const auto& payload : delivery.board) {
+      if (!has_prefix(payload, kRankPrefix)) {
+        throw ValidationError("RefinementAgent: unexpected rank payload '" +
+                              payload + "'");
+      }
+      all.push_back(payload.substr(2));
+    }
+  } else {
+    for (const auto& msg : delivery.by_port) {
+      if (!has_prefix(msg.payload, kRankPrefix)) {
+        throw ValidationError("RefinementAgent: unexpected rank payload '" +
+                              msg.payload + "'");
+      }
+      all.push_back(msg.payload.substr(2));
+    }
+  }
+  all.push_back(pending_signature_);
+  own_signature_ = pending_signature_;
+  awaiting_rank_ = false;
+  complete_step(std::move(all));
+}
+
+void RefinementAgent::complete_step(std::vector<std::string> all_signatures) {
+  std::sort(all_signatures.begin(), all_signatures.end());
+  signatures_ = std::move(all_signatures);
+  // Distinct signatures in sorted order define the label space.
+  std::vector<std::string> distinct;
+  std::vector<int> sizes;
+  for (const auto& sig : signatures_) {
+    if (distinct.empty() || distinct.back() != sig) {
+      distinct.push_back(sig);
+      sizes.push_back(1);
+    } else {
+      ++sizes.back();
+    }
+  }
+  const auto it =
+      std::lower_bound(distinct.begin(), distinct.end(), own_signature_);
+  label_ = static_cast<int>(it - distinct.begin());
+  class_sizes_ = std::move(sizes);
+  ++steps_;
+  on_step_complete();
+}
+
+void RefinementLeaderElectionAgent::on_step_complete() {
+  if (decided()) return;
+  // Singleton classes, in signature order; the first is the leader.
+  const auto& sigs = latest_signatures();
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    const bool unique = (i == 0 || sigs[i - 1] != sigs[i]) &&
+                        (i + 1 == sigs.size() || sigs[i + 1] != sigs[i]);
+    if (unique) {
+      decide(own_signature() == sigs[i] ? 1 : 0);
+      return;
+    }
+  }
+}
+
+void RefinementMLeaderElectionAgent::on_step_complete() {
+  if (decided()) return;
+  const auto& sigs = latest_signatures();
+  std::vector<std::pair<std::string, int>> classes;
+  for (const auto& sig : sigs) {
+    if (classes.empty() || classes.back().first != sig) {
+      classes.emplace_back(sig, 1);
+    } else {
+      ++classes.back().second;
+    }
+  }
+  std::vector<std::size_t> chosen;
+  std::function<bool(std::size_t, int)> dfs = [&](std::size_t index,
+                                                  int remaining) -> bool {
+    if (remaining == 0) return true;
+    if (index == classes.size()) return false;
+    if (classes[index].second <= remaining) {
+      chosen.push_back(index);
+      if (dfs(index + 1, remaining - classes[index].second)) return true;
+      chosen.pop_back();
+    }
+    return dfs(index + 1, remaining);
+  };
+  if (!dfs(0, num_leaders_)) return;
+  bool is_leader = false;
+  for (std::size_t index : chosen) {
+    if (classes[index].first == own_signature()) {
+      is_leader = true;
+      break;
+    }
+  }
+  decide(is_leader ? 1 : 0);
+}
+
+namespace {
+
+constexpr char kRolePrefix[] = "ROLE|";
+constexpr char kReq[] = "REQ";
+constexpr char kAck[] = "ACK";
+constexpr char kRetireV1[] = "RET1";
+constexpr char kRetireV2[] = "RET2";
+
+std::string role_payload(MatchingRole role) {
+  switch (role) {
+    case MatchingRole::kV1:
+      return std::string(kRolePrefix) + "1";
+    case MatchingRole::kV2:
+      return std::string(kRolePrefix) + "2";
+    case MatchingRole::kBystander:
+      return std::string(kRolePrefix) + "0";
+  }
+  return {};
+}
+
+MatchingRole parse_role(const std::string& payload) {
+  if (payload == std::string(kRolePrefix) + "1") return MatchingRole::kV1;
+  if (payload == std::string(kRolePrefix) + "2") return MatchingRole::kV2;
+  if (payload == std::string(kRolePrefix) + "0") {
+    return MatchingRole::kBystander;
+  }
+  throw ValidationError("CreateMatchingAgent: bad role payload '" + payload +
+                        "'");
+}
+
+}  // namespace
+
+void CreateMatchingAgent::begin(const Init& init) {
+  if (init.model != Model::kMessagePassing) {
+    throw InvalidArgument(
+        "CreateMatchingAgent: Algorithm 1 runs on the message-passing model");
+  }
+  init_ = init;
+}
+
+void CreateMatchingAgent::send_phase(int round, std::uint64_t random_word,
+                                     Outbox& out) {
+  (void)round;
+  switch (phase_) {
+    case Phase::kAnnounceRoles:
+      out.send_all(role_payload(role_));
+      break;
+    case Phase::kRequest: {
+      if (role_ == MatchingRole::kV1 && self_active_ && !matched_) {
+        std::vector<int> active_v2_ports;
+        for (const auto& [port, role] : role_of_port_) {
+          if (role == MatchingRole::kV2 && active_of_port_.at(port)) {
+            active_v2_ports.push_back(port);
+          }
+        }
+        if (active_v2_ports.empty()) {
+          throw ValidationError(
+              "CreateMatchingAgent: active V1 with no active V2 — requires "
+              "|V1| <= |V2|");
+        }
+        // Uniform pick from the round's random word (64-bit word modulo m;
+        // the bias is <= m / 2^64, far below experimental resolution).
+        const std::size_t index =
+            static_cast<std::size_t>(random_word % active_v2_ports.size());
+        out.send(active_v2_ports[index], kReq);
+      }
+      break;
+    }
+    case Phase::kAcknowledge:
+      if (pending_ack_port_ != 0) {
+        out.send(pending_ack_port_, kAck);
+        out.send_all(kRetireV2);
+        matched_ = true;
+        self_active_ = false;
+        pending_ack_port_ = 0;
+      }
+      break;
+    case Phase::kRetire:
+      if (announce_retire_) {
+        out.send_all(kRetireV1);
+        announce_retire_ = false;
+      }
+      break;
+  }
+}
+
+void CreateMatchingAgent::receive_phase(int round, const Delivery& delivery) {
+  (void)round;
+  switch (phase_) {
+    case Phase::kAnnounceRoles: {
+      int v1 = role_ == MatchingRole::kV1 ? 1 : 0;
+      int v2 = role_ == MatchingRole::kV2 ? 1 : 0;
+      for (const auto& msg : delivery.by_port) {
+        const MatchingRole role = parse_role(msg.payload);
+        role_of_port_[msg.port] = role;
+        active_of_port_[msg.port] = role != MatchingRole::kBystander;
+        v1 += role == MatchingRole::kV1 ? 1 : 0;
+        v2 += role == MatchingRole::kV2 ? 1 : 0;
+      }
+      if (v1 > v2) {
+        throw ValidationError(
+            "CreateMatchingAgent: |V1| > |V2| violates Algorithm 1's "
+            "assumption");
+      }
+      active_v1_ = v1;
+      if (role_ == MatchingRole::kBystander) decide(kBystander);
+      if (active_v1_ == 0) {
+        if (!decided()) decide(kUnmatched);
+        return;
+      }
+      phase_ = Phase::kRequest;
+      break;
+    }
+    case Phase::kRequest: {
+      if (role_ == MatchingRole::kV2 && self_active_) {
+        int min_port = 0;
+        for (const auto& msg : delivery.by_port) {
+          if (msg.payload == kReq && (min_port == 0 || msg.port < min_port)) {
+            min_port = msg.port;
+          }
+        }
+        pending_ack_port_ = min_port;  // 0 if no request arrived
+      }
+      phase_ = Phase::kAcknowledge;
+      break;
+    }
+    case Phase::kAcknowledge: {
+      for (const auto& msg : delivery.by_port) {
+        if (msg.payload == kAck && role_ == MatchingRole::kV1 && !matched_) {
+          matched_ = true;
+          self_active_ = false;
+          announce_retire_ = true;
+          self_retirement_pending_ = true;
+        }
+        if (msg.payload == kRetireV2) {
+          active_of_port_[msg.port] = false;
+        }
+      }
+      phase_ = Phase::kRetire;
+      break;
+    }
+    case Phase::kRetire: {
+      for (const auto& msg : delivery.by_port) {
+        if (msg.payload == kRetireV1) {
+          active_of_port_[msg.port] = false;
+          --active_v1_;
+        }
+      }
+      if (self_retirement_pending_) {
+        // Own retirement also shrinks the active V1 population, once.
+        --active_v1_;
+        self_retirement_pending_ = false;
+      }
+      ++iterations_;
+      if (active_v1_ == 0) {
+        if (!decided()) decide(matched_ ? kMatched : kUnmatched);
+      } else {
+        phase_ = Phase::kRequest;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace rsb::sim

@@ -1,0 +1,144 @@
+// Message-level agents for the synchronous network simulator.
+//
+// RefinementAgent implements anonymous color refinement — the bounded-
+// message realization of the full-information protocol: a party's label at
+// refinement step s equals the consistency class of its knowledge K(s)
+// (Eq. 1/2), which tests verify against the knowledge recursion. Each
+// refinement step takes two network rounds in both models:
+//   round A (exchange): transmit the *previous* step's label — per Eqs.
+//     (1)/(2) a round-s message carries state from time s−1, never the
+//     round-s random bit; in the message-passing model the payload also
+//     carries the sender's outgoing port number (the reciprocal tag of
+//     MessageVariant::kPortTagged);
+//   round B (rank): broadcast the completed signature so all parties agree
+//     on the canonical label numbering.
+//
+// CreateMatchingAgent is Algorithm 1 verbatim at the message level, with
+// physical REQ/ACK routing: V1 members request a uniformly random active V2
+// port; a V2 member ACKs the minimal requesting port; matched pairs retire
+// and announce. Lemma 4.8's guarantees (perfect matching of the smaller
+// side, everyone learns termination) are asserted by tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace rsb::sim {
+
+class RefinementAgent : public Agent {
+ public:
+  void begin(const Init& init) override;
+  void send_phase(int round, std::uint64_t random_word, Outbox& out) override;
+  void receive_phase(int round, const Delivery& delivery) override;
+
+  /// The party's current refinement label (class index at the last
+  /// completed refinement step).
+  int label() const noexcept { return label_; }
+
+  /// Number of completed refinement steps.
+  int steps() const noexcept { return steps_; }
+
+  /// Sizes of all classes at the last completed step, indexed by label.
+  const std::vector<int>& class_sizes() const noexcept { return class_sizes_; }
+
+  /// The signature strings of all n parties at the last completed step,
+  /// sorted (the party's global view of the partition).
+  const std::vector<std::string>& latest_signatures() const noexcept {
+    return signatures_;
+  }
+
+  /// The random bits consumed so far, in order (for cross-checking the
+  /// label partition against the knowledge recursion).
+  const std::vector<bool>& bit_history() const noexcept { return bits_; }
+
+ protected:
+  /// Hook: called after every completed refinement step, when labels,
+  /// class_sizes and latest_signatures are fresh. Subclasses decide here.
+  virtual void on_step_complete() {}
+
+  /// The party's own signature at the last completed step.
+  const std::string& own_signature() const noexcept { return own_signature_; }
+
+ private:
+  void complete_step(std::vector<std::string> all_signatures);
+
+  Init init_;
+  int label_ = 0;
+  int steps_ = 0;
+  std::vector<int> class_sizes_;
+  std::vector<std::string> signatures_;
+  std::string own_signature_;
+  std::vector<bool> bits_;
+  // Message-passing two-phase bookkeeping:
+  bool awaiting_rank_ = false;
+  std::string pending_signature_;
+};
+
+/// Leader election on top of refinement: decide when a singleton class
+/// exists; the leader is the holder of the lexicographically smallest
+/// singleton signature.
+class RefinementLeaderElectionAgent final : public RefinementAgent {
+ protected:
+  void on_step_complete() override;
+};
+
+/// m-leader election on top of refinement: decide when some sub-collection
+/// of classes totals exactly m; leaders are the canonical (first in
+/// include-preferring DFS over signature-sorted classes) such collection.
+class RefinementMLeaderElectionAgent final : public RefinementAgent {
+ public:
+  explicit RefinementMLeaderElectionAgent(int num_leaders)
+      : num_leaders_(num_leaders) {}
+
+ protected:
+  void on_step_complete() override;
+
+ private:
+  int num_leaders_;
+};
+
+/// Roles for CreateMatchingAgent; the V1/V2 split is an input of
+/// Algorithm 1 ("the separation is already known to all parties").
+enum class MatchingRole { kV1, kV2, kBystander };
+
+class CreateMatchingAgent final : public Agent {
+ public:
+  explicit CreateMatchingAgent(MatchingRole role) : role_(role) {}
+
+  void begin(const Init& init) override;
+  void send_phase(int round, std::uint64_t random_word, Outbox& out) override;
+  void receive_phase(int round, const Delivery& delivery) override;
+
+  /// Outputs: 1 = matched, 0 = unmatched, -1 = bystander.
+  static constexpr std::int64_t kMatched = 1;
+  static constexpr std::int64_t kUnmatched = 0;
+  static constexpr std::int64_t kBystander = -1;
+
+  MatchingRole role() const noexcept { return role_; }
+
+  /// Number of REQ/ACK iterations executed (diagnostics for E9).
+  int iterations() const noexcept { return iterations_; }
+
+ private:
+  enum class Phase { kAnnounceRoles, kRequest, kAcknowledge, kRetire };
+
+  MatchingRole role_;
+  Init init_;
+  Phase phase_ = Phase::kAnnounceRoles;
+  int iterations_ = 0;
+  bool matched_ = false;
+  bool self_active_ = true;  // meaningful for V1/V2 members
+  std::map<int, MatchingRole> role_of_port_;
+  std::map<int, bool> active_of_port_;  // V1/V2 ports still active
+  int active_v1_ = 0;
+  int pending_ack_port_ = 0;  // V2: minimal REQ port to ACK this iteration
+  bool announce_retire_ = false;
+  bool self_retirement_pending_ = false;  // V1: count own retirement once
+};
+
+}  // namespace rsb::sim

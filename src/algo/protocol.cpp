@@ -1,0 +1,179 @@
+#include "algo/protocol.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+namespace {
+
+/// The multiset of every party's knowledge at time t−1, reconstructed from
+/// one party's knowledge at time t: the received values plus the party's
+/// own previous value. Empty when t = 0 (nothing received yet).
+std::vector<KnowledgeId> knowledge_multiset_previous_round(
+    const KnowledgeStore& store, KnowledgeId knowledge) {
+  const KnowledgeKind k = store.kind(knowledge);
+  if (k != KnowledgeKind::kBlackboardStep && k != KnowledgeKind::kMessageStep) {
+    return {};
+  }
+  std::vector<KnowledgeId> multiset = store.received(knowledge);
+  multiset.push_back(store.previous(knowledge));
+  std::sort(multiset.begin(), multiset.end());
+  return multiset;
+}
+
+std::map<KnowledgeId, int> count_by_value(
+    const std::vector<KnowledgeId>& multiset) {
+  std::map<KnowledgeId, int> counts;
+  for (KnowledgeId id : multiset) ++counts[id];
+  return counts;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> BlackboardUniqueStringLE::decide(
+    const KnowledgeStore& store, KnowledgeId knowledge) const {
+  const std::vector<KnowledgeId> multiset =
+      knowledge_multiset_previous_round(store, knowledge);
+  if (multiset.empty()) return std::nullopt;
+  // On the blackboard, knowledge equality is string equality; decide on the
+  // randomness strings embedded in the knowledge values.
+  std::vector<std::vector<bool>> strings;
+  strings.reserve(multiset.size());
+  for (KnowledgeId id : multiset) strings.push_back(store.randomness(id));
+  std::map<std::vector<bool>, int> counts;
+  for (const auto& s : strings) ++counts[s];
+  const std::vector<bool>* leader_string = nullptr;
+  for (const auto& [s, c] : counts) {
+    if (c == 1) {  // std::map iterates in lexicographic order
+      leader_string = &s;
+      break;
+    }
+  }
+  if (leader_string == nullptr) return std::nullopt;
+  const std::vector<bool> own =
+      store.randomness(store.previous(knowledge));
+  return own == *leader_string ? 1 : 0;
+}
+
+std::optional<std::int64_t> WaitForSingletonLE::decide(
+    const KnowledgeStore& store, KnowledgeId knowledge) const {
+  const std::vector<KnowledgeId> multiset =
+      knowledge_multiset_previous_round(store, knowledge);
+  if (multiset.empty()) return std::nullopt;
+  const std::map<KnowledgeId, int> counts = count_by_value(multiset);
+  // The canonical order on knowledge values is their interned id; ids are
+  // deterministic content handles, so this is a name-independent rule.
+  for (const auto& [id, count] : counts) {
+    if (count == 1) {
+      return store.previous(knowledge) == id ? 1 : 0;
+    }
+  }
+  return std::nullopt;
+}
+
+WaitForClassSplitMLE::WaitForClassSplitMLE(int num_leaders)
+    : num_leaders_(num_leaders) {
+  if (num_leaders < 0) {
+    throw InvalidArgument("WaitForClassSplitMLE: m must be >= 0");
+  }
+}
+
+std::string WaitForClassSplitMLE::name() const {
+  return "wait-for-class-split-" + std::to_string(num_leaders_) + "-LE";
+}
+
+namespace {
+
+/// Finds the canonical (first in include-preferring DFS over classes sorted
+/// by id) sub-collection of classes totalling exactly `target`; returns the
+/// chosen class ids, or nullopt.
+std::optional<std::vector<KnowledgeId>> canonical_subset_with_sum(
+    const std::vector<std::pair<KnowledgeId, int>>& classes, int target) {
+  std::vector<KnowledgeId> chosen;
+  std::function<bool(std::size_t, int)> dfs = [&](std::size_t index,
+                                                  int remaining) -> bool {
+    if (remaining == 0) return true;
+    if (index == classes.size()) return false;
+    const auto& [id, count] = classes[index];
+    if (count <= remaining) {
+      chosen.push_back(id);
+      if (dfs(index + 1, remaining - count)) return true;
+      chosen.pop_back();
+    }
+    return dfs(index + 1, remaining);
+  };
+  if (dfs(0, target)) return chosen;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> WaitForClassSplitMLE::decide(
+    const KnowledgeStore& store, KnowledgeId knowledge) const {
+  const std::vector<KnowledgeId> multiset =
+      knowledge_multiset_previous_round(store, knowledge);
+  if (multiset.empty()) return std::nullopt;
+  const std::map<KnowledgeId, int> counts = count_by_value(multiset);
+  std::vector<std::pair<KnowledgeId, int>> classes(counts.begin(),
+                                                   counts.end());
+  const auto chosen = canonical_subset_with_sum(classes, num_leaders_);
+  if (!chosen.has_value()) return std::nullopt;
+  const KnowledgeId own = store.previous(knowledge);
+  const bool is_leader =
+      std::find(chosen->begin(), chosen->end(), own) != chosen->end();
+  return is_leader ? 1 : 0;
+}
+
+ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
+                             const std::optional<PortAssignment>& ports,
+                             const AnonymousProtocol& protocol,
+                             std::uint64_t seed, int max_rounds,
+                             MessageVariant variant) {
+  if ((model == Model::kMessagePassing) != ports.has_value()) {
+    throw InvalidArgument(
+        "run_protocol: ports must be given exactly for message passing");
+  }
+  const int n = config.num_parties();
+  SourceBank bank(config, seed);
+  KnowledgeStore store;
+  std::vector<KnowledgeId> knowledge = initial_knowledge(store, n);
+
+  ProtocolOutcome outcome;
+  outcome.outputs.assign(static_cast<std::size_t>(n), 0);
+  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
+
+  int undecided = n;
+  for (int round = 1; round <= max_rounds && undecided > 0; ++round) {
+    std::vector<bool> bits;
+    bits.reserve(static_cast<std::size_t>(n));
+    for (int party = 0; party < n; ++party) {
+      bits.push_back(bank.party_bit(party, round));
+    }
+    if (model == Model::kBlackboard) {
+      knowledge = blackboard_round(store, knowledge, bits);
+    } else {
+      knowledge = message_round(store, knowledge, bits, *ports, variant);
+    }
+    for (int party = 0; party < n; ++party) {
+      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
+        continue;
+      }
+      const auto verdict =
+          protocol.decide(store, knowledge[static_cast<std::size_t>(party)]);
+      if (verdict.has_value()) {
+        outcome.outputs[static_cast<std::size_t>(party)] = *verdict;
+        outcome.decision_round[static_cast<std::size_t>(party)] = round;
+        --undecided;
+        outcome.rounds = round;
+      }
+    }
+  }
+  outcome.terminated = undecided == 0;
+  return outcome;
+}
+
+}  // namespace rsb

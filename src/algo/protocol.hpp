@@ -1,0 +1,97 @@
+// Knowledge-level anonymous protocols.
+//
+// In the full-information setting, everything a party may ever do is a
+// function of its knowledge (Section 2.2): a deterministic algorithm's
+// state is determined by the received randomness and messages, all of which
+// K_i(t) contains. A protocol is therefore modeled as a *decision function*
+// of the knowledge value: name-independence is enforced by construction,
+// because the function never sees the party's name.
+//
+// The runner advances the real knowledge recursion (Eqs. 1/2) with live
+// randomness from a SourceBank and asks each undecided party for a verdict
+// each round.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
+#include "randomness/source_bank.hpp"
+
+namespace rsb {
+
+class AnonymousProtocol {
+ public:
+  virtual ~AnonymousProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The party's verdict given its knowledge: nullopt = keep running;
+  /// a value = decide it (irrevocably). Must be a pure function of
+  /// (store, knowledge) — the runner may call it in any order.
+  virtual std::optional<std::int64_t> decide(const KnowledgeStore& store,
+                                             KnowledgeId knowledge) const = 0;
+};
+
+struct ProtocolOutcome {
+  bool terminated = false;  // all parties decided within the round budget
+  int rounds = 0;           // rounds elapsed when the last party decided
+  std::vector<std::int64_t> outputs;  // valid where decision_round >= 0
+  std::vector<int> decision_round;    // -1 where undecided
+};
+
+/// Runs `protocol` on n anonymous parties under the given model and
+/// randomness configuration. `ports` must be set iff the model is message
+/// passing.
+ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
+                             const std::optional<PortAssignment>& ports,
+                             const AnonymousProtocol& protocol,
+                             std::uint64_t seed, int max_rounds,
+                             MessageVariant variant = MessageVariant::kPortTagged);
+
+/// Leader election for the blackboard model (complete there by Theorem 4.1):
+/// a party decides once some randomness string at time t−1 is unique among
+/// all parties; the leader is the holder of the lexicographically smallest
+/// unique string. All parties observe the same string multiset, so all
+/// decide in the same round, consistently.
+class BlackboardUniqueStringLE final : public AnonymousProtocol {
+ public:
+  std::string name() const override { return "blackboard-unique-string-LE"; }
+  std::optional<std::int64_t> decide(const KnowledgeStore& store,
+                                     KnowledgeId knowledge) const override;
+};
+
+/// Model-agnostic leader election: a party decides once the knowledge
+/// multiset at time t−1 (own previous knowledge + the received knowledge of
+/// everyone else) contains a unique element; the leader is the holder of
+/// the canonically-smallest unique knowledge value. This realizes the
+/// paper's "isolated vertex of π̃(ρ)" criterion directly; in the
+/// port-tagged message-passing model it subsumes the Euclid/CreateMatching
+/// procedure because the full-information consistency partition refines at
+/// least as fast as any explicit protocol's (see DESIGN.md).
+class WaitForSingletonLE final : public AnonymousProtocol {
+ public:
+  std::string name() const override { return "wait-for-singleton-LE"; }
+  std::optional<std::int64_t> decide(const KnowledgeStore& store,
+                                     KnowledgeId knowledge) const override;
+};
+
+/// Generalization to m leaders: decides once the consistency classes at
+/// time t−1 admit a sub-collection of total size exactly m; the m leaders
+/// are chosen canonically (greedy over classes in canonical knowledge
+/// order). Completes exactly when the task's partition criterion is met.
+class WaitForClassSplitMLE final : public AnonymousProtocol {
+ public:
+  explicit WaitForClassSplitMLE(int num_leaders);
+  std::string name() const override;
+  std::optional<std::int64_t> decide(const KnowledgeStore& store,
+                                     KnowledgeId knowledge) const override;
+
+ private:
+  int num_leaders_;
+};
+
+}  // namespace rsb

@@ -1,0 +1,69 @@
+#include "algo/reduction.hpp"
+
+#include "knowledge/knowledge.hpp"
+#include "randomness/source_bank.hpp"
+#include "util/error.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+ReductionOutcome solve_name_independent_task(
+    Model model, const SourceConfiguration& config,
+    const std::optional<PortAssignment>& ports, const NameIndependentTask& task,
+    const std::vector<std::int64_t>& inputs, std::uint64_t seed,
+    int max_rounds, MessageVariant variant) {
+  const int n = config.num_parties();
+  if (static_cast<int>(inputs.size()) != n) {
+    throw InvalidArgument("solve_name_independent_task: inputs size mismatch");
+  }
+  if ((model == Model::kMessagePassing) != ports.has_value()) {
+    throw InvalidArgument(
+        "solve_name_independent_task: ports must be given exactly for "
+        "message passing");
+  }
+
+  SourceBank bank(config, seed);
+  KnowledgeStore store;
+  std::vector<KnowledgeId> knowledge =
+      initial_knowledge_with_inputs(store, inputs);
+
+  ReductionOutcome outcome;
+  for (int round = 1; round <= max_rounds; ++round) {
+    std::vector<bool> bits;
+    bits.reserve(static_cast<std::size_t>(n));
+    for (int party = 0; party < n; ++party) {
+      bits.push_back(bank.party_bit(party, round));
+    }
+    if (model == Model::kBlackboard) {
+      knowledge = blackboard_round(store, knowledge, bits);
+    } else {
+      knowledge = message_round(store, knowledge, bits, *ports, variant);
+    }
+    // Leader check: a singleton consistency class (an isolated vertex of
+    // π̃). The inputs are part of the knowledge, so input asymmetry may
+    // break symmetry earlier than randomness alone — legal and expected.
+    const std::vector<int> partition = knowledge_partition(knowledge);
+    const std::vector<int> sizes = block_sizes(partition);
+    int leader = -1;
+    for (int party = 0; party < n && leader < 0; ++party) {
+      if (sizes[static_cast<std::size_t>(
+              partition[static_cast<std::size_t>(party)])] == 1) {
+        leader = party;
+      }
+    }
+    if (leader >= 0) {
+      // The leader gathers the inputs (it has them: full information),
+      // evaluates the task rule, and publishes the value table — one more
+      // round of communication.
+      outcome.solved = true;
+      outcome.rounds = round + 1;
+      outcome.leader = leader;
+      outcome.outputs = task.outputs_for(inputs);
+      return outcome;
+    }
+  }
+  outcome.rounds = max_rounds;
+  return outcome;
+}
+
+}  // namespace rsb

@@ -1,0 +1,41 @@
+// The Theorem C.1 reduction: any name-independent input-output task is
+// solvable once leader election is.
+//
+// The paper's protocol: elect a leader; every party sends the leader its
+// input; the leader evaluates the task centrally and publishes the
+// input-value → output-value table; every party reads off its output.
+// In the full-information setting the collect and distribute rounds are
+// carried by the same knowledge exchanges the election already performs, so
+// the harness here charges one extra round for the leader's publication.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/models.hpp"
+#include "randomness/config.hpp"
+#include "tasks/name_independent.hpp"
+
+namespace rsb {
+
+struct ReductionOutcome {
+  bool solved = false;
+  int rounds = 0;  // election rounds + 1 publication round
+  std::vector<std::int64_t> outputs;
+  int leader = -1;  // the elected party (harness-side view)
+};
+
+/// Solves `task` on `inputs` (one per party) by electing a leader with the
+/// WaitForSingletonLE criterion over knowledge that includes the inputs,
+/// then applying the task rule centrally. Fails (solved = false) only if no
+/// leader emerges within `max_rounds` — by Theorems 4.1/4.2 that happens
+/// exactly for configurations where leader election is not eventually
+/// solvable.
+ReductionOutcome solve_name_independent_task(
+    Model model, const SourceConfiguration& config,
+    const std::optional<PortAssignment>& ports, const NameIndependentTask& task,
+    const std::vector<std::int64_t>& inputs, std::uint64_t seed,
+    int max_rounds, MessageVariant variant = MessageVariant::kPortTagged);
+
+}  // namespace rsb

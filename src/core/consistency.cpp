@@ -1,0 +1,54 @@
+#include "core/consistency.hpp"
+
+#include "util/error.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+RealizationComplex complex_from_partition(const Realization& realization,
+                                          const std::vector<int>& partition) {
+  if (static_cast<int>(partition.size()) != realization.num_parties()) {
+    throw InvalidArgument("complex_from_partition: size mismatch");
+  }
+  const int blocks = block_count(partition);
+  RealizationComplex out;
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<Vertex<BitString>> verts;
+    for (int party = 0; party < realization.num_parties(); ++party) {
+      if (partition[static_cast<std::size_t>(party)] == b) {
+        verts.push_back(
+            Vertex<BitString>{party, realization.string_of(party)});
+      }
+    }
+    out.add_simplex(Simplex<BitString>(std::move(verts)));
+  }
+  return out;
+}
+
+std::vector<int> consistency_partition_blackboard(
+    KnowledgeStore& store, const Realization& realization) {
+  return knowledge_partition(knowledge_at_blackboard(store, realization));
+}
+
+std::vector<int> consistency_partition_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports, MessageVariant variant) {
+  return knowledge_partition(
+      knowledge_at_message_passing(store, realization, ports, variant));
+}
+
+RealizationComplex consistency_complex_blackboard(
+    KnowledgeStore& store, const Realization& realization) {
+  return complex_from_partition(
+      realization, consistency_partition_blackboard(store, realization));
+}
+
+RealizationComplex consistency_complex_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports, MessageVariant variant) {
+  return complex_from_partition(
+      realization, consistency_partition_message_passing(store, realization,
+                                                         ports, variant));
+}
+
+}  // namespace rsb

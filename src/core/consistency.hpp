@@ -1,0 +1,53 @@
+// The knowledge-consistency projection π̃ (Eq. 5).
+//
+// For a facet ρ = {(i, x_i)} of R(t), π̃(ρ) is the complex on V(ρ) in which
+// {(i, x_i) : i ∈ I} is a simplex iff all parties of I are pairwise
+// consistent, i ~_t j ⇔ K_i(t) = K_j(t). Once the realization is fixed the
+// relation is deterministic; it depends on the communication model and — in
+// the message-passing model — on the port assignment (Section 3.3).
+//
+// The facets of π̃(ρ) are exactly the classes of the knowledge partition, so
+// the projection is computed by running the model's knowledge recursion and
+// grouping parties with equal (interned) knowledge.
+#pragma once
+
+#include <vector>
+
+#include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
+#include "protocol/complexes.hpp"
+#include "randomness/realization.hpp"
+#include "topology/topology.hpp"
+
+namespace rsb {
+
+/// Builds the complex whose facets are the partition's classes, with vertex
+/// (i, x_i) for each party. `partition` is in canonical block-index form.
+RealizationComplex complex_from_partition(const Realization& realization,
+                                          const std::vector<int>& partition);
+
+/// The consistency partition of ρ in the blackboard model. Equal to the
+/// equal-string partition of ρ (Section 4.1: on the blackboard, knowledge
+/// equality is randomness equality); computed here through the full
+/// knowledge recursion so tests can confirm that claim independently.
+std::vector<int> consistency_partition_blackboard(KnowledgeStore& store,
+                                                  const Realization& realization);
+
+/// The consistency partition of ρ in the message-passing model under the
+/// given port assignment.
+std::vector<int> consistency_partition_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+/// π̃(ρ) in the blackboard model.
+RealizationComplex consistency_complex_blackboard(KnowledgeStore& store,
+                                                  const Realization& realization);
+
+/// π̃(ρ) in the message-passing model under the given ports.
+RealizationComplex consistency_complex_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+}  // namespace rsb

@@ -1,0 +1,58 @@
+#include "core/deciders.hpp"
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+bool eventually_solvable_blackboard(const SourceConfiguration& config,
+                                    const SymmetricTask& task) {
+  if (task.num_parties() != config.num_parties()) {
+    throw InvalidArgument("eventually_solvable_blackboard: party mismatch");
+  }
+  return task.partition_solves(config.loads());
+}
+
+bool eventually_solvable_message_passing_worst_case(
+    const SourceConfiguration& config, const SymmetricTask& task) {
+  if (task.num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "eventually_solvable_message_passing_worst_case: party mismatch");
+  }
+  const int g = config.gcd_of_loads();
+  const int blocks = config.num_parties() / g;
+  return task.partition_solves(
+      std::vector<int>(static_cast<std::size_t>(blocks), g));
+}
+
+bool theorem41_predicate(const SourceConfiguration& config) {
+  return config.has_singleton_source();
+}
+
+bool theorem42_predicate(const SourceConfiguration& config) {
+  return config.gcd_of_loads() == 1;
+}
+
+LimitClass classify_limit(const std::vector<Dyadic>& series) {
+  if (series.empty()) return LimitClass::kUndetermined;
+  bool all_zero = true;
+  for (const Dyadic& p : series) {
+    if (!p.is_zero()) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) return LimitClass::kZero;
+  if (!is_monotone_non_decreasing(series)) return LimitClass::kUndetermined;
+  const Dyadic half(1, 1);
+  if (series.back() > half) return LimitClass::kOne;
+  return LimitClass::kUndetermined;
+}
+
+bool is_monotone_non_decreasing(const std::vector<Dyadic>& series) {
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i] < series[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace rsb

@@ -1,0 +1,65 @@
+// Eventual-solvability deciders.
+//
+// These are the analytic characterizations the paper proves (and, for
+// general symmetric tasks, the characterizations its framework yields —
+// derived in DESIGN.md and validated exhaustively against enumeration in
+// the test suite and benches):
+//
+//  * Blackboard (generalizes Theorem 4.1): eventually solvable iff the
+//    *source partition itself* solves, i.e. some assignment of one output
+//    value per source class has an admissible census.
+//    Reasoning: consistency classes are unions of source classes; the
+//    partition refines over time and a.s. reaches the source partition;
+//    class-constant assignments are preserved under refinement, so the
+//    finest reachable partition decides.
+//
+//  * Message-passing, worst-case ports (generalizes Theorem 4.2): with
+//    g = gcd(n_1,...,n_k), eventually solvable iff the uniform partition
+//    into n/g classes of size g solves.
+//    Reasoning: under the Lemma 4.3 adversarial ports every class is a
+//    union of g-blocks (only-if); conversely the Euclid/CreateMatching
+//    procedure refines every run to classes of size exactly g under any
+//    ports (if).
+//
+// For leader election these specialize to the paper's statements:
+//  Theorem 4.1 — ∃i n_i = 1;  Theorem 4.2 — gcd(n_1,...,n_k) = 1.
+#pragma once
+
+#include <vector>
+
+#include "randomness/config.hpp"
+#include "randomness/dyadic.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+
+/// Generalized Theorem 4.1: eventual solvability on the blackboard.
+bool eventually_solvable_blackboard(const SourceConfiguration& config,
+                                    const SymmetricTask& task);
+
+/// Generalized Theorem 4.2: eventual solvability in the message-passing
+/// model for *every* port assignment (worst case).
+bool eventually_solvable_message_passing_worst_case(
+    const SourceConfiguration& config, const SymmetricTask& task);
+
+/// The literal Theorem 4.1 predicate for leader election: ∃i, n_i = 1.
+bool theorem41_predicate(const SourceConfiguration& config);
+
+/// The literal Theorem 4.2 predicate for leader election: gcd = 1.
+bool theorem42_predicate(const SourceConfiguration& config);
+
+/// Empirical classification of a p(t) series per the zero–one law
+/// (Lemma 3.2): every limit is 0 or 1.
+enum class LimitClass {
+  kZero,          // identically zero so far (unsolvable pattern)
+  kOne,           // monotone and beyond 1/2 (convergence-to-1 pattern)
+  kUndetermined,  // the finite prefix does not witness either pattern
+};
+
+LimitClass classify_limit(const std::vector<Dyadic>& series);
+
+/// True iff the series is non-decreasing — solvability is cumulative
+/// (knowledge is monotone), so every exact p(t) series must satisfy this.
+bool is_monotone_non_decreasing(const std::vector<Dyadic>& series);
+
+}  // namespace rsb

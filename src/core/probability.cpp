@@ -1,0 +1,166 @@
+#include "core/probability.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "core/consistency.hpp"
+#include "core/solvability.hpp"
+#include "randomness/realization.hpp"
+#include "util/error.hpp"
+#include "util/partitions.hpp"
+#include "util/rng.hpp"
+
+namespace rsb {
+
+namespace {
+
+/// Memoizes SymmetricTask::partition_solves on sorted class-size multisets;
+/// enumeration revisits the same shapes constantly.
+class PartitionVerdictCache {
+ public:
+  explicit PartitionVerdictCache(const SymmetricTask& task) : task_(task) {}
+
+  bool solves(const std::vector<int>& partition) {
+    std::vector<int> sizes = block_sizes(partition);
+    std::sort(sizes.begin(), sizes.end());
+    auto it = cache_.find(sizes);
+    if (it != cache_.end()) return it->second;
+    const bool verdict = task_.partition_solves(sizes);
+    cache_.emplace(std::move(sizes), verdict);
+    return verdict;
+  }
+
+ private:
+  const SymmetricTask& task_;
+  std::map<std::vector<int>, bool> cache_;
+};
+
+Dyadic probability_from_count(std::uint64_t solving, int log2_total) {
+  return Dyadic(solving, log2_total);
+}
+
+}  // namespace
+
+Dyadic exact_solve_probability_blackboard(const SourceConfiguration& config,
+                                          const SymmetricTask& task,
+                                          int time) {
+  if (task.num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "exact_solve_probability_blackboard: task/config party mismatch");
+  }
+  PartitionVerdictCache cache(task);
+  std::uint64_t solving = 0;
+  for_each_positive_realization(
+      config, time, [&](const Realization& realization) {
+        if (cache.solves(realization.equal_string_partition())) ++solving;
+      });
+  return probability_from_count(solving, config.num_sources() * time);
+}
+
+Dyadic exact_solve_probability_blackboard_via_knowledge(
+    const SourceConfiguration& config, const SymmetricTask& task, int time) {
+  if (task.num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "exact_solve_probability_blackboard_via_knowledge: party mismatch");
+  }
+  KnowledgeStore store;
+  PartitionVerdictCache cache(task);
+  std::uint64_t solving = 0;
+  for_each_positive_realization(
+      config, time, [&](const Realization& realization) {
+        if (cache.solves(
+                consistency_partition_blackboard(store, realization))) {
+          ++solving;
+        }
+      });
+  return probability_from_count(solving, config.num_sources() * time);
+}
+
+Dyadic exact_solve_probability_message_passing(
+    const SourceConfiguration& config, const SymmetricTask& task, int time,
+    const PortAssignment& ports, MessageVariant variant) {
+  if (task.num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "exact_solve_probability_message_passing: party mismatch");
+  }
+  if (ports.num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "exact_solve_probability_message_passing: ports mismatch");
+  }
+  KnowledgeStore store;
+  PartitionVerdictCache cache(task);
+  std::uint64_t solving = 0;
+  for_each_positive_realization(
+      config, time, [&](const Realization& realization) {
+        if (cache.solves(consistency_partition_message_passing(
+                store, realization, ports, variant))) {
+          ++solving;
+        }
+      });
+  return probability_from_count(solving, config.num_sources() * time);
+}
+
+std::vector<Dyadic> exact_series_blackboard(const SourceConfiguration& config,
+                                            const SymmetricTask& task,
+                                            int t_max) {
+  std::vector<Dyadic> series;
+  series.reserve(static_cast<std::size_t>(t_max));
+  for (int t = 1; t <= t_max; ++t) {
+    series.push_back(exact_solve_probability_blackboard(config, task, t));
+  }
+  return series;
+}
+
+std::vector<Dyadic> exact_series_message_passing(
+    const SourceConfiguration& config, const SymmetricTask& task, int t_max,
+    const PortAssignment& ports, MessageVariant variant) {
+  std::vector<Dyadic> series;
+  series.reserve(static_cast<std::size_t>(t_max));
+  for (int t = 1; t <= t_max; ++t) {
+    series.push_back(exact_solve_probability_message_passing(config, task, t,
+                                                             ports, variant));
+  }
+  return series;
+}
+
+MonteCarloEstimate monte_carlo_solve_probability(
+    const SourceConfiguration& config, const SymmetricTask& task, int time,
+    const std::optional<PortAssignment>& ports, std::uint64_t trials,
+    std::uint64_t seed) {
+  if (trials == 0) {
+    throw InvalidArgument("monte_carlo_solve_probability: zero trials");
+  }
+  Xoshiro256StarStar rng(seed);
+  KnowledgeStore store;
+  PartitionVerdictCache cache(task);
+  std::uint64_t successes = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const Realization realization = sample_realization(config, time, rng);
+    std::vector<int> partition;
+    if (ports.has_value()) {
+      partition =
+          consistency_partition_message_passing(store, realization, *ports);
+    } else {
+      partition = realization.equal_string_partition();
+    }
+    if (cache.solves(partition)) ++successes;
+  }
+  MonteCarloEstimate estimate;
+  estimate.trials = trials;
+  estimate.successes = successes;
+  estimate.p_hat =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  estimate.std_error = std::sqrt(
+      estimate.p_hat * (1.0 - estimate.p_hat) / static_cast<double>(trials));
+  return estimate;
+}
+
+double theorem41_rate_lower_bound(int num_sources, int time) {
+  if (num_sources < 1 || time < 0) {
+    throw InvalidArgument("theorem41_rate_lower_bound: bad arguments");
+  }
+  const double per_source = 1.0 - std::pow(2.0, -time);
+  return std::pow(per_source, num_sources - 1);
+}
+
+}  // namespace rsb

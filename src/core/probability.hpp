@@ -1,0 +1,73 @@
+// The probability of solving a task at time t — Pr[S(t) | α].
+//
+// S(t) is the set of realizations at time t that solve the task
+// (Section 3.4). By Lemma B.1 every positive-probability realization under α
+// weighs exactly 2^{-tk}, so
+//
+//   Pr[S(t) | α] = (number of solving realizations) / 2^{tk},
+//
+// an exact dyadic rational this engine computes by enumeration of all 2^{tk}
+// source-string choices. A Monte-Carlo estimator covers parameter ranges
+// beyond the enumeration cap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
+#include "randomness/config.hpp"
+#include "randomness/dyadic.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+
+/// Exact Pr[S(t) | α] in the blackboard model. Uses the blackboard fact
+/// that the consistency partition equals the equal-string partition
+/// (Section 4.1; verified against the knowledge recursion in tests).
+Dyadic exact_solve_probability_blackboard(const SourceConfiguration& config,
+                                          const SymmetricTask& task, int time);
+
+/// Exact Pr[S(t) | α] in the blackboard model computed through the full
+/// knowledge recursion (slow path; for cross-validation).
+Dyadic exact_solve_probability_blackboard_via_knowledge(
+    const SourceConfiguration& config, const SymmetricTask& task, int time);
+
+/// Exact Pr[S(t) | α] in the message-passing model under fixed ports.
+Dyadic exact_solve_probability_message_passing(
+    const SourceConfiguration& config, const SymmetricTask& task, int time,
+    const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+/// The series p(1), ..., p(t_max) (exact), blackboard model.
+std::vector<Dyadic> exact_series_blackboard(const SourceConfiguration& config,
+                                            const SymmetricTask& task,
+                                            int t_max);
+
+/// The series p(1), ..., p(t_max) (exact), message-passing model.
+std::vector<Dyadic> exact_series_message_passing(
+    const SourceConfiguration& config, const SymmetricTask& task, int t_max,
+    const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+struct MonteCarloEstimate {
+  double p_hat = 0.0;
+  double std_error = 0.0;
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+};
+
+/// Monte-Carlo estimate of Pr[S(t) | α]; `ports` selects the
+/// message-passing model, otherwise blackboard.
+MonteCarloEstimate monte_carlo_solve_probability(
+    const SourceConfiguration& config, const SymmetricTask& task, int time,
+    const std::optional<PortAssignment>& ports, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// The closed-form lower bound from the proof of Theorem 4.1 ('if'
+/// direction) for a configuration with k sources, one of load 1:
+/// p(t) ≥ (2^t − 1)^{k−1} / 2^{t(k−1)} ≥ 1 − (k−1)/2^t.
+double theorem41_rate_lower_bound(int num_sources, int time);
+
+}  // namespace rsb

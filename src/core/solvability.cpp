@@ -1,0 +1,65 @@
+#include "core/solvability.hpp"
+
+#include "topology/simplicial_map.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+bool solves_by_definition31(const std::vector<KnowledgeId>& knowledge,
+                            const SymmetricTask& task) {
+  // The protocol facet σ = {(i, K_i(t))} as a one-facet complex.
+  std::vector<Vertex<std::uint64_t>> verts;
+  verts.reserve(knowledge.size());
+  for (std::size_t i = 0; i < knowledge.size(); ++i) {
+    verts.push_back(Vertex<std::uint64_t>{static_cast<int>(i), knowledge[i]});
+  }
+  ChromaticComplex<std::uint64_t> sigma;
+  sigma.add_simplex(Simplex<std::uint64_t>(std::move(verts)));
+
+  // δ : σ → O, name-preserving and name-independent. Since σ carries all n
+  // names and δ preserves them, the image of the facet is an (n−1)-simplex
+  // of O, i.e. a facet τ — so searching into O is searching over all τ ∈ O.
+  const OutputComplex output = task.output_complex();
+  return exists_simplicial_map(sigma, output,
+                               /*require_name_independent=*/true);
+}
+
+bool solves_by_definition34(const Realization& realization,
+                            const std::vector<int>& consistency_partition,
+                            const SymmetricTask& task) {
+  const RealizationComplex projected_rho =
+      complex_from_partition(realization, consistency_partition);
+  // Try every facet τ of O: build π(τ) and search for a name-preserving
+  // simplicial map π̃(ρ) → π(τ). (Name-independence is not required here —
+  // Definition 3.4 — the projections' structure enforces it.)
+  for (const auto& tau : task.output_complex().facets()) {
+    const OutputComplex projected_tau = project_facet(tau);
+    if (exists_simplicial_map(projected_rho, projected_tau,
+                              /*require_name_independent=*/false)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool solves_by_partition(const std::vector<int>& consistency_partition,
+                         const SymmetricTask& task) {
+  return task.partition_solves(block_sizes(consistency_partition));
+}
+
+bool realization_solves_blackboard(KnowledgeStore& store,
+                                   const Realization& realization,
+                                   const SymmetricTask& task) {
+  return solves_by_partition(
+      consistency_partition_blackboard(store, realization), task);
+}
+
+bool realization_solves_message_passing(KnowledgeStore& store,
+                                        const Realization& realization,
+                                        const PortAssignment& ports,
+                                        const SymmetricTask& task) {
+  return solves_by_partition(
+      consistency_partition_message_passing(store, realization, ports), task);
+}
+
+}  // namespace rsb

@@ -1,0 +1,60 @@
+// Facet-local solvability — Definitions 3.1 and 3.4.
+//
+// Three independent decision paths are provided; Lemma 3.5 says they agree,
+// and the test suite checks that agreement exhaustively on small systems:
+//
+//  (1) Definition 3.1 (protocol side): the facet σ = {(i, K_i(t))} of P(t)
+//      solves O iff a name-preserving *and name-independent* simplicial map
+//      δ : σ → τ exists for some facet τ ∈ O. Implemented with the generic
+//      backtracking map search of src/topology.
+//
+//  (2) Definition 3.4 (realization side): ρ ∈ R(t) solves O iff a
+//      name-preserving simplicial map δ : π̃(ρ) → π(τ) exists for some facet
+//      τ ∈ O (name-independence is provided by the projections' structure).
+//      Also implemented via the generic search, over the projected complexes.
+//
+//  (3) The combinatorial shortcut this library uses at scale: ρ solves O iff
+//      some assignment of one output value per consistency class yields an
+//      admissible output census — SymmetricTask::partition_solves on the
+//      class sizes. (For O_LE this is the paper's isolated-vertex criterion:
+//      some class is a singleton.)
+#pragma once
+
+#include <vector>
+
+#include "core/consistency.hpp"
+#include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
+#include "randomness/realization.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+
+/// Path (1): Definition 3.1 on the protocol facet induced by ρ.
+/// `knowledge` is the knowledge vector (K_1(t), ..., K_n(t)) of ρ under the
+/// chosen model (see knowledge_at_blackboard / knowledge_at_message_passing).
+bool solves_by_definition31(const std::vector<KnowledgeId>& knowledge,
+                            const SymmetricTask& task);
+
+/// Path (2): Definition 3.4 on the realization facet, given its consistency
+/// partition under the chosen model.
+bool solves_by_definition34(const Realization& realization,
+                            const std::vector<int>& consistency_partition,
+                            const SymmetricTask& task);
+
+/// Path (3): the class-size shortcut.
+bool solves_by_partition(const std::vector<int>& consistency_partition,
+                         const SymmetricTask& task);
+
+/// Convenience wrappers that run the model's knowledge recursion and then
+/// apply path (3) — the production entry points.
+bool realization_solves_blackboard(KnowledgeStore& store,
+                                   const Realization& realization,
+                                   const SymmetricTask& task);
+
+bool realization_solves_message_passing(KnowledgeStore& store,
+                                        const Realization& realization,
+                                        const PortAssignment& ports,
+                                        const SymmetricTask& task);
+
+}  // namespace rsb

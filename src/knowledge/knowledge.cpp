@@ -1,0 +1,182 @@
+#include "knowledge/knowledge.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+KnowledgeStore::KnowledgeStore() {
+  // Reserve id 0 for ⊥.
+  Node bottom;
+  bottom.kind = KnowledgeKind::kBottom;
+  nodes_.push_back(bottom);
+  by_hash_[node_hash(nodes_.front())].push_back(0);
+}
+
+KnowledgeId KnowledgeStore::input(std::int64_t value) {
+  Node node;
+  node.kind = KnowledgeKind::kInput;
+  node.input = value;
+  return intern(std::move(node));
+}
+
+KnowledgeId KnowledgeStore::blackboard_step(KnowledgeId prev, bool bit,
+                                            std::vector<KnowledgeId> others) {
+  Node node;
+  node.kind = KnowledgeKind::kBlackboardStep;
+  node.prev = prev;
+  node.bit = bit;
+  std::sort(others.begin(), others.end());  // multiset canonicalization
+  node.received = std::move(others);
+  node.time = time(prev) + 1;
+  return intern(std::move(node));
+}
+
+KnowledgeId KnowledgeStore::message_step(KnowledgeId prev, bool bit,
+                                         std::vector<KnowledgeId> by_port) {
+  Node node;
+  node.kind = KnowledgeKind::kMessageStep;
+  node.prev = prev;
+  node.bit = bit;
+  node.received = std::move(by_port);  // port order is significant
+  node.time = time(prev) + 1;
+  return intern(std::move(node));
+}
+
+KnowledgeId KnowledgeStore::message_step_tagged(KnowledgeId prev, bool bit,
+                                                std::vector<KnowledgeId> by_port,
+                                                std::vector<int> tags) {
+  if (tags.size() != by_port.size()) {
+    throw InvalidArgument(
+        "KnowledgeStore::message_step_tagged: tags/ports size mismatch");
+  }
+  Node node;
+  node.kind = KnowledgeKind::kMessageStep;
+  node.prev = prev;
+  node.bit = bit;
+  node.received = std::move(by_port);
+  node.tags = std::move(tags);
+  node.time = time(prev) + 1;
+  return intern(std::move(node));
+}
+
+const std::vector<int>& KnowledgeStore::tags(KnowledgeId id) const {
+  const Node& n = node(id);
+  if (n.kind != KnowledgeKind::kMessageStep) {
+    throw InvalidArgument("KnowledgeStore::tags: not a message step");
+  }
+  return n.tags;
+}
+
+KnowledgeKind KnowledgeStore::kind(KnowledgeId id) const {
+  return node(id).kind;
+}
+
+KnowledgeId KnowledgeStore::previous(KnowledgeId id) const {
+  const Node& n = node(id);
+  if (n.kind != KnowledgeKind::kBlackboardStep &&
+      n.kind != KnowledgeKind::kMessageStep) {
+    throw InvalidArgument("KnowledgeStore::previous: not a step value");
+  }
+  return n.prev;
+}
+
+bool KnowledgeStore::bit(KnowledgeId id) const {
+  const Node& n = node(id);
+  if (n.kind != KnowledgeKind::kBlackboardStep &&
+      n.kind != KnowledgeKind::kMessageStep) {
+    throw InvalidArgument("KnowledgeStore::bit: not a step value");
+  }
+  return n.bit;
+}
+
+const std::vector<KnowledgeId>& KnowledgeStore::received(KnowledgeId id) const {
+  const Node& n = node(id);
+  if (n.kind != KnowledgeKind::kBlackboardStep &&
+      n.kind != KnowledgeKind::kMessageStep) {
+    throw InvalidArgument("KnowledgeStore::received: not a step value");
+  }
+  return n.received;
+}
+
+std::int64_t KnowledgeStore::input_value(KnowledgeId id) const {
+  const Node& n = node(id);
+  if (n.kind != KnowledgeKind::kInput) {
+    throw InvalidArgument("KnowledgeStore::input_value: not an input value");
+  }
+  return n.input;
+}
+
+int KnowledgeStore::time(KnowledgeId id) const { return node(id).time; }
+
+std::vector<bool> KnowledgeStore::randomness(KnowledgeId id) const {
+  std::vector<bool> bits;
+  KnowledgeId current = id;
+  while (kind(current) == KnowledgeKind::kBlackboardStep ||
+         kind(current) == KnowledgeKind::kMessageStep) {
+    bits.push_back(bit(current));
+    current = previous(current);
+  }
+  std::reverse(bits.begin(), bits.end());
+  return bits;
+}
+
+std::string KnowledgeStore::to_string(KnowledgeId id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case KnowledgeKind::kBottom:
+      return "⊥";
+    case KnowledgeKind::kInput:
+      return "in(" + std::to_string(n.input) + ")";
+    case KnowledgeKind::kBlackboardStep:
+    case KnowledgeKind::kMessageStep: {
+      std::string out = "#" + std::to_string(id) + "=(prev=#" +
+                        std::to_string(n.prev) +
+                        ",bit=" + (n.bit ? "1" : "0") + ",";
+      out += n.kind == KnowledgeKind::kBlackboardStep ? "{" : "(";
+      for (std::size_t i = 0; i < n.received.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "#" + std::to_string(n.received[i]);
+      }
+      out += n.kind == KnowledgeKind::kBlackboardStep ? "}" : ")";
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+KnowledgeId KnowledgeStore::intern(Node new_node) {
+  const std::uint64_t h = node_hash(new_node);
+  auto& bucket = by_hash_[h];
+  for (KnowledgeId id : bucket) {
+    if (node_equal(nodes_[id], new_node)) return id;
+  }
+  const KnowledgeId id = static_cast<KnowledgeId>(nodes_.size());
+  nodes_.push_back(std::move(new_node));
+  bucket.push_back(id);
+  return id;
+}
+
+std::uint64_t KnowledgeStore::node_hash(const Node& n) const {
+  std::uint64_t seed = mix64(static_cast<std::uint64_t>(n.kind));
+  seed = hash_combine(seed, static_cast<std::uint64_t>(n.bit));
+  seed = hash_combine(seed, n.prev);
+  seed = hash_combine(seed, static_cast<std::uint64_t>(n.input));
+  seed = hash_range(n.received.begin(), n.received.end(), seed);
+  return hash_range(n.tags.begin(), n.tags.end(), seed);
+}
+
+bool KnowledgeStore::node_equal(const Node& a, const Node& b) const {
+  return a.kind == b.kind && a.bit == b.bit && a.prev == b.prev &&
+         a.input == b.input && a.received == b.received && a.tags == b.tags;
+}
+
+const KnowledgeStore::Node& KnowledgeStore::node(KnowledgeId id) const {
+  if (id >= nodes_.size()) {
+    throw InvalidArgument("KnowledgeStore: unknown id " + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+}  // namespace rsb

@@ -1,0 +1,127 @@
+// Hash-consed knowledge values.
+//
+// The paper's full-information protocol makes every party's state at time t
+// its *knowledge* K_i(t), defined recursively (Section 2.2):
+//
+//   blackboard (Eq. 1):       K_i(t) = (K_i(t−1), X_i(t), {K_j(t−1) : j≠i})
+//                             where {...} is a multiset (anonymous board),
+//   message passing (Eq. 2):  K_i(t) = (K_i(t−1), X_i(t),
+//                             (K_{π_i(1)}(t−1), ..., K_{π_i(n−1)}(t−1)))
+//                             an ordered tuple indexed by port number.
+//
+// Written out, K_i(t) grows exponentially with t. The only operation the
+// framework needs, however, is *equality* — the consistency relation
+// i ~_t j ⇔ K_i(t) = K_j(t) (Eq. 4). We therefore intern knowledge values
+// in a KnowledgeStore: structurally equal values receive the same id, so
+// equality is id comparison, and memory is proportional to the number of
+// distinct sub-values, not to the written-out size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace rsb {
+
+/// Identifier of an interned knowledge value; equality of ids is equality of
+/// knowledge.
+using KnowledgeId = std::uint32_t;
+
+enum class KnowledgeKind : std::uint8_t {
+  kBottom,          // ⊥: no input, time 0
+  kInput,           // K_i(0) = v_i for input-output tasks (Appendix C)
+  kBlackboardStep,  // Eq. (1)
+  kMessageStep,     // Eq. (2)
+};
+
+class KnowledgeStore {
+ public:
+  KnowledgeStore();
+
+  /// The unique ⊥ value (always id 0).
+  KnowledgeId bottom() const noexcept { return 0; }
+
+  /// K_i(0) = v for an input value v.
+  KnowledgeId input(std::int64_t value);
+
+  /// Eq. (1). `others` is the multiset {K_j(t−1) : j ≠ i}; it is sorted
+  /// internally, so callers may pass it in any order. The blackboard is
+  /// anonymous — only the multiset matters — and the paper's lexicographic
+  /// board order corresponds to this canonical sorting.
+  KnowledgeId blackboard_step(KnowledgeId prev, bool bit,
+                              std::vector<KnowledgeId> others);
+
+  /// Eq. (2), literal form. `by_port[p]` is the knowledge received on port
+  /// p+1; the tuple order is significant (ports are local names for
+  /// channels).
+  KnowledgeId message_step(KnowledgeId prev, bool bit,
+                           std::vector<KnowledgeId> by_port);
+
+  /// Eq. (2), port-tagged form: the message received on port p+1 also
+  /// carries the *sender's* port number for the shared edge (`tags[p]`).
+  /// A full-information sender knows which of its ports it transmits on and
+  /// includes it; this reciprocal tag is what lets a receiver simulate
+  /// selective-send protocols such as CreateMatching (Algorithm 1). See
+  /// DESIGN.md — with the untagged literal reading of Eq. (2), the 'if'
+  /// direction of Theorem 4.2 admits a counterexample wiring.
+  KnowledgeId message_step_tagged(KnowledgeId prev, bool bit,
+                                  std::vector<KnowledgeId> by_port,
+                                  std::vector<int> tags);
+
+  /// The reciprocal port tags; empty for untagged steps.
+  const std::vector<int>& tags(KnowledgeId id) const;
+
+  KnowledgeKind kind(KnowledgeId id) const;
+
+  /// The K(t−1) component; only for step kinds.
+  KnowledgeId previous(KnowledgeId id) const;
+
+  /// The X(t) component; only for step kinds.
+  bool bit(KnowledgeId id) const;
+
+  /// The received knowledge (sorted multiset for blackboard, port-ordered
+  /// tuple for message passing); only for step kinds.
+  const std::vector<KnowledgeId>& received(KnowledgeId id) const;
+
+  /// The input value; only for kInput.
+  std::int64_t input_value(KnowledgeId id) const;
+
+  /// The time t such that this value is a K(t): 0 for ⊥/input, 1 + time of
+  /// the previous component otherwise.
+  int time(KnowledgeId id) const;
+
+  /// The randomness string x(1..t) embedded in the value — the map h of
+  /// Section 3.3 recovers exactly this.
+  std::vector<bool> randomness(KnowledgeId id) const;
+
+  /// Number of distinct interned values (diagnostics / benchmarks).
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Structural rendering with ids, e.g. "#5=(prev=#2,bit=1,[#2,#3])".
+  /// Shallow: children are shown as ids.
+  std::string to_string(KnowledgeId id) const;
+
+ private:
+  struct Node {
+    KnowledgeKind kind;
+    bool bit = false;
+    KnowledgeId prev = 0;
+    std::int64_t input = 0;
+    std::vector<KnowledgeId> received;
+    std::vector<int> tags;  // reciprocal port numbers; empty if untagged
+    int time = 0;
+  };
+
+  KnowledgeId intern(Node node);
+  std::uint64_t node_hash(const Node& node) const;
+  bool node_equal(const Node& a, const Node& b) const;
+  const Node& node(KnowledgeId id) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<KnowledgeId>> by_hash_;
+};
+
+}  // namespace rsb

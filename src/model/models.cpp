@@ -1,0 +1,145 @@
+#include "model/models.hpp"
+
+#include "util/error.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+std::string to_string(Model model) {
+  switch (model) {
+    case Model::kBlackboard:
+      return "blackboard";
+    case Model::kMessagePassing:
+      return "message-passing";
+  }
+  return "?";
+}
+
+std::string to_string(MessageVariant variant) {
+  switch (variant) {
+    case MessageVariant::kPortTagged:
+      return "port-tagged";
+    case MessageVariant::kLiteral:
+      return "literal";
+  }
+  return "?";
+}
+
+std::vector<KnowledgeId> initial_knowledge(KnowledgeStore& store,
+                                           int num_parties) {
+  if (num_parties < 1) {
+    throw InvalidArgument("initial_knowledge: n must be >= 1");
+  }
+  return std::vector<KnowledgeId>(static_cast<std::size_t>(num_parties),
+                                  store.bottom());
+}
+
+std::vector<KnowledgeId> initial_knowledge_with_inputs(
+    KnowledgeStore& store, const std::vector<std::int64_t>& inputs) {
+  std::vector<KnowledgeId> out;
+  out.reserve(inputs.size());
+  for (std::int64_t v : inputs) out.push_back(store.input(v));
+  return out;
+}
+
+std::vector<KnowledgeId> blackboard_round(KnowledgeStore& store,
+                                          const std::vector<KnowledgeId>& prev,
+                                          const std::vector<bool>& bits) {
+  const std::size_t n = prev.size();
+  if (bits.size() != n) {
+    throw InvalidArgument("blackboard_round: bits/knowledge size mismatch");
+  }
+  std::vector<KnowledgeId> next;
+  next.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<KnowledgeId> others;
+    others.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(prev[j]);
+    }
+    next.push_back(store.blackboard_step(prev[i], bits[i], std::move(others)));
+  }
+  return next;
+}
+
+std::vector<KnowledgeId> message_round(KnowledgeStore& store,
+                                       const std::vector<KnowledgeId>& prev,
+                                       const std::vector<bool>& bits,
+                                       const PortAssignment& ports,
+                                       MessageVariant variant) {
+  const std::size_t n = prev.size();
+  if (bits.size() != n) {
+    throw InvalidArgument("message_round: bits/knowledge size mismatch");
+  }
+  if (ports.num_parties() != static_cast<int>(n)) {
+    throw InvalidArgument("message_round: ports/knowledge size mismatch");
+  }
+  std::vector<KnowledgeId> next;
+  next.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<KnowledgeId> by_port;
+    std::vector<int> tags;
+    by_port.reserve(n - 1);
+    tags.reserve(n - 1);
+    for (int p = 1; p <= static_cast<int>(n) - 1; ++p) {
+      const int sender = ports.neighbor(static_cast<int>(i), p);
+      by_port.push_back(prev[static_cast<std::size_t>(sender)]);
+      if (variant == MessageVariant::kPortTagged) {
+        tags.push_back(ports.port_to(sender, static_cast<int>(i)));
+      }
+    }
+    if (variant == MessageVariant::kPortTagged) {
+      next.push_back(store.message_step_tagged(prev[i], bits[i],
+                                               std::move(by_port),
+                                               std::move(tags)));
+    } else {
+      next.push_back(store.message_step(prev[i], bits[i], std::move(by_port)));
+    }
+  }
+  return next;
+}
+
+namespace {
+
+std::vector<bool> round_bits(const Realization& realization, int round) {
+  std::vector<bool> bits;
+  bits.reserve(static_cast<std::size_t>(realization.num_parties()));
+  for (int party = 0; party < realization.num_parties(); ++party) {
+    bits.push_back(realization.string_of(party).bit_at_round(round));
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::vector<KnowledgeId> knowledge_at_blackboard(
+    KnowledgeStore& store, const Realization& realization) {
+  std::vector<KnowledgeId> knowledge =
+      initial_knowledge(store, realization.num_parties());
+  for (int round = 1; round <= realization.time(); ++round) {
+    knowledge = blackboard_round(store, knowledge, round_bits(realization, round));
+  }
+  return knowledge;
+}
+
+std::vector<KnowledgeId> knowledge_at_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports, MessageVariant variant) {
+  std::vector<KnowledgeId> knowledge =
+      initial_knowledge(store, realization.num_parties());
+  for (int round = 1; round <= realization.time(); ++round) {
+    knowledge = message_round(store, knowledge, round_bits(realization, round),
+                              ports, variant);
+  }
+  return knowledge;
+}
+
+std::vector<int> knowledge_partition(
+    const std::vector<KnowledgeId>& knowledge) {
+  std::vector<int> labels;
+  labels.reserve(knowledge.size());
+  for (KnowledgeId id : knowledge) labels.push_back(static_cast<int>(id));
+  return canonical_blocks(labels);
+}
+
+}  // namespace rsb

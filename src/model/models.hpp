@@ -1,0 +1,80 @@
+// The two communication models, as knowledge-transition operators.
+//
+// A model turns the knowledge vector (K_1(t−1), ..., K_n(t−1)) plus the
+// round-t random bits into (K_1(t), ..., K_n(t)), implementing Eq. (1)
+// (blackboard) and Eq. (2) (message passing). Full information is implicit:
+// each party contributes its entire knowledge every round.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "knowledge/knowledge.hpp"
+#include "model/port_assignment.hpp"
+#include "randomness/realization.hpp"
+
+namespace rsb {
+
+enum class Model {
+  kBlackboard,
+  kMessagePassing,
+};
+
+/// How much a full-information message reveals about its channel.
+///
+/// kPortTagged (default): a message carries the sender's outgoing port
+/// number, so both endpoints learn the reciprocal port pair of their shared
+/// edge. This is the reading of Eq. (2) under which the paper's theorems
+/// hold: a receiver can then simulate selective-send protocols such as
+/// CreateMatching, which the proof of Lemma 4.7 relies on.
+///
+/// kLiteral: the bare Eq. (2) tuple — received knowledge only. Under this
+/// reading there are port wirings (see DESIGN.md and the model tests) where
+/// the consistency partition of a gcd=1 configuration is frozen forever and
+/// the 'if' direction of Theorem 4.2 fails; the variant is kept to
+/// demonstrate exactly that.
+enum class MessageVariant {
+  kPortTagged,
+  kLiteral,
+};
+
+std::string to_string(Model model);
+std::string to_string(MessageVariant variant);
+
+/// K_i(0) for input-free tasks: every party starts at ⊥.
+std::vector<KnowledgeId> initial_knowledge(KnowledgeStore& store,
+                                           int num_parties);
+
+/// K_i(0) = input(v_i) for input-output tasks (Appendix C).
+std::vector<KnowledgeId> initial_knowledge_with_inputs(
+    KnowledgeStore& store, const std::vector<std::int64_t>& inputs);
+
+/// One blackboard round (Eq. 1). bits[i] is X_i(t).
+std::vector<KnowledgeId> blackboard_round(KnowledgeStore& store,
+                                          const std::vector<KnowledgeId>& prev,
+                                          const std::vector<bool>& bits);
+
+/// One message-passing round (Eq. 2) under the given port assignment.
+std::vector<KnowledgeId> message_round(
+    KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
+    const std::vector<bool>& bits, const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+/// The knowledge vector at the realization's time in the blackboard model,
+/// computed by running Eq. (1) for t rounds on the realization's bits.
+std::vector<KnowledgeId> knowledge_at_blackboard(
+    KnowledgeStore& store, const Realization& realization);
+
+/// Ditto for the message-passing model under the given ports.
+std::vector<KnowledgeId> knowledge_at_message_passing(
+    KnowledgeStore& store, const Realization& realization,
+    const PortAssignment& ports,
+    MessageVariant variant = MessageVariant::kPortTagged);
+
+/// The consistency partition of the parties at the realization's time: the
+/// canonical block-index form of the relation i ~_t j ⇔ K_i(t) = K_j(t)
+/// (Eq. 4). For the blackboard model this equals the equal-string partition
+/// of the realization (proved in Section 4.1 and checked in tests).
+std::vector<int> knowledge_partition(const std::vector<KnowledgeId>& knowledge);
+
+}  // namespace rsb

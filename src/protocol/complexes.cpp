@@ -1,0 +1,136 @@
+#include "protocol/complexes.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+RealizationComplex build_realization_complex(int num_parties, int time) {
+  RealizationComplex out;
+  for_each_realization_facet(num_parties, time,
+                             [&out](const Realization& realization) {
+                               out.add_simplex(realization.facet());
+                             });
+  return out;
+}
+
+RealizationComplex build_realization_complex_positive(
+    const SourceConfiguration& config, int time) {
+  RealizationComplex out;
+  for_each_positive_realization(config, time,
+                                [&out](const Realization& realization) {
+                                  out.add_simplex(realization.facet());
+                                });
+  return out;
+}
+
+namespace {
+
+Simplex<std::uint64_t> knowledge_facet(const std::vector<KnowledgeId>& ids) {
+  std::vector<Vertex<std::uint64_t>> verts;
+  verts.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    verts.push_back(
+        Vertex<std::uint64_t>{static_cast<int>(i), ids[i]});
+  }
+  return Simplex<std::uint64_t>(std::move(verts));
+}
+
+}  // namespace
+
+KnowledgeComplex build_protocol_complex_blackboard(KnowledgeStore& store,
+                                                   int num_parties, int time) {
+  KnowledgeComplex out;
+  for_each_realization_facet(
+      num_parties, time, [&store, &out](const Realization& realization) {
+        out.add_simplex(
+            knowledge_facet(knowledge_at_blackboard(store, realization)));
+      });
+  return out;
+}
+
+KnowledgeComplex build_protocol_complex_message_passing(
+    KnowledgeStore& store, const PortAssignment& ports, int time) {
+  KnowledgeComplex out;
+  for_each_realization_facet(
+      ports.num_parties(), time,
+      [&store, &ports, &out](const Realization& realization) {
+        out.add_simplex(knowledge_facet(
+            knowledge_at_message_passing(store, realization, ports)));
+      });
+  return out;
+}
+
+Simplex<BitString> h_image(const KnowledgeStore& store,
+                           const Simplex<std::uint64_t>& protocol_facet) {
+  std::vector<Vertex<BitString>> verts;
+  verts.reserve(protocol_facet.vertices().size());
+  for (const auto& v : protocol_facet.vertices()) {
+    BitString x;
+    for (bool b : store.randomness(static_cast<KnowledgeId>(v.value))) {
+      x.push_back(b);
+    }
+    verts.push_back(Vertex<BitString>{v.name, std::move(x)});
+  }
+  return Simplex<BitString>(std::move(verts));
+}
+
+bool h_is_facet_isomorphism(const KnowledgeStore& store,
+                            const KnowledgeComplex& protocol,
+                            const RealizationComplex& realization) {
+  const auto protocol_facets = protocol.facets();
+  const auto realization_facets = realization.facets();
+  std::set<Simplex<BitString>> images;
+  for (const auto& pf : protocol_facets) {
+    images.insert(h_image(store, pf));
+  }
+  // Injective on facets, and image set = realization facet set.
+  if (images.size() != protocol_facets.size()) return false;
+  std::set<Simplex<BitString>> expected(realization_facets.begin(),
+                                        realization_facets.end());
+  return images == expected;
+}
+
+std::vector<Realization> all_successors(const Realization& realization) {
+  const int n = realization.num_parties();
+  if (n > 20) throw InvalidArgument("all_successors: too many parties");
+  std::vector<Realization> out;
+  out.reserve(1ULL << n);
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<BitString> strings = realization.strings();
+    for (int party = 0; party < n; ++party) {
+      strings[static_cast<std::size_t>(party)].push_back(
+          (mask >> party) & 1ULL);
+    }
+    out.emplace_back(std::move(strings));
+  }
+  return out;
+}
+
+std::vector<Realization> positive_successors(
+    const Realization& realization, const SourceConfiguration& config) {
+  if (config.num_parties() != realization.num_parties()) {
+    throw InvalidArgument("positive_successors: party count mismatch");
+  }
+  if (!realization.consistent_with(config)) {
+    throw InvalidArgument(
+        "positive_successors: realization inconsistent with configuration");
+  }
+  const int k = config.num_sources();
+  if (k > 20) throw InvalidArgument("positive_successors: too many sources");
+  std::vector<Realization> out;
+  out.reserve(1ULL << k);
+  for (std::uint64_t mask = 0; mask < (1ULL << k); ++mask) {
+    std::vector<BitString> strings = realization.strings();
+    for (int party = 0; party < config.num_parties(); ++party) {
+      strings[static_cast<std::size_t>(party)].push_back(
+          (mask >> config.source_of(party)) & 1ULL);
+    }
+    out.emplace_back(std::move(strings));
+  }
+  return out;
+}
+
+}  // namespace rsb

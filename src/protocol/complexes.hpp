@@ -1,0 +1,65 @@
+// Explicit protocol and realization complexes.
+//
+// R(t) — vertices (i, x_i) with x_i ∈ {0,1}^t, every n-tuple of strings a
+// facet (Section 3.3, Figure 2). P(t) — vertices (i, K_i(t)), one facet per
+// realization (Section 3.1, Figure 1). These explicit complexes are
+// exponential in n·t and are built only for the small instances the paper's
+// figures show; all asymptotic analysis goes through the per-facet
+// machinery in src/core.
+//
+// The simplicial map h : P(t) → R(t) sends (i, K_i(t)) to (i, x_i) where
+// x_i is the randomness embedded in K_i(t); on facets it is an isomorphism
+// (Section 3.3), which tests verify mechanically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
+#include "randomness/realization.hpp"
+#include "topology/topology.hpp"
+
+namespace rsb {
+
+/// Values of protocol-complex vertices are interned knowledge ids.
+using KnowledgeComplex = ChromaticComplex<std::uint64_t>;
+using RealizationComplex = ChromaticComplex<BitString>;
+
+/// R(t) for n parties: all 2^{nt} facets. Requires n·t small (≤ ~16 bits).
+RealizationComplex build_realization_complex(int num_parties, int time);
+
+/// The subcomplex of R(t) spanned by the positive-probability facets under
+/// α (2^{kt} facets).
+RealizationComplex build_realization_complex_positive(
+    const SourceConfiguration& config, int time);
+
+/// P(t) in the blackboard model: one facet {(i, K_i(t))} per realization.
+KnowledgeComplex build_protocol_complex_blackboard(KnowledgeStore& store,
+                                                   int num_parties, int time);
+
+/// P(t) in the message-passing model under fixed ports.
+KnowledgeComplex build_protocol_complex_message_passing(
+    KnowledgeStore& store, const PortAssignment& ports, int time);
+
+/// The image under h of a protocol-complex facet: (i, K_i) ↦ (i, x_i).
+Simplex<BitString> h_image(const KnowledgeStore& store,
+                           const Simplex<std::uint64_t>& protocol_facet);
+
+/// Checks that h restricted to facets is a bijection between the facets of
+/// `protocol` and the facets of `realization` (the paper's isomorphism,
+/// Section 3.3). Returns false with no diagnostics on failure; tests use it.
+bool h_is_facet_isomorphism(const KnowledgeStore& store,
+                            const KnowledgeComplex& protocol,
+                            const RealizationComplex& realization);
+
+/// All 2^n one-round extensions of a realization (the facet's successors in
+/// R(t+1)); Figure 1 shows the 4 extensions of each edge for n = 2.
+std::vector<Realization> all_successors(const Realization& realization);
+
+/// The 2^k positive-probability one-round extensions under α.
+std::vector<Realization> positive_successors(const Realization& realization,
+                                             const SourceConfiguration& config);
+
+}  // namespace rsb

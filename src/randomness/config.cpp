@@ -1,0 +1,123 @@
+#include "randomness/config.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+SourceConfiguration::SourceConfiguration(const std::vector<int>& source_of_party) {
+  if (source_of_party.empty()) {
+    throw InvalidArgument("SourceConfiguration: at least one party required");
+  }
+  source_of_ = canonical_blocks(source_of_party);
+  num_sources_ = block_count(source_of_);
+}
+
+SourceConfiguration SourceConfiguration::from_loads(const std::vector<int>& loads) {
+  if (loads.empty()) {
+    throw InvalidArgument("SourceConfiguration::from_loads: empty loads");
+  }
+  std::vector<int> assignment;
+  for (std::size_t source = 0; source < loads.size(); ++source) {
+    if (loads[source] < 1) {
+      throw InvalidArgument(
+          "SourceConfiguration::from_loads: every source needs >= 1 party");
+    }
+    assignment.insert(assignment.end(), static_cast<std::size_t>(loads[source]),
+                      static_cast<int>(source));
+  }
+  return SourceConfiguration(assignment);
+}
+
+SourceConfiguration SourceConfiguration::all_shared(int num_parties) {
+  return from_loads({num_parties});
+}
+
+SourceConfiguration SourceConfiguration::all_private(int num_parties) {
+  if (num_parties < 1) {
+    throw InvalidArgument("SourceConfiguration::all_private: n must be >= 1");
+  }
+  std::vector<int> assignment(static_cast<std::size_t>(num_parties));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  return SourceConfiguration(assignment);
+}
+
+int SourceConfiguration::source_of(int party) const {
+  if (party < 0 || party >= num_parties()) {
+    throw InvalidArgument("SourceConfiguration::source_of: party " +
+                          std::to_string(party) + " outside [0," +
+                          std::to_string(num_parties() - 1) + "]");
+  }
+  return source_of_[static_cast<std::size_t>(party)];
+}
+
+std::vector<int> SourceConfiguration::parties_of(int source) const {
+  if (source < 0 || source >= num_sources_) {
+    throw InvalidArgument("SourceConfiguration::parties_of: source " +
+                          std::to_string(source) + " outside [0," +
+                          std::to_string(num_sources_ - 1) + "]");
+  }
+  std::vector<int> out;
+  for (int party = 0; party < num_parties(); ++party) {
+    if (source_of_[static_cast<std::size_t>(party)] == source) {
+      out.push_back(party);
+    }
+  }
+  return out;
+}
+
+std::vector<int> SourceConfiguration::loads() const {
+  return block_sizes(source_of_);
+}
+
+std::vector<int> SourceConfiguration::load_partition() const {
+  std::vector<int> ls = loads();
+  std::sort(ls.begin(), ls.end(), std::greater<int>());
+  return ls;
+}
+
+int SourceConfiguration::gcd_of_loads() const { return gcd_of(loads()); }
+
+bool SourceConfiguration::has_singleton_source() const {
+  const std::vector<int> ls = loads();
+  return std::find(ls.begin(), ls.end(), 1) != ls.end();
+}
+
+std::vector<SourceConfiguration> SourceConfiguration::enumerate_all(
+    int num_parties) {
+  std::vector<SourceConfiguration> out;
+  for (const auto& blocks : set_partitions(num_parties)) {
+    out.emplace_back(blocks);
+  }
+  return out;
+}
+
+std::vector<SourceConfiguration> SourceConfiguration::enumerate_load_shapes(
+    int num_parties) {
+  std::vector<SourceConfiguration> out;
+  for (const auto& partition : partitions_of(num_parties)) {
+    out.push_back(from_loads(partition));
+  }
+  return out;
+}
+
+std::string SourceConfiguration::to_string() const {
+  std::string out = "α[";
+  for (std::size_t i = 0; i < source_of_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(source_of_[i]);
+  }
+  out += "|loads=";
+  const std::vector<int> ls = loads();
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(ls[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace rsb

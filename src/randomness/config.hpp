@@ -1,0 +1,82 @@
+// Randomness-configurations α — the facets of the assignment complex A.
+//
+// A configuration wires each of the n parties to one of k ≤ n independent
+// randomness sources R_1..R_k (Section 2.1). Parties wired to the same
+// source receive *identical* bit streams; sources are i.i.d. uniform bits.
+// Per the paper's convention, source indices are contiguous: every source in
+// {0..k-1} has at least one attached party (here 0-based).
+//
+// Both characterization theorems depend only on the source loads
+// n_1, ..., n_k:
+//   * blackboard (Thm 4.1):     solvable ⇔ ∃i, n_i = 1
+//   * message-passing (Thm 4.2): solvable ⇔ gcd(n_1,...,n_k) = 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsb {
+
+class SourceConfiguration {
+ public:
+  /// Builds a configuration from the per-party source index (0-based).
+  /// The vector is canonicalized (sources renumbered in first-occurrence
+  /// order), matching the paper's "rename the k different sources to be
+  /// contiguous" convention.
+  explicit SourceConfiguration(const std::vector<int>& source_of_party);
+
+  /// Builds the canonical configuration with the given source loads:
+  /// parties 0..loads[0]-1 on source 0, the next loads[1] on source 1, etc.
+  static SourceConfiguration from_loads(const std::vector<int>& loads);
+
+  /// All parties on one shared source.
+  static SourceConfiguration all_shared(int num_parties);
+
+  /// Every party on its own private source.
+  static SourceConfiguration all_private(int num_parties);
+
+  int num_parties() const noexcept { return static_cast<int>(source_of_.size()); }
+  int num_sources() const noexcept { return num_sources_; }
+
+  /// The source the given party is wired to.
+  int source_of(int party) const;
+
+  const std::vector<int>& source_of_party() const noexcept { return source_of_; }
+
+  /// Parties wired to the given source, ascending.
+  std::vector<int> parties_of(int source) const;
+
+  /// Loads n_1..n_k (0-based: loads()[j] = number of parties on source j).
+  std::vector<int> loads() const;
+
+  /// Loads as a sorted (non-increasing) multiset — the integer partition of n
+  /// that the theorems depend on.
+  std::vector<int> load_partition() const;
+
+  /// gcd(n_1, ..., n_k).
+  int gcd_of_loads() const;
+
+  /// True iff some source has exactly one attached party (Thm 4.1 predicate).
+  bool has_singleton_source() const;
+
+  /// All configurations of n parties up to source renaming — one per set
+  /// partition of the parties (Bell-number many). For sweeps.
+  static std::vector<SourceConfiguration> enumerate_all(int num_parties);
+
+  /// One canonical configuration per load multiset (integer partition of n).
+  /// Sufficient for sweeps of load-only properties; much smaller than
+  /// enumerate_all.
+  static std::vector<SourceConfiguration> enumerate_load_shapes(int num_parties);
+
+  friend bool operator==(const SourceConfiguration&,
+                         const SourceConfiguration&) = default;
+
+  /// e.g. "α[0,0,1|loads=2,1]"
+  std::string to_string() const;
+
+ private:
+  std::vector<int> source_of_;  // canonical block-index form
+  int num_sources_ = 0;
+};
+
+}  // namespace rsb

@@ -1,0 +1,99 @@
+#include "randomness/dyadic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+Dyadic::Dyadic(std::uint64_t numerator, int log2_denominator)
+    : num_(numerator), log2_den_(log2_denominator) {
+  if (log2_denominator < 0 || log2_denominator >= 64) {
+    throw InvalidArgument("Dyadic: log2 denominator " +
+                          std::to_string(log2_denominator) +
+                          " outside [0,63]");
+  }
+  if (numerator > (1ULL << log2_denominator)) {
+    throw InvalidArgument("Dyadic: value " + std::to_string(numerator) +
+                          "/2^" + std::to_string(log2_denominator) +
+                          " exceeds 1; probabilities must be in [0,1]");
+  }
+  reduce();
+}
+
+void Dyadic::reduce() noexcept {
+  if (num_ == 0) {
+    log2_den_ = 0;
+    return;
+  }
+  while (log2_den_ > 0 && (num_ & 1ULL) == 0) {
+    num_ >>= 1;
+    --log2_den_;
+  }
+}
+
+double Dyadic::to_double() const noexcept {
+  return std::ldexp(static_cast<double>(num_), -log2_den_);
+}
+
+Dyadic Dyadic::operator+(const Dyadic& other) const {
+  const int den = std::max(log2_den_, other.log2_den_);
+  if (den >= 64) throw InvalidArgument("Dyadic::operator+: denominator overflow");
+  const std::uint64_t a = num_ << (den - log2_den_);
+  const std::uint64_t b = other.num_ << (den - other.log2_den_);
+  if (a + b < a) throw InvalidArgument("Dyadic::operator+: numerator overflow");
+  return Dyadic(a + b, den);
+}
+
+Dyadic Dyadic::operator-(const Dyadic& other) const {
+  const int den = std::max(log2_den_, other.log2_den_);
+  const std::uint64_t a = num_ << (den - log2_den_);
+  const std::uint64_t b = other.num_ << (den - other.log2_den_);
+  if (b > a) {
+    throw InvalidArgument("Dyadic::operator-: result would be negative");
+  }
+  return Dyadic(a - b, den);
+}
+
+Dyadic Dyadic::operator*(const Dyadic& other) const {
+  if (num_ == 0 || other.num_ == 0) return Dyadic();
+  const int den = log2_den_ + other.log2_den_;
+  if (den >= 64) throw InvalidArgument("Dyadic::operator*: denominator overflow");
+  // num_ and other.num_ are both <= 2^den components; detect overflow.
+  if (other.num_ != 0 && num_ > UINT64_MAX / other.num_) {
+    throw InvalidArgument("Dyadic::operator*: numerator overflow");
+  }
+  return Dyadic(num_ * other.num_, den);
+}
+
+Dyadic& Dyadic::operator+=(const Dyadic& other) {
+  *this = *this + other;
+  return *this;
+}
+
+Dyadic Dyadic::complement() const { return one() - *this; }
+
+std::strong_ordering Dyadic::operator<=>(const Dyadic& other) const noexcept {
+  // Compare num_a / 2^da with num_b / 2^db by cross-multiplying with shifts.
+  // Canonical reduction keeps both exponents < 64 but the shifted numerators
+  // can overflow; compare via long double instead for the general case and
+  // exactly when exponents match.
+  if (log2_den_ == other.log2_den_) return num_ <=> other.num_;
+  const long double a =
+      std::ldexp(static_cast<long double>(num_), -log2_den_);
+  const long double b =
+      std::ldexp(static_cast<long double>(other.num_), -other.log2_den_);
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+bool Dyadic::operator==(const Dyadic& other) const noexcept {
+  return num_ == other.num_ && log2_den_ == other.log2_den_;
+}
+
+std::string Dyadic::to_string() const {
+  return std::to_string(num_) + "/2^" + std::to_string(log2_den_);
+}
+
+}  // namespace rsb

@@ -1,0 +1,60 @@
+// Exact dyadic probabilities.
+//
+// Every probability the framework manipulates is dyadic: realizations are
+// equiprobable with probability 2^{-tk} (Lemma B.1), and solvability
+// probabilities p(t) = Pr[S(t)|α] are counts of solving realizations over
+// 2^{tk}. Representing them exactly as num / 2^exp keeps the reproduction
+// free of floating-point noise; doubles are derived only for printing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rsb {
+
+class Dyadic {
+ public:
+  /// Zero.
+  constexpr Dyadic() = default;
+
+  /// numerator / 2^log2_denominator. Requires 0 <= log2_denominator < 64 and
+  /// numerator <= 2^log2_denominator (probabilities never exceed 1).
+  Dyadic(std::uint64_t numerator, int log2_denominator);
+
+  static Dyadic zero() { return Dyadic(); }
+  static Dyadic one() { return Dyadic(1, 0); }
+
+  /// 2^{-exponent}.
+  static Dyadic pow2_inverse(int exponent) { return Dyadic(1, exponent); }
+
+  std::uint64_t numerator() const noexcept { return num_; }
+  int log2_denominator() const noexcept { return log2_den_; }
+
+  bool is_zero() const noexcept { return num_ == 0; }
+  bool is_one() const noexcept { return num_ == (1ULL << log2_den_); }
+
+  double to_double() const noexcept;
+
+  Dyadic operator+(const Dyadic& other) const;
+  Dyadic operator-(const Dyadic& other) const;  // requires *this >= other
+  Dyadic operator*(const Dyadic& other) const;
+  Dyadic& operator+=(const Dyadic& other);
+
+  /// 1 − p.
+  Dyadic complement() const;
+
+  std::strong_ordering operator<=>(const Dyadic& other) const noexcept;
+  bool operator==(const Dyadic& other) const noexcept;
+
+  /// e.g. "3/2^4".
+  std::string to_string() const;
+
+ private:
+  void reduce() noexcept;
+
+  std::uint64_t num_ = 0;
+  int log2_den_ = 0;  // canonical: num_ odd or num_ == 0 (then log2_den_ == 0)
+};
+
+}  // namespace rsb

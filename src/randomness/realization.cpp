@@ -1,0 +1,187 @@
+#include "randomness/realization.hpp"
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+Realization::Realization(std::vector<BitString> party_strings)
+    : strings_(std::move(party_strings)) {
+  if (strings_.empty()) {
+    throw InvalidArgument("Realization: at least one party required");
+  }
+  time_ = strings_.front().size();
+  for (const auto& s : strings_) {
+    if (s.size() != time_) {
+      throw InvalidArgument(
+          "Realization: all party strings must share one length, got " +
+          std::to_string(s.size()) + " vs " + std::to_string(time_));
+    }
+  }
+}
+
+Realization Realization::from_sources(
+    const SourceConfiguration& config,
+    const std::vector<BitString>& source_strings) {
+  if (static_cast<int>(source_strings.size()) != config.num_sources()) {
+    throw InvalidArgument(
+        "Realization::from_sources: got " +
+        std::to_string(source_strings.size()) + " strings for " +
+        std::to_string(config.num_sources()) + " sources");
+  }
+  std::vector<BitString> party_strings;
+  party_strings.reserve(static_cast<std::size_t>(config.num_parties()));
+  for (int party = 0; party < config.num_parties(); ++party) {
+    party_strings.push_back(
+        source_strings[static_cast<std::size_t>(config.source_of(party))]);
+  }
+  return Realization(std::move(party_strings));
+}
+
+const BitString& Realization::string_of(int party) const {
+  if (party < 0 || party >= num_parties()) {
+    throw InvalidArgument("Realization::string_of: party " +
+                          std::to_string(party) + " out of range");
+  }
+  return strings_[static_cast<std::size_t>(party)];
+}
+
+Simplex<BitString> Realization::facet() const {
+  std::vector<Vertex<BitString>> verts;
+  verts.reserve(strings_.size());
+  for (int party = 0; party < num_parties(); ++party) {
+    verts.push_back(Vertex<BitString>{
+        party, strings_[static_cast<std::size_t>(party)]});
+  }
+  return Simplex<BitString>(std::move(verts));
+}
+
+bool Realization::consistent_with(const SourceConfiguration& config) const {
+  if (config.num_parties() != num_parties()) {
+    throw InvalidArgument(
+        "Realization::consistent_with: party count mismatch");
+  }
+  for (int source = 0; source < config.num_sources(); ++source) {
+    const std::vector<int> parties = config.parties_of(source);
+    for (std::size_t i = 1; i < parties.size(); ++i) {
+      if (!(string_of(parties[i]) == string_of(parties[0]))) return false;
+    }
+  }
+  return true;
+}
+
+Dyadic Realization::probability_given(const SourceConfiguration& config) const {
+  if (!consistent_with(config)) return Dyadic::zero();
+  return Dyadic::pow2_inverse(time_ * config.num_sources());
+}
+
+Realization Realization::prefix(int time) const {
+  std::vector<BitString> prefixes;
+  prefixes.reserve(strings_.size());
+  for (const auto& s : strings_) prefixes.push_back(s.prefix(time));
+  return Realization(std::move(prefixes));
+}
+
+bool Realization::precedes(const Realization& later) const {
+  if (later.num_parties() != num_parties()) return false;
+  if (later.time_ <= time_) return false;
+  for (int party = 0; party < num_parties(); ++party) {
+    if (!string_of(party).is_prefix_of(later.string_of(party))) return false;
+  }
+  return true;
+}
+
+std::vector<int> Realization::equal_string_partition() const {
+  std::vector<int> labels(strings_.size());
+  std::vector<BitString> distinct;
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    std::size_t found = distinct.size();
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      if (distinct[d] == strings_[i]) {
+        found = d;
+        break;
+      }
+    }
+    if (found == distinct.size()) distinct.push_back(strings_[i]);
+    labels[i] = static_cast<int>(found);
+  }
+  return canonical_blocks(labels);
+}
+
+std::string Realization::to_string() const {
+  std::string out = "ρ(t=" + std::to_string(time_) + ")[";
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    if (i != 0) out += " ";
+    out += strings_[i].to_string();
+  }
+  return out + "]";
+}
+
+namespace {
+
+constexpr int kMaxEnumerationBits = 30;
+
+void check_enumeration_bits(int bits, const char* where) {
+  if (bits < 0 || bits > kMaxEnumerationBits) {
+    throw InvalidArgument(std::string(where) + ": 2^" + std::to_string(bits) +
+                          " items exceed the enumeration cap (2^" +
+                          std::to_string(kMaxEnumerationBits) + ")");
+  }
+}
+
+}  // namespace
+
+void for_each_positive_realization(
+    const SourceConfiguration& config, int time,
+    const std::function<void(const Realization&)>& visit) {
+  const int k = config.num_sources();
+  check_enumeration_bits(k * time, "for_each_positive_realization");
+  const std::uint64_t total = 1ULL << (k * time);
+  std::vector<BitString> source_strings(static_cast<std::size_t>(k));
+  for (std::uint64_t code = 0; code < total; ++code) {
+    for (int source = 0; source < k; ++source) {
+      source_strings[static_cast<std::size_t>(source)] =
+          BitString::from_bits((code >> (source * time)) &
+                                   ((time == 0) ? 0 : ((1ULL << time) - 1)),
+                               time);
+    }
+    visit(Realization::from_sources(config, source_strings));
+  }
+}
+
+std::uint64_t positive_realization_count(const SourceConfiguration& config,
+                                         int time) {
+  const int bits = config.num_sources() * time;
+  check_enumeration_bits(bits, "positive_realization_count");
+  return 1ULL << bits;
+}
+
+void for_each_realization_facet(
+    int num_parties, int time,
+    const std::function<void(const Realization&)>& visit) {
+  check_enumeration_bits(num_parties * time, "for_each_realization_facet");
+  const std::uint64_t total = 1ULL << (num_parties * time);
+  std::vector<BitString> party_strings(static_cast<std::size_t>(num_parties));
+  for (std::uint64_t code = 0; code < total; ++code) {
+    for (int party = 0; party < num_parties; ++party) {
+      party_strings[static_cast<std::size_t>(party)] =
+          BitString::from_bits((code >> (party * time)) &
+                                   ((time == 0) ? 0 : ((1ULL << time) - 1)),
+                               time);
+    }
+    visit(Realization(party_strings));
+  }
+}
+
+Realization sample_realization(const SourceConfiguration& config, int time,
+                               Xoshiro256StarStar& rng) {
+  std::vector<BitString> source_strings(
+      static_cast<std::size_t>(config.num_sources()));
+  for (auto& s : source_strings) {
+    for (int round = 0; round < time; ++round) s.push_back(rng.next_bit());
+  }
+  return Realization::from_sources(config, source_strings);
+}
+
+}  // namespace rsb

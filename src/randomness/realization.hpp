@@ -1,0 +1,90 @@
+// Realizations — the facets of the realization complex R(t).
+//
+// A realization at time t records the t-bit randomness string each party has
+// received (Section 3.3). Given a configuration α, a realization has
+// positive probability iff parties sharing a source hold identical strings,
+// and then its probability is exactly 2^{-tk} (Lemma B.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "randomness/config.hpp"
+#include "randomness/dyadic.hpp"
+#include "topology/simplex.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace rsb {
+
+class Realization {
+ public:
+  /// All strings must share one length t ≥ 0.
+  explicit Realization(std::vector<BitString> party_strings);
+
+  /// The realization obtained by giving each source the string
+  /// source_strings[j] and wiring parties per α.
+  static Realization from_sources(const SourceConfiguration& config,
+                                  const std::vector<BitString>& source_strings);
+
+  int num_parties() const noexcept { return static_cast<int>(strings_.size()); }
+  int time() const noexcept { return time_; }
+
+  const BitString& string_of(int party) const;
+  const std::vector<BitString>& strings() const noexcept { return strings_; }
+
+  /// The facet {(i, x_i) : i ∈ [n]} of R(t).
+  Simplex<BitString> facet() const;
+
+  /// True iff parties sharing a source in α hold identical strings — the
+  /// support condition of Lemma B.1.
+  bool consistent_with(const SourceConfiguration& config) const;
+
+  /// Pr[ρ | α] — exactly 0 or 2^{-tk} (Lemma B.1).
+  Dyadic probability_given(const SourceConfiguration& config) const;
+
+  /// The realization truncated to the first `time` rounds.
+  Realization prefix(int time) const;
+
+  /// Succession ρ ≺ ρ′ (Definition 4.6): `later` strictly extends *this.
+  bool precedes(const Realization& later) const;
+
+  /// The partition of parties into groups holding identical strings, in
+  /// canonical block-index form. In the blackboard model this is exactly the
+  /// knowledge partition (Section 4.1: "equality of randomness is equivalent
+  /// to equality of knowledge").
+  std::vector<int> equal_string_partition() const;
+
+  friend bool operator==(const Realization&, const Realization&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<BitString> strings_;
+  int time_ = 0;
+};
+
+/// Visits every positive-probability realization under α at time t — all
+/// 2^{kt} choices of source strings (Lemma B.1). Requires k·t ≤ 30.
+void for_each_positive_realization(
+    const SourceConfiguration& config, int time,
+    const std::function<void(const Realization&)>& visit);
+
+/// Number of positive-probability realizations: 2^{kt}.
+std::uint64_t positive_realization_count(const SourceConfiguration& config,
+                                         int time);
+
+/// Visits every facet of R(t) for n parties — all 2^{nt} tuples of t-bit
+/// strings (no configuration restriction; the paper's full R(t)).
+/// Requires n·t ≤ 30.
+void for_each_realization_facet(
+    int num_parties, int time,
+    const std::function<void(const Realization&)>& visit);
+
+/// Samples a realization at time t under α.
+Realization sample_realization(const SourceConfiguration& config, int time,
+                               Xoshiro256StarStar& rng);
+
+}  // namespace rsb

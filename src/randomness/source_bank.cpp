@@ -1,0 +1,59 @@
+#include "randomness/source_bank.hpp"
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+SourceBank::SourceBank(const SourceConfiguration& config, std::uint64_t seed)
+    : config_(config) {
+  engines_.reserve(static_cast<std::size_t>(config_.num_sources()));
+  emitted_.resize(static_cast<std::size_t>(config_.num_sources()));
+  for (int source = 0; source < config_.num_sources(); ++source) {
+    engines_.emplace_back(
+        derive_seed(seed, static_cast<std::uint64_t>(source)));
+  }
+}
+
+void SourceBank::extend_to(int round) {
+  for (std::size_t source = 0; source < emitted_.size(); ++source) {
+    while (emitted_[source].size() < round) {
+      emitted_[source].push_back(engines_[source].next_bit());
+    }
+  }
+}
+
+bool SourceBank::source_bit(int source, int round) {
+  if (source < 0 || source >= config_.num_sources()) {
+    throw InvalidArgument("SourceBank::source_bit: bad source index " +
+                          std::to_string(source));
+  }
+  if (round < 1) {
+    throw InvalidArgument("SourceBank::source_bit: rounds are 1-based");
+  }
+  extend_to(round);
+  return emitted_[static_cast<std::size_t>(source)].bit_at_round(round);
+}
+
+bool SourceBank::party_bit(int party, int round) {
+  return source_bit(config_.source_of(party), round);
+}
+
+BitString SourceBank::party_prefix(int party, int time) {
+  if (time < 0) {
+    throw InvalidArgument("SourceBank::party_prefix: negative time");
+  }
+  extend_to(time);
+  return emitted_[static_cast<std::size_t>(config_.source_of(party))].prefix(
+      time);
+}
+
+Realization SourceBank::realization_at(int time) {
+  std::vector<BitString> party_strings;
+  party_strings.reserve(static_cast<std::size_t>(config_.num_parties()));
+  for (int party = 0; party < config_.num_parties(); ++party) {
+    party_strings.push_back(party_prefix(party, time));
+  }
+  return Realization(std::move(party_strings));
+}
+
+}  // namespace rsb

@@ -1,0 +1,47 @@
+// Live randomness sources for protocol simulation.
+//
+// A SourceBank realizes the k sources R_1..R_k as lazily-extended i.i.d.
+// bit streams. All parties wired to one source observe the *same* bits —
+// the correlated-randomness regime the paper studies (Section 2.1). Streams
+// are deterministic functions of (bank seed, source index), so simulations
+// replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "randomness/config.hpp"
+#include "randomness/realization.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace rsb {
+
+class SourceBank {
+ public:
+  SourceBank(const SourceConfiguration& config, std::uint64_t seed);
+
+  const SourceConfiguration& config() const noexcept { return config_; }
+
+  /// The bit source `source` emits at round `round` (1-based).
+  bool source_bit(int source, int round);
+
+  /// The bit party `party` receives at round `round` (1-based) — the bit of
+  /// its wired source.
+  bool party_bit(int party, int round);
+
+  /// The prefix X_i(1..time) party `party` has received by `time`.
+  BitString party_prefix(int party, int time);
+
+  /// The realization of the whole system at `time`.
+  Realization realization_at(int time);
+
+ private:
+  void extend_to(int round);
+
+  SourceConfiguration config_;
+  std::vector<Xoshiro256StarStar> engines_;   // one per source
+  std::vector<BitString> emitted_;            // cached bits per source
+};
+
+}  // namespace rsb

@@ -1,0 +1,166 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsb::sim {
+
+void Outbox::post(std::string payload) {
+  if (model_ != Model::kBlackboard) {
+    throw InvalidArgument("Outbox::post: not a blackboard network");
+  }
+  posts_.push_back(std::move(payload));
+}
+
+void Outbox::send(int port, std::string payload) {
+  if (model_ != Model::kMessagePassing) {
+    throw InvalidArgument("Outbox::send: not a message-passing network");
+  }
+  if (port < 1 || port > num_ports_) {
+    throw InvalidArgument("Outbox::send: port " + std::to_string(port) +
+                          " outside [1," + std::to_string(num_ports_) + "]");
+  }
+  sends_.emplace_back(port, std::move(payload));
+}
+
+void Outbox::send_all(const std::string& payload) {
+  for (int port = 1; port <= num_ports_; ++port) send(port, payload);
+}
+
+Outbox::Outbox(Model model, int num_ports)
+    : model_(model), num_ports_(num_ports) {}
+
+std::int64_t Agent::output() const {
+  if (!decided_) throw InvalidArgument("Agent::output: not decided yet");
+  return output_;
+}
+
+void Agent::decide(std::int64_t value) {
+  if (decided_) throw InvalidArgument("Agent::decide: already decided");
+  decided_ = true;
+  output_ = value;
+}
+
+Network::Network(Model model, const SourceConfiguration& config,
+                 std::uint64_t seed, std::optional<PortAssignment> ports,
+                 const AgentFactory& factory)
+    : model_(model), config_(config), ports_(std::move(ports)) {
+  if (model_ == Model::kMessagePassing) {
+    if (!ports_.has_value()) {
+      throw InvalidArgument("Network: message passing requires ports");
+    }
+    if (ports_->num_parties() != config_.num_parties()) {
+      throw InvalidArgument("Network: ports/config party mismatch");
+    }
+  } else if (ports_.has_value()) {
+    throw InvalidArgument("Network: blackboard model takes no ports");
+  }
+  source_words_.reserve(static_cast<std::size_t>(config_.num_sources()));
+  for (int source = 0; source < config_.num_sources(); ++source) {
+    source_words_.emplace_back(
+        derive_seed(seed, static_cast<std::uint64_t>(source)));
+  }
+  Agent::Init init;
+  init.num_parties = config_.num_parties();
+  init.model = model_;
+  agents_.reserve(static_cast<std::size_t>(config_.num_parties()));
+  decision_round_.assign(static_cast<std::size_t>(config_.num_parties()), -1);
+  for (int party = 0; party < config_.num_parties(); ++party) {
+    agents_.push_back(factory(party));
+    if (!agents_.back()) throw InvalidArgument("Network: factory returned null");
+    agents_.back()->begin(init);
+  }
+}
+
+bool Network::step() {
+  const int n = config_.num_parties();
+  ++round_;
+
+  // Draw this round's word per source; all same-source parties share it.
+  std::vector<std::uint64_t> word_of_source(
+      static_cast<std::size_t>(config_.num_sources()));
+  for (int source = 0; source < config_.num_sources(); ++source) {
+    word_of_source[static_cast<std::size_t>(source)] =
+        source_words_[static_cast<std::size_t>(source)].next();
+  }
+
+  // Send phase.
+  std::vector<Outbox> outboxes;
+  outboxes.reserve(static_cast<std::size_t>(n));
+  for (int party = 0; party < n; ++party) {
+    Outbox out(model_, n - 1);
+    agents_[static_cast<std::size_t>(party)]->send_phase(
+        round_, word_of_source[static_cast<std::size_t>(
+                    config_.source_of(party))],
+        out);
+    outboxes.push_back(std::move(out));
+  }
+
+  // Delivery phase.
+  std::vector<Delivery> deliveries(static_cast<std::size_t>(n));
+  if (model_ == Model::kBlackboard) {
+    for (int receiver = 0; receiver < n; ++receiver) {
+      auto& board = deliveries[static_cast<std::size_t>(receiver)].board;
+      for (int sender = 0; sender < n; ++sender) {
+        if (sender == receiver) continue;  // the board shows others' posts
+        for (const auto& payload :
+             outboxes[static_cast<std::size_t>(sender)].posts_) {
+          board.push_back(payload);
+        }
+      }
+      std::sort(board.begin(), board.end());
+    }
+  } else {
+    for (int sender = 0; sender < n; ++sender) {
+      for (const auto& [port, payload] :
+           outboxes[static_cast<std::size_t>(sender)].sends_) {
+        const int receiver = ports_->neighbor(sender, port);
+        const int receiving_port = ports_->port_to(receiver, sender);
+        deliveries[static_cast<std::size_t>(receiver)].by_port.push_back(
+            PortMessage{receiving_port, payload});
+      }
+    }
+    for (auto& d : deliveries) {
+      std::sort(d.by_port.begin(), d.by_port.end());
+    }
+  }
+
+  // Receive phase.
+  bool all_decided = true;
+  for (int party = 0; party < n; ++party) {
+    Agent& agent = *agents_[static_cast<std::size_t>(party)];
+    const bool was_decided = agent.decided();
+    agent.receive_phase(round_, deliveries[static_cast<std::size_t>(party)]);
+    if (!was_decided && agent.decided()) {
+      decision_round_[static_cast<std::size_t>(party)] = round_;
+    }
+    all_decided = all_decided && agent.decided();
+  }
+  return all_decided;
+}
+
+Network::Outcome Network::run(int max_rounds) {
+  Outcome outcome;
+  bool done = false;
+  for (int r = 0; r < max_rounds && !done; ++r) done = step();
+  outcome.all_decided = done;
+  outcome.rounds = round_;
+  outcome.outputs.assign(static_cast<std::size_t>(config_.num_parties()), 0);
+  outcome.decision_round = decision_round_;
+  for (int party = 0; party < config_.num_parties(); ++party) {
+    const Agent& agent = *agents_[static_cast<std::size_t>(party)];
+    outcome.outputs[static_cast<std::size_t>(party)] =
+        agent.decided() ? agent.output() : 0;
+  }
+  return outcome;
+}
+
+const Agent& Network::agent(int party) const {
+  if (party < 0 || party >= config_.num_parties()) {
+    throw InvalidArgument("Network::agent: bad party index");
+  }
+  return *agents_[static_cast<std::size_t>(party)];
+}
+
+}  // namespace rsb::sim

@@ -1,0 +1,143 @@
+// Synchronous lockstep network simulator with physical message routing.
+//
+// This is the executable counterpart of the paper's model (Section 2.1):
+// n anonymous, identical, fault-free parties proceed in rounds; in the
+// blackboard model a party appends messages to an anonymous shared board
+// visible to everyone at the end of the round; in the message-passing model
+// a party sends along its privately-numbered ports and the message is
+// physically delivered to the other endpoint of the edge. Correlated
+// randomness comes from a SourceBank: parties wired to one source draw
+// identical randomness.
+//
+// Agents are written against the Agent interface below. Anonymity is by
+// construction: an agent never learns its global index (the factory receives
+// it only so that tests can inject externally-derived roles, e.g. the
+// V1/V2 split CreateMatching assumes as given).
+//
+// Each round a party receives one 64-bit random word from its source (the
+// paper's one bit per round is word bit 0; drawing a word instead of a bit
+// only rescales round counts by a constant and keeps lockstep protocols
+// that need log n random bits per decision simple).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/models.hpp"
+#include "randomness/config.hpp"
+#include "util/rng.hpp"
+
+namespace rsb::sim {
+
+/// A message delivered on a receiving port.
+struct PortMessage {
+  int port = 0;  // the *receiver's* port number (1-based)
+  std::string payload;
+
+  friend auto operator<=>(const PortMessage&, const PortMessage&) = default;
+};
+
+/// What an agent may transmit during the send phase of a round.
+class Outbox {
+ public:
+  /// Blackboard: append a message to the anonymous board.
+  void post(std::string payload);
+
+  /// Message passing: send on one of the agent's ports (1-based).
+  void send(int port, std::string payload);
+
+  /// Message passing: send the same payload on every port.
+  void send_all(const std::string& payload);
+
+ private:
+  friend class Network;
+  Outbox(Model model, int num_ports);
+
+  Model model_;
+  int num_ports_;
+  std::vector<std::string> posts_;                    // blackboard
+  std::vector<std::pair<int, std::string>> sends_;    // (port, payload)
+};
+
+/// What an agent observes during the receive phase of a round.
+struct Delivery {
+  /// Blackboard: the messages posted this round by the *other* parties,
+  /// sorted lexicographically (the board is anonymous and unordered).
+  std::vector<std::string> board;
+
+  /// Message passing: messages by receiving port, sorted by (port, payload).
+  std::vector<PortMessage> by_port;
+};
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  struct Init {
+    int num_parties = 0;
+    Model model = Model::kBlackboard;
+  };
+
+  /// Called once before round 1.
+  virtual void begin(const Init& init) { (void)init; }
+
+  /// Phase 1 of a round: the agent sees this round's random word (shared
+  /// with every party on the same source) and transmits.
+  virtual void send_phase(int round, std::uint64_t random_word,
+                          Outbox& out) = 0;
+
+  /// Phase 2 of a round: delivery of everything transmitted this round.
+  virtual void receive_phase(int round, const Delivery& delivery) = 0;
+
+  bool decided() const noexcept { return decided_; }
+  std::int64_t output() const;
+
+ protected:
+  /// Irrevocably decide the agent's output.
+  void decide(std::int64_t value);
+
+ private:
+  bool decided_ = false;
+  std::int64_t output_ = 0;
+};
+
+class Network {
+ public:
+  using AgentFactory = std::function<std::unique_ptr<Agent>(int party)>;
+
+  /// `ports` must be set iff model == kMessagePassing.
+  Network(Model model, const SourceConfiguration& config, std::uint64_t seed,
+          std::optional<PortAssignment> ports, const AgentFactory& factory);
+
+  struct Outcome {
+    bool all_decided = false;
+    int rounds = 0;
+    std::vector<std::int64_t> outputs;  // defined where decided
+    std::vector<int> decision_round;    // -1 where undecided
+  };
+
+  /// Runs one round; returns true iff every agent has decided.
+  bool step();
+
+  /// Runs until all agents decide or `max_rounds` elapse.
+  Outcome run(int max_rounds);
+
+  int round() const noexcept { return round_; }
+  int num_parties() const noexcept { return config_.num_parties(); }
+  const Agent& agent(int party) const;
+
+ private:
+  Model model_;
+  SourceConfiguration config_;
+  std::optional<PortAssignment> ports_;
+  std::vector<Xoshiro256StarStar> source_words_;  // one word stream per source
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<int> decision_round_;
+  int round_ = 0;
+};
+
+}  // namespace rsb::sim

@@ -1,0 +1,75 @@
+#include "tasks/name_independent.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+NameIndependentTask::NameIndependentTask(std::string name, Rule rule)
+    : name_(std::move(name)), rule_(std::move(rule)) {
+  if (!rule_) throw InvalidArgument("NameIndependentTask: empty rule");
+}
+
+NameIndependentTask NameIndependentTask::consensus_min() {
+  return NameIndependentTask(
+      "consensus-min",
+      [](const std::vector<std::int64_t>& sorted_inputs, std::int64_t) {
+        return sorted_inputs.front();
+      });
+}
+
+NameIndependentTask NameIndependentTask::consensus_max() {
+  return NameIndependentTask(
+      "consensus-max",
+      [](const std::vector<std::int64_t>& sorted_inputs, std::int64_t) {
+        return sorted_inputs.back();
+      });
+}
+
+NameIndependentTask NameIndependentTask::parity() {
+  return NameIndependentTask(
+      "parity",
+      [](const std::vector<std::int64_t>& sorted_inputs, std::int64_t) {
+        std::int64_t sum = 0;
+        for (std::int64_t v : sorted_inputs) sum += v;
+        return ((sum % 2) + 2) % 2;
+      });
+}
+
+NameIndependentTask NameIndependentTask::rank() {
+  return NameIndependentTask(
+      "rank", [](const std::vector<std::int64_t>& sorted_inputs,
+                 std::int64_t own_input) {
+        return static_cast<std::int64_t>(
+            std::lower_bound(sorted_inputs.begin(), sorted_inputs.end(),
+                             own_input) -
+            sorted_inputs.begin());
+      });
+}
+
+std::int64_t NameIndependentTask::output_for(
+    const std::vector<std::int64_t>& inputs, std::int64_t own_input) const {
+  std::vector<std::int64_t> sorted = inputs;
+  std::sort(sorted.begin(), sorted.end());
+  return rule_(sorted, own_input);
+}
+
+std::vector<std::int64_t> NameIndependentTask::outputs_for(
+    const std::vector<std::int64_t>& inputs) const {
+  std::vector<std::int64_t> sorted = inputs;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::int64_t> outputs;
+  outputs.reserve(inputs.size());
+  for (std::int64_t own : inputs) outputs.push_back(rule_(sorted, own));
+  return outputs;
+}
+
+bool NameIndependentTask::validate(
+    const std::vector<std::int64_t>& inputs,
+    const std::vector<std::int64_t>& outputs) const {
+  if (inputs.size() != outputs.size()) return false;
+  return outputs == outputs_for(inputs);
+}
+
+}  // namespace rsb

@@ -1,0 +1,62 @@
+// Name-independent input-output tasks (Appendix C).
+//
+// A task (I, O, Δ) is name-independent if Δ maps inputs to outputs
+// obliviously of names: parties holding the same input value must compute
+// the same output value. Theorem C.1 shows every such task reduces to
+// leader election: the leader gathers the inputs, evaluates the task
+// centrally, and publishes the input-value → output-value table.
+//
+// A task here is a *rule*: output = rule(multiset of all inputs, own input).
+// Determinism of the rule in (multiset, own) is precisely name-independence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rsb {
+
+class NameIndependentTask {
+ public:
+  using Rule = std::function<std::int64_t(
+      const std::vector<std::int64_t>& sorted_inputs, std::int64_t own_input)>;
+
+  NameIndependentTask(std::string name, Rule rule);
+
+  /// Consensus on the minimum input value.
+  static NameIndependentTask consensus_min();
+
+  /// Consensus on the maximum input value.
+  static NameIndependentTask consensus_max();
+
+  /// All parties output the parity of the sum of the inputs.
+  static NameIndependentTask parity();
+
+  /// Each party outputs the number of parties whose input is strictly
+  /// smaller than its own (a name-independent "rank"; ties share a rank).
+  static NameIndependentTask rank();
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Output of a party holding `own_input` when the global input multiset is
+  /// `inputs` (any order).
+  std::int64_t output_for(const std::vector<std::int64_t>& inputs,
+                          std::int64_t own_input) const;
+
+  /// The full legal output vector for an input vector (party i gets
+  /// output_for(inputs, inputs[i])).
+  std::vector<std::int64_t> outputs_for(
+      const std::vector<std::int64_t>& inputs) const;
+
+  /// Validates a claimed output vector against the rule — used by tests and
+  /// by the Theorem C.1 reduction harness.
+  bool validate(const std::vector<std::int64_t>& inputs,
+                const std::vector<std::int64_t>& outputs) const;
+
+ private:
+  std::string name_;
+  Rule rule_;
+};
+
+}  // namespace rsb

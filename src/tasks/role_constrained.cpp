@@ -1,0 +1,184 @@
+#include "tasks/role_constrained.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+RoleConstrainedTask::RoleConstrainedTask(
+    std::string name, std::vector<std::vector<int>> allowed,
+    std::function<bool(const std::vector<int>&)> admits)
+    : name_(std::move(name)),
+      allowed_(std::move(allowed)),
+      admits_(std::move(admits)) {
+  if (allowed_.empty()) {
+    throw InvalidArgument("RoleConstrainedTask: at least one party required");
+  }
+  std::set<int> values;
+  for (auto& per_party : allowed_) {
+    if (per_party.empty()) {
+      throw InvalidArgument(
+          "RoleConstrainedTask: every party needs at least one allowed value");
+    }
+    std::sort(per_party.begin(), per_party.end());
+    per_party.erase(std::unique(per_party.begin(), per_party.end()),
+                    per_party.end());
+    values.insert(per_party.begin(), per_party.end());
+  }
+  alphabet_.assign(values.begin(), values.end());
+}
+
+RoleConstrainedTask RoleConstrainedTask::leader_and_deputy(
+    const std::vector<bool>& can_lead, const std::vector<bool>& can_deputy) {
+  if (can_lead.size() != can_deputy.size() || can_lead.empty()) {
+    throw InvalidArgument(
+        "leader_and_deputy: role vectors must be non-empty and equal-sized");
+  }
+  std::vector<std::vector<int>> allowed(can_lead.size());
+  for (std::size_t i = 0; i < can_lead.size(); ++i) {
+    allowed[i].push_back(0);
+    if (can_deputy[i]) allowed[i].push_back(1);
+    if (can_lead[i]) allowed[i].push_back(2);
+  }
+  // Census over the alphabet {0,1,2}: exactly one leader, one deputy. The
+  // counts vector aligns with the task's alphabet, which always contains 0
+  // and may lack 1 or 2 if nobody can hold the role — then the task is
+  // trivially unsolvable via the census check below.
+  return RoleConstrainedTask(
+      "leader+deputy", std::move(allowed),
+      [](const std::vector<int>& counts) {
+        // counts indexed by alphabet position; the constructor guarantees
+        // the alphabet is sorted. Map counts back to values via size:
+        // handled by admits_vector, which always passes a full-alphabet
+        // census; alphabet is a subset of {0,1,2}.
+        // The predicate itself is phrased on the full census vector.
+        int leaders = 0, deputies = 0, total = 0;
+        for (std::size_t pos = 0; pos < counts.size(); ++pos) {
+          total += counts[pos];
+        }
+        (void)total;
+        // The alphabet may omit values; positions are resolved by the
+        // caller (admits_vector), which passes counts aligned with
+        // alphabet(). We recover roles positionally below in
+        // admits_vector instead; here counts.back() is the highest value.
+        // To keep the predicate self-contained we require the caller to
+        // align counts with {0,1,2}; admits_vector does exactly that.
+        if (counts.size() == 3) {
+          deputies = counts[1];
+          leaders = counts[2];
+        } else if (counts.size() == 2) {
+          // alphabet {0,1} or {0,2} — one of the roles is unelectable.
+          return false;
+        } else {
+          return false;
+        }
+        return leaders == 1 && deputies == 1;
+      });
+}
+
+bool RoleConstrainedTask::value_allowed(int party, int value) const {
+  if (party < 0 || party >= num_parties()) {
+    throw InvalidArgument("RoleConstrainedTask::value_allowed: bad party");
+  }
+  const auto& per_party = allowed_[static_cast<std::size_t>(party)];
+  return std::binary_search(per_party.begin(), per_party.end(), value);
+}
+
+bool RoleConstrainedTask::admits_vector(
+    const std::vector<int>& value_per_party) const {
+  if (static_cast<int>(value_per_party.size()) != num_parties()) {
+    throw InvalidArgument("RoleConstrainedTask::admits_vector: size mismatch");
+  }
+  std::vector<int> counts(alphabet_.size(), 0);
+  for (int party = 0; party < num_parties(); ++party) {
+    const int value = value_per_party[static_cast<std::size_t>(party)];
+    if (!value_allowed(party, value)) return false;
+    const auto it =
+        std::lower_bound(alphabet_.begin(), alphabet_.end(), value);
+    ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
+  }
+  return admits_(counts);
+}
+
+OutputComplex RoleConstrainedTask::output_complex() const {
+  OutputComplex out;
+  std::vector<int> values(static_cast<std::size_t>(num_parties()));
+  std::vector<std::size_t> digits(static_cast<std::size_t>(num_parties()), 0);
+  for (;;) {
+    for (int i = 0; i < num_parties(); ++i) {
+      values[static_cast<std::size_t>(i)] =
+          allowed_[static_cast<std::size_t>(i)]
+                  [digits[static_cast<std::size_t>(i)]];
+    }
+    if (admits_vector(values)) {
+      std::vector<Vertex<int>> verts;
+      verts.reserve(static_cast<std::size_t>(num_parties()));
+      for (int i = 0; i < num_parties(); ++i) {
+        verts.push_back(Vertex<int>{i, values[static_cast<std::size_t>(i)]});
+      }
+      out.add_simplex(Simplex<int>(std::move(verts)));
+    }
+    int pos = num_parties() - 1;
+    while (pos >= 0) {
+      auto& d = digits[static_cast<std::size_t>(pos)];
+      if (++d < allowed_[static_cast<std::size_t>(pos)].size()) break;
+      d = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return out;
+}
+
+bool RoleConstrainedTask::partition_solves(
+    const std::vector<int>& partition) const {
+  if (static_cast<int>(partition.size()) != num_parties()) {
+    throw InvalidArgument(
+        "RoleConstrainedTask::partition_solves: size mismatch");
+  }
+  const int blocks = block_count(partition);
+  std::vector<std::vector<int>> class_members(
+      static_cast<std::size_t>(blocks));
+  for (int party = 0; party < num_parties(); ++party) {
+    class_members[static_cast<std::size_t>(
+                      partition[static_cast<std::size_t>(party)])]
+        .push_back(party);
+  }
+  std::vector<int> counts(alphabet_.size(), 0);
+  return assign_classes(class_members, 0, counts);
+}
+
+bool RoleConstrainedTask::assign_classes(
+    const std::vector<std::vector<int>>& class_members, std::size_t next_class,
+    std::vector<int>& counts) const {
+  if (next_class == class_members.size()) return admits_(counts);
+  const auto& members = class_members[next_class];
+  for (std::size_t pos = 0; pos < alphabet_.size(); ++pos) {
+    const int value = alphabet_[pos];
+    const bool feasible = std::all_of(
+        members.begin(), members.end(),
+        [this, value](int party) { return value_allowed(party, value); });
+    if (!feasible) continue;
+    counts[pos] += static_cast<int>(members.size());
+    if (assign_classes(class_members, next_class + 1, counts)) {
+      counts[pos] -= static_cast<int>(members.size());
+      return true;
+    }
+    counts[pos] -= static_cast<int>(members.size());
+  }
+  return false;
+}
+
+bool RoleConstrainedTask::eventually_solvable_blackboard(
+    const SourceConfiguration& config) const {
+  if (config.num_parties() != num_parties()) {
+    throw InvalidArgument(
+        "RoleConstrainedTask::eventually_solvable_blackboard: party mismatch");
+  }
+  return partition_solves(config.source_of_party());
+}
+
+}  // namespace rsb

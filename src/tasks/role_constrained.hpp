@@ -1,0 +1,81 @@
+// Role-constrained (non-symmetric) input-free tasks — the paper's
+// conclusion poses these as the natural next step: "electing a leader and
+// a deputy leader ... under the constraint that some nodes may only be
+// leaders, some nodes may only be deputy leaders, some nodes may be either
+// of the two, and some nodes may be neither".
+//
+// Dropping symmetry changes what survives of the framework:
+//  * the output complex O is still chromatic but no longer stable under
+//    name permutations;
+//  * Definition 3.4 — a name-preserving simplicial map δ : π̃(ρ) → π(τ) —
+//    still makes sense verbatim, and still reduces to "some facet τ whose
+//    values are constant on every consistency class", except that now a
+//    class can only take a value allowed by *all* of its members;
+//  * the algorithmic interpretation (Lemma 3.5's route through
+//    name-independent maps) is exactly the open question; this module
+//    provides the facet-level criterion and the blackboard-limit decider,
+//    with tests cross-checking the combinatorial shortcut against the
+//    generic simplicial-map search.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "randomness/config.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+
+class RoleConstrainedTask {
+ public:
+  /// `allowed[i]` is the set of output values party i may emit; `admits`
+  /// judges the global census (counts aligned with `alphabet`, the sorted
+  /// union of all allowed values).
+  RoleConstrainedTask(std::string name,
+                      std::vector<std::vector<int>> allowed,
+                      std::function<bool(const std::vector<int>&)> admits);
+
+  /// The conclusion's example. Output values: 0 = neither, 1 = deputy,
+  /// 2 = leader. Exactly one leader and one deputy must be elected
+  /// (distinct parties); party i may output 2 only if can_lead[i] and
+  /// 1 only if can_deputy[i]; 0 is always permitted.
+  static RoleConstrainedTask leader_and_deputy(
+      const std::vector<bool>& can_lead, const std::vector<bool>& can_deputy);
+
+  const std::string& name() const noexcept { return name_; }
+  int num_parties() const noexcept { return static_cast<int>(allowed_.size()); }
+  const std::vector<int>& alphabet() const noexcept { return alphabet_; }
+
+  bool value_allowed(int party, int value) const;
+
+  /// Is the value vector a legal global output (roles + census)?
+  bool admits_vector(const std::vector<int>& value_per_party) const;
+
+  /// The explicit (generally non-symmetric) output complex.
+  OutputComplex output_complex() const;
+
+  /// Definition 3.4 specialized: does a facet with the given consistency
+  /// partition (canonical block-index form over the parties) solve the
+  /// task? True iff values can be assigned per class — each allowed by all
+  /// class members — with an admissible census.
+  bool partition_solves(const std::vector<int>& partition) const;
+
+  /// Blackboard-limit decider: the finest reachable consistency partition
+  /// is the source partition, and class-constant solutions survive
+  /// refinement, so eventual solvability on the blackboard is
+  /// partition_solves(source partition). (The message-passing worst case
+  /// is the paper's open problem; see DESIGN.md.)
+  bool eventually_solvable_blackboard(const SourceConfiguration& config) const;
+
+ private:
+  bool assign_classes(const std::vector<std::vector<int>>& class_members,
+                      std::size_t next_class, std::vector<int>& counts) const;
+
+  std::string name_;
+  std::vector<std::vector<int>> allowed_;  // sorted per party
+  std::vector<int> alphabet_;              // sorted union
+  std::function<bool(const std::vector<int>&)> admits_;
+};
+
+}  // namespace rsb

@@ -1,0 +1,86 @@
+// Input-free symmetry-breaking tasks.
+//
+// Such a task is defined solely by a symmetric output complex O
+// (Section 3.1): vertices (i, v) with v an output value, facets the legal
+// global outputs, and stability under permutation of the names. For a
+// symmetric complex, membership of a facet depends only on the *multiset* of
+// output values, so a task is captured by a predicate on value counts.
+//
+// Leader election O_LE is the predicate "value 1 appears exactly once, all
+// other values are 0"; the m-leader generalization (the paper's challenge in
+// Section 1.2) replaces 1 by m.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace rsb {
+
+using OutputComplex = ChromaticComplex<int>;
+
+class SymmetricTask {
+ public:
+  /// `admits` receives the count of each alphabet value in a candidate
+  /// output vector (counts[a] = #parties outputting alphabet[a]) and decides
+  /// whether the vector is a legal global output. The induced output complex
+  /// is symmetric by construction.
+  SymmetricTask(std::string name, int num_parties, std::vector<int> alphabet,
+                std::function<bool(const std::vector<int>&)> admits);
+
+  /// O_LE: exactly one party outputs 1, the rest output 0. Requires n ≥ 1.
+  static SymmetricTask leader_election(int num_parties);
+
+  /// Exactly m parties output 1, the rest output 0. Requires 0 ≤ m ≤ n.
+  static SymmetricTask m_leader_election(int num_parties, int num_leaders);
+
+  /// Weak symmetry breaking: not all parties output the same value
+  /// (binary alphabet). Defined for n ≥ 2.
+  static SymmetricTask weak_symmetry_breaking(int num_parties);
+
+  /// Exact output census: value v must appear exactly counts[v] times.
+  static SymmetricTask exact_census(int num_parties,
+                                    const std::map<int, int>& census);
+
+  const std::string& name() const noexcept { return name_; }
+  int num_parties() const noexcept { return num_parties_; }
+  const std::vector<int>& alphabet() const noexcept { return alphabet_; }
+
+  /// Is the value vector (one value per party) a legal global output?
+  bool admits_vector(const std::vector<int>& value_per_party) const;
+
+  /// Is the count vector (aligned with alphabet()) admissible?
+  bool admits_counts(const std::vector<int>& counts) const;
+
+  /// The explicit output complex O: one facet per admissible value vector.
+  /// |alphabet|^n enumeration — for small n only.
+  OutputComplex output_complex() const;
+
+  /// π(O) = ∪_τ π(τ) (Figure 3 for leader election).
+  OutputComplex projected_output_complex() const;
+
+  /// The core combinatorial question behind Definition 3.4: can a facet
+  /// whose consistency classes have the given sizes solve this task? True
+  /// iff some assignment of one alphabet value per class yields an
+  /// admissible count vector. (Parties in one consistency class have equal
+  /// knowledge, hence — by name-independence — equal outputs.)
+  bool partition_solves(const std::vector<int>& class_sizes) const;
+
+  /// All admissible count vectors (aligned with alphabet()).
+  std::vector<std::vector<int>> admissible_count_vectors() const;
+
+ private:
+  bool partition_solves_rec(const std::vector<int>& class_sizes,
+                            std::size_t next_class,
+                            std::vector<int>& counts) const;
+
+  std::string name_;
+  int num_parties_;
+  std::vector<int> alphabet_;
+  std::function<bool(const std::vector<int>&)> admits_;
+};
+
+}  // namespace rsb

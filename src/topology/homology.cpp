@@ -1,0 +1,120 @@
+#include "topology/homology.hpp"
+
+#include <map>
+
+namespace rsb {
+
+std::string HomologyProfile::to_string() const {
+  std::string out = "f=(";
+  for (std::size_t i = 0; i < f_vector.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(f_vector[i]);
+  }
+  out += ") β=(";
+  for (std::size_t i = 0; i < betti.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(betti[i]);
+  }
+  return out + ") χ=" + std::to_string(euler_characteristic);
+}
+
+std::size_t gf2_rank(std::vector<std::vector<std::uint64_t>> rows,
+                     std::size_t columns) {
+  const std::size_t words = (columns + 63) / 64;
+  for (auto& row : rows) row.resize(words, 0);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < columns && rank < rows.size(); ++col) {
+    const std::size_t word = col / 64;
+    const std::uint64_t mask = 1ULL << (col % 64);
+    // Find a pivot row at or below `rank` with this column set.
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !(rows[pivot][word] & mask)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && (rows[r][word] & mask)) {
+        for (std::size_t w = 0; w < words; ++w) rows[r][w] ^= rows[rank][w];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+template <VertexValue Value>
+HomologyProfile homology_impl(const ChromaticComplex<Value>& complex) {
+  HomologyProfile profile;
+  if (complex.empty()) return profile;
+
+  const int dim = complex.dimension();
+  // Index all simplices per dimension.
+  std::vector<std::map<Simplex<Value>, std::size_t>> index(
+      static_cast<std::size_t>(dim + 1));
+  for (const auto& s : complex.all_simplices()) {
+    auto& level = index[static_cast<std::size_t>(s.dimension())];
+    level.emplace(s, level.size());
+  }
+  profile.f_vector.resize(static_cast<std::size_t>(dim + 1));
+  for (int k = 0; k <= dim; ++k) {
+    profile.f_vector[static_cast<std::size_t>(k)] =
+        index[static_cast<std::size_t>(k)].size();
+  }
+
+  // rank ∂_k for k = 1..dim (∂_0 = 0).
+  std::vector<std::size_t> boundary_rank(static_cast<std::size_t>(dim + 2), 0);
+  for (int k = 1; k <= dim; ++k) {
+    const auto& rows_index = index[static_cast<std::size_t>(k)];
+    const auto& cols_index = index[static_cast<std::size_t>(k - 1)];
+    std::vector<std::vector<std::uint64_t>> rows(rows_index.size());
+    const std::size_t words = (cols_index.size() + 63) / 64;
+    for (const auto& [simplex, row] : rows_index) {
+      rows[row].assign(words, 0);
+      const auto& verts = simplex.vertices();
+      for (std::size_t drop = 0; drop < verts.size(); ++drop) {
+        std::vector<Vertex<Value>> face_verts;
+        face_verts.reserve(verts.size() - 1);
+        for (std::size_t i = 0; i < verts.size(); ++i) {
+          if (i != drop) face_verts.push_back(verts[i]);
+        }
+        const std::size_t col =
+            cols_index.at(Simplex<Value>(std::move(face_verts)));
+        rows[row][col / 64] |= 1ULL << (col % 64);
+      }
+    }
+    boundary_rank[static_cast<std::size_t>(k)] =
+        gf2_rank(std::move(rows), cols_index.size());
+  }
+
+  // β_k = (f_k − rank ∂_k) − rank ∂_{k+1}.
+  profile.betti.resize(static_cast<std::size_t>(dim + 1));
+  for (int k = 0; k <= dim; ++k) {
+    profile.betti[static_cast<std::size_t>(k)] =
+        profile.f_vector[static_cast<std::size_t>(k)] -
+        boundary_rank[static_cast<std::size_t>(k)] -
+        boundary_rank[static_cast<std::size_t>(k + 1)];
+  }
+
+  long long chi = 0;
+  for (int k = 0; k <= dim; ++k) {
+    const long long count = static_cast<long long>(
+        profile.f_vector[static_cast<std::size_t>(k)]);
+    chi += (k % 2 == 0) ? count : -count;
+  }
+  profile.euler_characteristic = chi;
+  return profile;
+}
+
+}  // namespace
+
+template <VertexValue Value>
+HomologyProfile homology(const ChromaticComplex<Value>& complex) {
+  return homology_impl(complex);
+}
+
+template HomologyProfile homology(const ChromaticComplex<int>&);
+template HomologyProfile homology(const ChromaticComplex<BitString>&);
+template HomologyProfile homology(const ChromaticComplex<std::uint64_t>&);
+
+}  // namespace rsb

@@ -1,0 +1,47 @@
+// Simplicial homology over Z/2Z.
+//
+// The framework's selling point is that computation preserves topological
+// invariants (Section 1: connectivity obstructions for consensus, homotopy
+// types, ...). This module computes the concrete invariants used in such
+// arguments for the small complexes the reproduction builds explicitly:
+// Betti numbers β_k = dim H_k(K; Z₂) via boundary-matrix ranks over GF(2),
+// and the Euler characteristic as a cross-check (χ = Σ (−1)^k f_k =
+// Σ (−1)^k β_k).
+//
+// Costs are exponential in facet dimension (full face enumeration), which
+// is exactly the regime of the paper's drawn complexes (n ≤ ~8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/complex.hpp"
+
+namespace rsb {
+
+struct HomologyProfile {
+  std::vector<std::size_t> f_vector;  // simplices per dimension
+  std::vector<std::size_t> betti;     // β_0, β_1, ..., β_dim
+  long long euler_characteristic = 0;
+
+  std::string to_string() const;
+};
+
+/// Rank of a GF(2) matrix given as rows of column-index bitsets.
+/// `columns` is the width; rows are vectors of set column indices.
+std::size_t gf2_rank(std::vector<std::vector<std::uint64_t>> rows,
+                     std::size_t columns);
+
+/// Computes the full Z₂ homology profile of a (small) complex.
+template <VertexValue Value>
+HomologyProfile homology(const ChromaticComplex<Value>& complex);
+
+/// β_0 only — the number of connected components; cheaper (union-find) and
+/// usable on larger complexes.
+template <VertexValue Value>
+std::size_t betti0(const ChromaticComplex<Value>& complex) {
+  return complex.connected_components().size();
+}
+
+}  // namespace rsb

@@ -1,0 +1,31 @@
+// Explicit instantiations of the topology templates for the value types the
+// library uses, keeping client translation units lean and catching template
+// errors at library build time.
+#include "topology/topology.hpp"
+
+namespace rsb {
+
+template struct Vertex<int>;
+template class Simplex<int>;
+template class ChromaticComplex<int>;
+
+template struct Vertex<BitString>;
+template class Simplex<BitString>;
+template class ChromaticComplex<BitString>;
+
+template struct Vertex<std::uint64_t>;
+template class Simplex<std::uint64_t>;
+template class ChromaticComplex<std::uint64_t>;
+
+template ChromaticComplex<int> project_facet(const Simplex<int>&);
+template ChromaticComplex<BitString> project_facet(const Simplex<BitString>&);
+template ChromaticComplex<std::uint64_t> project_facet(
+    const Simplex<std::uint64_t>&);
+
+template ChromaticComplex<int> project_complex(const ChromaticComplex<int>&);
+template ChromaticComplex<BitString> project_complex(
+    const ChromaticComplex<BitString>&);
+
+template bool is_symmetric(const ChromaticComplex<int>&);
+
+}  // namespace rsb

@@ -1,0 +1,70 @@
+// The consistency projection π (Eq. 3 of the paper).
+//
+// For a facet σ = {(i, v_i) : i ∈ I} of a chromatic complex, π(σ) is the
+// complex on V(σ) in which a set of vertices forms a simplex iff all its
+// vertices hold the *same value*. The facets of π(σ) are therefore exactly
+// the value-equivalence classes of σ. Applying π to every facet of a complex
+// K and taking the union yields π(K) ⊆ K.
+//
+// The knowledge-based variant π̃ (Eq. 5) lives in src/core/consistency.hpp:
+// it needs the communication model to evaluate the relation i ~_t j.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/complex.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+
+/// π(σ): the sub-complex of σ whose facets are σ's value-equivalence classes.
+template <VertexValue Value>
+ChromaticComplex<Value> project_facet(const Simplex<Value>& facet) {
+  std::map<Value, std::vector<Vertex<Value>>> classes;
+  for (const auto& v : facet.vertices()) classes[v.value].push_back(v);
+  ChromaticComplex<Value> out;
+  for (auto& [value, members] : classes) {
+    out.add_simplex(Simplex<Value>(std::move(members)));
+  }
+  return out;
+}
+
+/// π(K) = ∪_{σ facet of K} π(σ).
+template <VertexValue Value>
+ChromaticComplex<Value> project_complex(const ChromaticComplex<Value>& complex) {
+  ChromaticComplex<Value> out;
+  for (const auto& facet : complex.facets()) {
+    out.merge(project_facet(facet));
+  }
+  return out;
+}
+
+/// The partition of the facet's names by value equality, in canonical
+/// block-index form (util/partitions.hpp): entry p[r] is the block of the
+/// r-th smallest name. This is the combinatorial shadow of π(σ): its block
+/// sizes are (dim+1) of π(σ)'s facets.
+template <VertexValue Value>
+std::vector<int> partition_by_value(const Simplex<Value>& facet) {
+  std::map<Value, int> value_label;
+  std::vector<int> labels;
+  labels.reserve(facet.vertices().size());
+  for (const auto& v : facet.vertices()) {
+    auto [it, inserted] =
+        value_label.emplace(v.value, static_cast<int>(value_label.size()));
+    labels.push_back(it->second);
+  }
+  return canonical_blocks(labels);
+}
+
+/// Sorted multiset of class sizes of π(σ) — i.e. of (dim + 1) over facets of
+/// the projection. Both characterization theorems are phrased in terms of
+/// these sizes.
+template <VertexValue Value>
+std::vector<int> class_sizes(const Simplex<Value>& facet) {
+  std::vector<int> sizes = block_sizes(partition_by_value(facet));
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+}  // namespace rsb

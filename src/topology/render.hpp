@@ -1,0 +1,55 @@
+// Text renderings of chromatic complexes: Graphviz DOT (1-skeleton with
+// facet grouping) and a compact ASCII facet listing. Used by the examples
+// and handy when exploring projections interactively.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "topology/complex.hpp"
+
+namespace rsb {
+
+/// Graphviz DOT of the complex: vertices labeled "(name:value)", one edge
+/// per 1-simplex; facets of dimension ≥ 2 are outlined as filled cliques.
+/// Paste into `dot -Tsvg` to draw.
+template <VertexValue Value>
+std::string to_dot(const ChromaticComplex<Value>& complex,
+                   const std::string& graph_name = "complex") {
+  std::ostringstream out;
+  out << "graph " << graph_name << " {\n"
+      << "  layout=neato;\n  node [shape=circle, fontsize=10];\n";
+  for (const auto& v : complex.vertices()) {
+    out << "  \"" << v.name << ":" << ValueTraits<Value>::to_string(v.value)
+        << "\";\n";
+  }
+  // Edges: every 1-face of every facet, deduplicated by the complex's own
+  // face set.
+  for (const auto& s : complex.all_simplices()) {
+    if (s.dimension() != 1) continue;
+    const auto& verts = s.vertices();
+    out << "  \"" << verts[0].name << ":"
+        << ValueTraits<Value>::to_string(verts[0].value) << "\" -- \""
+        << verts[1].name << ":"
+        << ValueTraits<Value>::to_string(verts[1].value) << "\";\n";
+  }
+  // Isolated vertices get a visual marker.
+  for (const auto& v : complex.isolated_vertices()) {
+    out << "  \"" << v.name << ":" << ValueTraits<Value>::to_string(v.value)
+        << "\" [style=filled, fillcolor=gold];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+/// Compact one-facet-per-line ASCII listing, sorted, with dimensions.
+template <VertexValue Value>
+std::string to_ascii(const ChromaticComplex<Value>& complex) {
+  std::ostringstream out;
+  for (const auto& facet : complex.facets()) {
+    out << "  dim " << facet.dimension() << "  " << facet.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rsb

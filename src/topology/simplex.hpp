@@ -1,0 +1,150 @@
+// Simplices of chromatic complexes.
+//
+// A simplex is a non-empty set of vertices with pairwise-distinct names
+// (chromatic complexes never put two vertices of the same color in one
+// simplex). Simplices are value types stored as name-sorted vectors, so
+// equality and ordering are structural.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "topology/vertex.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+
+template <VertexValue Value>
+class Simplex {
+ public:
+  using VertexT = Vertex<Value>;
+
+  Simplex() = default;
+
+  /// Builds a simplex from vertices; sorts by name and validates that names
+  /// are pairwise distinct. Throws InvalidArgument on a repeated name.
+  explicit Simplex(std::vector<VertexT> vertices)
+      : vertices_(std::move(vertices)) {
+    std::sort(vertices_.begin(), vertices_.end(),
+              [](const VertexT& a, const VertexT& b) { return a.name < b.name; });
+    for (std::size_t i = 1; i < vertices_.size(); ++i) {
+      if (vertices_[i - 1].name == vertices_[i].name) {
+        throw InvalidArgument(
+            "Simplex: two vertices share the name " +
+            std::to_string(vertices_[i].name) +
+            " (chromatic simplices have pairwise-distinct names)");
+      }
+    }
+  }
+
+  Simplex(std::initializer_list<VertexT> vertices)
+      : Simplex(std::vector<VertexT>(vertices)) {}
+
+  bool empty() const noexcept { return vertices_.empty(); }
+  int vertex_count() const noexcept { return static_cast<int>(vertices_.size()); }
+
+  /// dim(σ) = |V(σ)| − 1; the empty simplex has dimension −1 by convention.
+  int dimension() const noexcept { return vertex_count() - 1; }
+
+  const std::vector<VertexT>& vertices() const noexcept { return vertices_; }
+
+  /// The names (colors) of the vertices, ascending.
+  std::vector<int> names() const {
+    std::vector<int> out;
+    out.reserve(vertices_.size());
+    for (const auto& v : vertices_) out.push_back(v.name);
+    return out;
+  }
+
+  /// The value held by the vertex named `name`; throws if absent.
+  const Value& value_of(int name) const {
+    const VertexT* v = find(name);
+    if (v == nullptr) {
+      throw InvalidArgument("Simplex::value_of: no vertex named " +
+                            std::to_string(name));
+    }
+    return v->value;
+  }
+
+  bool has_name(int name) const noexcept { return find(name) != nullptr; }
+
+  bool contains_vertex(const VertexT& v) const noexcept {
+    const VertexT* found = find(v.name);
+    return found != nullptr && found->value == v.value;
+  }
+
+  /// σ′ ⊆ σ as vertex sets.
+  bool contains(const Simplex& other) const noexcept {
+    return std::all_of(
+        other.vertices_.begin(), other.vertices_.end(),
+        [this](const VertexT& v) { return contains_vertex(v); });
+  }
+
+  /// The face of this simplex induced by a set of names (names not present
+  /// are ignored). Returns an empty simplex if no name matches.
+  Simplex face(const std::vector<int>& names) const {
+    std::vector<VertexT> verts;
+    for (int name : names) {
+      if (const VertexT* v = find(name)) verts.push_back(*v);
+    }
+    return Simplex(std::move(verts));
+  }
+
+  /// All non-empty faces (subsets), including the simplex itself.
+  /// Exponential in the vertex count; intended for small simplices.
+  std::vector<Simplex> all_faces() const {
+    std::vector<Simplex> faces;
+    const std::size_t n = vertices_.size();
+    if (n > 20) {
+      throw InvalidArgument("Simplex::all_faces: simplex too large");
+    }
+    for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+      std::vector<VertexT> verts;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) verts.push_back(vertices_[i]);
+      }
+      faces.emplace_back(std::move(verts));
+    }
+    return faces;
+  }
+
+  friend auto operator<=>(const Simplex&, const Simplex&) = default;
+
+  std::uint64_t hash() const noexcept {
+    std::uint64_t seed = 0;
+    for (const auto& v : vertices_) seed = hash_combine(seed, v.hash());
+    return seed;
+  }
+
+  std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += vertices_[i].to_string();
+    }
+    return out + "}";
+  }
+
+ private:
+  const VertexT* find(int name) const noexcept {
+    auto it = std::lower_bound(
+        vertices_.begin(), vertices_.end(), name,
+        [](const VertexT& v, int n) { return v.name < n; });
+    return (it != vertices_.end() && it->name == name) ? &*it : nullptr;
+  }
+
+  std::vector<VertexT> vertices_;  // sorted by name, names distinct
+};
+
+template <VertexValue Value>
+struct SimplexHash {
+  std::size_t operator()(const Simplex<Value>& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace rsb

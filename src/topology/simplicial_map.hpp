@@ -1,0 +1,171 @@
+// Simplicial maps between chromatic complexes.
+//
+// All maps in the paper are name-preserving: δ(i, x) = (i, y). Such a map is
+// represented by the value assignment (i, x) ↦ y. The paper also uses
+// name-independent maps, where y depends on x only (Section 3.1,
+// "Solvability in fixed time"). Both properties have checkers here, plus a
+// backtracking decision procedure for the existence of a name-preserving
+// simplicial map between two complexes — the primitive underlying the
+// solvability definitions 3.1 and 3.4.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "topology/complex.hpp"
+
+namespace rsb {
+
+/// A name-preserving vertex map from a complex with VFrom values to one with
+/// VTo values: (i, x) ↦ (i, image.at({i, x})).
+template <VertexValue VFrom, VertexValue VTo>
+class NamePreservingMap {
+ public:
+  using FromVertex = Vertex<VFrom>;
+  using ToVertex = Vertex<VTo>;
+
+  NamePreservingMap() = default;
+
+  void set(const FromVertex& from, const VTo& to_value) {
+    image_[from] = to_value;
+  }
+
+  bool defined_on(const FromVertex& v) const { return image_.count(v) > 0; }
+
+  void unset(const FromVertex& from) { image_.erase(from); }
+
+  ToVertex apply(const FromVertex& v) const {
+    auto it = image_.find(v);
+    if (it == image_.end()) {
+      throw InvalidArgument("NamePreservingMap::apply: vertex " +
+                            v.to_string() + " not in domain");
+    }
+    return ToVertex{v.name, it->second};
+  }
+
+  /// Image of a simplex; name-preserving maps keep names distinct, so the
+  /// image is again a valid chromatic simplex.
+  Simplex<VTo> apply(const Simplex<VFrom>& s) const {
+    std::vector<ToVertex> verts;
+    verts.reserve(s.vertices().size());
+    for (const auto& v : s.vertices()) verts.push_back(apply(v));
+    return Simplex<VTo>(std::move(verts));
+  }
+
+  const std::map<FromVertex, VTo>& entries() const { return image_; }
+
+  /// δ is simplicial w.r.t. (K, L) iff δ(σ) ∈ L for every σ ∈ K. Because
+  /// membership is monotone under faces, checking K's facets suffices.
+  bool is_simplicial(const ChromaticComplex<VFrom>& domain,
+                     const ChromaticComplex<VTo>& codomain) const {
+    for (const auto& facet : domain.facets()) {
+      for (const auto& v : facet.vertices()) {
+        if (!defined_on(v)) return false;
+      }
+      if (!codomain.contains(apply(facet))) return false;
+    }
+    return true;
+  }
+
+  /// Name-independence: the assigned value depends on the source value only,
+  /// never on the name — for all (i, x), (j, x) in the domain, the images
+  /// carry the same value (Section 3.1).
+  bool is_name_independent() const {
+    std::map<VFrom, VTo> by_value;
+    for (const auto& [vertex, to_value] : image_) {
+      auto [it, inserted] = by_value.emplace(vertex.value, to_value);
+      if (!inserted && it->second != to_value) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::map<FromVertex, VTo> image_;
+};
+
+namespace detail {
+
+template <VertexValue VFrom, VertexValue VTo>
+bool extend_map(const std::vector<Vertex<VFrom>>& domain_vertices,
+                std::size_t next,
+                const std::vector<Simplex<VFrom>>& domain_facets,
+                const ChromaticComplex<VTo>& codomain,
+                const std::map<int, std::vector<VTo>>& candidates_by_name,
+                bool require_name_independent,
+                NamePreservingMap<VFrom, VTo>& partial) {
+  if (next == domain_vertices.size()) return true;
+  const Vertex<VFrom>& v = domain_vertices[next];
+  auto candidates_it = candidates_by_name.find(v.name);
+  if (candidates_it == candidates_by_name.end()) return false;
+  for (const VTo& to_value : candidates_it->second) {
+    partial.set(v, to_value);
+    bool feasible = true;
+    if (require_name_independent && !partial.is_name_independent()) {
+      feasible = false;
+    }
+    if (feasible) {
+      // Prune: every fully-mapped facet must land in the codomain. Facets
+      // only partially mapped are deferred.
+      for (const auto& facet : domain_facets) {
+        bool fully_mapped = true;
+        for (const auto& fv : facet.vertices()) {
+          if (!partial.defined_on(fv)) {
+            fully_mapped = false;
+            break;
+          }
+        }
+        if (fully_mapped && !codomain.contains(partial.apply(facet))) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (feasible &&
+        extend_map(domain_vertices, next + 1, domain_facets, codomain,
+                   candidates_by_name, require_name_independent, partial)) {
+      return true;
+    }
+    partial.unset(v);  // backtrack: stale entries must not leak into pruning
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Searches for a name-preserving simplicial map δ : domain → codomain.
+/// If `require_name_independent` is set, the map must also be
+/// name-independent. Returns the map if one exists.
+///
+/// Backtracking over the domain's vertices with facet-level pruning; intended
+/// for the small complexes produced by projections (their vertex count is at
+/// most n).
+template <VertexValue VFrom, VertexValue VTo>
+std::optional<NamePreservingMap<VFrom, VTo>> find_simplicial_map(
+    const ChromaticComplex<VFrom>& domain,
+    const ChromaticComplex<VTo>& codomain,
+    bool require_name_independent = false) {
+  std::map<int, std::vector<VTo>> candidates_by_name;
+  for (const auto& v : codomain.vertices()) {
+    candidates_by_name[v.name].push_back(v.value);
+  }
+  const std::vector<Vertex<VFrom>> domain_vertices = domain.vertices();
+  const std::vector<Simplex<VFrom>> domain_facets = domain.facets();
+  NamePreservingMap<VFrom, VTo> map;
+  if (detail::extend_map(domain_vertices, 0, domain_facets, codomain,
+                         candidates_by_name, require_name_independent, map)) {
+    return map;
+  }
+  return std::nullopt;
+}
+
+/// Convenience: existence-only variant.
+template <VertexValue VFrom, VertexValue VTo>
+bool exists_simplicial_map(const ChromaticComplex<VFrom>& domain,
+                           const ChromaticComplex<VTo>& codomain,
+                           bool require_name_independent = false) {
+  return find_simplicial_map(domain, codomain, require_name_independent)
+      .has_value();
+}
+
+}  // namespace rsb

@@ -1,0 +1,51 @@
+// Symmetry of chromatic complexes.
+//
+// The paper requires output complexes of symmetry-breaking tasks to be
+// *symmetric*: stable under permutations of the names (Section 3.1). That
+// is, if {(i, v_i) : i ∈ I} ∈ O then {(i, v_{π(i)}) : i ∈ I} ∈ O for every
+// permutation π of I.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/complex.hpp"
+
+namespace rsb {
+
+/// Applies a name permutation to a facet: vertex (i, v_i) becomes
+/// (i, v_{perm(i)}). `perm` maps positions within the facet's sorted name
+/// list; it must be a permutation of {0, ..., |σ|-1}.
+template <VertexValue Value>
+Simplex<Value> permute_values(const Simplex<Value>& facet,
+                              const std::vector<int>& perm) {
+  const auto& verts = facet.vertices();
+  if (perm.size() != verts.size()) {
+    throw InvalidArgument("permute_values: permutation size mismatch");
+  }
+  std::vector<Vertex<Value>> out;
+  out.reserve(verts.size());
+  for (std::size_t pos = 0; pos < verts.size(); ++pos) {
+    out.push_back(Vertex<Value>{
+        verts[pos].name, verts[static_cast<std::size_t>(perm[pos])].value});
+  }
+  return Simplex<Value>(std::move(out));
+}
+
+/// Exhaustive symmetry check: every value-permutation of every facet must be
+/// a simplex of the complex. Cost is |facets| · n! · membership; intended for
+/// the small output complexes of tasks (n ≤ 8 or so).
+template <VertexValue Value>
+bool is_symmetric(const ChromaticComplex<Value>& complex) {
+  for (const auto& facet : complex.facets()) {
+    const std::size_t n = facet.vertices().size();
+    std::vector<int> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<int>(i);
+    do {
+      if (!complex.contains(permute_values(facet, perm))) return false;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+  return true;
+}
+
+}  // namespace rsb

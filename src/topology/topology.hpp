@@ -1,0 +1,15 @@
+// Umbrella header for the chromatic simplicial topology substrate.
+//
+// Provides: vertices and simplices with names (colors), complexes
+// represented by their facet sets, name-preserving / name-independent
+// simplicial maps with an existence search, the consistency projection π of
+// Eq. (3), and symmetry checks for output complexes.
+#pragma once
+
+#include "topology/complex.hpp"       // IWYU pragma: export
+#include "topology/projection.hpp"    // IWYU pragma: export
+#include "topology/simplex.hpp"       // IWYU pragma: export
+#include "topology/simplicial_map.hpp"  // IWYU pragma: export
+#include "topology/symmetry.hpp"      // IWYU pragma: export
+#include "topology/value_traits.hpp"  // IWYU pragma: export
+#include "topology/vertex.hpp"        // IWYU pragma: export

@@ -1,0 +1,59 @@
+// Traits for the "value" part of a chromatic vertex (i, value).
+//
+// Complexes in this library are templated on their value type: the output
+// complex carries small integers, the realization complex carries
+// BitStrings, the protocol complex carries interned knowledge ids. A value
+// type must be regular (copyable, equality-comparable, totally ordered) and
+// provide a hash and a printable rendering through this trait.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "util/bitstring.hpp"
+
+namespace rsb {
+
+template <typename T>
+struct ValueTraits;
+
+template <>
+struct ValueTraits<int> {
+  static std::uint64_t hash(int v) noexcept {
+    return static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  }
+  static std::string to_string(int v) { return std::to_string(v); }
+};
+
+template <>
+struct ValueTraits<std::uint64_t> {
+  static std::uint64_t hash(std::uint64_t v) noexcept {
+    return v * 0x9e3779b97f4a7c15ULL;
+  }
+  static std::string to_string(std::uint64_t v) { return std::to_string(v); }
+};
+
+template <>
+struct ValueTraits<BitString> {
+  static std::uint64_t hash(const BitString& v) noexcept { return v.hash(); }
+  static std::string to_string(const BitString& v) { return v.to_string(); }
+};
+
+template <>
+struct ValueTraits<std::string> {
+  static std::uint64_t hash(const std::string& v) noexcept {
+    return std::hash<std::string>{}(v);
+  }
+  static std::string to_string(const std::string& v) { return v; }
+};
+
+/// Concept satisfied by types usable as chromatic vertex values.
+template <typename T>
+concept VertexValue = std::regular<T> && std::totally_ordered<T> &&
+    requires(const T& v) {
+      { ValueTraits<T>::hash(v) } -> std::convertible_to<std::uint64_t>;
+      { ValueTraits<T>::to_string(v) } -> std::convertible_to<std::string>;
+    };
+
+}  // namespace rsb

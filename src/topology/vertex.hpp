@@ -1,0 +1,43 @@
+// Chromatic vertices (name, value).
+//
+// Every complex in the paper is chromatic: a vertex is a pair (i, x) where
+// the color i ∈ [n] is called the *name* of the vertex (Section 3.1). Names
+// here are 0-based (0..n-1); rendering adds 1 where it helps match the
+// paper's figures.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "topology/value_traits.hpp"
+#include "util/hash.hpp"
+
+namespace rsb {
+
+template <VertexValue Value>
+struct Vertex {
+  int name = 0;
+  Value value{};
+
+  friend auto operator<=>(const Vertex&, const Vertex&) = default;
+
+  std::uint64_t hash() const noexcept {
+    return hash_combine(static_cast<std::uint64_t>(name),
+                        ValueTraits<Value>::hash(value));
+  }
+
+  std::string to_string() const {
+    return "(" + std::to_string(name) + "," +
+           ValueTraits<Value>::to_string(value) + ")";
+  }
+};
+
+template <VertexValue Value>
+struct VertexHash {
+  std::size_t operator()(const Vertex<Value>& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};
+
+}  // namespace rsb

@@ -1,0 +1,111 @@
+#include "util/bitstring.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rsb {
+
+BitString BitString::from_bits(std::uint64_t bits, int length) {
+  if (length < 0 || length > 64) {
+    throw InvalidArgument("BitString::from_bits: length must be in [0,64], got " +
+                          std::to_string(length));
+  }
+  BitString s;
+  for (int i = 0; i < length; ++i) {
+    s.push_back((bits >> i) & 1U);
+  }
+  return s;
+}
+
+BitString BitString::parse(const std::string& text) {
+  BitString s;
+  for (char c : text) {
+    if (c == '0') {
+      s.push_back(false);
+    } else if (c == '1') {
+      s.push_back(true);
+    } else {
+      throw InvalidArgument("BitString::parse: invalid character '" +
+                            std::string(1, c) + "'");
+    }
+  }
+  return s;
+}
+
+bool BitString::bit_at_round(int round) const {
+  if (round < 1 || round > size_) {
+    throw InvalidArgument("BitString::bit_at_round: round " +
+                          std::to_string(round) + " outside [1," +
+                          std::to_string(size_) + "]");
+  }
+  return (*this)[round - 1];
+}
+
+bool BitString::operator[](int index) const {
+  return (words_[static_cast<std::size_t>(index) / kWordBits] >>
+          (static_cast<std::size_t>(index) % kWordBits)) &
+         1U;
+}
+
+void BitString::push_back(bool bit) {
+  const std::size_t word = static_cast<std::size_t>(size_) / kWordBits;
+  const std::size_t offset = static_cast<std::size_t>(size_) % kWordBits;
+  if (word == words_.size()) words_.push_back(0);
+  if (bit) words_[word] |= (1ULL << offset);
+  ++size_;
+}
+
+BitString BitString::prefix(int length) const {
+  if (length < 0 || length > size_) {
+    throw InvalidArgument("BitString::prefix: length " +
+                          std::to_string(length) + " outside [0," +
+                          std::to_string(size_) + "]");
+  }
+  BitString result;
+  const std::size_t full_words = static_cast<std::size_t>(length) / kWordBits;
+  const std::size_t tail_bits = static_cast<std::size_t>(length) % kWordBits;
+  result.words_.assign(words_.begin(),
+                       words_.begin() + static_cast<std::ptrdiff_t>(full_words));
+  if (tail_bits != 0) {
+    result.words_.push_back(words_[full_words] &
+                            ((1ULL << tail_bits) - 1ULL));
+  }
+  result.size_ = length;
+  return result;
+}
+
+bool BitString::is_prefix_of(const BitString& other) const {
+  if (size_ > other.size_) return false;
+  return other.prefix(size_) == *this;
+}
+
+std::strong_ordering BitString::operator<=>(
+    const BitString& other) const noexcept {
+  const int common = size_ < other.size_ ? size_ : other.size_;
+  for (int i = 0; i < common; ++i) {
+    const bool a = (*this)[i];
+    const bool b = other[i];
+    if (a != b) return a ? std::strong_ordering::greater
+                         : std::strong_ordering::less;
+  }
+  return size_ <=> other.size_;
+}
+
+bool BitString::operator==(const BitString& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string BitString::to_string() const {
+  if (size_ == 0) return "⊥";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) out.push_back((*this)[i] ? '1' : '0');
+  return out;
+}
+
+std::uint64_t BitString::hash() const noexcept {
+  std::uint64_t seed = mix64(static_cast<std::uint64_t>(size_));
+  return hash_range(words_.begin(), words_.end(), seed);
+}
+
+}  // namespace rsb

@@ -1,0 +1,69 @@
+// Arbitrary-length bit strings.
+//
+// A BitString models the realization x_i ∈ {0,1}^t of the random bits a party
+// received during the first t rounds (Section 2.1 of the paper). Strings are
+// value types with lexicographic ordering, O(1) amortized append, and prefix
+// extraction (needed for the succession relation ρ ≺ ρ′, Definition 4.6).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsb {
+
+class BitString {
+ public:
+  /// The empty string ⊥ (time 0).
+  BitString() = default;
+
+  /// Builds a string of length `length` from the low bits of `bits`;
+  /// bits[0] = least significant bit of `bits` is the round-1 bit.
+  /// length must be at most 64.
+  static BitString from_bits(std::uint64_t bits, int length);
+
+  /// Parses a string of '0'/'1' characters; throws InvalidArgument otherwise.
+  static BitString parse(const std::string& text);
+
+  int size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Bit received at round `round` (1-based, matching the paper's X_i(t)).
+  bool bit_at_round(int round) const;
+
+  /// 0-based access.
+  bool operator[](int index) const;
+
+  /// Appends the bit received in the next round.
+  void push_back(bool bit);
+
+  /// The prefix of the first `length` bits: x(1,...,length).
+  BitString prefix(int length) const;
+
+  /// True iff *this is a prefix of `other` (used by succession checks).
+  bool is_prefix_of(const BitString& other) const;
+
+  /// Lexicographic order; shorter strings compare before their extensions.
+  std::strong_ordering operator<=>(const BitString& other) const noexcept;
+  bool operator==(const BitString& other) const noexcept;
+
+  /// '0'/'1' rendering, round 1 first. The empty string renders as "⊥".
+  std::string to_string() const;
+
+  std::uint64_t hash() const noexcept;
+
+ private:
+  static constexpr int kWordBits = 64;
+  // words_[w] bit b (LSB-first) holds the bit with 0-based index w*64+b.
+  std::vector<std::uint64_t> words_;
+  int size_ = 0;
+};
+
+struct BitStringHash {
+  std::size_t operator()(const BitString& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace rsb

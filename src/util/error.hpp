@@ -1,0 +1,32 @@
+// Error types shared across the library.
+//
+// The library throws exceptions for contract violations on its public API
+// (malformed configurations, invalid port assignments, non-symmetric output
+// complexes, ...). Internal invariants use assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsb {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller-supplied argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An object failed structural validation (e.g., a port assignment that is
+/// not a proper edge labeling, or an output complex that is not symmetric).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace rsb

@@ -1,0 +1,58 @@
+// Hash helpers: combine, range hashing, and pair/tuple hashing.
+//
+// Hashing is used pervasively: knowledge interning, simplex identity,
+// memoization of solvability verdicts. All hashes here are deterministic
+// across runs (no per-process seed) so that traces and test expectations
+// are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rsb {
+
+/// 64-bit mix (SplitMix64 finalizer). Good avalanche, cheap.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value into a running seed (boost-style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+std::uint64_t hash_range(It first, It last, std::uint64_t seed = 0) {
+  for (; first != last; ++first) {
+    seed = hash_combine(seed, static_cast<std::uint64_t>(*first));
+  }
+  return seed;
+}
+
+/// Hash functor for std::pair, usable as the Hash template argument of
+/// unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    return static_cast<std::size_t>(
+        hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second)));
+  }
+};
+
+/// Hash functor for std::vector of integral values.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const noexcept {
+    return static_cast<std::size_t>(hash_range(v.begin(), v.end()));
+  }
+};
+
+}  // namespace rsb

@@ -1,0 +1,94 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+int gcd_of(const std::vector<int>& values) {
+  int g = 0;
+  for (int v : values) {
+    if (v < 0) throw InvalidArgument("gcd_of: negative value");
+    g = std::gcd(g, v);
+  }
+  return g;
+}
+
+bool subset_sums_to(const std::vector<int>& values, int target) {
+  if (target < 0) return false;
+  if (target == 0) return true;
+  std::vector<char> reachable(static_cast<std::size_t>(target) + 1, 0);
+  reachable[0] = 1;
+  for (int v : values) {
+    if (v <= 0) throw InvalidArgument("subset_sums_to: values must be positive");
+    for (int s = target; s >= v; --s) {
+      if (reachable[static_cast<std::size_t>(s - v)]) {
+        reachable[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+  }
+  return reachable[static_cast<std::size_t>(target)] != 0;
+}
+
+std::vector<int> reachable_subset_sums(const std::vector<int>& values) {
+  const int total = std::accumulate(values.begin(), values.end(), 0);
+  std::vector<char> reachable(static_cast<std::size_t>(total) + 1, 0);
+  reachable[0] = 1;
+  for (int v : values) {
+    if (v <= 0) {
+      throw InvalidArgument("reachable_subset_sums: values must be positive");
+    }
+    for (int s = total; s >= v; --s) {
+      if (reachable[static_cast<std::size_t>(s - v)]) {
+        reachable[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+  }
+  std::vector<int> sums;
+  for (int s = 0; s <= total; ++s) {
+    if (reachable[static_cast<std::size_t>(s)]) sums.push_back(s);
+  }
+  return sums;
+}
+
+std::uint64_t binomial(int n, int k) {
+  if (n < 0 || k < 0) throw InvalidArgument("binomial: negative argument");
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    const std::uint64_t numerator = static_cast<std::uint64_t>(n - k + i);
+    // result * numerator may overflow; detect via division check.
+    if (result > UINT64_MAX / numerator) {
+      throw InvalidArgument("binomial: overflow for C(" + std::to_string(n) +
+                            "," + std::to_string(k) + ")");
+    }
+    result = result * numerator / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::uint64_t ipow(std::uint64_t base, int exp) {
+  if (exp < 0) throw InvalidArgument("ipow: negative exponent");
+  std::uint64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && result > UINT64_MAX / base) {
+      throw InvalidArgument("ipow: overflow");
+    }
+    result *= base;
+  }
+  return result;
+}
+
+std::uint64_t pow2(int exp) {
+  if (exp < 0 || exp >= 64) {
+    throw InvalidArgument("pow2: exponent " + std::to_string(exp) +
+                          " outside [0,63]");
+  }
+  return 1ULL << exp;
+}
+
+}  // namespace rsb

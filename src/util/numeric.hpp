@@ -1,0 +1,35 @@
+// Small number-theoretic and combinatorial helpers used by the
+// characterization theorems (gcd conditions, subset sums, binomials).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsb {
+
+/// gcd of a range of non-negative integers; gcd of an empty range is 0.
+/// Values of 0 are ignored (gcd(0, x) = x).
+int gcd_of(const std::vector<int>& values);
+
+/// True iff some (possibly empty only when target == 0) subset of `values`
+/// sums to exactly `target`. Values must be positive; target >= 0.
+/// This is the blackboard-model m-leader-election feasibility predicate
+/// derived from the paper's framework (see EXPERIMENTS.md, E12).
+bool subset_sums_to(const std::vector<int>& values, int target);
+
+/// All subset sums reachable from `values` (bitset-style DP), as a sorted
+/// vector. Values must be positive.
+std::vector<int> reachable_subset_sums(const std::vector<int>& values);
+
+/// Binomial coefficient C(n, k) computed exactly in unsigned 64-bit
+/// arithmetic; throws InvalidArgument on overflow.
+std::uint64_t binomial(int n, int k);
+
+/// Exact integer power base^exp in unsigned 64-bit arithmetic; throws
+/// InvalidArgument on overflow.
+std::uint64_t ipow(std::uint64_t base, int exp);
+
+/// 2^exp as uint64; throws InvalidArgument if exp >= 64 or exp < 0.
+std::uint64_t pow2(int exp);
+
+}  // namespace rsb

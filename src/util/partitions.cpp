@@ -1,0 +1,130 @@
+#include "util/partitions.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+namespace {
+
+void partitions_rec(int remaining, int max_part,
+                    std::vector<int>& current,
+                    std::vector<std::vector<int>>& out) {
+  if (remaining == 0) {
+    out.push_back(current);
+    return;
+  }
+  for (int part = std::min(remaining, max_part); part >= 1; --part) {
+    current.push_back(part);
+    partitions_rec(remaining - part, part, current, out);
+    current.pop_back();
+  }
+}
+
+void compositions_rec(int remaining, int parts_left,
+                      std::vector<int>& current,
+                      std::vector<std::vector<int>>& out) {
+  if (parts_left == 1) {
+    if (remaining >= 1) {
+      current.push_back(remaining);
+      out.push_back(current);
+      current.pop_back();
+    }
+    return;
+  }
+  for (int part = 1; part + (parts_left - 1) <= remaining; ++part) {
+    current.push_back(part);
+    compositions_rec(remaining - part, parts_left - 1, current, out);
+    current.pop_back();
+  }
+}
+
+void set_partitions_rec(int n, int index, int max_block,
+                        std::vector<int>& blocks,
+                        std::vector<std::vector<int>>& out) {
+  if (index == n) {
+    out.push_back(blocks);
+    return;
+  }
+  for (int b = 0; b <= max_block + 1; ++b) {
+    blocks[static_cast<std::size_t>(index)] = b;
+    set_partitions_rec(n, index + 1, std::max(max_block, b), blocks, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> partitions_of(int n) {
+  if (n < 1) throw InvalidArgument("partitions_of: n must be >= 1");
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  partitions_rec(n, n, current, out);
+  return out;
+}
+
+std::vector<std::vector<int>> partitions_of_into(int n, int k) {
+  if (n < 1 || k < 1) {
+    throw InvalidArgument("partitions_of_into: n and k must be >= 1");
+  }
+  std::vector<std::vector<int>> out;
+  for (auto& p : partitions_of(n)) {
+    if (static_cast<int>(p.size()) == k) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> compositions_of(int n, int k) {
+  if (n < 1 || k < 1) {
+    throw InvalidArgument("compositions_of: n and k must be >= 1");
+  }
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  compositions_rec(n, k, current, out);
+  return out;
+}
+
+std::vector<std::vector<int>> set_partitions(int n) {
+  if (n < 1) throw InvalidArgument("set_partitions: n must be >= 1");
+  std::vector<std::vector<int>> out;
+  std::vector<int> blocks(static_cast<std::size_t>(n), 0);
+  // b[0] is fixed to 0 by canonicality.
+  set_partitions_rec(n, 1, 0, blocks, out);
+  return out;
+}
+
+std::vector<int> block_sizes(const std::vector<int>& block_index) {
+  const int k = block_count(block_index);
+  std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+  for (int b : block_index) ++sizes[static_cast<std::size_t>(b)];
+  return sizes;
+}
+
+int block_count(const std::vector<int>& block_index) {
+  int max_block = -1;
+  for (int b : block_index) {
+    if (b < 0) throw InvalidArgument("block_count: negative block index");
+    max_block = std::max(max_block, b);
+  }
+  return max_block + 1;
+}
+
+std::vector<int> canonical_blocks(const std::vector<int>& labels) {
+  std::vector<int> result(labels.size());
+  std::vector<std::pair<int, int>> seen;  // (label, canonical index)
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    auto it = std::find_if(seen.begin(), seen.end(),
+                           [label](const auto& p) { return p.first == label; });
+    if (it == seen.end()) {
+      seen.emplace_back(label, static_cast<int>(seen.size()));
+      result[i] = static_cast<int>(seen.size()) - 1;
+    } else {
+      result[i] = it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace rsb

@@ -1,0 +1,43 @@
+// Enumeration of integer partitions, compositions, and set partitions.
+//
+// The assignment complex A of the paper (Section 3.1) has one facet per
+// randomness-configuration α, i.e., per surjection [n] -> [k] up to renaming
+// of sources. Sweeping "all configurations of n parties" therefore means
+// sweeping either
+//   * integer partitions of n (the multiset {n_1,...,n_k} of source loads,
+//     which is what both characterization theorems depend on), or
+//   * set partitions of [n] (which parties share a source), when the port
+//     numbering interacts with party identities.
+#pragma once
+
+#include <vector>
+
+namespace rsb {
+
+/// All partitions of n into positive parts, each sorted in non-increasing
+/// order; e.g. partitions_of(4) = {{4},{3,1},{2,2},{2,1,1},{1,1,1,1}}.
+/// n must be >= 1.
+std::vector<std::vector<int>> partitions_of(int n);
+
+/// All partitions of n into exactly k positive parts (non-increasing order).
+std::vector<std::vector<int>> partitions_of_into(int n, int k);
+
+/// All compositions of n into exactly k positive parts (ordered tuples).
+std::vector<std::vector<int>> compositions_of(int n, int k);
+
+/// All set partitions of {0,...,n-1}, each represented as a "block index"
+/// vector b of length n with the canonical labeling: b[0] = 0 and
+/// b[i] <= 1 + max(b[0..i-1]). The number of results is the Bell number B_n.
+std::vector<std::vector<int>> set_partitions(int n);
+
+/// Block sizes of a set partition in block-index form, ordered by block index.
+std::vector<int> block_sizes(const std::vector<int>& block_index);
+
+/// Number of blocks of a set partition in block-index form.
+int block_count(const std::vector<int>& block_index);
+
+/// Canonicalizes an arbitrary block-labeling (any ints) into the canonical
+/// block-index form used above (first occurrence order, labels 0..k-1).
+std::vector<int> canonical_blocks(const std::vector<int>& labels);
+
+}  // namespace rsb

@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+#include "util/hash.hpp"
+
+namespace rsb {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // All-zero state is a fixed point of xoshiro; SplitMix64 cannot emit four
+  // consecutive zeros from any seed, so the state is always valid.
+}
+
+std::uint64_t Xoshiro256StarStar::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection: draw until the draw falls in the largest multiple
+  // of `bound` that fits in 64 bits.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256StarStar::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  return mix64(hash_combine(mix64(parent), stream + 1));
+}
+
+}  // namespace rsb

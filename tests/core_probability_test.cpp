@@ -1,0 +1,180 @@
+// Tests for the exact probability engine Pr[S(t)|α]: closed-form checks
+// against the Theorem 4.1 rate, cross-validation of the fast
+// string-partition path against the knowledge recursion, Monte-Carlo
+// agreement, and monotonicity (cumulative solvability).
+#include <gtest/gtest.h>
+
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+#include "model/port_assignment.hpp"
+
+namespace rsb {
+namespace {
+
+TEST(ExactProbability, TwoPrivateSourcesLeaderElection) {
+  // n = 2, private sources: p(t) = Pr[strings differ] = 1 − 2^{-t}.
+  const auto config = SourceConfiguration::all_private(2);
+  const SymmetricTask le = SymmetricTask::leader_election(2);
+  for (int t = 1; t <= 6; ++t) {
+    const Dyadic p = exact_solve_probability_blackboard(config, le, t);
+    EXPECT_EQ(p, Dyadic::one() - Dyadic::pow2_inverse(t)) << "t=" << t;
+  }
+}
+
+TEST(ExactProbability, SharedSourceNeverSolves) {
+  const auto config = SourceConfiguration::all_shared(3);
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  for (int t = 1; t <= 8; ++t) {
+    EXPECT_TRUE(
+        exact_solve_probability_blackboard(config, le, t).is_zero());
+  }
+}
+
+TEST(ExactProbability, PairedSourcesNeverSolveLeaderElection) {
+  // loads {2,2}: no singleton source → p(t) = 0 for all t (Theorem 4.1).
+  const auto config = SourceConfiguration::from_loads({2, 2});
+  const SymmetricTask le = SymmetricTask::leader_election(4);
+  for (int t = 1; t <= 5; ++t) {
+    EXPECT_TRUE(
+        exact_solve_probability_blackboard(config, le, t).is_zero());
+  }
+}
+
+TEST(ExactProbability, SingletonPlusPairSolvesExactly) {
+  // loads {1,2}: LE solved iff the singleton's string differs from the
+  // pair's string: p(t) = 1 − 2^{-t}.
+  const auto config = SourceConfiguration::from_loads({1, 2});
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  for (int t = 1; t <= 6; ++t) {
+    EXPECT_EQ(exact_solve_probability_blackboard(config, le, t),
+              Dyadic::one() - Dyadic::pow2_inverse(t));
+  }
+}
+
+TEST(ExactProbability, KnowledgePathAgreesWithStringPath) {
+  const SymmetricTask le3 = SymmetricTask::leader_election(3);
+  const SymmetricTask two4 = SymmetricTask::m_leader_election(4, 2);
+  for (const auto& loads :
+       std::vector<std::vector<int>>{{1, 2}, {3}, {1, 1, 1}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    for (int t = 1; t <= 3; ++t) {
+      EXPECT_EQ(exact_solve_probability_blackboard(config, le3, t),
+                exact_solve_probability_blackboard_via_knowledge(config, le3, t));
+    }
+  }
+  for (const auto& loads : std::vector<std::vector<int>>{{2, 2}, {1, 3}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    for (int t = 1; t <= 3; ++t) {
+      EXPECT_EQ(exact_solve_probability_blackboard(config, two4, t),
+                exact_solve_probability_blackboard_via_knowledge(config, two4, t));
+    }
+  }
+}
+
+TEST(ExactProbability, RateBoundFromTheorem41Holds) {
+  // p(t) ≥ (1 − 2^{-t})^{k−1} ≥ 1 − (k−1)/2^t for the all-private config.
+  for (int k = 2; k <= 4; ++k) {
+    const auto config = SourceConfiguration::all_private(k);
+    const SymmetricTask le = SymmetricTask::leader_election(k);
+    for (int t = 1; t <= 4; ++t) {
+      const double p =
+          exact_solve_probability_blackboard(config, le, t).to_double();
+      EXPECT_GE(p + 1e-12, theorem41_rate_lower_bound(k, t))
+          << "k=" << k << " t=" << t;
+      EXPECT_GE(p + 1e-12, 1.0 - static_cast<double>(k - 1) / (1 << t));
+    }
+  }
+}
+
+TEST(ExactProbability, SeriesIsMonotone) {
+  // Solvability is cumulative (knowledge only grows), so every exact
+  // series must be non-decreasing — in both models.
+  const auto config = SourceConfiguration::from_loads({1, 2});
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  EXPECT_TRUE(is_monotone_non_decreasing(
+      exact_series_blackboard(config, le, 5)));
+
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  EXPECT_TRUE(is_monotone_non_decreasing(
+      exact_series_message_passing(config, le, 4, pa)));
+}
+
+TEST(ExactProbability, MessagePassingAdversarialGcd2IsZero) {
+  // loads {2,2}, adversarial ports: Lemma 4.3 forbids singletons → 0.
+  const auto config = SourceConfiguration::from_loads({2, 2});
+  const PortAssignment pa = PortAssignment::adversarial_for(config);
+  const SymmetricTask le = SymmetricTask::leader_election(4);
+  for (int t = 1; t <= 3; ++t) {
+    EXPECT_TRUE(exact_solve_probability_message_passing(config, le, t, pa)
+                    .is_zero());
+  }
+}
+
+TEST(ExactProbability, MessagePassingGcd1Positive) {
+  // loads {2,3} (gcd 1): even under its adversarial-style ports the tagged
+  // model must eventually give positive solving probability.
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const PortAssignment pa = PortAssignment::cyclic(5);
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  const Dyadic p3 = exact_solve_probability_message_passing(config, le, 3, pa);
+  EXPECT_FALSE(p3.is_zero());
+}
+
+TEST(ExactProbability, LiteralVariantCanDifferFromTagged) {
+  // The aligned wiring of the model tests freezes the literal variant at 0
+  // while the tagged variant makes progress.
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const PortAssignment aligned({{1, 2, 3, 4},
+                                {0, 2, 3, 4},
+                                {0, 1, 3, 4},
+                                {0, 1, 2, 4},
+                                {0, 1, 2, 3}});
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  const Dyadic literal = exact_solve_probability_message_passing(
+      config, le, 3, aligned, MessageVariant::kLiteral);
+  const Dyadic tagged = exact_solve_probability_message_passing(
+      config, le, 3, aligned, MessageVariant::kPortTagged);
+  EXPECT_TRUE(literal.is_zero());
+  EXPECT_FALSE(tagged.is_zero());
+}
+
+TEST(MonteCarlo, AgreesWithExactWithinError) {
+  const auto config = SourceConfiguration::from_loads({1, 2});
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  const int t = 3;
+  const double exact =
+      exact_solve_probability_blackboard(config, le, t).to_double();
+  const MonteCarloEstimate est = monte_carlo_solve_probability(
+      config, le, t, std::nullopt, 20000, /*seed=*/404);
+  EXPECT_NEAR(est.p_hat, exact, 5 * est.std_error + 1e-9);
+  EXPECT_EQ(est.trials, 20000u);
+}
+
+TEST(MonteCarlo, MessagePassingVariant) {
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const PortAssignment pa = PortAssignment::cyclic(5);
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  const double exact =
+      exact_solve_probability_message_passing(config, le, 2, pa).to_double();
+  const MonteCarloEstimate est = monte_carlo_solve_probability(
+      config, le, 2, pa, 20000, /*seed=*/405);
+  EXPECT_NEAR(est.p_hat, exact, 5 * est.std_error + 1e-9);
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+  const auto config = SourceConfiguration::all_private(2);
+  const SymmetricTask le = SymmetricTask::leader_election(2);
+  EXPECT_THROW(
+      monte_carlo_solve_probability(config, le, 1, std::nullopt, 0, 1),
+      InvalidArgument);
+}
+
+TEST(Engine, ValidatesPartyMismatch) {
+  const auto config = SourceConfiguration::all_private(2);
+  const SymmetricTask le3 = SymmetricTask::leader_election(3);
+  EXPECT_THROW(exact_solve_probability_blackboard(config, le3, 1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,164 @@
+// Tests for facet-local solvability: consistency complexes π̃ (Eq. 5), and
+// the exhaustive agreement of Definitions 3.1 and 3.4 with the class-size
+// shortcut — the mechanical content of Lemma 3.5.
+#include <gtest/gtest.h>
+
+#include "core/consistency.hpp"
+#include "core/solvability.hpp"
+#include "model/port_assignment.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+namespace {
+
+// ------------------------------------------------------------------- π̃
+
+TEST(Consistency, ComplexFromPartitionBuildsClasses) {
+  const Realization rho({BitString::parse("0"), BitString::parse("0"),
+                         BitString::parse("1")});
+  const RealizationComplex c = complex_from_partition(rho, {0, 0, 1});
+  EXPECT_EQ(c.facet_count(), 2);
+  EXPECT_TRUE(c.has_isolated_vertex());
+  EXPECT_EQ(c.isolated_vertices()[0].name, 2);
+}
+
+TEST(Consistency, BlackboardProjectionMatchesStrings) {
+  KnowledgeStore store;
+  for_each_realization_facet(3, 2, [&](const Realization& rho) {
+    const RealizationComplex pi_rho =
+        consistency_complex_blackboard(store, rho);
+    // Facet sizes = string-equality class sizes.
+    std::vector<int> expected = block_sizes(rho.equal_string_partition());
+    std::sort(expected.begin(), expected.end());
+    std::vector<int> actual;
+    for (const auto& f : pi_rho.facets()) actual.push_back(f.vertex_count());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << rho.to_string();
+  });
+}
+
+TEST(Consistency, SharedSourceGivesSingleFacet) {
+  // All parties on one source: π̃(ρ) is one (n−1)-simplex for every
+  // positive ρ — the Theorem 4.1 impossibility picture.
+  KnowledgeStore store;
+  const auto config = SourceConfiguration::all_shared(4);
+  for_each_positive_realization(config, 2, [&](const Realization& rho) {
+    const RealizationComplex pi_rho =
+        consistency_complex_blackboard(store, rho);
+    EXPECT_EQ(pi_rho.facet_count(), 1);
+    EXPECT_EQ(pi_rho.dimension(), 3);
+  });
+}
+
+TEST(Consistency, MessagePassingProjectionUsesPorts) {
+  KnowledgeStore store;
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  const Realization rho({BitString::parse("0"), BitString::parse("0"),
+                         BitString::parse("1")});
+  const RealizationComplex pi_rho =
+      consistency_complex_message_passing(store, rho, pa);
+  EXPECT_GE(pi_rho.facet_count(), 2);
+}
+
+// ----------------------------- Lemma 3.5: the three paths agree everywhere
+
+struct SolvabilityCase {
+  int n;
+  int t;
+  int m;  // leaders
+};
+
+class SolvabilityAgreement : public ::testing::TestWithParam<SolvabilityCase> {};
+
+TEST_P(SolvabilityAgreement, BlackboardAllRealizations) {
+  const auto [n, t, m] = GetParam();
+  const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+  KnowledgeStore store;
+  for_each_realization_facet(n, t, [&](const Realization& rho) {
+    const auto knowledge = knowledge_at_blackboard(store, rho);
+    const auto partition = knowledge_partition(knowledge);
+    const bool by_def31 = solves_by_definition31(knowledge, task);
+    const bool by_def34 = solves_by_definition34(rho, partition, task);
+    const bool by_classes = solves_by_partition(partition, task);
+    EXPECT_EQ(by_def31, by_def34) << rho.to_string();
+    EXPECT_EQ(by_def34, by_classes) << rho.to_string();
+  });
+}
+
+TEST_P(SolvabilityAgreement, MessagePassingAllRealizations) {
+  const auto [n, t, m] = GetParam();
+  const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+  KnowledgeStore store;
+  const PortAssignment pa = PortAssignment::cyclic(n);
+  for_each_realization_facet(n, t, [&](const Realization& rho) {
+    const auto knowledge = knowledge_at_message_passing(store, rho, pa);
+    const auto partition = knowledge_partition(knowledge);
+    const bool by_def31 = solves_by_definition31(knowledge, task);
+    const bool by_def34 = solves_by_definition34(rho, partition, task);
+    const bool by_classes = solves_by_partition(partition, task);
+    EXPECT_EQ(by_def31, by_def34) << rho.to_string();
+    EXPECT_EQ(by_def34, by_classes) << rho.to_string();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSystems, SolvabilityAgreement,
+    ::testing::Values(SolvabilityCase{2, 1, 1}, SolvabilityCase{2, 2, 1},
+                      SolvabilityCase{3, 1, 1}, SolvabilityCase{3, 2, 1},
+                      SolvabilityCase{3, 1, 2}, SolvabilityCase{3, 2, 2},
+                      SolvabilityCase{4, 1, 1}, SolvabilityCase{4, 1, 2},
+                      SolvabilityCase{4, 1, 3}),
+    [](const ::testing::TestParamInfo<SolvabilityCase>& info) {
+      return "n" + std::to_string(info.param.n) + "t" +
+             std::to_string(info.param.t) + "m" + std::to_string(info.param.m);
+    });
+
+// ------------------------------------------------------ targeted verdicts
+
+TEST(Solvability, UniqueStringSolvesLeaderElection) {
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  KnowledgeStore store;
+  const Realization rho({BitString::parse("0"), BitString::parse("1"),
+                         BitString::parse("1")});
+  const auto knowledge = knowledge_at_blackboard(store, rho);
+  EXPECT_TRUE(solves_by_partition(knowledge_partition(knowledge), le));
+  EXPECT_TRUE(realization_solves_blackboard(store, rho, le));
+}
+
+TEST(Solvability, AllEqualStringsDoNotSolve) {
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  KnowledgeStore store;
+  const Realization rho({BitString::parse("1"), BitString::parse("1"),
+                         BitString::parse("1")});
+  EXPECT_FALSE(realization_solves_blackboard(store, rho, le));
+}
+
+TEST(Solvability, TwoTwoSplitSolvesTwoLeaderButNotLeader) {
+  // Classes {2,2}: no isolated vertex (LE fails) but a 2-class can be the
+  // two leaders of 2-LE — the paper's Section 1.2 teaser.
+  KnowledgeStore store;
+  const Realization rho({BitString::parse("0"), BitString::parse("0"),
+                         BitString::parse("1"), BitString::parse("1")});
+  const auto partition =
+      knowledge_partition(knowledge_at_blackboard(store, rho));
+  EXPECT_FALSE(
+      solves_by_partition(partition, SymmetricTask::leader_election(4)));
+  EXPECT_TRUE(
+      solves_by_partition(partition, SymmetricTask::m_leader_election(4, 2)));
+}
+
+TEST(Solvability, MessagePassingPortsCanBreakStringSymmetry) {
+  // Under the tagged model with cyclic ports, a {2,1} string split on 3
+  // parties refines to singletons in one more round; here we just check the
+  // solver sees the refinement that knowledge provides.
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  KnowledgeStore store;
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  const Realization rho({BitString::parse("01"), BitString::parse("01"),
+                         BitString::parse("11")});
+  // Regardless of whether the 2-class splits, party 2 is isolated.
+  EXPECT_TRUE(realization_solves_message_passing(store, rho, pa, le));
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,149 @@
+// Tests for the eventual-solvability deciders: agreement with the literal
+// Theorem 4.1/4.2 predicates on leader election, the generalized m-leader
+// characterizations, and the zero–one series classifier (Lemma 3.2).
+#include <gtest/gtest.h>
+
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+
+namespace rsb {
+namespace {
+
+TEST(Deciders, BlackboardMatchesTheorem41ForLeaderElection) {
+  // Exhaustive over all load shapes up to n = 10: the generalized decider
+  // must coincide with the paper's ∃ n_i = 1 predicate.
+  for (int n = 1; n <= 10; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    for (const auto& config : SourceConfiguration::enumerate_load_shapes(n)) {
+      EXPECT_EQ(eventually_solvable_blackboard(config, le),
+                theorem41_predicate(config))
+          << config.to_string();
+    }
+  }
+}
+
+TEST(Deciders, MessagePassingMatchesTheorem42ForLeaderElection) {
+  // Exhaustive over all load shapes up to n = 10: the generalized decider
+  // must coincide with the paper's gcd = 1 predicate.
+  for (int n = 1; n <= 10; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    for (const auto& config : SourceConfiguration::enumerate_load_shapes(n)) {
+      EXPECT_EQ(eventually_solvable_message_passing_worst_case(config, le),
+                theorem42_predicate(config))
+          << config.to_string();
+    }
+  }
+}
+
+TEST(Deciders, BlackboardTwoLeaderIsSubsetSum) {
+  // 2-LE on the blackboard: solvable iff some subset of loads sums to 2
+  // (a load of 2, or two loads of 1).
+  const SymmetricTask two5 = SymmetricTask::m_leader_election(5, 2);
+  EXPECT_TRUE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({2, 3}), two5));
+  EXPECT_TRUE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({1, 1, 3}), two5));
+  EXPECT_FALSE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({5}), two5));
+  // loads {1,4}: 1 alone < 2, 1+4 = 5 ≠ 2, 4 alone ≠ 2 → unsolvable even
+  // though LE itself *is* solvable. 2-LE and LE are incomparable.
+  EXPECT_FALSE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({1, 4}), two5));
+  EXPECT_TRUE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({1, 4}),
+      SymmetricTask::leader_election(5)));
+}
+
+TEST(Deciders, MessagePassingTwoLeaderIsGcdDivides) {
+  // Worst-case 2-LE in the message-passing model: solvable iff
+  // gcd(loads) | 2 and the uniform g-partition admits 2 = sum of g-blocks.
+  const SymmetricTask two6 = SymmetricTask::m_leader_election(6, 2);
+  // gcd {2,4} = 2, 2 | 2 → solvable.
+  EXPECT_TRUE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({2, 4}), two6));
+  // gcd {3,3} = 3 ∤ 2 → unsolvable.
+  EXPECT_FALSE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({3, 3}), two6));
+  // gcd {6} = 6 ∤ 2 → unsolvable.
+  EXPECT_FALSE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({6}), two6));
+  // gcd {2,3} = 1 → fully refinable → solvable.
+  const SymmetricTask two5 = SymmetricTask::m_leader_election(5, 2);
+  EXPECT_TRUE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({2, 3}), two5));
+}
+
+TEST(Deciders, MessagePassingIsAtLeastAsStrongAsBlackboard) {
+  // The uniform g-partition refines the source partition, and partition
+  // solvability is monotone under refinement — so anything the blackboard
+  // can do, worst-case message passing can too.
+  for (int n = 2; n <= 8; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+      for (const auto& config :
+           SourceConfiguration::enumerate_load_shapes(n)) {
+        if (eventually_solvable_blackboard(config, task)) {
+          EXPECT_TRUE(
+              eventually_solvable_message_passing_worst_case(config, task))
+              << config.to_string() << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(Deciders, WeakSymmetryBreaking) {
+  const SymmetricTask wsb = SymmetricTask::weak_symmetry_breaking(4);
+  // Blackboard: need ≥ 2 source classes.
+  EXPECT_TRUE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({2, 2}), wsb));
+  EXPECT_FALSE(eventually_solvable_blackboard(
+      SourceConfiguration::from_loads({4}), wsb));
+  // Message passing worst case: g = 4 means one class — unsolvable; g = 2
+  // splits into two classes — solvable.
+  EXPECT_FALSE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({4}), wsb));
+  EXPECT_TRUE(eventually_solvable_message_passing_worst_case(
+      SourceConfiguration::from_loads({2, 2}), wsb));
+}
+
+// ---------------------------------------------------- series classifier
+
+TEST(LimitClassifier, DetectsZeroAndOnePatterns) {
+  const std::vector<Dyadic> zeros(5, Dyadic::zero());
+  EXPECT_EQ(classify_limit(zeros), LimitClass::kZero);
+
+  std::vector<Dyadic> rising;
+  for (int t = 1; t <= 6; ++t) {
+    rising.push_back(Dyadic::one() - Dyadic::pow2_inverse(t));
+  }
+  EXPECT_EQ(classify_limit(rising), LimitClass::kOne);
+
+  EXPECT_EQ(classify_limit({}), LimitClass::kUndetermined);
+  EXPECT_EQ(classify_limit({Dyadic(1, 3)}), LimitClass::kUndetermined);
+}
+
+TEST(LimitClassifier, ExactSeriesClassifyPerTheorem41) {
+  // For every load shape of n ≤ 4, the exact blackboard LE series must
+  // classify consistently with the decider (kOne vs kZero) by t = 6.
+  for (int n = 2; n <= 4; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    for (const auto& config : SourceConfiguration::enumerate_load_shapes(n)) {
+      if (config.num_sources() * 6 > 24) continue;  // enumeration budget
+      const auto series = exact_series_blackboard(config, le, 6);
+      const LimitClass expected = eventually_solvable_blackboard(config, le)
+                                      ? LimitClass::kOne
+                                      : LimitClass::kZero;
+      EXPECT_EQ(classify_limit(series), expected) << config.to_string();
+    }
+  }
+}
+
+TEST(Monotonicity, DetectsViolations) {
+  EXPECT_TRUE(is_monotone_non_decreasing({Dyadic(1, 2), Dyadic(1, 1)}));
+  EXPECT_FALSE(is_monotone_non_decreasing({Dyadic(1, 1), Dyadic(1, 2)}));
+  EXPECT_TRUE(is_monotone_non_decreasing({}));
+}
+
+}  // namespace
+}  // namespace rsb

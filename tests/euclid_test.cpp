@@ -1,0 +1,163 @@
+// Tests for the explicit Euclid-style leader election (Theorem 4.2 'if'):
+// correctness (exactly one leader, agreement, all-decide), gcd-1 coverage
+// across wirings and seeds, correct non-termination under the adversarial
+// wiring with gcd > 1, and the class-size trajectory of Lemma 4.7.
+#include <gtest/gtest.h>
+
+#include "algo/euclid.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace rsb {
+namespace {
+
+struct EuclidRun {
+  sim::Network::Outcome outcome;
+  std::vector<std::vector<int>> final_class_sizes;  // per party
+  std::vector<int> matchings_run;                   // per party
+};
+
+EuclidRun run_euclid(const SourceConfiguration& config,
+                     const PortAssignment& ports, std::uint64_t seed,
+                     int max_rounds) {
+  std::vector<sim::EuclidLeaderElectionAgent*> agents(
+      static_cast<std::size_t>(config.num_parties()));
+  sim::Network net(Model::kMessagePassing, config, seed, ports,
+                   [&agents](int party) {
+                     auto a =
+                         std::make_unique<sim::EuclidLeaderElectionAgent>();
+                     agents[static_cast<std::size_t>(party)] = a.get();
+                     return a;
+                   });
+  EuclidRun run;
+  run.outcome = net.run(max_rounds);
+  // Harvest diagnostics while the network (which owns the agents) lives.
+  for (const auto* agent : agents) {
+    run.final_class_sizes.push_back(agent->class_sizes());
+    run.matchings_run.push_back(agent->matchings_run());
+  }
+  return run;
+}
+
+void expect_one_leader(const EuclidRun& run) {
+  const auto& outcome = run.outcome;
+  ASSERT_TRUE(outcome.all_decided);
+  int leaders = 0;
+  for (std::int64_t v : outcome.outputs) {
+    EXPECT_TRUE(v == 0 || v == 1);
+    leaders += v == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(Euclid, ElectsWithPrivateSources) {
+  const auto config = SourceConfiguration::all_private(4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_one_leader(
+        run_euclid(config, PortAssignment::cyclic(4), seed, 2000));
+  }
+}
+
+TEST(Euclid, ElectsOnCoprimeLoadsCyclic) {
+  // The paper's flagship case: {2,3}, gcd 1, no singleton source.
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_one_leader(
+        run_euclid(config, PortAssignment::cyclic(5), seed, 2000));
+  }
+}
+
+TEST(Euclid, ElectsOnCoprimeLoadsRandomWirings) {
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  Xoshiro256StarStar rng(555);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const PortAssignment ports = PortAssignment::random(5, rng);
+    expect_one_leader(run_euclid(config, ports, seed, 2000));
+  }
+}
+
+TEST(Euclid, ElectsOnLargerCoprimeLoads) {
+  const auto config = SourceConfiguration::from_loads({3, 4});
+  expect_one_leader(
+      run_euclid(config, PortAssignment::cyclic(7), /*seed=*/3, 4000));
+}
+
+TEST(Euclid, AllDecideInTheSameRound) {
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  const auto run =
+      run_euclid(config, PortAssignment::cyclic(5), /*seed=*/4, 2000);
+  ASSERT_TRUE(run.outcome.all_decided);
+  for (int r : run.outcome.decision_round) {
+    EXPECT_EQ(r, run.outcome.decision_round[0]);
+  }
+}
+
+TEST(Euclid, NeverTerminatesUnderAdversarialGcd2) {
+  // Lemma 4.3: classes stay multiples of 2 forever.
+  const auto config = SourceConfiguration::from_loads({2, 4});
+  const PortAssignment ports = PortAssignment::adversarial_for(config);
+  const auto run = run_euclid(config, ports, /*seed=*/5, 600);
+  EXPECT_FALSE(run.outcome.all_decided);
+  // The observed class sizes must all be multiples of g = 2 throughout;
+  // check the final snapshot of every party.
+  for (const auto& sizes : run.final_class_sizes) {
+    for (int size : sizes) {
+      EXPECT_EQ(size % 2, 0);
+    }
+  }
+}
+
+TEST(Euclid, SharedSourceSymmetricWiringNeverTerminates) {
+  const auto config = SourceConfiguration::all_shared(4);
+  const PortAssignment ports = PortAssignment::adversarial(4, 4);
+  const auto run = run_euclid(config, ports, /*seed=*/6, 400);
+  EXPECT_FALSE(run.outcome.all_decided);
+}
+
+TEST(Euclid, MatchingPhasesActuallyRun) {
+  // On {2,3} with the symmetric cyclic wiring, at least one execution
+  // exercises the matching machinery (classes {2,3} with no singleton).
+  const auto config = SourceConfiguration::from_loads({2, 3});
+  bool some_matching = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !some_matching; ++seed) {
+    const auto run =
+        run_euclid(config, PortAssignment::cyclic(5), seed, 2000);
+    ASSERT_TRUE(run.outcome.all_decided);
+    some_matching = run.matchings_run[0] > 0;
+  }
+  EXPECT_TRUE(some_matching)
+      << "no run used CreateMatching — the Euclid path is untested";
+}
+
+TEST(Euclid, AgentsAgreeOnClassSizes) {
+  const auto config = SourceConfiguration::from_loads({2, 2, 1});
+  const auto run =
+      run_euclid(config, PortAssignment::cyclic(5), /*seed=*/7, 2000);
+  ASSERT_TRUE(run.outcome.all_decided);
+  for (std::size_t i = 1; i < run.final_class_sizes.size(); ++i) {
+    EXPECT_EQ(run.final_class_sizes[i], run.final_class_sizes[0]);
+  }
+}
+
+TEST(Euclid, RejectsBlackboardModel) {
+  const auto config = SourceConfiguration::all_private(3);
+  EXPECT_THROW(
+      sim::Network(Model::kBlackboard, config, 1, std::nullopt,
+                   [](int) {
+                     return std::make_unique<sim::EuclidLeaderElectionAgent>();
+                   }),
+      InvalidArgument);
+}
+
+TEST(Euclid, SoloPartyElectsItself) {
+  const auto config = SourceConfiguration::all_private(1);
+  // n = 1: the clique has no edges; PortAssignment::cyclic(1) has zero
+  // ports per party.
+  const auto run =
+      run_euclid(config, PortAssignment::cyclic(1), /*seed=*/1, 10);
+  ASSERT_TRUE(run.outcome.all_decided);
+  EXPECT_EQ(run.outcome.outputs, (std::vector<std::int64_t>{1}));
+}
+
+}  // namespace
+}  // namespace rsb

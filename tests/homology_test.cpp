@@ -1,0 +1,165 @@
+// Tests for Z₂ simplicial homology: GF(2) rank, Betti numbers of
+// hand-checkable complexes, and the topological shapes of the paper's
+// complexes (octahedral R(1), the sphere hiding inside π(O_LE)).
+#include <gtest/gtest.h>
+
+#include "protocol/complexes.hpp"
+#include "tasks/tasks.hpp"
+#include "topology/homology.hpp"
+
+namespace rsb {
+namespace {
+
+using IntComplex = ChromaticComplex<int>;
+
+IntComplex from_facets(
+    std::initializer_list<std::initializer_list<std::pair<int, int>>> facets) {
+  IntComplex k;
+  for (const auto& facet : facets) {
+    std::vector<Vertex<int>> verts;
+    for (const auto& [name, value] : facet) verts.push_back({name, value});
+    k.add_simplex(Simplex<int>(std::move(verts)));
+  }
+  return k;
+}
+
+// ------------------------------------------------------------- GF(2) rank
+
+TEST(Gf2Rank, BasicRanks) {
+  // Identity 3x3.
+  EXPECT_EQ(gf2_rank({{0b001}, {0b010}, {0b100}}, 3), 3u);
+  // Third row is the XOR of the first two.
+  EXPECT_EQ(gf2_rank({{0b011}, {0b101}, {0b110}}, 3), 2u);
+  // Zero matrix.
+  EXPECT_EQ(gf2_rank({{0}, {0}}, 3), 0u);
+  // Empty matrix.
+  EXPECT_EQ(gf2_rank({}, 5), 0u);
+}
+
+TEST(Gf2Rank, WideMatrixAcrossWordBoundary) {
+  // 2 rows, 130 columns; row 0 has column 0 and 129, row 1 has column 129.
+  std::vector<std::vector<std::uint64_t>> rows(2);
+  rows[0] = {1ULL, 0ULL, 2ULL};  // columns 0 and 129
+  rows[1] = {0ULL, 0ULL, 2ULL};  // column 129
+  EXPECT_EQ(gf2_rank(rows, 130), 2u);
+}
+
+// ------------------------------------------------------- classic shapes
+
+TEST(Homology, SolidSimplexIsContractible) {
+  const IntComplex tetra =
+      from_facets({{{0, 0}, {1, 0}, {2, 0}, {3, 0}}});
+  const HomologyProfile h = homology(tetra);
+  EXPECT_EQ(h.betti, (std::vector<std::size_t>{1, 0, 0, 0}));
+  EXPECT_EQ(h.euler_characteristic, 1);
+}
+
+TEST(Homology, TriangleBoundaryIsACircle) {
+  const IntComplex circle = from_facets(
+      {{{0, 0}, {1, 0}}, {{1, 0}, {2, 0}}, {{0, 0}, {2, 0}}});
+  const HomologyProfile h = homology(circle);
+  EXPECT_EQ(h.betti, (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(h.euler_characteristic, 0);
+}
+
+TEST(Homology, TetrahedronBoundaryIsASphere) {
+  IntComplex sphere;
+  // All four 2-faces of the 3-simplex.
+  const std::vector<std::vector<int>> faces = {
+      {0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+  for (const auto& face : faces) {
+    std::vector<Vertex<int>> verts;
+    for (int name : face) verts.push_back({name, 0});
+    sphere.add_simplex(Simplex<int>(std::move(verts)));
+  }
+  const HomologyProfile h = homology(sphere);
+  EXPECT_EQ(h.betti, (std::vector<std::size_t>{1, 0, 1}));
+  EXPECT_EQ(h.euler_characteristic, 2);
+}
+
+TEST(Homology, DisjointPiecesAddToBetti0) {
+  const IntComplex pieces = from_facets(
+      {{{0, 0}, {1, 0}}, {{2, 7}}, {{3, 1}, {4, 1}, {5, 1}}});
+  const HomologyProfile h = homology(pieces);
+  EXPECT_EQ(h.betti[0], 3u);
+  EXPECT_EQ(betti0(pieces), 3u);
+}
+
+TEST(Homology, EulerMatchesAlternatingBettiSum) {
+  const IntComplex circle = from_facets(
+      {{{0, 0}, {1, 0}}, {{1, 0}, {2, 0}}, {{0, 0}, {2, 0}}, {{3, 5}}});
+  const HomologyProfile h = homology(circle);
+  long long chi_from_betti = 0;
+  for (std::size_t k = 0; k < h.betti.size(); ++k) {
+    const long long b = static_cast<long long>(h.betti[k]);
+    chi_from_betti += (k % 2 == 0) ? b : -b;
+  }
+  EXPECT_EQ(h.euler_characteristic, chi_from_betti);
+}
+
+// ------------------------------------------------- the paper's complexes
+
+TEST(Homology, RealizationComplexR1IsAnOctahedralSphere) {
+  // Figure 2's R(1) for n = 3 is the octahedron boundary ≃ S².
+  const RealizationComplex r1 = build_realization_complex(3, 1);
+  const HomologyProfile h = homology(r1);
+  EXPECT_EQ(h.f_vector, (std::vector<std::size_t>{6, 12, 8}));
+  EXPECT_EQ(h.betti, (std::vector<std::size_t>{1, 0, 1}));
+  EXPECT_EQ(h.euler_characteristic, 2);
+}
+
+TEST(Homology, RealizationComplexR1N2IsACircle) {
+  // n = 2, t = 1: 4 vertices, 4 edges forming a 4-cycle ≃ S¹.
+  const RealizationComplex r1 = build_realization_complex(2, 1);
+  const HomologyProfile h = homology(r1);
+  EXPECT_EQ(h.betti, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(Homology, ProjectedLeaderElectionIsPointsPlusSphere) {
+  // π(O_LE) = n isolated leader vertices ⊔ the boundary of the
+  // (n−1)-simplex on the defeated vertices ≃ n points ⊔ S^{n−2}.
+  for (int n = 3; n <= 5; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    const HomologyProfile h = homology(le.projected_output_complex());
+    EXPECT_EQ(h.betti[0], static_cast<std::size_t>(n + 1)) << "n=" << n;
+    for (int k = 1; k < n - 2; ++k) {
+      EXPECT_EQ(h.betti[static_cast<std::size_t>(k)], 0u)
+          << "n=" << n << " k=" << k;
+    }
+    EXPECT_EQ(h.betti[static_cast<std::size_t>(n - 2)], 1u) << "n=" << n;
+  }
+}
+
+TEST(Homology, LeaderElectionOutputComplexForN2) {
+  // O_LE for n = 2: two disjoint edges; π(O_LE): four isolated vertices.
+  const SymmetricTask le = SymmetricTask::leader_election(2);
+  EXPECT_EQ(homology(le.output_complex()).betti,
+            (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(homology(le.projected_output_complex()).betti,
+            (std::vector<std::size_t>{4}));
+}
+
+TEST(Homology, ProtocolComplexComponentsMatchFigure1) {
+  // Figure 1 draws P(1) for n = 2 as one 4-cycle and P(2) as *four
+  // disjoint* 4-cycles: by time t every bit before round t is common
+  // knowledge, so P(t) splits into 4^{t-1} components, each a circle
+  // (the two parties' round-t bits remain mutually unknown).
+  KnowledgeStore store;
+  const KnowledgeComplex p1 = build_protocol_complex_blackboard(store, 2, 1);
+  EXPECT_EQ(betti0(p1), 1u);
+  EXPECT_EQ(homology(p1).betti, (std::vector<std::size_t>{1, 1}));
+
+  const KnowledgeComplex p2 = build_protocol_complex_blackboard(store, 2, 2);
+  EXPECT_EQ(betti0(p2), 4u);
+  EXPECT_EQ(homology(p2).betti, (std::vector<std::size_t>{4, 4}));
+
+  const KnowledgeComplex p3 = build_protocol_complex_blackboard(store, 2, 3);
+  EXPECT_EQ(betti0(p3), 16u);
+
+  // n = 3, t = 1: still one component (only one round has happened).
+  const KnowledgeComplex q1 = build_protocol_complex_blackboard(store, 3, 1);
+  EXPECT_EQ(betti0(q1), 1u);
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,156 @@
+// Tests for the hash-consed knowledge store: interning semantics, the
+// recursion structure of Eqs. (1) and (2), and randomness recovery (the
+// substance of the map h of Section 3.3).
+#include <gtest/gtest.h>
+
+#include "knowledge/knowledge.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+TEST(Knowledge, BottomIsIdZeroAndTimeZero) {
+  KnowledgeStore store;
+  EXPECT_EQ(store.bottom(), 0u);
+  EXPECT_EQ(store.kind(store.bottom()), KnowledgeKind::kBottom);
+  EXPECT_EQ(store.time(store.bottom()), 0);
+  EXPECT_TRUE(store.randomness(store.bottom()).empty());
+}
+
+TEST(Knowledge, InputValuesInternByValue) {
+  KnowledgeStore store;
+  const KnowledgeId a = store.input(5);
+  const KnowledgeId b = store.input(5);
+  const KnowledgeId c = store.input(6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.input_value(a), 5);
+  EXPECT_EQ(store.time(a), 0);
+}
+
+TEST(Knowledge, StructurallyEqualBlackboardStepsShareId) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  const KnowledgeId a = store.blackboard_step(bot, true, {bot, bot});
+  const KnowledgeId b = store.blackboard_step(bot, true, {bot, bot});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.time(a), 1);
+  EXPECT_EQ(store.previous(a), bot);
+  EXPECT_TRUE(store.bit(a));
+}
+
+TEST(Knowledge, BlackboardMultisetIsOrderInsensitive) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  const KnowledgeId x = store.blackboard_step(bot, false, {});
+  const KnowledgeId y = store.blackboard_step(bot, true, {});
+  const KnowledgeId ab = store.blackboard_step(bot, true, {x, y});
+  const KnowledgeId ba = store.blackboard_step(bot, true, {y, x});
+  EXPECT_EQ(ab, ba) << "Eq. (1) receives a multiset — order must not matter";
+}
+
+TEST(Knowledge, MessageTupleIsOrderSensitive) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  const KnowledgeId x = store.message_step(bot, false, {bot});
+  const KnowledgeId y = store.message_step(bot, true, {bot});
+  const KnowledgeId xy = store.message_step(bot, true, {x, y});
+  const KnowledgeId yx = store.message_step(bot, true, {y, x});
+  EXPECT_NE(xy, yx) << "Eq. (2) is a port-indexed tuple — order matters";
+}
+
+TEST(Knowledge, TaggedStepsDistinguishReciprocalPorts) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  const KnowledgeId a =
+      store.message_step_tagged(bot, true, {bot, bot}, {1, 2});
+  const KnowledgeId b =
+      store.message_step_tagged(bot, true, {bot, bot}, {2, 1});
+  EXPECT_NE(a, b) << "reciprocal port tags are part of the knowledge";
+  const KnowledgeId c =
+      store.message_step_tagged(bot, true, {bot, bot}, {1, 2});
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(store.tags(a), (std::vector<int>{1, 2}));
+}
+
+TEST(Knowledge, TaggedAndUntaggedStepsDiffer) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  const KnowledgeId untagged = store.message_step(bot, true, {bot});
+  const KnowledgeId tagged = store.message_step_tagged(bot, true, {bot}, {1});
+  EXPECT_NE(untagged, tagged);
+}
+
+TEST(Knowledge, TagSizeMismatchRejected) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  EXPECT_THROW(store.message_step_tagged(bot, true, {bot, bot}, {1}),
+               InvalidArgument);
+}
+
+TEST(Knowledge, DifferentBitsGiveDifferentIds) {
+  KnowledgeStore store;
+  const KnowledgeId bot = store.bottom();
+  EXPECT_NE(store.blackboard_step(bot, false, {}),
+            store.blackboard_step(bot, true, {}));
+}
+
+TEST(Knowledge, RandomnessRecoversOwnBits) {
+  KnowledgeStore store;
+  KnowledgeId k = store.bottom();
+  const std::vector<bool> bits = {true, false, false, true, true};
+  for (bool bit : bits) k = store.blackboard_step(k, bit, {});
+  EXPECT_EQ(store.randomness(k), bits);
+  EXPECT_EQ(store.time(k), 5);
+}
+
+TEST(Knowledge, DeepChainsStayCompact) {
+  // Hash-consing keeps the store linear in the number of distinct values,
+  // even though the written-out knowledge is exponential.
+  KnowledgeStore store;
+  KnowledgeId a = store.bottom(), b = store.bottom();
+  for (int round = 1; round <= 200; ++round) {
+    const KnowledgeId next_a = store.blackboard_step(a, false, {b});
+    const KnowledgeId next_b = store.blackboard_step(b, false, {a});
+    a = next_a;
+    b = next_b;
+  }
+  EXPECT_EQ(store.time(a), 200);
+  EXPECT_LT(store.size(), 1000u);
+}
+
+TEST(Knowledge, IdenticalHistoriesConvergeToSameId) {
+  // Two parties with the same randomness and symmetric views must intern to
+  // the same id at every round — the i ~_t j relation (Eq. 4).
+  KnowledgeStore store;
+  KnowledgeId p = store.bottom(), q = store.bottom();
+  for (int round = 1; round <= 20; ++round) {
+    const KnowledgeId np = store.blackboard_step(p, round % 3 == 0, {q});
+    const KnowledgeId nq = store.blackboard_step(q, round % 3 == 0, {p});
+    p = np;
+    q = nq;
+    EXPECT_EQ(p, q) << "round " << round;
+  }
+}
+
+TEST(Knowledge, AccessorsValidateKind) {
+  KnowledgeStore store;
+  EXPECT_THROW(store.previous(store.bottom()), InvalidArgument);
+  EXPECT_THROW(store.bit(store.bottom()), InvalidArgument);
+  EXPECT_THROW(store.received(store.bottom()), InvalidArgument);
+  EXPECT_THROW(store.input_value(store.bottom()), InvalidArgument);
+  EXPECT_THROW(store.tags(store.bottom()), InvalidArgument);
+  EXPECT_THROW(store.kind(999999), InvalidArgument);
+}
+
+TEST(Knowledge, ToStringRendersStructure) {
+  KnowledgeStore store;
+  EXPECT_EQ(store.to_string(store.bottom()), "⊥");
+  const KnowledgeId in = store.input(3);
+  EXPECT_EQ(store.to_string(in), "in(3)");
+  const KnowledgeId step = store.blackboard_step(store.bottom(), true, {in});
+  EXPECT_NE(store.to_string(step).find("bit=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,262 @@
+// Cross-module property tests: invariants that must hold across sweeps of
+// configurations, times, port assignments and seeds. These are the
+// library's "laws"; each encodes a fact the paper's proofs rely on.
+#include <gtest/gtest.h>
+
+#include "algo/protocol.hpp"
+#include "core/consistency.hpp"
+#include "core/deciders.hpp"
+#include "core/probability.hpp"
+#include "core/solvability.hpp"
+#include "protocol/complexes.hpp"
+#include "randomness/source_bank.hpp"
+#include "util/numeric.hpp"
+
+namespace rsb {
+namespace {
+
+bool refines(const std::vector<int>& fine, const std::vector<int>& coarse) {
+  // Every fine class lies inside one coarse class.
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    for (std::size_t j = i + 1; j < fine.size(); ++j) {
+      if (fine[i] == fine[j] && coarse[i] != coarse[j]) return false;
+    }
+  }
+  return true;
+}
+
+struct SweepCase {
+  std::vector<int> loads;
+  std::uint64_t seed;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepCase> {};
+
+// Law 1 — consistency partitions only split over time (knowledge is
+// cumulative, Section 3.2): partition(t+1) refines partition(t), in both
+// models, under arbitrary wirings.
+TEST_P(ConfigSweep, PartitionsRefineOverTime) {
+  const auto& [loads, seed] = GetParam();
+  const auto config = SourceConfiguration::from_loads(loads);
+  const int n = config.num_parties();
+  SourceBank bank(config, seed);
+  Xoshiro256StarStar rng(seed ^ 0xabcdef);
+  const PortAssignment ports = PortAssignment::random(n, rng);
+  KnowledgeStore store;
+  std::vector<int> previous_bb(static_cast<std::size_t>(n), 0);
+  std::vector<int> previous_mp(static_cast<std::size_t>(n), 0);
+  for (int t = 1; t <= 10; ++t) {
+    const Realization rho = bank.realization_at(t);
+    const auto bb = consistency_partition_blackboard(store, rho);
+    const auto mp = consistency_partition_message_passing(store, rho, ports);
+    EXPECT_TRUE(refines(bb, previous_bb)) << "t=" << t;
+    EXPECT_TRUE(refines(mp, previous_mp)) << "t=" << t;
+    previous_bb = bb;
+    previous_mp = mp;
+  }
+}
+
+// Law 2 — the tagged message-passing partition refines the blackboard
+// (equal-string) partition: ports add distinguishing power, never remove.
+TEST_P(ConfigSweep, MessagePassingRefinesBlackboard) {
+  const auto& [loads, seed] = GetParam();
+  const auto config = SourceConfiguration::from_loads(loads);
+  const int n = config.num_parties();
+  SourceBank bank(config, seed);
+  Xoshiro256StarStar rng(seed * 31);
+  const PortAssignment ports = PortAssignment::random(n, rng);
+  KnowledgeStore store;
+  for (int t = 1; t <= 6; ++t) {
+    const Realization rho = bank.realization_at(t);
+    EXPECT_TRUE(
+        refines(consistency_partition_message_passing(store, rho, ports),
+                rho.equal_string_partition()))
+        << "t=" << t;
+  }
+}
+
+// Law 3 — knowledge ids are deterministic functions of the execution:
+// independent stores replaying the same realization agree on the induced
+// partition (ids may differ; classes may not).
+TEST_P(ConfigSweep, PartitionIndependentOfStoreHistory) {
+  const auto& [loads, seed] = GetParam();
+  const auto config = SourceConfiguration::from_loads(loads);
+  SourceBank bank(config, seed);
+  const Realization rho = bank.realization_at(5);
+  KnowledgeStore fresh;
+  KnowledgeStore polluted;
+  // Pollute the second store with unrelated values first.
+  for (int i = 0; i < 50; ++i) polluted.input(i);
+  EXPECT_EQ(consistency_partition_blackboard(fresh, rho),
+            consistency_partition_blackboard(polluted, rho));
+}
+
+// Law 4 — solvability is monotone under partition refinement for every
+// symmetric task: if a coarse partition solves, so does any refinement.
+TEST_P(ConfigSweep, SolvabilityMonotoneUnderRefinement) {
+  const auto& [loads, seed] = GetParam();
+  const auto config = SourceConfiguration::from_loads(loads);
+  const int n = config.num_parties();
+  SourceBank bank(config, seed);
+  KnowledgeStore store;
+  for (int m = 1; m <= std::min(3, n); ++m) {
+    const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+    std::vector<int> coarse(static_cast<std::size_t>(n), 0);
+    for (int t = 1; t <= 8; ++t) {
+      const auto fine =
+          consistency_partition_blackboard(store, bank.realization_at(t));
+      if (solves_by_partition(coarse, task)) {
+        EXPECT_TRUE(solves_by_partition(fine, task))
+            << "m=" << m << " t=" << t;
+      }
+      coarse = fine;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigSweep,
+    ::testing::Values(SweepCase{{1, 1}, 1}, SweepCase{{2, 1}, 2},
+                      SweepCase{{2, 2}, 3}, SweepCase{{2, 3}, 4},
+                      SweepCase{{1, 1, 2}, 5}, SweepCase{{3, 3}, 6},
+                      SweepCase{{4}, 7}, SweepCase{{1, 2, 3}, 8},
+                      SweepCase{{2, 2, 2}, 9}, SweepCase{{5, 2}, 10}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = "loads";
+      for (int v : info.param.loads) name += std::to_string(v);
+      return name + "_s" + std::to_string(info.param.seed);
+    });
+
+// Law 5 — h is a facet bijection for arbitrary port assignments, not just
+// the cyclic one: all 8 assignments at n = 3.
+TEST(HMapProperty, FacetIsomorphismUnderAllAssignmentsN3) {
+  PortAssignment::for_each(3, [](const PortAssignment& pa) {
+    KnowledgeStore store;
+    const KnowledgeComplex p =
+        build_protocol_complex_message_passing(store, pa, 2);
+    const RealizationComplex r = build_realization_complex(3, 2);
+    EXPECT_TRUE(h_is_facet_isomorphism(store, p, r)) << pa.to_string();
+  });
+}
+
+// Law 6 — the Lemma 4.3 construction is valid and automorphic for every
+// block size dividing n, up to n = 24.
+TEST(AdversarialProperty, ValidAndAutomorphicForAllDivisors) {
+  for (int n = 2; n <= 24; ++n) {
+    for (int g = 2; g <= n; ++g) {
+      if (n % g != 0) continue;
+      const PortAssignment pa = PortAssignment::adversarial(n, g);
+      std::vector<int> f(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        f[static_cast<std::size_t>(i)] = (i / g) * g + (i % g + 1) % g;
+      }
+      EXPECT_TRUE(pa.is_automorphism(f)) << "n=" << n << " g=" << g;
+      // Reciprocal-port preservation (the tagged model's requirement).
+      bool reciprocal = true;
+      for (int i = 0; i < n && reciprocal; ++i) {
+        for (int p = 1; p <= n - 1 && reciprocal; ++p) {
+          const int u = pa.neighbor(i, p);
+          reciprocal = pa.port_to(u, i) ==
+                       pa.port_to(f[static_cast<std::size_t>(u)],
+                                  f[static_cast<std::size_t>(i)]);
+        }
+      }
+      EXPECT_TRUE(reciprocal) << "n=" << n << " g=" << g;
+    }
+  }
+}
+
+// Law 7 — Dyadic arithmetic agrees with floating point and keeps exact
+// identities.
+TEST(DyadicProperty, RandomizedArithmeticAgreesWithDouble) {
+  Xoshiro256StarStar rng(12345);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int da = static_cast<int>(rng.below(20));
+    const int db = static_cast<int>(rng.below(20));
+    const Dyadic a(rng.below((1ULL << da) + 1), da);
+    const Dyadic b(rng.below((1ULL << db) + 1), db);
+    // Multiplication always stays in [0,1].
+    const Dyadic product = a * b;
+    EXPECT_NEAR(product.to_double(), a.to_double() * b.to_double(), 1e-12);
+    // Complement is an involution.
+    EXPECT_EQ(a.complement().complement(), a);
+    // Ordering agrees with double ordering.
+    EXPECT_EQ(a < b, a.to_double() < b.to_double());
+    // Addition when it fits.
+    if (a.to_double() + b.to_double() <= 1.0) {
+      const Dyadic sum = a + b;
+      EXPECT_NEAR(sum.to_double(), a.to_double() + b.to_double(), 1e-12);
+      EXPECT_EQ(sum - b, a);
+    }
+  }
+}
+
+// Law 8 — protocols decide name-independently: parties with identical
+// final knowledge produce identical outputs.
+TEST(ProtocolProperty, EqualKnowledgeImpliesEqualOutputs) {
+  const WaitForSingletonLE protocol;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto config = SourceConfiguration::from_loads({2, 2, 1});
+    const auto outcome = run_protocol(Model::kBlackboard, config, std::nullopt,
+                                      protocol, seed, 200);
+    if (!outcome.terminated) continue;
+    // Recompute the final realization & partition and compare outputs
+    // within classes at the decision round.
+    SourceBank bank(config, seed);
+    KnowledgeStore store;
+    const Realization rho = bank.realization_at(outcome.rounds);
+    const auto partition = consistency_partition_blackboard(store, rho);
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        if (partition[static_cast<std::size_t>(i)] ==
+                partition[static_cast<std::size_t>(j)] &&
+            outcome.decision_round[static_cast<std::size_t>(i)] ==
+                outcome.decision_round[static_cast<std::size_t>(j)]) {
+          EXPECT_EQ(outcome.outputs[static_cast<std::size_t>(i)],
+                    outcome.outputs[static_cast<std::size_t>(j)])
+              << "seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+// Law 9 — exact engine vs Monte-Carlo across random shapes.
+TEST(EngineProperty, MonteCarloTracksExactAcrossShapes) {
+  Xoshiro256StarStar shape_rng(2718);
+  for (const auto& loads :
+       std::vector<std::vector<int>>{{1, 2}, {2, 2}, {1, 1, 2}, {3, 2}}) {
+    const auto config = SourceConfiguration::from_loads(loads);
+    const int n = config.num_parties();
+    const SymmetricTask task =
+        SymmetricTask::m_leader_election(n, 1 + static_cast<int>(
+                                                  shape_rng.below(2)));
+    const int t = 3;
+    const double exact =
+        exact_solve_probability_blackboard(config, task, t).to_double();
+    const auto estimate = monte_carlo_solve_probability(
+        config, task, t, std::nullopt, 20000, shape_rng.next());
+    EXPECT_NEAR(estimate.p_hat, exact, 5 * estimate.std_error + 1e-9);
+  }
+}
+
+// Law 10 — subset-sum reachability matches the m-LE blackboard decider on
+// every shape and every m (two independent formulations).
+TEST(DeciderProperty, SubsetSumFormulationMatchesPartitionSolver) {
+  for (int n = 2; n <= 9; ++n) {
+    for (const auto& config : SourceConfiguration::enumerate_load_shapes(n)) {
+      const auto reachable = reachable_subset_sums(config.loads());
+      for (int m = 0; m <= n; ++m) {
+        const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
+        const bool via_decider = eventually_solvable_blackboard(config, task);
+        const bool via_sums =
+            std::binary_search(reachable.begin(), reachable.end(), m);
+        EXPECT_EQ(via_decider, via_sums)
+            << config.to_string() << " m=" << m;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsb

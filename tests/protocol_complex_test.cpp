@@ -1,0 +1,148 @@
+// Tests for the explicit protocol/realization complexes: the Figure 1 and
+// Figure 2 structures, the facet isomorphism h (Section 3.3), and the
+// succession relation (Definition 4.6).
+#include <gtest/gtest.h>
+
+#include "protocol/complexes.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+// ------------------------------------------------------------- R(t)
+
+TEST(RealizationComplex, Figure2Counts) {
+  // R(0): single facet {(i,⊥)}; R(1) for n=3: 8 facets (Figure 2).
+  const RealizationComplex r0 = build_realization_complex(3, 0);
+  EXPECT_EQ(r0.facet_count(), 1);
+  EXPECT_EQ(r0.dimension(), 2);
+
+  const RealizationComplex r1 = build_realization_complex(3, 1);
+  EXPECT_EQ(r1.facet_count(), 8);
+  EXPECT_EQ(r1.vertex_count(), 6);  // (i, 0) and (i, 1) for i = 1..3
+  EXPECT_TRUE(r1.is_pure());
+  EXPECT_EQ(r1.dimension(), 2);
+}
+
+TEST(RealizationComplex, GeneralFacetCountIs2PowNT) {
+  EXPECT_EQ(build_realization_complex(2, 2).facet_count(), 16);
+  EXPECT_EQ(build_realization_complex(2, 3).facet_count(), 64);
+  EXPECT_EQ(build_realization_complex(4, 1).facet_count(), 16);
+}
+
+TEST(RealizationComplex, PositiveSubcomplexUnderAlpha) {
+  // With k sources, only 2^{kt} facets have positive probability.
+  const auto config = SourceConfiguration::from_loads({2, 1});
+  const RealizationComplex positive =
+      build_realization_complex_positive(config, 2);
+  EXPECT_EQ(positive.facet_count(), 16);  // 2^{2·2}
+  for (const auto& facet : positive.facets()) {
+    EXPECT_EQ(facet.value_of(0), facet.value_of(1))
+        << "parties 0 and 1 share a source";
+  }
+}
+
+TEST(RealizationComplex, SharedSourceCollapsesToDiagonal) {
+  const auto config = SourceConfiguration::all_shared(3);
+  const RealizationComplex positive =
+      build_realization_complex_positive(config, 2);
+  EXPECT_EQ(positive.facet_count(), 4);  // 2^{1·2}
+  for (const auto& facet : positive.facets()) {
+    EXPECT_EQ(facet.value_of(0), facet.value_of(1));
+    EXPECT_EQ(facet.value_of(1), facet.value_of(2));
+  }
+}
+
+// ------------------------------------------------------------- P(t)
+
+TEST(ProtocolComplex, Figure1Evolution) {
+  // Figure 1: n = 2. P(0) has 1 facet; P(1) has 4 facets (edges); P(2) has
+  // 16. Each facet of P(t) evolves into exactly 4 facets of P(t+1).
+  KnowledgeStore store;
+  const KnowledgeComplex p0 = build_protocol_complex_blackboard(store, 2, 0);
+  EXPECT_EQ(p0.facet_count(), 1);
+  const KnowledgeComplex p1 = build_protocol_complex_blackboard(store, 2, 1);
+  EXPECT_EQ(p1.facet_count(), 4);
+  EXPECT_EQ(p1.vertex_count(), 4);  // (i, k0), (i, k1) for each party
+  const KnowledgeComplex p2 = build_protocol_complex_blackboard(store, 2, 2);
+  EXPECT_EQ(p2.facet_count(), 16);
+  EXPECT_TRUE(p2.is_pure());
+  EXPECT_EQ(p2.dimension(), 1);
+}
+
+TEST(ProtocolComplex, MessagePassingMatchesFacetCount) {
+  KnowledgeStore store;
+  const PortAssignment pa = PortAssignment::cyclic(2);
+  const KnowledgeComplex p2 =
+      build_protocol_complex_message_passing(store, pa, 2);
+  EXPECT_EQ(p2.facet_count(), 16);
+}
+
+// -------------------------------------------------------------- h map
+
+TEST(HMap, RecoversRandomnessFromKnowledge) {
+  KnowledgeStore store;
+  const Realization rho({BitString::parse("011"), BitString::parse("101")});
+  const auto knowledge = knowledge_at_blackboard(store, rho);
+  std::vector<Vertex<std::uint64_t>> verts;
+  for (int i = 0; i < 2; ++i) {
+    verts.push_back({i, knowledge[static_cast<std::size_t>(i)]});
+  }
+  const auto image = h_image(store, Simplex<std::uint64_t>(verts));
+  EXPECT_EQ(image.value_of(0), BitString::parse("011"));
+  EXPECT_EQ(image.value_of(1), BitString::parse("101"));
+}
+
+TEST(HMap, IsFacetIsomorphismBlackboard) {
+  // Section 3.3: h induces a bijection between facets of P(t) and R(t).
+  KnowledgeStore store;
+  for (int t = 0; t <= 2; ++t) {
+    const KnowledgeComplex p = build_protocol_complex_blackboard(store, 2, t);
+    const RealizationComplex r = build_realization_complex(2, t);
+    EXPECT_TRUE(h_is_facet_isomorphism(store, p, r)) << "t=" << t;
+  }
+}
+
+TEST(HMap, IsFacetIsomorphismMessagePassing) {
+  KnowledgeStore store;
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  for (int t = 0; t <= 2; ++t) {
+    const KnowledgeComplex p =
+        build_protocol_complex_message_passing(store, pa, t);
+    const RealizationComplex r = build_realization_complex(3, t);
+    EXPECT_TRUE(h_is_facet_isomorphism(store, p, r)) << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------- Succession
+
+TEST(Succession, AllSuccessorsBranch2PowN) {
+  const Realization rho({BitString::parse("0"), BitString::parse("1")});
+  const auto successors = all_successors(rho);
+  EXPECT_EQ(successors.size(), 4u);  // Figure 1: each edge evolves 4 ways
+  for (const auto& next : successors) {
+    EXPECT_TRUE(rho.precedes(next));
+    EXPECT_EQ(next.time(), 2);
+  }
+}
+
+TEST(Succession, PositiveSuccessorsBranch2PowK) {
+  const auto config = SourceConfiguration::from_loads({2, 1});
+  const Realization rho = Realization::from_sources(
+      config, {BitString::parse("0"), BitString::parse("1")});
+  const auto successors = positive_successors(rho, config);
+  EXPECT_EQ(successors.size(), 4u);  // 2^k, k = 2
+  for (const auto& next : successors) {
+    EXPECT_TRUE(rho.precedes(next));
+    EXPECT_TRUE(next.consistent_with(config));
+  }
+}
+
+TEST(Succession, PositiveSuccessorsRejectInconsistentBase) {
+  const auto config = SourceConfiguration::from_loads({2});
+  const Realization bad({BitString::parse("0"), BitString::parse("1")});
+  EXPECT_THROW(positive_successors(bad, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsb

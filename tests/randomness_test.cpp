@@ -1,0 +1,274 @@
+// Tests for configurations α, realizations, exact dyadic probabilities
+// (Lemma B.1), and the live source bank.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "randomness/config.hpp"
+#include "randomness/dyadic.hpp"
+#include "randomness/realization.hpp"
+#include "randomness/source_bank.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+// ----------------------------------------------------- SourceConfiguration
+
+TEST(Config, CanonicalizesSourceLabels) {
+  const SourceConfiguration c({7, 3, 7, 9});
+  EXPECT_EQ(c.source_of_party(), (std::vector<int>{0, 1, 0, 2}));
+  EXPECT_EQ(c.num_sources(), 3);
+  EXPECT_EQ(c.num_parties(), 4);
+}
+
+TEST(Config, FromLoadsLaysOutContiguously) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 3});
+  EXPECT_EQ(c.source_of_party(), (std::vector<int>{0, 0, 1, 1, 1}));
+  EXPECT_EQ(c.loads(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(c.parties_of(1), (std::vector<int>{2, 3, 4}));
+  EXPECT_THROW(SourceConfiguration::from_loads({2, 0}), InvalidArgument);
+}
+
+TEST(Config, SharedAndPrivateExtremes) {
+  const SourceConfiguration shared = SourceConfiguration::all_shared(4);
+  EXPECT_EQ(shared.num_sources(), 1);
+  EXPECT_EQ(shared.loads(), (std::vector<int>{4}));
+
+  const SourceConfiguration priv = SourceConfiguration::all_private(4);
+  EXPECT_EQ(priv.num_sources(), 4);
+  EXPECT_EQ(priv.loads(), (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Config, PredicatesForTheorems) {
+  EXPECT_TRUE(SourceConfiguration::from_loads({1, 3}).has_singleton_source());
+  EXPECT_FALSE(SourceConfiguration::from_loads({2, 2}).has_singleton_source());
+  EXPECT_EQ(SourceConfiguration::from_loads({2, 3}).gcd_of_loads(), 1);
+  EXPECT_EQ(SourceConfiguration::from_loads({2, 4}).gcd_of_loads(), 2);
+  EXPECT_EQ(SourceConfiguration::all_shared(6).gcd_of_loads(), 6);
+}
+
+TEST(Config, LoadPartitionIsSortedDescending) {
+  const SourceConfiguration c({0, 1, 2, 1, 1});
+  EXPECT_EQ(c.load_partition(), (std::vector<int>{3, 1, 1}));
+}
+
+TEST(Config, EnumerationSizes) {
+  EXPECT_EQ(SourceConfiguration::enumerate_all(4).size(), 15u);  // Bell(4)
+  EXPECT_EQ(SourceConfiguration::enumerate_load_shapes(5).size(), 7u);  // p(5)
+}
+
+TEST(Config, SourceOfBounds) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 1});
+  EXPECT_THROW(c.source_of(-1), InvalidArgument);
+  EXPECT_THROW(c.source_of(3), InvalidArgument);
+  EXPECT_THROW(c.parties_of(2), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ Dyadic
+
+TEST(Dyadic, ReducesToCanonicalForm) {
+  EXPECT_EQ(Dyadic(2, 2), Dyadic(1, 1));
+  EXPECT_EQ(Dyadic(0, 7), Dyadic::zero());
+  EXPECT_EQ(Dyadic(8, 3), Dyadic::one());
+  EXPECT_TRUE(Dyadic(4, 2).is_one());
+}
+
+TEST(Dyadic, RejectsValuesAboveOne) {
+  EXPECT_THROW(Dyadic(3, 1), InvalidArgument);
+  EXPECT_THROW(Dyadic(1, 64), InvalidArgument);
+}
+
+TEST(Dyadic, ArithmeticIsExact) {
+  const Dyadic half(1, 1), quarter(1, 2);
+  EXPECT_EQ(half + quarter, Dyadic(3, 2));
+  EXPECT_EQ(half - quarter, quarter);
+  EXPECT_EQ(half * half, quarter);
+  EXPECT_EQ(quarter.complement(), Dyadic(3, 2));
+  EXPECT_THROW(quarter - half, InvalidArgument);
+}
+
+TEST(Dyadic, OrderingAndDouble) {
+  EXPECT_LT(Dyadic(1, 2), Dyadic(1, 1));
+  EXPECT_GT(Dyadic(3, 2), Dyadic(1, 1));
+  EXPECT_DOUBLE_EQ(Dyadic(3, 2).to_double(), 0.75);
+  EXPECT_DOUBLE_EQ(Dyadic::zero().to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Dyadic::one().to_double(), 1.0);
+}
+
+TEST(Dyadic, SummingEquiprobableRealizationsReachesOne) {
+  // 2^{tk} realizations of probability 2^{-tk} must sum to exactly 1.
+  const int tk = 12;
+  Dyadic total;
+  for (int i = 0; i < (1 << tk); ++i) total += Dyadic::pow2_inverse(tk);
+  EXPECT_TRUE(total.is_one());
+}
+
+// ------------------------------------------------------------- Realization
+
+TEST(Realization, ValidatesUniformLength) {
+  EXPECT_THROW(
+      Realization({BitString::parse("01"), BitString::parse("0")}),
+      InvalidArgument);
+}
+
+TEST(Realization, FromSourcesWiresParties) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 1});
+  const Realization rho = Realization::from_sources(
+      c, {BitString::parse("01"), BitString::parse("10")});
+  EXPECT_EQ(rho.string_of(0), BitString::parse("01"));
+  EXPECT_EQ(rho.string_of(1), BitString::parse("01"));
+  EXPECT_EQ(rho.string_of(2), BitString::parse("10"));
+  EXPECT_TRUE(rho.consistent_with(c));
+}
+
+TEST(Realization, LemmaB1Probability) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 1});
+  const int t = 2;
+  const Realization consistent = Realization::from_sources(
+      c, {BitString::parse("01"), BitString::parse("10")});
+  EXPECT_EQ(consistent.probability_given(c), Dyadic::pow2_inverse(t * 2));
+
+  const Realization inconsistent(
+      {BitString::parse("01"), BitString::parse("11"), BitString::parse("10")});
+  EXPECT_FALSE(inconsistent.consistent_with(c));
+  EXPECT_EQ(inconsistent.probability_given(c), Dyadic::zero());
+}
+
+TEST(Realization, SuccessionDefinition46) {
+  const Realization early({BitString::parse("0"), BitString::parse("1")});
+  const Realization late({BitString::parse("01"), BitString::parse("11")});
+  const Realization unrelated({BitString::parse("11"), BitString::parse("11")});
+  EXPECT_TRUE(early.precedes(late));
+  EXPECT_FALSE(late.precedes(early));
+  EXPECT_FALSE(early.precedes(unrelated));
+  EXPECT_FALSE(early.precedes(early));
+  EXPECT_EQ(late.prefix(1), early);
+}
+
+TEST(Realization, EqualStringPartition) {
+  const Realization rho({BitString::parse("00"), BitString::parse("01"),
+                         BitString::parse("00"), BitString::parse("11")});
+  EXPECT_EQ(rho.equal_string_partition(), (std::vector<int>{0, 1, 0, 2}));
+}
+
+TEST(Realization, FacetHasAllNames) {
+  const Realization rho({BitString::parse("0"), BitString::parse("1")});
+  const auto facet = rho.facet();
+  EXPECT_EQ(facet.dimension(), 1);
+  EXPECT_EQ(facet.value_of(0), BitString::parse("0"));
+  EXPECT_EQ(facet.value_of(1), BitString::parse("1"));
+}
+
+// ------------------------------------------------------------ Enumeration
+
+TEST(Enumeration, PositiveRealizationCountIs2PowKT) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 2});
+  EXPECT_EQ(positive_realization_count(c, 3), 64u);  // 2^{2*3}
+
+  int visited = 0;
+  for_each_positive_realization(c, 3, [&](const Realization& rho) {
+    EXPECT_TRUE(rho.consistent_with(c));
+    EXPECT_EQ(rho.time(), 3);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 64);
+}
+
+TEST(Enumeration, PositiveRealizationsAreDistinct) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({1, 2});
+  std::set<std::string> seen;
+  for_each_positive_realization(c, 2, [&](const Realization& rho) {
+    seen.insert(rho.to_string());
+  });
+  EXPECT_EQ(seen.size(), 16u);  // 2^{2*2}
+}
+
+TEST(Enumeration, FullRealizationFacetsCount) {
+  int visited = 0;
+  for_each_realization_facet(3, 1, [&](const Realization& rho) {
+    EXPECT_EQ(rho.time(), 1);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 8);  // 2^{3*1}, matching Figure 2's R(1)
+}
+
+TEST(Enumeration, RejectsExplodingRanges) {
+  const SourceConfiguration c = SourceConfiguration::all_private(8);
+  EXPECT_THROW(positive_realization_count(c, 10), InvalidArgument);
+  EXPECT_THROW(
+      for_each_realization_facet(8, 10, [](const Realization&) {}),
+      InvalidArgument);
+}
+
+TEST(Enumeration, ProbabilitiesSumToOneOverTheSupport) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({1, 2});
+  const int t = 2;
+  Dyadic total;
+  for_each_positive_realization(c, t, [&](const Realization& rho) {
+    total += rho.probability_given(c);
+  });
+  EXPECT_TRUE(total.is_one());
+}
+
+// -------------------------------------------------------------- SourceBank
+
+TEST(SourceBank, SameSourcePartiesShareBits) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({3, 2});
+  SourceBank bank(c, 42);
+  for (int round = 1; round <= 50; ++round) {
+    EXPECT_EQ(bank.party_bit(0, round), bank.party_bit(1, round));
+    EXPECT_EQ(bank.party_bit(0, round), bank.party_bit(2, round));
+    EXPECT_EQ(bank.party_bit(3, round), bank.party_bit(4, round));
+  }
+}
+
+TEST(SourceBank, DistinctSourcesDiverge) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({1, 1});
+  SourceBank bank(c, 43);
+  bool differs = false;
+  for (int round = 1; round <= 64; ++round) {
+    differs = differs || (bank.party_bit(0, round) != bank.party_bit(1, round));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SourceBank, DeterministicAcrossInstances) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 1});
+  SourceBank a(c, 7), b(c, 7);
+  EXPECT_EQ(a.realization_at(20).to_string(), b.realization_at(20).to_string());
+}
+
+TEST(SourceBank, RealizationMatchesPartyPrefixes) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 2});
+  SourceBank bank(c, 11);
+  const Realization rho = bank.realization_at(9);
+  EXPECT_TRUE(rho.consistent_with(c));
+  for (int party = 0; party < 4; ++party) {
+    EXPECT_EQ(rho.string_of(party), bank.party_prefix(party, 9));
+  }
+  // Prefix property across times.
+  EXPECT_TRUE(bank.realization_at(4).precedes(rho));
+}
+
+TEST(SourceBank, ValidatesArguments) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2});
+  SourceBank bank(c, 1);
+  EXPECT_THROW(bank.source_bit(1, 1), InvalidArgument);
+  EXPECT_THROW(bank.source_bit(0, 0), InvalidArgument);
+  EXPECT_THROW(bank.party_prefix(0, -1), InvalidArgument);
+}
+
+TEST(SampleRealization, ConsistentWithConfig) {
+  const SourceConfiguration c = SourceConfiguration::from_loads({2, 3, 1});
+  Xoshiro256StarStar rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Realization rho = sample_realization(c, 6, rng);
+    EXPECT_TRUE(rho.consistent_with(c));
+    EXPECT_EQ(rho.time(), 6);
+  }
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,160 @@
+// Tests for role-constrained (non-symmetric) tasks — the conclusion's
+// leader-and-deputy election. The combinatorial class-assignment criterion
+// is cross-checked against the generic Definition 3.4 machinery (projected
+// complexes + name-preserving simplicial-map search) on exhaustive small
+// sweeps.
+#include <gtest/gtest.h>
+
+#include "core/consistency.hpp"
+#include "tasks/role_constrained.hpp"
+#include "topology/symmetry.hpp"
+#include "util/partitions.hpp"
+
+namespace rsb {
+namespace {
+
+RoleConstrainedTask all_roles(int n) {
+  return RoleConstrainedTask::leader_and_deputy(
+      std::vector<bool>(static_cast<std::size_t>(n), true),
+      std::vector<bool>(static_cast<std::size_t>(n), true));
+}
+
+TEST(RoleConstrained, ConstructionValidation) {
+  EXPECT_THROW(RoleConstrainedTask("x", {}, [](const auto&) { return true; }),
+               InvalidArgument);
+  EXPECT_THROW(
+      RoleConstrainedTask("x", {{1}, {}}, [](const auto&) { return true; }),
+      InvalidArgument);
+  EXPECT_THROW(RoleConstrainedTask::leader_and_deputy({true}, {true, false}),
+               InvalidArgument);
+}
+
+TEST(RoleConstrained, UnrestrictedLeaderAndDeputyComplex) {
+  // Without role restrictions O has n·(n−1) facets (ordered leader/deputy
+  // pairs) and is symmetric.
+  const RoleConstrainedTask task = all_roles(3);
+  const OutputComplex o = task.output_complex();
+  EXPECT_EQ(o.facet_count(), 6);
+  EXPECT_TRUE(is_symmetric(o));
+  EXPECT_TRUE(task.admits_vector({2, 1, 0}));
+  EXPECT_FALSE(task.admits_vector({2, 2, 1}));
+  EXPECT_FALSE(task.admits_vector({0, 0, 0}));
+}
+
+TEST(RoleConstrained, RestrictionsBreakSymmetry) {
+  // Party 0 may only lead; party 1 may only deputy; party 2 neither.
+  const RoleConstrainedTask task = RoleConstrainedTask::leader_and_deputy(
+      {true, false, false}, {false, true, false});
+  const OutputComplex o = task.output_complex();
+  EXPECT_EQ(o.facet_count(), 1);  // only (2,1,0)
+  EXPECT_FALSE(is_symmetric(o));
+  EXPECT_TRUE(task.admits_vector({2, 1, 0}));
+  EXPECT_FALSE(task.admits_vector({1, 2, 0}));
+}
+
+TEST(RoleConstrained, NobodyCanDeputyMeansUnsolvable) {
+  const RoleConstrainedTask task = RoleConstrainedTask::leader_and_deputy(
+      {true, true, true}, {false, false, false});
+  EXPECT_EQ(task.output_complex().facet_count(), 0);
+  EXPECT_FALSE(task.partition_solves({0, 1, 2}));
+}
+
+TEST(RoleConstrained, PartitionSolvesNeedsTwoDistinguishableSingletons) {
+  const RoleConstrainedTask task = all_roles(4);
+  // Fully split: pick any two parties as leader/deputy.
+  EXPECT_TRUE(task.partition_solves({0, 1, 2, 3}));
+  // Two singletons and one pair: the singletons take the roles.
+  EXPECT_TRUE(task.partition_solves({0, 1, 2, 2}));
+  // One singleton only: a class of 3 cannot supply exactly one deputy.
+  EXPECT_FALSE(task.partition_solves({0, 1, 1, 1}));
+  // No singleton: hopeless.
+  EXPECT_FALSE(task.partition_solves({0, 0, 1, 1}));
+}
+
+TEST(RoleConstrained, RolesInteractWithClasses) {
+  // Parties 0,1 in one class; 2 and 3 singletons. Party 2 can only lead,
+  // party 3 can only deputy → solvable. Swap the roles so both singletons
+  // can only lead → unsolvable (deputy must come from the pair class,
+  // which has two members).
+  const RoleConstrainedTask good = RoleConstrainedTask::leader_and_deputy(
+      {false, false, true, false}, {false, false, false, true});
+  EXPECT_TRUE(good.partition_solves({0, 0, 1, 2}));
+
+  const RoleConstrainedTask bad = RoleConstrainedTask::leader_and_deputy(
+      {false, false, true, true}, {true, true, false, false});
+  EXPECT_FALSE(bad.partition_solves({0, 0, 1, 2}));
+  // ...but a fully split execution lets 0 or 1 deputy.
+  EXPECT_TRUE(bad.partition_solves({0, 1, 2, 3}));
+}
+
+TEST(RoleConstrained, CrossCheckAgainstGenericDefinition34) {
+  // For every realization of 3-party systems at t ≤ 2 (blackboard), the
+  // class-assignment criterion must coincide with the generic Def. 3.4
+  // search: ∃ facet τ of O with a name-preserving simplicial map
+  // π̃(ρ) → π(τ).
+  const std::vector<RoleConstrainedTask> tasks = {
+      all_roles(3),
+      RoleConstrainedTask::leader_and_deputy({true, false, false},
+                                             {false, true, true}),
+      RoleConstrainedTask::leader_and_deputy({true, true, false},
+                                             {true, true, false}),
+  };
+  KnowledgeStore store;
+  for (const auto& task : tasks) {
+    const OutputComplex o = task.output_complex();
+    const auto facets = o.facets();
+    for (int t = 1; t <= 2; ++t) {
+      for_each_realization_facet(3, t, [&](const Realization& rho) {
+        const auto partition = consistency_partition_blackboard(store, rho);
+        const bool by_classes = task.partition_solves(partition);
+        bool by_search = false;
+        const RealizationComplex projected =
+            complex_from_partition(rho, partition);
+        for (const auto& tau : facets) {
+          if (exists_simplicial_map(projected, project_facet(tau), false)) {
+            by_search = true;
+            break;
+          }
+        }
+        EXPECT_EQ(by_classes, by_search)
+            << task.name() << " " << rho.to_string();
+      });
+    }
+  }
+}
+
+TEST(RoleConstrained, BlackboardDecider) {
+  // Sources {1,1,2}: two singleton sources — unrestricted leader+deputy is
+  // eventually solvable; with both singletons restricted to leading only,
+  // no deputy can ever be isolated.
+  const auto config = SourceConfiguration::from_loads({1, 1, 2});
+  EXPECT_TRUE(all_roles(4).eventually_solvable_blackboard(config));
+
+  const RoleConstrainedTask restricted =
+      RoleConstrainedTask::leader_and_deputy({true, true, false, false},
+                                             {false, false, true, true});
+  EXPECT_FALSE(restricted.eventually_solvable_blackboard(config));
+
+  // With one singleton allowed each role, solvable again.
+  const RoleConstrainedTask split_roles =
+      RoleConstrainedTask::leader_and_deputy({true, false, false, false},
+                                             {false, true, true, true});
+  EXPECT_TRUE(split_roles.eventually_solvable_blackboard(config));
+
+  // All shared: never.
+  EXPECT_FALSE(
+      all_roles(4).eventually_solvable_blackboard(
+          SourceConfiguration::all_shared(4)));
+}
+
+TEST(RoleConstrained, ValueAllowedAndBounds) {
+  const RoleConstrainedTask task = all_roles(2);
+  EXPECT_TRUE(task.value_allowed(0, 2));
+  EXPECT_FALSE(task.value_allowed(0, 7));
+  EXPECT_THROW(task.value_allowed(5, 0), InvalidArgument);
+  EXPECT_THROW(task.partition_solves({0}), InvalidArgument);
+  EXPECT_THROW(task.admits_vector({0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsb

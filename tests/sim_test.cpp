@@ -1,0 +1,189 @@
+// Tests for the synchronous network simulator: lockstep rounds, anonymous
+// blackboard semantics, physical port routing, correlated randomness, and
+// decision bookkeeping.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "util/error.hpp"
+
+namespace rsb::sim {
+namespace {
+
+/// Posts a fixed payload each round and records everything it observes.
+class ProbeAgent final : public Agent {
+ public:
+  explicit ProbeAgent(std::string payload) : payload_(std::move(payload)) {}
+
+  void begin(const Init& init) override { init_ = init; }
+
+  void send_phase(int round, std::uint64_t word, Outbox& out) override {
+    (void)round;
+    words_.push_back(word);
+    if (init_.model == Model::kBlackboard) {
+      out.post(payload_);
+    } else {
+      for (int p = 1; p <= init_.num_parties - 1; ++p) {
+        out.send(p, payload_ + "@" + std::to_string(p));
+      }
+    }
+  }
+
+  void receive_phase(int round, const Delivery& delivery) override {
+    (void)round;
+    last_delivery_ = delivery;
+    if (!decided()) decide(static_cast<std::int64_t>(words_.size()));
+  }
+
+  const Delivery& last_delivery() const { return last_delivery_; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::string payload_;
+  Init init_;
+  Delivery last_delivery_;
+  std::vector<std::uint64_t> words_;
+};
+
+TEST(Network, BlackboardShowsOthersPostsSorted) {
+  const auto config = SourceConfiguration::all_private(3);
+  std::vector<ProbeAgent*> probes(3, nullptr);
+  Network net(Model::kBlackboard, config, 1, std::nullopt,
+              [&probes](int party) {
+                auto agent = std::make_unique<ProbeAgent>(
+                    std::string(1, static_cast<char>('a' + party)));
+                probes[static_cast<std::size_t>(party)] = agent.get();
+                return agent;
+              });
+  EXPECT_TRUE(net.step());
+  EXPECT_EQ(probes[0]->last_delivery().board,
+            (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(probes[1]->last_delivery().board,
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(probes[2]->last_delivery().board,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Network, MessagePassingRoutesThroughPhysicalEdges) {
+  const auto config = SourceConfiguration::all_private(3);
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  std::vector<ProbeAgent*> probes(3, nullptr);
+  Network net(Model::kMessagePassing, config, 2, pa, [&probes](int party) {
+    auto agent = std::make_unique<ProbeAgent>(
+        std::string(1, static_cast<char>('a' + party)));
+    probes[static_cast<std::size_t>(party)] = agent.get();
+    return agent;
+  });
+  EXPECT_TRUE(net.step());
+  // Party 0's port 1 → party 1, port 2 → party 2 (cyclic). Party 1 sends
+  // "b@1" on its port 1 (to party 2) and "b@2" on its port 2 (to party 0);
+  // party 0 receives "b@2" on the port where it sees party 1, i.e. port 1.
+  const auto& d0 = probes[0]->last_delivery().by_port;
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d0[0].port, 1);
+  EXPECT_EQ(d0[0].payload, "b@2");
+  EXPECT_EQ(d0[1].port, 2);
+  EXPECT_EQ(d0[1].payload, "c@1");
+}
+
+TEST(Network, SameSourceAgentsShareRandomWords) {
+  const auto config = SourceConfiguration::from_loads({2, 1});
+  std::vector<ProbeAgent*> probes(3, nullptr);
+  Network net(Model::kBlackboard, config, 3, std::nullopt,
+              [&probes](int party) {
+                auto agent = std::make_unique<ProbeAgent>("x");
+                probes[static_cast<std::size_t>(party)] = agent.get();
+                return agent;
+              });
+  for (int r = 0; r < 5; ++r) net.step();
+  EXPECT_EQ(probes[0]->words(), probes[1]->words());
+  EXPECT_NE(probes[0]->words(), probes[2]->words());
+}
+
+TEST(Network, DeterministicUnderSeed) {
+  const auto config = SourceConfiguration::from_loads({2, 1});
+  auto run_words = [&config](std::uint64_t seed) {
+    std::vector<ProbeAgent*> probes(3, nullptr);
+    Network net(Model::kBlackboard, config, seed, std::nullopt,
+                [&probes](int party) {
+                  auto agent = std::make_unique<ProbeAgent>("x");
+                  probes[static_cast<std::size_t>(party)] = agent.get();
+                  return agent;
+                });
+    for (int r = 0; r < 4; ++r) net.step();
+    return probes[2]->words();
+  };
+  EXPECT_EQ(run_words(7), run_words(7));
+  EXPECT_NE(run_words(7), run_words(8));
+}
+
+TEST(Network, RunCollectsOutcome) {
+  const auto config = SourceConfiguration::all_private(2);
+  Network net(Model::kBlackboard, config, 1, std::nullopt, [](int) {
+    return std::make_unique<ProbeAgent>("p");
+  });
+  const auto outcome = net.run(10);
+  EXPECT_TRUE(outcome.all_decided);
+  EXPECT_EQ(outcome.rounds, 1);
+  EXPECT_EQ(outcome.outputs, (std::vector<std::int64_t>{1, 1}));
+  EXPECT_EQ(outcome.decision_round, (std::vector<int>{1, 1}));
+}
+
+TEST(Network, ValidatesConstruction) {
+  const auto config = SourceConfiguration::all_private(3);
+  const PortAssignment pa = PortAssignment::cyclic(3);
+  auto factory = [](int) { return std::make_unique<ProbeAgent>("x"); };
+  EXPECT_THROW(Network(Model::kMessagePassing, config, 1, std::nullopt,
+                       factory),
+               InvalidArgument);
+  EXPECT_THROW(Network(Model::kBlackboard, config, 1, pa, factory),
+               InvalidArgument);
+  const PortAssignment pa4 = PortAssignment::cyclic(4);
+  EXPECT_THROW(Network(Model::kMessagePassing, config, 1, pa4, factory),
+               InvalidArgument);
+}
+
+TEST(Outbox, EnforcesModelAndPortRange) {
+  const auto config = SourceConfiguration::all_private(2);
+
+  class BadPoster final : public Agent {
+   public:
+    void send_phase(int, std::uint64_t, Outbox& out) override {
+      out.send(1, "x");  // wrong medium
+    }
+    void receive_phase(int, const Delivery&) override {}
+  };
+  Network bb(Model::kBlackboard, config, 1, std::nullopt,
+             [](int) { return std::make_unique<BadPoster>(); });
+  EXPECT_THROW(bb.step(), InvalidArgument);
+
+  class BadPortSender final : public Agent {
+   public:
+    void send_phase(int, std::uint64_t, Outbox& out) override {
+      out.send(5, "x");  // out of range for n = 2
+    }
+    void receive_phase(int, const Delivery&) override {}
+  };
+  Network mp(Model::kMessagePassing, config, 1, PortAssignment::cyclic(2),
+             [](int) { return std::make_unique<BadPortSender>(); });
+  EXPECT_THROW(mp.step(), InvalidArgument);
+}
+
+TEST(Agent, DecideIsIrrevocableAndOutputGuarded) {
+  class OnceAgent final : public Agent {
+   public:
+    void send_phase(int, std::uint64_t, Outbox&) override {}
+    void receive_phase(int, const Delivery&) override {
+      if (!decided()) decide(7);
+    }
+    void decide_again() { decide(8); }
+  };
+  OnceAgent agent;
+  EXPECT_THROW(agent.output(), InvalidArgument);
+  agent.receive_phase(1, Delivery{});
+  EXPECT_TRUE(agent.decided());
+  EXPECT_EQ(agent.output(), 7);
+  EXPECT_THROW(agent.decide_again(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsb::sim

@@ -1,0 +1,166 @@
+// Tests for symmetric tasks and their output complexes: O_LE and π(O_LE)
+// (Figure 3), m-leader election, census tasks, the partition-solvability
+// primitive, and name-independent input-output tasks (Appendix C).
+#include <gtest/gtest.h>
+
+#include "tasks/name_independent.hpp"
+#include "tasks/tasks.hpp"
+#include "topology/symmetry.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+// --------------------------------------------------------- Leader election
+
+TEST(LeaderElection, OutputComplexHasNFacets) {
+  for (int n = 1; n <= 5; ++n) {
+    const SymmetricTask le = SymmetricTask::leader_election(n);
+    const OutputComplex o = le.output_complex();
+    EXPECT_EQ(o.facet_count(), n) << "O_LE has one facet per possible leader";
+    EXPECT_TRUE(o.is_pure());
+    EXPECT_EQ(o.dimension(), n - 1);
+    EXPECT_TRUE(is_symmetric(o));
+  }
+}
+
+TEST(LeaderElection, Figure3Projection) {
+  // π(O_LE) for n = 3: facets {(i,1)} and {(j,0) : j ≠ i} — 2n facets, and
+  // π(τ_i) is an isolated vertex plus an (n−2)-simplex.
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  const OutputComplex projected = le.projected_output_complex();
+  EXPECT_EQ(projected.facet_count(), 6);  // 3 isolated leaders + 3 edges
+  EXPECT_EQ(projected.isolated_vertices().size(), 3u);
+  // The facet τ_1 = {(0,1),(1,0),(2,0)} projects to {(0,1)} ∪ {(1,0),(2,0)}.
+  Simplex<int> tau1({{0, 1}, {1, 0}, {2, 0}});
+  const OutputComplex pi_tau1 = project_facet(tau1);
+  EXPECT_EQ(pi_tau1.facet_count(), 2);
+  EXPECT_TRUE(pi_tau1.contains(Simplex<int>({{0, 1}})));
+  EXPECT_TRUE(pi_tau1.contains(Simplex<int>({{1, 0}, {2, 0}})));
+}
+
+TEST(LeaderElection, AdmitsExactlyOneLeaderVectors) {
+  const SymmetricTask le = SymmetricTask::leader_election(3);
+  EXPECT_TRUE(le.admits_vector({1, 0, 0}));
+  EXPECT_TRUE(le.admits_vector({0, 0, 1}));
+  EXPECT_FALSE(le.admits_vector({1, 1, 0}));
+  EXPECT_FALSE(le.admits_vector({0, 0, 0}));
+  EXPECT_FALSE(le.admits_vector({2, 0, 0}));  // off-alphabet
+  EXPECT_THROW(le.admits_vector({0, 1}), InvalidArgument);
+}
+
+TEST(LeaderElection, PartitionSolvesIffSingletonClass) {
+  // The isolated-vertex criterion of Section 4.
+  const SymmetricTask le = SymmetricTask::leader_election(5);
+  EXPECT_TRUE(le.partition_solves({1, 4}));
+  EXPECT_TRUE(le.partition_solves({1, 1, 3}));
+  EXPECT_TRUE(le.partition_solves({1, 1, 1, 1, 1}));
+  EXPECT_FALSE(le.partition_solves({5}));
+  EXPECT_FALSE(le.partition_solves({2, 3}));
+  EXPECT_THROW(le.partition_solves({2, 2}), InvalidArgument);  // sums to 4
+  EXPECT_THROW(le.partition_solves({0, 5}), InvalidArgument);
+}
+
+// ------------------------------------------------------- m-leader election
+
+TEST(MLeaderElection, CountsFacets) {
+  // O_{m-LE} has C(n, m) facets.
+  const SymmetricTask two = SymmetricTask::m_leader_election(4, 2);
+  EXPECT_EQ(two.output_complex().facet_count(), 6);
+  EXPECT_TRUE(is_symmetric(two.output_complex()));
+  EXPECT_THROW(SymmetricTask::m_leader_election(3, 4), InvalidArgument);
+}
+
+TEST(MLeaderElection, PartitionSolvesIffSubsetSums) {
+  const SymmetricTask two = SymmetricTask::m_leader_election(6, 2);
+  EXPECT_TRUE(two.partition_solves({2, 4}));     // one class of 2 → leaders
+  EXPECT_TRUE(two.partition_solves({1, 1, 4}));  // two singletons
+  EXPECT_TRUE(two.partition_solves({2, 2, 2}));
+  EXPECT_FALSE(two.partition_solves({3, 3}));    // no subset sums to 2
+  EXPECT_FALSE(two.partition_solves({6}));
+}
+
+TEST(MLeaderElection, ZeroLeadersIsAlwaysSolvable) {
+  const SymmetricTask zero = SymmetricTask::m_leader_election(4, 0);
+  EXPECT_TRUE(zero.partition_solves({4}));
+  EXPECT_TRUE(zero.partition_solves({2, 2}));
+}
+
+// ------------------------------------------------------------- other tasks
+
+TEST(WeakSymmetryBreaking, NotAllSame) {
+  const SymmetricTask wsb = SymmetricTask::weak_symmetry_breaking(3);
+  EXPECT_TRUE(wsb.admits_vector({0, 1, 1}));
+  EXPECT_FALSE(wsb.admits_vector({0, 0, 0}));
+  EXPECT_FALSE(wsb.admits_vector({1, 1, 1}));
+  EXPECT_TRUE(wsb.partition_solves({1, 2}));
+  EXPECT_FALSE(wsb.partition_solves({3}));  // one class → constant output
+  EXPECT_TRUE(is_symmetric(wsb.output_complex()));
+}
+
+TEST(ExactCensus, ValidatesAndSolves) {
+  const SymmetricTask census =
+      SymmetricTask::exact_census(5, {{0, 2}, {1, 3}});
+  EXPECT_TRUE(census.admits_vector({0, 0, 1, 1, 1}));
+  EXPECT_FALSE(census.admits_vector({0, 1, 1, 1, 1}));
+  EXPECT_TRUE(census.partition_solves({2, 3}));
+  EXPECT_FALSE(census.partition_solves({5}));
+  EXPECT_TRUE(census.partition_solves({2, 1, 1, 1}));
+  EXPECT_THROW(SymmetricTask::exact_census(5, {{0, 2}, {1, 2}}),
+               InvalidArgument);
+}
+
+TEST(SymmetricTask, AdmissibleCountVectors) {
+  const SymmetricTask le = SymmetricTask::leader_election(4);
+  const auto counts = le.admissible_count_vectors();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], (std::vector<int>{3, 1}));  // three 0s, one 1
+}
+
+TEST(SymmetricTask, ConstructorValidation) {
+  EXPECT_THROW(SymmetricTask("x", 0, {0, 1}, [](const auto&) { return true; }),
+               InvalidArgument);
+  EXPECT_THROW(SymmetricTask("x", 2, {}, [](const auto&) { return true; }),
+               InvalidArgument);
+  EXPECT_THROW(
+      SymmetricTask("x", 2, {1, 1}, [](const auto&) { return true; }),
+      InvalidArgument);
+}
+
+// ------------------------------------------------- name-independent tasks
+
+TEST(NameIndependent, ConsensusMinAndMax) {
+  const auto cmin = NameIndependentTask::consensus_min();
+  const auto cmax = NameIndependentTask::consensus_max();
+  const std::vector<std::int64_t> inputs = {5, 2, 9, 2};
+  EXPECT_EQ(cmin.outputs_for(inputs),
+            (std::vector<std::int64_t>{2, 2, 2, 2}));
+  EXPECT_EQ(cmax.outputs_for(inputs),
+            (std::vector<std::int64_t>{9, 9, 9, 9}));
+}
+
+TEST(NameIndependent, Parity) {
+  const auto parity = NameIndependentTask::parity();
+  EXPECT_EQ(parity.outputs_for({1, 2, 4}),
+            (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(parity.outputs_for({2, 2}), (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(NameIndependent, RankIsNameIndependent) {
+  const auto rank = NameIndependentTask::rank();
+  const std::vector<std::int64_t> inputs = {30, 10, 30, 20};
+  const auto outputs = rank.outputs_for(inputs);
+  EXPECT_EQ(outputs, (std::vector<std::int64_t>{2, 0, 2, 1}));
+  // Equal inputs received equal outputs — the defining property.
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(NameIndependent, ValidateChecksRuleConformance) {
+  const auto cmin = NameIndependentTask::consensus_min();
+  EXPECT_TRUE(cmin.validate({3, 1}, {1, 1}));
+  EXPECT_FALSE(cmin.validate({3, 1}, {1, 3}));
+  EXPECT_FALSE(cmin.validate({3, 1}, {1}));
+}
+
+}  // namespace
+}  // namespace rsb

@@ -1,0 +1,314 @@
+// Tests for the chromatic simplicial-complex substrate: simplices,
+// complexes, simplicial maps, the consistency projection π (Eq. 3), and
+// symmetry checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/render.hpp"
+#include "topology/topology.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+using IntVertex = Vertex<int>;
+using IntSimplex = Simplex<int>;
+using IntComplex = ChromaticComplex<int>;
+
+IntSimplex simplex(std::initializer_list<std::pair<int, int>> pairs) {
+  std::vector<IntVertex> verts;
+  for (const auto& [name, value] : pairs) verts.push_back({name, value});
+  return IntSimplex(std::move(verts));
+}
+
+// ---------------------------------------------------------------- Simplex
+
+TEST(Simplex, SortsByNameAndComputesDimension) {
+  const IntSimplex s = simplex({{2, 5}, {0, 3}, {1, 4}});
+  EXPECT_EQ(s.dimension(), 2);
+  EXPECT_EQ(s.names(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.value_of(0), 3);
+  EXPECT_EQ(s.value_of(2), 5);
+}
+
+TEST(Simplex, RejectsRepeatedNames) {
+  EXPECT_THROW(simplex({{0, 1}, {0, 2}}), InvalidArgument);
+}
+
+TEST(Simplex, ContainmentIsVertexwise) {
+  const IntSimplex big = simplex({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(big.contains(simplex({{1, 2}})));
+  EXPECT_TRUE(big.contains(simplex({{0, 1}, {2, 3}})));
+  EXPECT_FALSE(big.contains(simplex({{1, 9}})));
+  EXPECT_FALSE(big.contains(simplex({{3, 3}})));
+}
+
+TEST(Simplex, FaceBySubsetOfNames) {
+  const IntSimplex big = simplex({{0, 1}, {1, 2}, {2, 3}});
+  const IntSimplex face = big.face({0, 2});
+  EXPECT_EQ(face.dimension(), 1);
+  EXPECT_EQ(face.value_of(0), 1);
+  EXPECT_EQ(face.value_of(2), 3);
+}
+
+TEST(Simplex, AllFacesHasPowerSetSize) {
+  const IntSimplex s = simplex({{0, 0}, {1, 0}, {2, 1}});
+  EXPECT_EQ(s.all_faces().size(), 7u);  // 2^3 - 1
+}
+
+TEST(Simplex, IsolatedVertexHasDimensionZero) {
+  EXPECT_EQ(simplex({{4, 9}}).dimension(), 0);
+}
+
+// ---------------------------------------------------------------- Complex
+
+TEST(Complex, FacetAbsorption) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 1}}));
+  k.add_simplex(simplex({{0, 1}, {1, 2}}));  // absorbs the vertex
+  EXPECT_EQ(k.facet_count(), 1);
+  k.add_simplex(simplex({{0, 1}}));  // already covered
+  EXPECT_EQ(k.facet_count(), 1);
+  k.add_simplex(simplex({{2, 7}}));
+  EXPECT_EQ(k.facet_count(), 2);
+}
+
+TEST(Complex, MembershipViaFacets) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_TRUE(k.contains(simplex({{0, 1}, {2, 3}})));
+  EXPECT_FALSE(k.contains(simplex({{0, 2}})));
+  EXPECT_TRUE(k.contains_vertex({1, 2}));
+  EXPECT_FALSE(k.contains_vertex({1, 3}));
+}
+
+TEST(Complex, RejectsEmptySimplex) {
+  IntComplex k;
+  EXPECT_THROW(k.add_simplex(IntSimplex{}), InvalidArgument);
+}
+
+TEST(Complex, DimensionAndPurity) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 1}, {1, 1}}));
+  EXPECT_EQ(k.dimension(), 1);
+  EXPECT_TRUE(k.is_pure());
+  k.add_simplex(simplex({{2, 5}}));
+  EXPECT_FALSE(k.is_pure());
+  EXPECT_EQ(k.dimension(), 1);
+}
+
+TEST(Complex, IsolatedVertices) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 0}, {1, 0}}));
+  k.add_simplex(simplex({{2, 1}}));
+  EXPECT_TRUE(k.has_isolated_vertex());
+  const auto isolated = k.isolated_vertices();
+  ASSERT_EQ(isolated.size(), 1u);
+  EXPECT_EQ(isolated[0].name, 2);
+}
+
+TEST(Complex, InducedSubcomplex) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 1}, {1, 2}, {2, 3}}));
+  const IntComplex sub = k.induced({{0, 1}, {2, 3}});
+  EXPECT_EQ(sub.facet_count(), 1);
+  EXPECT_TRUE(sub.contains(simplex({{0, 1}, {2, 3}})));
+  EXPECT_FALSE(sub.contains_vertex({1, 2}));
+}
+
+TEST(Complex, FVectorOfTriangle) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 0}, {1, 0}, {2, 0}}));
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{3, 3, 1}));
+}
+
+TEST(Complex, ConnectedComponents) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 0}, {1, 0}}));
+  k.add_simplex(simplex({{1, 0}, {2, 0}}));
+  k.add_simplex(simplex({{3, 7}}));
+  const auto components = k.connected_components();
+  EXPECT_EQ(components.size(), 2u);
+  EXPECT_FALSE(k.is_connected());
+  // The chain 0-1-2 is one component.
+  const auto& chain = components[0].size() == 3 ? components[0] : components[1];
+  EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(Complex, MergeUnionsFacetSets) {
+  IntComplex a, b;
+  a.add_simplex(simplex({{0, 1}}));
+  b.add_simplex(simplex({{0, 1}, {1, 1}}));
+  a.merge(b);
+  EXPECT_EQ(a.facet_count(), 1);  // vertex absorbed into edge
+}
+
+// ------------------------------------------------------- Simplicial maps
+
+TEST(SimplicialMap, AppliesAndChecksSimpliciality) {
+  IntComplex domain;
+  domain.add_simplex(simplex({{0, 10}, {1, 20}}));
+  IntComplex codomain;
+  codomain.add_simplex(simplex({{0, 1}, {1, 1}}));
+
+  NamePreservingMap<int, int> map;
+  map.set({0, 10}, 1);
+  map.set({1, 20}, 1);
+  EXPECT_TRUE(map.is_simplicial(domain, codomain));
+
+  NamePreservingMap<int, int> bad;
+  bad.set({0, 10}, 1);
+  bad.set({1, 20}, 2);  // image {(0,1),(1,2)} is not a simplex of codomain
+  EXPECT_FALSE(bad.is_simplicial(domain, codomain));
+}
+
+TEST(SimplicialMap, NameIndependenceDetection) {
+  NamePreservingMap<int, int> map;
+  map.set({0, 10}, 1);
+  map.set({1, 10}, 1);  // same value, same image: OK
+  map.set({2, 20}, 0);
+  EXPECT_TRUE(map.is_name_independent());
+  map.set({3, 10}, 0);  // same value 10, different image: violation
+  EXPECT_FALSE(map.is_name_independent());
+}
+
+TEST(SimplicialMap, ExistenceSearchFindsMap) {
+  // Domain: two isolated vertices (0,a),(1,b). Codomain: leader-election
+  // style — isolated (0,1) and isolated (1,0), plus the pair facets.
+  IntComplex domain;
+  domain.add_simplex(simplex({{0, 100}}));
+  domain.add_simplex(simplex({{1, 200}}));
+  IntComplex codomain;
+  codomain.add_simplex(simplex({{0, 1}}));
+  codomain.add_simplex(simplex({{1, 0}}));
+  EXPECT_TRUE(exists_simplicial_map(domain, codomain));
+}
+
+TEST(SimplicialMap, ExistenceSearchRespectsSimplices) {
+  // Domain: edge {(0,a),(1,a)}. Codomain: two isolated vertices — no edge
+  // exists to receive the domain edge.
+  IntComplex domain;
+  domain.add_simplex(simplex({{0, 5}, {1, 5}}));
+  IntComplex codomain;
+  codomain.add_simplex(simplex({{0, 1}}));
+  codomain.add_simplex(simplex({{1, 0}}));
+  EXPECT_FALSE(exists_simplicial_map(domain, codomain));
+}
+
+TEST(SimplicialMap, ExistenceSearchBacktracksCorrectly) {
+  // Regression: a failed deep branch must not leave stale assignments that
+  // corrupt pruning of later branches.
+  IntComplex domain;
+  domain.add_simplex(simplex({{0, 1}, {1, 1}}));
+  domain.add_simplex(simplex({{1, 1}, {2, 1}}));
+  IntComplex codomain;
+  codomain.add_simplex(simplex({{0, 0}, {1, 0}}));
+  codomain.add_simplex(simplex({{1, 0}, {2, 0}}));
+  codomain.add_simplex(simplex({{0, 9}}));
+  EXPECT_TRUE(exists_simplicial_map(domain, codomain));
+}
+
+TEST(SimplicialMap, NameIndependentSearchIsStricter) {
+  // Domain: vertices (0,x),(1,x) as two isolated vertices; a
+  // name-dependent map can send them to (0,1),(1,0), but name-independence
+  // forces equal images for equal values, and no facet offers that.
+  IntComplex domain;
+  domain.add_simplex(simplex({{0, 7}}));
+  domain.add_simplex(simplex({{1, 7}}));
+  IntComplex codomain;
+  codomain.add_simplex(simplex({{0, 1}}));
+  codomain.add_simplex(simplex({{1, 0}}));
+  EXPECT_TRUE(exists_simplicial_map(domain, codomain, false));
+  EXPECT_FALSE(exists_simplicial_map(domain, codomain, true));
+}
+
+// ---------------------------------------------------------- Projection π
+
+TEST(Projection, FacetProjectionGroupsEqualValues) {
+  // σ = {(0,a),(1,a),(2,b)} → π(σ) has facets {(0,a),(1,a)} and {(2,b)}.
+  const IntSimplex sigma = simplex({{0, 5}, {1, 5}, {2, 9}});
+  const IntComplex projected = project_facet(sigma);
+  EXPECT_EQ(projected.facet_count(), 2);
+  EXPECT_TRUE(projected.contains(simplex({{0, 5}, {1, 5}})));
+  EXPECT_TRUE(projected.contains(simplex({{2, 9}})));
+  EXPECT_FALSE(projected.contains(simplex({{0, 5}, {2, 9}})));
+  EXPECT_TRUE(projected.has_isolated_vertex());
+}
+
+TEST(Projection, AllEqualValuesProjectToWholeSimplex) {
+  const IntSimplex sigma = simplex({{0, 1}, {1, 1}, {2, 1}});
+  const IntComplex projected = project_facet(sigma);
+  EXPECT_EQ(projected.facet_count(), 1);
+  EXPECT_EQ(projected.dimension(), 2);
+}
+
+TEST(Projection, PartitionByValueIsCanonical) {
+  const IntSimplex sigma = simplex({{0, 9}, {1, 4}, {2, 9}, {3, 2}});
+  EXPECT_EQ(partition_by_value(sigma), (std::vector<int>{0, 1, 0, 2}));
+  EXPECT_EQ(class_sizes(sigma), (std::vector<int>{1, 1, 2}));
+}
+
+TEST(Projection, ComplexProjectionIsUnionOverFacets) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 1}, {1, 1}}));
+  k.add_simplex(simplex({{0, 1}, {1, 2}}));
+  const IntComplex projected = project_complex(k);
+  // First facet projects to the edge; second to two isolated vertices, both
+  // absorbed or kept: {(0,1),(1,1)} edge, {(1,2)} vertex, {(0,1)} absorbed.
+  EXPECT_TRUE(projected.contains(simplex({{0, 1}, {1, 1}})));
+  EXPECT_TRUE(projected.contains(simplex({{1, 2}})));
+  EXPECT_FALSE(projected.contains(simplex({{0, 1}, {1, 2}})));
+}
+
+// ------------------------------------------------------------- Symmetry
+
+TEST(Symmetry, LeaderElectionComplexIsSymmetric) {
+  // O_LE for n = 3, built by hand.
+  IntComplex ole;
+  ole.add_simplex(simplex({{0, 1}, {1, 0}, {2, 0}}));
+  ole.add_simplex(simplex({{0, 0}, {1, 1}, {2, 0}}));
+  ole.add_simplex(simplex({{0, 0}, {1, 0}, {2, 1}}));
+  EXPECT_TRUE(is_symmetric(ole));
+}
+
+TEST(Symmetry, AsymmetricComplexDetected) {
+  // Only node 0 may be the leader: permuting values leaves the complex.
+  IntComplex fixed_leader;
+  fixed_leader.add_simplex(simplex({{0, 1}, {1, 0}, {2, 0}}));
+  EXPECT_FALSE(is_symmetric(fixed_leader));
+}
+
+TEST(Symmetry, PermuteValuesRearrangesValuesOnly) {
+  const IntSimplex s = simplex({{0, 10}, {1, 20}, {2, 30}});
+  const IntSimplex p = permute_values(s, {2, 0, 1});
+  EXPECT_EQ(p.value_of(0), 30);
+  EXPECT_EQ(p.value_of(1), 10);
+  EXPECT_EQ(p.value_of(2), 20);
+  EXPECT_EQ(p.names(), s.names());
+}
+
+// -------------------------------------------------------------- Rendering
+
+TEST(Render, DotContainsVerticesEdgesAndLeaderHighlight) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 0}, {1, 0}}));
+  k.add_simplex(simplex({{2, 1}}));
+  const std::string dot = to_dot(k, "pi_tau");
+  EXPECT_NE(dot.find("graph pi_tau"), std::string::npos);
+  EXPECT_NE(dot.find("\"0:0\" -- \"1:0\""), std::string::npos);
+  EXPECT_NE(dot.find("\"2:1\" [style=filled"), std::string::npos)
+      << "isolated vertices (leaders) should be highlighted";
+}
+
+TEST(Render, AsciiListsFacetsWithDimensions) {
+  IntComplex k;
+  k.add_simplex(simplex({{0, 0}, {1, 0}, {2, 0}}));
+  k.add_simplex(simplex({{3, 1}}));
+  const std::string ascii = to_ascii(k);
+  EXPECT_NE(ascii.find("dim 2"), std::string::npos);
+  EXPECT_NE(ascii.find("dim 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsb
