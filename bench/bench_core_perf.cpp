@@ -8,6 +8,7 @@
 #include "core/consistency.hpp"
 #include "core/probability.hpp"
 #include "core/solvability.hpp"
+#include "engine/engine.hpp"
 #include "randomness/source_bank.hpp"
 #include "topology/simplicial_map.hpp"
 
@@ -119,6 +120,49 @@ void BM_SimplicialMapSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplicialMapSearch)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_EngineBatchReusedAllocations(benchmark::State& state) {
+  // The engine's whole point: one KnowledgeStore/SourceBank across a seed
+  // sweep. Contrast with BM_EngineBatchFreshPerRun below.
+  const int n = static_cast<int>(state.range(0));
+  const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
+  Engine engine;
+  const auto spec =
+      ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+          .with_protocol("wait-for-singleton-LE")
+          .with_rounds(300)
+          .with_seeds(1, seeds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_batch(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(seeds));
+}
+BENCHMARK(BM_EngineBatchReusedAllocations)
+    ->Args({4, 64})
+    ->Args({6, 64})
+    ->Args({8, 64});
+
+void BM_EngineBatchFreshPerRun(benchmark::State& state) {
+  // The legacy pattern this PR deletes from the benches: a fresh engine
+  // (store + bank) per run.
+  const int n = static_cast<int>(state.range(0));
+  const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
+  const auto spec =
+      ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+          .with_protocol("wait-for-singleton-LE")
+          .with_rounds(300);
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      Engine engine;
+      benchmark::DoNotOptimize(engine.run(spec, seed));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(seeds));
+}
+BENCHMARK(BM_EngineBatchFreshPerRun)
+    ->Args({4, 64})
+    ->Args({6, 64})
+    ->Args({8, 64});
 
 void BM_MessageRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "algo/agents.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -25,41 +26,43 @@ struct MatchingStats {
   double mean_rounds = 0.0;
 };
 
-MatchingStats run_grid_cell(int n1, int n2, int seeds) {
+MatchingStats run_grid_cell(Engine& engine, int n1, int n2, int seeds) {
   MatchingStats stats;
   const int n = n1 + n2;
-  const auto config = SourceConfiguration::all_private(n);
   long iterations = 0, rounds = 0;
-  Xoshiro256StarStar port_rng(static_cast<std::uint64_t>(n1 * 100 + n2));
-  for (int seed = 1; seed <= seeds; ++seed) {
-    const PortAssignment pa = PortAssignment::random(n, port_rng);
-    std::vector<sim::CreateMatchingAgent*> agents(
-        static_cast<std::size_t>(n));
-    sim::Network net(Model::kMessagePassing, config,
-                     static_cast<std::uint64_t>(seed), pa,
-                     [&agents, n1](int party) {
-                       auto a = std::make_unique<sim::CreateMatchingAgent>(
-                           party < n1 ? sim::MatchingRole::kV1
-                                      : sim::MatchingRole::kV2);
-                       agents[static_cast<std::size_t>(party)] = a.get();
-                       return a;
-                     });
-    const auto outcome = net.run(8000);
-    ++stats.runs;
-    if (!outcome.all_decided) continue;
-    int matched_v1 = 0, matched_v2 = 0;
-    for (int party = 0; party < n; ++party) {
-      if (outcome.outputs[static_cast<std::size_t>(party)] ==
-          sim::CreateMatchingAgent::kMatched) {
-        (party < n1 ? matched_v1 : matched_v2)++;
-      }
-    }
-    if (matched_v1 == n1 && matched_v2 == n1) {
-      ++stats.valid;
-      iterations += agents[0] != nullptr ? agents[0]->iterations() : 0;
-      rounds += outcome.rounds;
-    }
-  }
+  // The factory runs once per party per run; `agents` always holds the
+  // current run's agents when the observer fires.
+  std::vector<sim::CreateMatchingAgent*> agents(static_cast<std::size_t>(n));
+  AgentExperimentSpec spec;
+  spec.model = Model::kMessagePassing;
+  spec.config = SourceConfiguration::all_private(n);
+  spec.factory = [&agents, n1](int party) {
+    auto a = std::make_unique<sim::CreateMatchingAgent>(
+        party < n1 ? sim::MatchingRole::kV1 : sim::MatchingRole::kV2);
+    agents[static_cast<std::size_t>(party)] = a.get();
+    return a;
+  };
+  spec.port_policy = PortPolicy::kRandomPerRun;
+  spec.port_seed = static_cast<std::uint64_t>(n1 * 100 + n2);
+  spec.max_rounds = 8000;
+  spec.seeds = SeedRange::of(1, static_cast<std::uint64_t>(seeds));
+  engine.run_agent_batch(
+      spec, [&](const RunView&, const ProtocolOutcome& outcome) {
+        ++stats.runs;
+        if (!outcome.terminated) return;
+        int matched_v1 = 0, matched_v2 = 0;
+        for (int party = 0; party < n; ++party) {
+          if (outcome.outputs[static_cast<std::size_t>(party)] ==
+              sim::CreateMatchingAgent::kMatched) {
+            (party < n1 ? matched_v1 : matched_v2)++;
+          }
+        }
+        if (matched_v1 == n1 && matched_v2 == n1) {
+          ++stats.valid;
+          iterations += agents[0] != nullptr ? agents[0]->iterations() : 0;
+          rounds += outcome.rounds;
+        }
+      });
   if (stats.valid > 0) {
     stats.mean_iterations = static_cast<double>(iterations) / stats.valid;
     stats.mean_rounds = static_cast<double>(rounds) / stats.valid;
@@ -73,9 +76,10 @@ void reproduce_matching() {
               "iterations", "rounds");
   const int seeds = 10;
   bool all_valid = true;
+  Engine engine;
   for (int n1 = 1; n1 <= 5; ++n1) {
     for (int n2 = n1; n2 <= 6; ++n2) {
-      const MatchingStats stats = run_grid_cell(n1, n2, seeds);
+      const MatchingStats stats = run_grid_cell(engine, n1, n2, seeds);
       std::printf("%5d %5d %5d/%-3d %12.2f %12.2f\n", n1, n2, stats.valid,
                   stats.runs, stats.mean_iterations, stats.mean_rounds);
       all_valid = all_valid && stats.valid == stats.runs;

@@ -15,6 +15,7 @@
 #include "algo/protocol.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -30,7 +31,7 @@ struct RowResult {
   double mean_rounds = 0.0;
 };
 
-RowResult measure(const SourceConfiguration& config) {
+RowResult measure(Engine& engine, const SourceConfiguration& config) {
   RowResult row;
   const int n = config.num_parties();
   const SymmetricTask le = SymmetricTask::leader_election(n);
@@ -49,25 +50,26 @@ RowResult measure(const SourceConfiguration& config) {
   }
 
   // Possibility side: the election protocol across seeds × random ports.
-  const WaitForSingletonLE protocol;
-  Xoshiro256StarStar port_rng(1234);
-  long total_rounds = 0;
-  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-    const PortAssignment ports = PortAssignment::random(n, port_rng);
-    const auto outcome = run_protocol(Model::kMessagePassing, config, ports,
-                                      protocol, seed, 300);
-    ++row.protocol_runs;
-    if (outcome.terminated) {
-      int leaders = 0;
-      for (std::int64_t v : outcome.outputs) leaders += v == 1 ? 1 : 0;
-      if (leaders == 1) {
-        ++row.protocol_successes;
-        total_rounds += outcome.rounds;
-      }
-    }
-  }
+  const auto spec = ExperimentSpec::message_passing(config)
+                        .with_port_seed(1234)
+                        .with_protocol("wait-for-singleton-LE")
+                        .with_task(le)
+                        .with_rounds(300)
+                        .with_seeds(1, 12);
+  // The table's rounds column averages over *successful* runs only (a
+  // gcd>1 shape can terminate with != 1 leaders), so accumulate per run.
+  long success_rounds = 0;
+  const RunStats stats = engine.run_batch(
+      spec, [&](const RunView&, const ProtocolOutcome& outcome) {
+        if (!outcome.terminated) return;
+        int leaders = 0;
+        for (std::int64_t v : outcome.outputs) leaders += v == 1 ? 1 : 0;
+        if (leaders == 1) success_rounds += outcome.rounds;
+      });
+  row.protocol_runs = static_cast<int>(stats.runs);
+  row.protocol_successes = static_cast<int>(stats.task_successes);
   row.mean_rounds = row.protocol_successes > 0
-                        ? static_cast<double>(total_rounds) /
+                        ? static_cast<double>(success_rounds) /
                               row.protocol_successes
                         : 0.0;
   return row;
@@ -78,11 +80,12 @@ void reproduce_theorem42() {
   std::printf("%14s %5s %10s %16s %14s %10s %7s\n", "loads", "gcd",
               "predicted", "adv-ports p(t)", "protocol", "rounds", "match");
   int rows = 0, matches = 0;
+  Engine engine;  // shared across every row: allocations amortize
   for (int n = 2; n <= 6; ++n) {
     for (const auto& config : SourceConfiguration::enumerate_load_shapes(n)) {
       const int g = config.gcd_of_loads();
       const bool predicted = g == 1;
-      const RowResult row = measure(config);
+      const RowResult row = measure(engine, config);
       const bool measured_possible =
           row.protocol_successes == row.protocol_runs;
       // Prediction confirmed when: gcd = 1 → protocol always succeeds;
@@ -120,30 +123,28 @@ void reproduce_theorem42() {
   // The paper's own constructive side: the explicit Euclid/CreateMatching
   // protocol (Section 4.2) on the flagship gcd-1 shapes.
   std::printf("\nexplicit Euclid algorithm (refinement + CreateMatching):\n");
+  Engine euclid_engine;
   for (const auto& loads :
        std::vector<std::vector<int>>{{2, 3}, {3, 4}, {2, 2, 1}}) {
     const auto config = SourceConfiguration::from_loads(loads);
     const int n = config.num_parties();
-    int successes = 0;
     const int runs = 6;
-    Xoshiro256StarStar port_rng(99);
-    for (int seed = 1; seed <= runs; ++seed) {
-      const PortAssignment ports = PortAssignment::random(n, port_rng);
-      sim::Network net(Model::kMessagePassing, config,
-                       static_cast<std::uint64_t>(seed), ports, [](int) {
-                         return std::make_unique<
-                             sim::EuclidLeaderElectionAgent>();
-                       });
-      const auto outcome = net.run(3000);
-      if (outcome.all_decided) {
-        int leaders = 0;
-        for (std::int64_t v : outcome.outputs) leaders += v == 1 ? 1 : 0;
-        successes += leaders == 1 ? 1 : 0;
-      }
-    }
-    std::printf("  %s: %d/%d runs elected exactly one leader\n",
-                loads_to_string(loads).c_str(), successes, runs);
-    check(successes == runs,
+    AgentExperimentSpec spec;
+    spec.model = Model::kMessagePassing;
+    spec.config = config;
+    spec.factory = [](int) {
+      return std::make_unique<sim::EuclidLeaderElectionAgent>();
+    };
+    spec.task = SymmetricTask::leader_election(n);
+    spec.port_policy = PortPolicy::kRandomPerRun;
+    spec.port_seed = 99;
+    spec.max_rounds = 3000;
+    spec.seeds = SeedRange::of(1, runs);
+    const RunStats stats = euclid_engine.run_agent_batch(spec);
+    std::printf("  %s: %llu/%d runs elected exactly one leader\n",
+                loads_to_string(loads).c_str(),
+                static_cast<unsigned long long>(stats.task_successes), runs);
+    check(stats.task_successes == static_cast<std::uint64_t>(runs),
           loads_to_string(loads) + ": Euclid protocol always elects");
   }
   rsb::bench::footer();
@@ -163,13 +164,15 @@ BENCHMARK(BM_MessagePassingExactProbability)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_WaitForSingletonProtocol(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const auto config = SourceConfiguration::from_loads({n - 3, 3});
-  const PortAssignment pa = PortAssignment::cyclic(n);
-  const WaitForSingletonLE protocol;
+  Engine engine;
+  const auto spec =
+      ExperimentSpec::message_passing(SourceConfiguration::from_loads({n - 3, 3}))
+          .with_ports(PortAssignment::cyclic(n))
+          .with_protocol("wait-for-singleton-LE")
+          .with_rounds(300);
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_protocol(Model::kMessagePassing, config, pa,
-                                          protocol, seed++, 300));
+    benchmark::DoNotOptimize(engine.run(spec, seed++));
   }
 }
 BENCHMARK(BM_WaitForSingletonProtocol)->Arg(5)->Arg(7)->Arg(10);

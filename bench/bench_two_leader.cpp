@@ -16,6 +16,7 @@
 #include "algo/protocol.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
+#include "engine/engine.hpp"
 #include "util/numeric.hpp"
 
 namespace {
@@ -66,6 +67,7 @@ void message_passing_table() {
   std::printf("%12s %3s %4s %10s %16s %12s %7s\n", "loads", "m", "g",
               "predicted", "adv-ports p(t)", "protocol", "match");
   int rows = 0, matched = 0;
+  Engine engine;  // shared across every table cell: allocations amortize
   for (int n = 4; n <= 6; ++n) {
     for (int m = 1; m <= 3 && m < n; ++m) {
       for (const auto& config :
@@ -90,25 +92,18 @@ void message_passing_table() {
         } else {
           // Possibility: the class-split protocol elects exactly m leaders
           // under random ports.
-          const WaitForClassSplitMLE protocol(m);
-          Xoshiro256StarStar port_rng(
-              static_cast<std::uint64_t>(n * 100 + m));
-          int successes = 0;
           const int runs = 8;
-          for (int seed = 1; seed <= runs; ++seed) {
-            const PortAssignment pa = PortAssignment::random(n, port_rng);
-            const auto outcome =
-                run_protocol(Model::kMessagePassing, config, pa, protocol,
-                             static_cast<std::uint64_t>(seed), 400);
-            if (outcome.terminated) {
-              int leaders = 0;
-              for (std::int64_t v : outcome.outputs) leaders += v == 1;
-              successes += leaders == m ? 1 : 0;
-            }
-          }
-          protocol_cell =
-              std::to_string(successes) + "/" + std::to_string(runs);
-          ok = successes == runs;
+          const RunStats stats = engine.run_batch(
+              ExperimentSpec::message_passing(config)
+                  .with_port_seed(static_cast<std::uint64_t>(n * 100 + m))
+                  .with_protocol("wait-for-class-split-LE(" +
+                                 std::to_string(m) + ")")
+                  .with_task(task)
+                  .with_rounds(400)
+                  .with_seeds(1, runs));
+          protocol_cell = std::to_string(stats.task_successes) + "/" +
+                          std::to_string(runs);
+          ok = stats.task_successes == static_cast<std::uint64_t>(runs);
         }
         std::printf("%12s %3d %4d %10s %16s %12s %7s\n",
                     loads_to_string(config.loads()).c_str(), m, g,
@@ -140,24 +135,18 @@ void port_driven_contrast() {
         "{4,6} m=2: blackboard decider says unsolvable");
   check(eventually_solvable_message_passing_worst_case(config, task),
         "{4,6} m=2: message-passing worst-case decider says solvable");
-  const WaitForClassSplitMLE protocol(2);
-  Xoshiro256StarStar port_rng(77);
-  int successes = 0;
   const int runs = 6;
-  for (int seed = 1; seed <= runs; ++seed) {
-    const PortAssignment pa = PortAssignment::random(10, port_rng);
-    const auto outcome =
-        run_protocol(Model::kMessagePassing, config, pa, protocol,
-                     static_cast<std::uint64_t>(seed), 400);
-    if (outcome.terminated) {
-      int leaders = 0;
-      for (std::int64_t v : outcome.outputs) leaders += v == 1;
-      successes += leaders == 2 ? 1 : 0;
-    }
-  }
-  std::printf("  protocol (random ports): %d/%d runs elected exactly 2\n",
-              successes, runs);
-  check(successes == runs,
+  Engine engine;
+  const RunStats stats =
+      engine.run_batch(ExperimentSpec::message_passing(config)
+                           .with_port_seed(77)
+                           .with_protocol("wait-for-class-split-LE(2)")
+                           .with_task(task)
+                           .with_rounds(400)
+                           .with_seeds(1, runs));
+  std::printf("  protocol (random ports): %llu/%d runs elected exactly 2\n",
+              static_cast<unsigned long long>(stats.task_successes), runs);
+  check(stats.task_successes == static_cast<std::uint64_t>(runs),
         "{4,6} m=2: protocol elects exactly 2 leaders under every sampled "
         "wiring");
 }

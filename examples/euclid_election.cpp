@@ -12,9 +12,9 @@
 #include <cstdio>
 #include <string>
 
-#include "algo/protocol.hpp"
 #include "core/consistency.hpp"
 #include "core/deciders.hpp"
+#include "engine/engine.hpp"
 #include "randomness/source_bank.hpp"
 #include "util/partitions.hpp"
 
@@ -84,11 +84,15 @@ int main() {
     std::printf("\n");
   }
 
-  // Re-run the same execution through the protocol runner to confirm all
+  // Re-run the same execution through the experiment engine to confirm all
   // parties decide consistently one round after the split is visible.
-  const WaitForSingletonLE protocol;
-  const auto outcome = run_protocol(Model::kMessagePassing, config, ports,
-                                    protocol, seed, 100);
+  Engine engine;
+  const auto outcome =
+      engine.run(ExperimentSpec::message_passing(config)
+                     .with_ports(ports)
+                     .with_protocol("wait-for-singleton-LE")
+                     .with_rounds(100),
+                 seed);
   if (outcome.terminated) {
     int leader = -1;
     for (int i = 0; i < 5; ++i) {

@@ -13,6 +13,7 @@
 #include <map>
 
 #include "core/consistency.hpp"
+#include "engine/engine.hpp"
 #include "util/partitions.hpp"
 
 using namespace rsb;
@@ -81,6 +82,22 @@ int main() {
   std::printf("\nloads {2,3} (gcd 1): the 'adversarial' wiring is powerless —"
               "\n  class census at t = 3:\n");
   class_size_census(coprime, degenerate, 3);
+
+  // The same contrast as live batches: under the adversarial policy the
+  // election never terminates; under random wirings it always does.
+  Engine engine;
+  auto spec = ExperimentSpec::message_passing(config, PortPolicy::kAdversarial)
+                  .with_protocol("wait-for-singleton-LE")
+                  .with_rounds(60)
+                  .with_seeds(1, 20);
+  const RunStats frozen = engine.run_batch(spec);
+  const RunStats alive =
+      engine.run_batch(spec.with_port_policy(PortPolicy::kRandomPerRun)
+                           .with_rounds(300));
+  std::printf("\nengine batches on loads {2,4} (20 seeds each):\n"
+              "  adversarial wiring: termination rate %.2f (frozen forever)\n"
+              "  random wirings:     termination rate %.2f\n",
+              frozen.termination_rate(), alive.termination_rate());
 
   return 0;
 }

@@ -5,16 +5,17 @@
 //    projection π̃, and ask which facets solve leader election.
 // 3. Compute the exact probability p(t) = Pr[S(t)|α] and compare with the
 //    analytic Theorem 4.1 verdict.
-// 4. Run an actual election protocol on the simulated network.
+// 4. Run an actual election protocol through the experiment engine — one
+//    run for the trace, then a declarative 100-seed batch.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 #include <string>
 
-#include "algo/protocol.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "core/solvability.hpp"
+#include "engine/engine.hpp"
 #include "util/partitions.hpp"
 
 using namespace rsb;
@@ -71,13 +72,16 @@ int main() {
                   ? "eventually solvable"
                   : "not solvable");
 
-  // --- protocol view: run the election ---------------------------------
-  const BlackboardUniqueStringLE protocol;
-  const auto outcome = run_protocol(Model::kBlackboard, config, std::nullopt,
-                                    protocol, /*seed=*/2024, /*max_rounds=*/64);
+  // --- protocol view: run the election through the engine ---------------
+  Engine engine;
+  auto spec = ExperimentSpec::blackboard(config)
+                  .with_protocol("blackboard-unique-string-LE")
+                  .with_task(le)
+                  .with_rounds(64);
+  const auto outcome = engine.run(spec, /*seed=*/2024);
   if (outcome.terminated) {
     std::printf("\nprotocol '%s' elected a leader in %d rounds; outputs:",
-                protocol.name().c_str(), outcome.rounds);
+                spec.protocol->name().c_str(), outcome.rounds);
     for (std::int64_t v : outcome.outputs) {
       std::printf(" %lld", static_cast<long long>(v));
     }
@@ -85,5 +89,10 @@ int main() {
   } else {
     std::printf("\nprotocol did not terminate within the round budget\n");
   }
+
+  // --- batch view: the same spec swept across 100 seeds -----------------
+  const RunStats stats = engine.run_batch(spec.with_seeds(1, 100));
+  std::printf("\n100-seed batch (%s):\n  %s\n", spec.to_string().c_str(),
+              stats.summary().c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/deciders.hpp"
+#include "engine/engine.hpp"
 #include "tasks/tasks.hpp"
 #include "util/numeric.hpp"
 
@@ -85,5 +86,17 @@ int main() {
   }
   std::printf("\npredicate cross-check (subset-sum / gcd-divides): %s\n",
               consistent ? "consistent" : "INCONSISTENT");
-  return consistent ? 0 : 1;
+
+  // Live confirmation through the experiment engine: on {2,4} (gcd 2) the
+  // class-split protocol splits off exactly 2 leaders in every sampled
+  // wiring, exactly as the matrix above predicts.
+  Engine engine;
+  const RunStats stats = engine.run_batch(
+      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 4}))
+          .with_protocol("wait-for-class-split-LE(2)")
+          .with_task("m-leader-election(2)")
+          .with_rounds(400)
+          .with_seeds(1, 10));
+  std::printf("engine check, loads {2,4} m=2: %s\n", stats.summary().c_str());
+  return consistent && stats.task_successes == stats.runs ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "engine/engine.hpp"
 #include "util/error.hpp"
 
 namespace rsb {
@@ -137,43 +138,20 @@ ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
     throw InvalidArgument(
         "run_protocol: ports must be given exactly for message passing");
   }
-  const int n = config.num_parties();
-  SourceBank bank(config, seed);
-  KnowledgeStore store;
-  std::vector<KnowledgeId> knowledge = initial_knowledge(store, n);
-
-  ProtocolOutcome outcome;
-  outcome.outputs.assign(static_cast<std::size_t>(n), 0);
-  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
-
-  int undecided = n;
-  for (int round = 1; round <= max_rounds && undecided > 0; ++round) {
-    std::vector<bool> bits;
-    bits.reserve(static_cast<std::size_t>(n));
-    for (int party = 0; party < n; ++party) {
-      bits.push_back(bank.party_bit(party, round));
-    }
-    if (model == Model::kBlackboard) {
-      knowledge = blackboard_round(store, knowledge, bits);
-    } else {
-      knowledge = message_round(store, knowledge, bits, *ports, variant);
-    }
-    for (int party = 0; party < n; ++party) {
-      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
-        continue;
-      }
-      const auto verdict =
-          protocol.decide(store, knowledge[static_cast<std::size_t>(party)]);
-      if (verdict.has_value()) {
-        outcome.outputs[static_cast<std::size_t>(party)] = *verdict;
-        outcome.decision_round[static_cast<std::size_t>(party)] = round;
-        --undecided;
-        outcome.rounds = round;
-      }
-    }
+  ExperimentSpec spec;
+  spec.model = model;
+  spec.config = config;
+  // Non-owning view: the caller's protocol outlives this single run.
+  spec.protocol = std::shared_ptr<const AnonymousProtocol>(
+      &protocol, [](const AnonymousProtocol*) {});
+  if (ports.has_value()) {
+    spec.with_ports(*ports);
   }
-  outcome.terminated = undecided == 0;
-  return outcome;
+  spec.variant = variant;
+  spec.max_rounds = max_rounds;
+  spec.seeds = SeedRange::single(seed);
+  Engine engine;
+  return engine.run(spec, seed);
 }
 
 }  // namespace rsb

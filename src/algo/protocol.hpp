@@ -46,6 +46,11 @@ struct ProtocolOutcome {
 /// Runs `protocol` on n anonymous parties under the given model and
 /// randomness configuration. `ports` must be set iff the model is message
 /// passing.
+///
+/// Compatibility wrapper: delegates to a single-spec Engine run (see
+/// engine/engine.hpp) and returns its bit-identical outcome. New code
+/// sweeping seeds or configurations should build an ExperimentSpec and use
+/// Engine::run_batch directly.
 ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
                              const std::optional<PortAssignment>& ports,
                              const AnonymousProtocol& protocol,

@@ -1,0 +1,198 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsb {
+
+namespace {
+
+/// Per-batch port provider: materializes the policy once (fixed policies)
+/// or per run (random), so the batch loop stays branch-free.
+class PortProvider {
+ public:
+  PortProvider(Model model, PortPolicy policy,
+               const std::optional<PortAssignment>& fixed,
+               const SourceConfiguration& config, std::uint64_t port_seed)
+      : policy_(policy), rng_(port_seed) {
+    if (model != Model::kMessagePassing) return;
+    switch (policy) {
+      case PortPolicy::kNone:
+        break;
+      case PortPolicy::kFixed:
+        current_ = *fixed;
+        break;
+      case PortPolicy::kCyclic:
+        current_ = PortAssignment::cyclic(config.num_parties());
+        break;
+      case PortPolicy::kAdversarial:
+        current_ = PortAssignment::adversarial_for(config);
+        break;
+      case PortPolicy::kRandomPerRun:
+        num_parties_ = config.num_parties();
+        break;
+    }
+  }
+
+  /// The assignment for the next run; null for blackboard runs.
+  const PortAssignment* next() {
+    if (policy_ == PortPolicy::kNone) return nullptr;
+    if (policy_ == PortPolicy::kRandomPerRun) {
+      current_ = PortAssignment::random(num_parties_, rng_);
+    }
+    return &*current_;
+  }
+
+ private:
+  PortPolicy policy_;
+  Xoshiro256StarStar rng_;
+  int num_parties_ = 0;
+  std::optional<PortAssignment> current_;
+};
+
+}  // namespace
+
+void AgentExperimentSpec::validate() const {
+  if (!factory) {
+    throw InvalidArgument("AgentExperimentSpec: no agent factory attached");
+  }
+  if (seeds.count == 0) {
+    throw InvalidArgument("AgentExperimentSpec: empty seed range");
+  }
+  if (max_rounds < 1) {
+    throw InvalidArgument("AgentExperimentSpec: max_rounds must be >= 1");
+  }
+  const bool wants_ports = model == Model::kMessagePassing;
+  if (wants_ports == (port_policy == PortPolicy::kNone)) {
+    throw InvalidArgument(
+        "AgentExperimentSpec: ports must be given exactly for message "
+        "passing");
+  }
+  if (port_policy == PortPolicy::kFixed && !fixed_ports.has_value()) {
+    throw InvalidArgument(
+        "AgentExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+  }
+  if (task.has_value() && task->num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "AgentExperimentSpec: task party count does not match the "
+        "configuration");
+  }
+}
+
+ProtocolOutcome Engine::run(const ExperimentSpec& spec, std::uint64_t seed) {
+  spec.validate();
+  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                     spec.config, spec.port_seed);
+  return run_prepared(spec, seed, ports.next());
+}
+
+ProtocolOutcome Engine::run(const ExperimentSpec& spec) {
+  return run(spec, spec.seeds.first);
+}
+
+ProtocolOutcome Engine::run_prepared(const ExperimentSpec& spec,
+                                     std::uint64_t seed,
+                                     const PortAssignment* ports) {
+  const int n = spec.config.num_parties();
+  if (bank_.has_value()) {
+    bank_->reset(spec.config, seed);
+  } else {
+    bank_.emplace(spec.config, seed);
+  }
+  store_.reset();
+  std::vector<KnowledgeId> knowledge = initial_knowledge(store_, n);
+
+  ProtocolOutcome outcome;
+  outcome.outputs.assign(static_cast<std::size_t>(n), 0);
+  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
+
+  const AnonymousProtocol& protocol = *spec.protocol;
+  int undecided = n;
+  std::vector<bool> bits;
+  for (int round = 1; round <= spec.max_rounds && undecided > 0; ++round) {
+    bits.clear();
+    bits.reserve(static_cast<std::size_t>(n));
+    for (int party = 0; party < n; ++party) {
+      bits.push_back(bank_->party_bit(party, round));
+    }
+    if (spec.model == Model::kBlackboard) {
+      knowledge = blackboard_round(store_, knowledge, bits);
+    } else {
+      knowledge = message_round(store_, knowledge, bits, *ports, spec.variant);
+    }
+    for (int party = 0; party < n; ++party) {
+      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
+        continue;
+      }
+      const auto verdict =
+          protocol.decide(store_, knowledge[static_cast<std::size_t>(party)]);
+      if (verdict.has_value()) {
+        outcome.outputs[static_cast<std::size_t>(party)] = *verdict;
+        outcome.decision_round[static_cast<std::size_t>(party)] = round;
+        --undecided;
+        outcome.rounds = round;
+      }
+    }
+  }
+  outcome.terminated = undecided == 0;
+  store_high_water_ = std::max(store_high_water_, store_.size());
+  return outcome;
+}
+
+RunStats Engine::run_batch(const ExperimentSpec& spec,
+                           const RunObserver& observer) {
+  spec.validate();
+  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                     spec.config, spec.port_seed);
+  RunStats stats;
+  const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
+  for (std::uint64_t i = 0; i < spec.seeds.count; ++i) {
+    const std::uint64_t seed = spec.seeds.first + i;
+    const PortAssignment* assignment = ports.next();
+    const ProtocolOutcome outcome = run_prepared(spec, seed, assignment);
+    stats.record(outcome, task);
+    if (observer) observer(RunView{seed, i, assignment}, outcome);
+  }
+  return stats;
+}
+
+std::vector<RunStats> Engine::run_sweep(const std::vector<ExperimentSpec>& specs,
+                                        const RunObserver& observer) {
+  std::vector<RunStats> all;
+  all.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    all.push_back(run_batch(spec, observer));
+  }
+  return all;
+}
+
+RunStats Engine::run_agent_batch(const AgentExperimentSpec& spec,
+                                 const RunObserver& observer) {
+  spec.validate();
+  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                     spec.config, spec.port_seed);
+  RunStats stats;
+  const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
+  for (std::uint64_t i = 0; i < spec.seeds.count; ++i) {
+    const std::uint64_t seed = spec.seeds.first + i;
+    const PortAssignment* assignment = ports.next();
+    std::optional<PortAssignment> run_ports;
+    if (assignment != nullptr) run_ports = *assignment;
+    sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
+                     spec.factory);
+    const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
+    ProtocolOutcome outcome;
+    outcome.terminated = net_outcome.all_decided;
+    outcome.rounds = net_outcome.rounds;
+    outcome.outputs = net_outcome.outputs;
+    outcome.decision_round = net_outcome.decision_round;
+    stats.record(outcome, task);
+    // The observer runs while the Network (and its agents) are alive, so it
+    // may read agent-side counters captured via the factory.
+    if (observer) observer(RunView{seed, i, assignment}, outcome);
+  }
+  return stats;
+}
+
+}  // namespace rsb

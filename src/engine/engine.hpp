@@ -1,0 +1,98 @@
+// The experiment engine: batched execution of declarative specs.
+//
+// An Engine owns the mutable scratch state a protocol run needs — the
+// KnowledgeStore intern table and the SourceBank bit streams — and reuses
+// those allocations across every run of a batch instead of rebuilding them
+// per call (the store is reset, not reallocated, so its table storage is
+// amortized across the sweep). Semantics are unchanged: a reset store hands
+// out ids in the same insertion order as a fresh one, so Engine results are
+// bit-identical to the legacy one-shot run_protocol(...) path for equal
+// (spec, seed) — a guarantee the engine tests assert.
+//
+// Two run backends share the batching and statistics machinery:
+//  * knowledge-level protocols (AnonymousProtocol decision functions over
+//    the knowledge recursion) via ExperimentSpec, and
+//  * message-level agents (sim::Network, e.g. Euclid / CreateMatching) via
+//    AgentExperimentSpec.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "knowledge/knowledge.hpp"
+#include "randomness/source_bank.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace rsb {
+
+/// Per-run context handed to batch observers.
+struct RunView {
+  std::uint64_t seed = 0;
+  std::uint64_t run_index = 0;             // 0-based within the batch
+  const PortAssignment* ports = nullptr;   // null for blackboard runs
+};
+
+/// Optional per-run callback: benches use it for custom columns (leader
+/// counts, per-run traces) without re-rolling the sweep loop.
+using RunObserver =
+    std::function<void(const RunView& view, const ProtocolOutcome& outcome)>;
+
+/// An agent-level ensemble: same batching knobs as ExperimentSpec, but each
+/// run instantiates sim::Network agents from a factory instead of asking a
+/// knowledge-level decision function.
+struct AgentExperimentSpec {
+  Model model = Model::kBlackboard;
+  SourceConfiguration config = SourceConfiguration::all_shared(1);
+  sim::Network::AgentFactory factory;
+  std::optional<SymmetricTask> task;
+  PortPolicy port_policy = PortPolicy::kNone;
+  std::optional<PortAssignment> fixed_ports;
+  std::uint64_t port_seed = 0x9e3779b9;
+  int max_rounds = 1000;
+  SeedRange seeds;
+
+  void validate() const;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+
+  /// One run of the spec at the given seed. Deterministic: equal
+  /// (spec, seed) produce equal outcomes regardless of the engine's
+  /// history.
+  ProtocolOutcome run(const ExperimentSpec& spec, std::uint64_t seed);
+
+  /// One run at the spec's first seed.
+  ProtocolOutcome run(const ExperimentSpec& spec);
+
+  /// Sweeps spec.seeds, aggregating every outcome into a RunStats.
+  RunStats run_batch(const ExperimentSpec& spec,
+                     const RunObserver& observer = nullptr);
+
+  /// Runs several specs back to back (a load-shape or policy sweep),
+  /// reusing this engine's allocations throughout.
+  std::vector<RunStats> run_sweep(const std::vector<ExperimentSpec>& specs,
+                                  const RunObserver& observer = nullptr);
+
+  /// Sweeps an agent-level spec through sim::Network runs.
+  RunStats run_agent_batch(const AgentExperimentSpec& spec,
+                           const RunObserver& observer = nullptr);
+
+  /// Peak intern-table size seen so far (diagnostic for allocation reuse).
+  std::size_t store_high_water() const noexcept { return store_high_water_; }
+
+ private:
+  ProtocolOutcome run_prepared(const ExperimentSpec& spec, std::uint64_t seed,
+                               const PortAssignment* ports);
+
+  KnowledgeStore store_;
+  std::optional<SourceBank> bank_;
+  std::size_t store_high_water_ = 0;
+};
+
+}  // namespace rsb

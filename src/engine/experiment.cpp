@@ -1,0 +1,223 @@
+#include "engine/experiment.hpp"
+
+#include <algorithm>
+
+#include "engine/registry.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+
+std::string to_string(PortPolicy policy) {
+  switch (policy) {
+    case PortPolicy::kNone:
+      return "none";
+    case PortPolicy::kFixed:
+      return "fixed";
+    case PortPolicy::kCyclic:
+      return "cyclic";
+    case PortPolicy::kAdversarial:
+      return "adversarial";
+    case PortPolicy::kRandomPerRun:
+      return "random-per-run";
+  }
+  return "?";
+}
+
+ExperimentSpec ExperimentSpec::blackboard(SourceConfiguration config) {
+  ExperimentSpec spec;
+  spec.model = Model::kBlackboard;
+  spec.config = std::move(config);
+  spec.port_policy = PortPolicy::kNone;
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::message_passing(SourceConfiguration config,
+                                               PortPolicy policy) {
+  ExperimentSpec spec;
+  spec.model = Model::kMessagePassing;
+  spec.config = std::move(config);
+  spec.port_policy = policy;
+  return spec;
+}
+
+ExperimentSpec& ExperimentSpec::with_protocol(
+    std::shared_ptr<const AnonymousProtocol> p) {
+  protocol = std::move(p);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_protocol(const std::string& name) {
+  protocol = make_protocol(name);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_task(SymmetricTask t) {
+  task = std::move(t);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_task(const std::string& name) {
+  task = make_task(name, config.num_parties());
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_ports(PortAssignment ports) {
+  port_policy = PortPolicy::kFixed;
+  fixed_ports = std::move(ports);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_port_policy(PortPolicy policy) {
+  port_policy = policy;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_port_seed(std::uint64_t seed) {
+  port_seed = seed;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_variant(MessageVariant v) {
+  variant = v;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_rounds(int rounds) {
+  max_rounds = rounds;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_seeds(std::uint64_t first,
+                                           std::uint64_t count) {
+  seeds = SeedRange::of(first, count);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_seed(std::uint64_t seed) {
+  seeds = SeedRange::single(seed);
+  return *this;
+}
+
+void ExperimentSpec::validate() const {
+  if (!protocol) {
+    throw InvalidArgument("ExperimentSpec: no protocol attached");
+  }
+  if (seeds.count == 0) {
+    throw InvalidArgument("ExperimentSpec: empty seed range");
+  }
+  if (max_rounds < 1) {
+    throw InvalidArgument("ExperimentSpec: max_rounds must be >= 1");
+  }
+  const bool wants_ports = model == Model::kMessagePassing;
+  if (wants_ports == (port_policy == PortPolicy::kNone)) {
+    throw InvalidArgument(
+        "ExperimentSpec: ports must be given exactly for message passing");
+  }
+  if (port_policy == PortPolicy::kFixed) {
+    if (!fixed_ports.has_value()) {
+      throw InvalidArgument(
+          "ExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+    }
+    if (fixed_ports->num_parties() != config.num_parties()) {
+      throw InvalidArgument(
+          "ExperimentSpec: fixed_ports party count does not match the "
+          "configuration");
+    }
+  }
+  if (task.has_value() && task->num_parties() != config.num_parties()) {
+    throw InvalidArgument(
+        "ExperimentSpec: task party count does not match the configuration");
+  }
+}
+
+std::string ExperimentSpec::to_string() const {
+  std::string out = "spec[" + rsb::to_string(model) + " " + config.to_string();
+  out += " " + (protocol ? protocol->name() : std::string("<no protocol>"));
+  if (task.has_value()) out += " task=" + task->name();
+  if (model == Model::kMessagePassing) {
+    out += " ports=" + rsb::to_string(port_policy);
+    if (variant == MessageVariant::kLiteral) out += " variant=literal";
+  }
+  out += " rounds=" + std::to_string(max_rounds);
+  out += " seeds=" + std::to_string(seeds.first) + "+" +
+         std::to_string(seeds.count) + "]";
+  return out;
+}
+
+double RunStats::termination_rate() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(terminated) / static_cast<double>(runs);
+}
+
+double RunStats::success_rate() const {
+  if (!task_checked) {
+    throw InvalidArgument("RunStats::success_rate: no task was attached");
+  }
+  return runs == 0 ? 0.0
+                   : static_cast<double>(task_successes) /
+                         static_cast<double>(runs);
+}
+
+double RunStats::mean_rounds() const {
+  return terminated == 0 ? 0.0
+                         : static_cast<double>(total_rounds) /
+                               static_cast<double>(terminated);
+}
+
+void RunStats::record(const ProtocolOutcome& outcome,
+                      const SymmetricTask* task) {
+  ++runs;
+  if (outcome.terminated) {
+    ++terminated;
+    total_rounds += static_cast<std::uint64_t>(outcome.rounds);
+    ++round_histogram[outcome.rounds];
+  }
+  for (std::size_t party = 0; party < outcome.outputs.size(); ++party) {
+    if (outcome.decision_round[party] >= 0) {
+      ++output_counts[outcome.outputs[party]];
+    }
+  }
+  if (task != nullptr) {
+    task_checked = true;
+    if (outcome.terminated) {
+      std::vector<int> values;
+      values.reserve(outcome.outputs.size());
+      for (std::int64_t v : outcome.outputs) {
+        values.push_back(static_cast<int>(v));
+      }
+      if (task->admits_vector(values)) ++task_successes;
+    }
+  }
+}
+
+void RunStats::merge(const RunStats& other) {
+  runs += other.runs;
+  terminated += other.terminated;
+  task_successes += other.task_successes;
+  task_checked = task_checked || other.task_checked;
+  total_rounds += other.total_rounds;
+  for (const auto& [rounds, count] : other.round_histogram) {
+    round_histogram[rounds] += count;
+  }
+  for (const auto& [value, count] : other.output_counts) {
+    output_counts[value] += count;
+  }
+}
+
+std::string RunStats::summary() const {
+  char buffer[160];
+  if (task_checked) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "runs=%llu terminated=%.3f success=%.3f mean-rounds=%.2f",
+                  static_cast<unsigned long long>(runs), termination_rate(),
+                  success_rate(), mean_rounds());
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "runs=%llu terminated=%.3f mean-rounds=%.2f",
+                  static_cast<unsigned long long>(runs), termination_rate(),
+                  mean_rounds());
+  }
+  return buffer;
+}
+
+}  // namespace rsb

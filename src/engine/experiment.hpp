@@ -1,0 +1,136 @@
+// Declarative experiment specifications and aggregate run statistics.
+//
+// The paper's results are all statements about *ensembles* of executions:
+// the same knowledge recursion run across (model, source configuration,
+// port adversary, protocol, seed) combinations. An ExperimentSpec is the
+// value-type description of one such ensemble — which model, which wiring
+// of parties to randomness sources, how the ports are chosen per run, which
+// decision function, and which seed range to sweep — and RunStats is the
+// aggregate the Engine produces from it (termination rate, round histogram,
+// per-output counts, task success rate).
+//
+// Specs are plain values: build them with the fluent setters, copy them,
+// mutate the copies for sweeps. Protocols and tasks can be attached either
+// as objects or by registry name (see engine/registry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algo/protocol.hpp"
+#include "model/models.hpp"
+#include "model/port_assignment.hpp"
+#include "randomness/config.hpp"
+#include "tasks/tasks.hpp"
+
+namespace rsb {
+
+/// A contiguous range of protocol seeds, swept inclusively from `first`.
+struct SeedRange {
+  std::uint64_t first = 1;
+  std::uint64_t count = 1;
+
+  static SeedRange single(std::uint64_t seed) { return {seed, 1}; }
+  static SeedRange of(std::uint64_t first, std::uint64_t count) {
+    return {first, count};
+  }
+
+  friend bool operator==(const SeedRange&, const SeedRange&) = default;
+};
+
+/// How the Engine obtains the port assignment for each run of a
+/// message-passing spec. Blackboard specs use kNone.
+enum class PortPolicy {
+  kNone,          // blackboard: no ports
+  kFixed,         // the spec's fixed_ports, identical in every run
+  kCyclic,        // PortAssignment::cyclic(n), identical in every run
+  kAdversarial,   // the Lemma 4.3 wiring, PortAssignment::adversarial_for
+  kRandomPerRun,  // a fresh uniformly random wiring per run (port_seed
+                  // stream), the "random adversary" the benches sample
+};
+
+std::string to_string(PortPolicy policy);
+
+/// The declarative description of an experiment ensemble.
+struct ExperimentSpec {
+  Model model = Model::kBlackboard;
+  SourceConfiguration config = SourceConfiguration::all_shared(1);
+  std::shared_ptr<const AnonymousProtocol> protocol;
+  std::optional<SymmetricTask> task;  // enables success-rate accounting
+  PortPolicy port_policy = PortPolicy::kNone;
+  std::optional<PortAssignment> fixed_ports;  // for PortPolicy::kFixed
+  std::uint64_t port_seed = 0x9e3779b9;       // for PortPolicy::kRandomPerRun
+  MessageVariant variant = MessageVariant::kPortTagged;
+  int max_rounds = 300;
+  SeedRange seeds;
+
+  /// A blackboard spec over the given configuration.
+  static ExperimentSpec blackboard(SourceConfiguration config);
+
+  /// A message-passing spec over the given configuration; the default
+  /// policy draws a fresh random wiring per run.
+  static ExperimentSpec message_passing(
+      SourceConfiguration config,
+      PortPolicy policy = PortPolicy::kRandomPerRun);
+
+  // --- fluent setters (each returns *this for chaining) -----------------
+  ExperimentSpec& with_protocol(std::shared_ptr<const AnonymousProtocol> p);
+  /// Looks `name` up in the global ProtocolRegistry; throws UnknownName.
+  ExperimentSpec& with_protocol(const std::string& name);
+  ExperimentSpec& with_task(SymmetricTask task);
+  /// Looks `name` up in the global TaskRegistry for this spec's
+  /// config.num_parties(); set the configuration first.
+  ExperimentSpec& with_task(const std::string& name);
+  /// Fixes the wiring for every run (sets PortPolicy::kFixed).
+  ExperimentSpec& with_ports(PortAssignment ports);
+  ExperimentSpec& with_port_policy(PortPolicy policy);
+  ExperimentSpec& with_port_seed(std::uint64_t seed);
+  ExperimentSpec& with_variant(MessageVariant v);
+  ExperimentSpec& with_rounds(int rounds);
+  ExperimentSpec& with_seeds(std::uint64_t first, std::uint64_t count);
+  ExperimentSpec& with_seed(std::uint64_t seed);
+
+  /// Throws InvalidArgument when the spec is not runnable (no protocol,
+  /// ports present/absent inconsistently with the model, empty seed range,
+  /// task arity mismatch, ...).
+  void validate() const;
+
+  /// e.g. "spec[message-passing α[0,0,1|loads=2,1] wait-for-singleton-LE
+  /// ports=random-per-run rounds=300 seeds=1+12]"
+  std::string to_string() const;
+};
+
+/// Aggregate statistics over a batch of runs.
+struct RunStats {
+  std::uint64_t runs = 0;
+  std::uint64_t terminated = 0;       // runs where every party decided
+  std::uint64_t task_successes = 0;   // terminated runs the task admits
+  bool task_checked = false;          // true iff a task was consulted
+  std::uint64_t total_rounds = 0;     // summed over terminated runs
+
+  /// rounds-to-termination → number of terminated runs.
+  std::map<int, std::uint64_t> round_histogram;
+
+  /// output value → number of deciding parties, over all runs.
+  std::map<std::int64_t, std::uint64_t> output_counts;
+
+  double termination_rate() const;
+  /// task_successes / runs; requires task_checked.
+  double success_rate() const;
+  /// Mean rounds-to-termination over terminated runs (0 if none).
+  double mean_rounds() const;
+
+  /// Folds one outcome in; `task` may be null (no success accounting).
+  void record(const ProtocolOutcome& outcome, const SymmetricTask* task);
+
+  /// Pools another batch's counters into this one (for sharded sweeps).
+  void merge(const RunStats& other);
+
+  /// One-line human summary.
+  std::string summary() const;
+};
+
+}  // namespace rsb

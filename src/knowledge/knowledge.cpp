@@ -6,8 +6,14 @@
 
 namespace rsb {
 
-KnowledgeStore::KnowledgeStore() {
-  // Reserve id 0 for ⊥.
+KnowledgeStore::KnowledgeStore() { reset(); }
+
+void KnowledgeStore::reset() {
+  // clear() keeps the vector's and the hash table's storage, so repeated
+  // runs through one store stop allocating once the largest run has been
+  // seen. Reserve id 0 for ⊥.
+  nodes_.clear();
+  by_hash_.clear();
   Node bottom;
   bottom.kind = KnowledgeKind::kBottom;
   nodes_.push_back(bottom);

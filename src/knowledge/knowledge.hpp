@@ -41,6 +41,14 @@ class KnowledgeStore {
  public:
   KnowledgeStore();
 
+  /// Forgets every interned value (except ⊥, which is re-created with id 0)
+  /// while keeping the underlying table storage. After reset() the store is
+  /// observationally identical to a freshly constructed one — ids are
+  /// handed out in the same insertion order — so batch drivers such as the
+  /// experiment Engine can reuse one store across runs without perturbing
+  /// id-based canonical orders.
+  void reset();
+
   /// The unique ⊥ value (always id 0).
   KnowledgeId bottom() const noexcept { return 0; }
 

@@ -14,6 +14,19 @@ SourceBank::SourceBank(const SourceConfiguration& config, std::uint64_t seed)
   }
 }
 
+void SourceBank::reset(const SourceConfiguration& config, std::uint64_t seed) {
+  config_ = config;
+  const std::size_t k = static_cast<std::size_t>(config_.num_sources());
+  engines_.clear();
+  engines_.reserve(k);
+  emitted_.resize(k);
+  for (int source = 0; source < config_.num_sources(); ++source) {
+    engines_.emplace_back(
+        derive_seed(seed, static_cast<std::uint64_t>(source)));
+    emitted_[static_cast<std::size_t>(source)].clear();
+  }
+}
+
 void SourceBank::extend_to(int round) {
   for (std::size_t source = 0; source < emitted_.size(); ++source) {
     while (emitted_[source].size() < round) {

@@ -21,6 +21,11 @@ class SourceBank {
  public:
   SourceBank(const SourceConfiguration& config, std::uint64_t seed);
 
+  /// Re-targets the bank at a (possibly different) configuration and seed,
+  /// as if freshly constructed, while keeping the per-source stream storage
+  /// allocated. Batch drivers call this between runs.
+  void reset(const SourceConfiguration& config, std::uint64_t seed);
+
   const SourceConfiguration& config() const noexcept { return config_; }
 
   /// The bit source `source` emits at round `round` (1-based).

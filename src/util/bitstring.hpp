@@ -38,6 +38,13 @@ class BitString {
   /// Appends the bit received in the next round.
   void push_back(bool bit);
 
+  /// Empties the string while keeping the word buffer allocated (for
+  /// stream holders that are reset between runs, e.g. SourceBank).
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
   /// The prefix of the first `length` bits: x(1,...,length).
   BitString prefix(int length) const;
 

@@ -29,4 +29,10 @@ class ValidationError : public Error {
   explicit ValidationError(const std::string& what) : Error(what) {}
 };
 
+/// A string key did not resolve in a name-keyed registry (protocols, tasks).
+class UnknownName : public Error {
+ public:
+  explicit UnknownName(const std::string& what) : Error(what) {}
+};
+
 }  // namespace rsb
