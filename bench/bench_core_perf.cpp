@@ -1,10 +1,17 @@
 // E14 — engineering microbenchmarks for the core library: knowledge
 // interning throughput, model round operators, consistency partitions,
-// the exact-probability engine's 2^{kt} scaling, and the simplicial-map
-// existence search. No paper artifact — this is the performance record of
-// the substrate that makes the exhaustive reproductions feasible.
+// the exact-probability engine's 2^{kt} scaling, the simplicial-map
+// existence search, and the experiment engine's serial and parallel sweep
+// throughput. No paper artifact — this is the performance record of the
+// substrate that makes the exhaustive reproductions feasible; the
+// runs/sec section at 1..N threads is dumped to BENCH_core_perf.json so
+// the trajectory is diffable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/consistency.hpp"
 #include "core/probability.hpp"
 #include "core/solvability.hpp"
@@ -15,6 +22,8 @@
 namespace {
 
 using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
 
 void BM_KnowledgeInterningBlackboard(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -53,6 +62,30 @@ BENCHMARK(BM_KnowledgeInterningMessagePassing)
     ->Args({8, 16})
     ->Args({16, 16})
     ->Args({16, 64});
+
+void BM_KnowledgeInterningBlackboardReusedStore(benchmark::State& state) {
+  // Contrast with BM_KnowledgeInterningBlackboard: the store is reset, not
+  // reconstructed, per iteration, so the flat intern index (pre-sized from
+  // the reset high-water mark) recycles all of its storage — the measured
+  // gap is the allocation/rehash churn the reserve removes.
+  const int n = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  const auto config = SourceConfiguration::all_private(n);
+  SourceBank bank(config, 3);
+  const Realization rho = bank.realization_at(rounds);
+  KnowledgeStore store;
+  for (auto _ : state) {
+    store.reset();
+    benchmark::DoNotOptimize(knowledge_at_blackboard(store, rho));
+  }
+  state.SetItemsProcessed(state.iterations() * n * rounds);
+}
+BENCHMARK(BM_KnowledgeInterningBlackboardReusedStore)
+    ->Args({4, 16})
+    ->Args({8, 16})
+    ->Args({16, 16})
+    ->Args({16, 64})
+    ->Args({32, 64});
 
 void BM_KnowledgeStoreReuseAcrossRealizations(benchmark::State& state) {
   // Shared-store enumeration is the probability engine's hot loop; the
@@ -164,6 +197,29 @@ BENCHMARK(BM_EngineBatchFreshPerRun)
     ->Args({6, 64})
     ->Args({8, 64});
 
+void BM_EngineBatchParallel(benchmark::State& state) {
+  // The same sweep as BM_EngineBatchReusedAllocations fanned over the
+  // worker pool; results are byte-identical at every thread count.
+  const int threads = static_cast<int>(state.range(0));
+  const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
+  Engine engine;
+  engine.set_parallel({threads, 0});
+  const auto spec =
+      ExperimentSpec::blackboard(SourceConfiguration::all_private(6))
+          .with_protocol("wait-for-singleton-LE")
+          .with_rounds(300)
+          .with_seeds(1, seeds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_batch(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(seeds));
+}
+BENCHMARK(BM_EngineBatchParallel)
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({0, 256});  // 0 = hardware concurrency
+
 void BM_MessageRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const PortAssignment pa = PortAssignment::cyclic(n);
@@ -179,6 +235,76 @@ void BM_MessageRound(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageRound)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+/// End-to-end sweep throughput at 1 and N threads — the acceptance record
+/// for the parallel engine (runs/sec per thread count lands in
+/// BENCH_core_perf.json). The determinism check is the hard guarantee:
+/// the parallel aggregate must equal the serial one byte for byte.
+void report_sweep_throughput() {
+  header("Experiment-engine sweep throughput (serial vs worker pool)");
+  const auto spec =
+      ExperimentSpec::blackboard(SourceConfiguration::all_private(6))
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(300)
+          .with_seeds(1, 2048);
+  const int hw = rsb::bench::hardware_threads();
+  RunStats serial_stats;
+  bool captured = false;
+  // sweep_throughput times the serial engine first, so the first callback
+  // result is the serial reference for the determinism check below.
+  const double speedup = rsb::bench::sweep_throughput(
+      "blackboard-LE n=6 sweep", spec.seeds.count, [&](Engine& engine) {
+        const RunStats stats = engine.run_batch(spec);
+        if (!captured) {
+          serial_stats = stats;
+          captured = true;
+        }
+      });
+  std::printf("  hardware threads: %d, parallel speedup: %.2fx\n", hw,
+              speedup);
+  bool parallel_matches = true;
+  std::vector<int> thread_counts{2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  std::string counts_label;
+  for (int threads : thread_counts) {
+    Engine parallel;
+    parallel.set_parallel({threads, 0});
+    parallel_matches =
+        parallel_matches && parallel.run_batch(spec) == serial_stats;
+    counts_label += (counts_label.empty() ? "" : ", ") +
+                    std::to_string(threads);
+  }
+  check(parallel_matches, "parallel RunStats byte-identical to serial at " +
+                              counts_label + " threads");
+  // The speedup is a one-shot wall-clock sample — informational, recorded
+  // in the JSON for cross-PR tracking, but not a pass/fail gate: a
+  // contended or SMT-shared host would flake the binary's exit code.
+  if (hw >= 4) {
+    std::printf("  speedup target ≥ 2x at %d threads: %s (%.2fx measured)\n",
+                hw, speedup >= 2.0 ? "met" : "NOT met (timing sample)",
+                speedup);
+  } else {
+    std::printf("  (host has %d hardware thread(s); the ≥ 2x speedup "
+                "target needs 4+)\n",
+                hw);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Parse/validate flags before the multi-second sweep so flag typos fail
+  // fast (the throughput/shape section itself always runs — it is the
+  // bench's artifact — so utility flags like --benchmark_list_tests still
+  // pay for it).
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  report_sweep_throughput();
+  rsb::bench::footer("core_perf");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

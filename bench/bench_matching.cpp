@@ -9,6 +9,8 @@
 // matches at least one pair, and typically a constant fraction.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_util.hpp"
 #include "algo/agents.hpp"
 #include "engine/engine.hpp"
@@ -26,21 +28,61 @@ struct MatchingStats {
   double mean_rounds = 0.0;
 };
 
+/// Forwards every phase to an inner CreateMatchingAgent, mirroring its
+/// decision, and banks the inner iteration counter into a per-run tally
+/// when the run's network is torn down. Observers fire only after the
+/// network (and its agents) are gone — the engine's ordered-drain
+/// contract — so per-run agent diagnostics must leave the agent before
+/// destruction. The tally is a plain vector, which relies on the grid
+/// engine staying serial (one run, then its observer, at a time); a
+/// parallel batch would need synchronized banking instead.
+class TalliedMatchingAgent final : public sim::Agent {
+ public:
+  TalliedMatchingAgent(sim::MatchingRole role, std::vector<long>* tally)
+      : inner_(role), tally_(tally) {}
+
+  ~TalliedMatchingAgent() override {
+    if (tally_ != nullptr) tally_->push_back(inner_.iterations());
+  }
+
+  void begin(const Init& init) override { inner_.begin(init); }
+
+  void send_phase(int round, std::uint64_t random_word,
+                  sim::Outbox& out) override {
+    inner_.send_phase(round, random_word, out);
+    mirror_decision();
+  }
+
+  void receive_phase(int round, const sim::Delivery& delivery) override {
+    inner_.receive_phase(round, delivery);
+    mirror_decision();
+  }
+
+ private:
+  void mirror_decision() {
+    if (inner_.decided() && !decided()) decide(inner_.output());
+  }
+
+  sim::CreateMatchingAgent inner_;
+  std::vector<long>* tally_;
+};
+
 MatchingStats run_grid_cell(Engine& engine, int n1, int n2, int seeds) {
   MatchingStats stats;
   const int n = n1 + n2;
-  long iterations = 0, rounds = 0;
-  // The factory runs once per party per run; `agents` always holds the
-  // current run's agents when the observer fires.
-  std::vector<sim::CreateMatchingAgent*> agents(static_cast<std::size_t>(n));
+  long rounds = 0, iterations = 0;
+  // Party 0 (a V1 member) reports its REQ/ACK iteration count per run,
+  // banked by the wrapper at network teardown; the serial observer reads
+  // its run's entry right after.
+  std::vector<long> run_iterations;
   AgentExperimentSpec spec;
   spec.model = Model::kMessagePassing;
   spec.config = SourceConfiguration::all_private(n);
-  spec.factory = [&agents, n1](int party) {
-    auto a = std::make_unique<sim::CreateMatchingAgent>(
-        party < n1 ? sim::MatchingRole::kV1 : sim::MatchingRole::kV2);
-    agents[static_cast<std::size_t>(party)] = a.get();
-    return a;
+  spec.factory = [&run_iterations, n1](int party) {
+    const auto role =
+        party < n1 ? sim::MatchingRole::kV1 : sim::MatchingRole::kV2;
+    return std::make_unique<TalliedMatchingAgent>(
+        role, party == 0 ? &run_iterations : nullptr);
   };
   spec.port_policy = PortPolicy::kRandomPerRun;
   spec.port_seed = static_cast<std::uint64_t>(n1 * 100 + n2);
@@ -59,8 +101,8 @@ MatchingStats run_grid_cell(Engine& engine, int n1, int n2, int seeds) {
         }
         if (matched_v1 == n1 && matched_v2 == n1) {
           ++stats.valid;
-          iterations += agents[0] != nullptr ? agents[0]->iterations() : 0;
           rounds += outcome.rounds;
+          iterations += run_iterations.empty() ? 0 : run_iterations.back();
         }
       });
   if (stats.valid > 0) {
@@ -88,7 +130,21 @@ void reproduce_matching() {
   check(all_valid,
         "Lemma 4.8 on every run: perfect matching of the smaller side, "
         "termination known to all");
-  rsb::bench::footer();
+
+  rsb::bench::subheader("engine sweep throughput (runs/sec)");
+  AgentExperimentSpec sweep;
+  sweep.model = Model::kMessagePassing;
+  sweep.config = SourceConfiguration::all_private(9);
+  sweep.factory = [](int party) {
+    return std::make_unique<sim::CreateMatchingAgent>(
+        party < 4 ? sim::MatchingRole::kV1 : sim::MatchingRole::kV2);
+  };
+  sweep.port_policy = PortPolicy::kRandomPerRun;
+  sweep.port_seed = 405;
+  sweep.max_rounds = 8000;
+  sweep.seeds = SeedRange::of(1, 128);
+  rsb::bench::agent_throughput("CreateMatching 4+5", sweep);
+  rsb::bench::footer("matching");
 }
 
 void BM_CreateMatching(benchmark::State& state) {

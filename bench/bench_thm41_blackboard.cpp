@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -70,7 +71,18 @@ void reproduce_theorem41() {
   }
   check(deciders_agree,
         "general partition decider ≡ ∃ n_i = 1 for all shapes n ≤ 10");
-  rsb::bench::footer();
+
+  // Monte-Carlo companion of the table above, timed: the protocol-level
+  // sweep that estimates the solvable side, at 1 and N threads.
+  rsb::bench::subheader("engine sweep throughput (runs/sec)");
+  rsb::bench::engine_throughput(
+      "blackboard wait-for-singleton n=5",
+      ExperimentSpec::blackboard(SourceConfiguration::from_loads({1, 2, 2}))
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(300)
+          .with_seeds(1, 1024));
+  rsb::bench::footer("thm41_blackboard");
 }
 
 void BM_ExactProbabilityBlackboard(benchmark::State& state) {

@@ -147,7 +147,32 @@ void reproduce_theorem42() {
     check(stats.task_successes == static_cast<std::uint64_t>(runs),
           loads_to_string(loads) + ": Euclid protocol always elects");
   }
-  rsb::bench::footer();
+
+  // The possibility-side sweep, timed at 1 and N threads: random ports ×
+  // seeds through the knowledge-level protocol, then the agent-level
+  // Euclid procedure.
+  rsb::bench::subheader("engine sweep throughput (runs/sec)");
+  rsb::bench::engine_throughput(
+      "message-passing wait-for-singleton {2,3}",
+      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+          .with_port_seed(1234)
+          .with_protocol("wait-for-singleton-LE")
+          .with_task(SymmetricTask::leader_election(5))
+          .with_rounds(300)
+          .with_seeds(1, 512));
+  AgentExperimentSpec euclid_sweep;
+  euclid_sweep.model = Model::kMessagePassing;
+  euclid_sweep.config = SourceConfiguration::from_loads({2, 3});
+  euclid_sweep.factory = [](int) {
+    return std::make_unique<sim::EuclidLeaderElectionAgent>();
+  };
+  euclid_sweep.task = SymmetricTask::leader_election(5);
+  euclid_sweep.port_policy = PortPolicy::kRandomPerRun;
+  euclid_sweep.port_seed = 99;
+  euclid_sweep.max_rounds = 3000;
+  euclid_sweep.seeds = SeedRange::of(1, 64);
+  rsb::bench::agent_throughput("agent-level Euclid {2,3}", euclid_sweep);
+  rsb::bench::footer("thm42_message_passing");
 }
 
 void BM_MessagePassingExactProbability(benchmark::State& state) {

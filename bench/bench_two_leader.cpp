@@ -156,7 +156,17 @@ void reproduce_two_leader() {
   blackboard_table();
   message_passing_table();
   port_driven_contrast();
-  rsb::bench::footer();
+
+  rsb::bench::subheader("engine sweep throughput (runs/sec)");
+  rsb::bench::engine_throughput(
+      "class-split 2-LE {2,4}",
+      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 4}))
+          .with_port_seed(123)
+          .with_protocol("wait-for-class-split-LE(2)")
+          .with_task("m-leader-election(2)")
+          .with_rounds(400)
+          .with_seeds(1, 256));
+  rsb::bench::footer("two_leader");
 }
 
 void BM_PartitionSolves(benchmark::State& state) {

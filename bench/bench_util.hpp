@@ -4,10 +4,22 @@
 // series, with PASS/FAIL shape checks against the paper's claim) and then
 // runs its google-benchmark timings. The PASS/FAIL lines make
 // bench_output.txt a self-contained record of paper-vs-measured.
+//
+// Benches that sweep seeds through the experiment engine additionally
+// report end-to-end throughput (runs/sec) at 1 thread and at full hardware
+// concurrency, and footer("name") dumps every recorded measurement to
+// BENCH_name.json — a machine-readable perf trajectory that can be diffed
+// across PRs.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
 
 namespace rsb::bench {
 
@@ -41,7 +53,115 @@ inline std::string loads_to_string(const std::vector<int>& loads) {
   return out + "}";
 }
 
-inline void footer() {
+// ------------------------------------------------- throughput recording
+
+/// One engine-sweep timing: `runs` seed-runs completed in `wall_ns` on
+/// `threads` worker threads.
+struct ThroughputRow {
+  std::string name;
+  std::uint64_t runs = 0;
+  double wall_ns = 0.0;
+  double runs_per_sec = 0.0;
+  int threads = 1;
+};
+
+inline std::vector<ThroughputRow>& throughput_rows() {
+  static std::vector<ThroughputRow> rows;
+  return rows;
+}
+
+inline int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Times fn() — which must perform exactly `runs` engine runs — and
+/// prints + records the resulting runs/sec. Returns the rate.
+template <typename Fn>
+inline double time_runs(const std::string& name, std::uint64_t runs,
+                        int threads, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  fn();
+  const double wall_ns =
+      std::chrono::duration<double, std::nano>(clock::now() - start).count();
+  const double rate = wall_ns > 0.0
+                          ? static_cast<double>(runs) / (wall_ns * 1e-9)
+                          : 0.0;
+  throughput_rows().push_back({name, runs, wall_ns, rate, threads});
+  std::printf("  %-44s threads=%-2d %8llu runs %12.0f runs/sec\n",
+              name.c_str(), threads, static_cast<unsigned long long>(runs),
+              rate);
+  return rate;
+}
+
+/// Times `sweep(engine)` — which must perform `runs` engine runs — on a
+/// serial engine and (when the host has more than one hardware thread) on
+/// a full-concurrency engine, recording runs/sec for each. Returns the
+/// parallel/serial speedup (1.0 on a single-core host).
+template <typename Sweep>
+inline double sweep_throughput(const std::string& name, std::uint64_t runs,
+                               Sweep&& sweep) {
+  Engine serial;
+  const double serial_rate = time_runs(name, runs, 1, [&] { sweep(serial); });
+  const int hw = hardware_threads();
+  if (hw <= 1) return 1.0;
+  Engine parallel;
+  parallel.with_threads(0);
+  const double parallel_rate =
+      time_runs(name, runs, hw, [&] { sweep(parallel); });
+  return serial_rate > 0.0 ? parallel_rate / serial_rate : 0.0;
+}
+
+/// sweep_throughput over a knowledge-level spec.
+inline double engine_throughput(const std::string& name,
+                                const ExperimentSpec& spec) {
+  return sweep_throughput(name, spec.seeds.count,
+                          [&spec](Engine& engine) { engine.run_batch(spec); });
+}
+
+/// sweep_throughput over an agent-level spec.
+inline double agent_throughput(const std::string& name,
+                               const AgentExperimentSpec& spec) {
+  return sweep_throughput(name, spec.seeds.count, [&spec](Engine& engine) {
+    engine.run_agent_batch(spec);
+  });
+}
+
+/// Writes every recorded throughput row (plus the shape-check verdict) to
+/// BENCH_<bench_name>.json in the working directory.
+inline void write_throughput_json(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("  (could not open %s for writing)\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"failures\": %d,\n",
+               bench_name.c_str(), failure_count());
+  std::fprintf(out, "  \"hardware_threads\": %d,\n  \"throughput\": [\n",
+               hardware_threads());
+  const auto& rows = throughput_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"runs\": %llu, \"wall_ns\": %.0f, "
+                 "\"runs_per_sec\": %.1f, \"threads\": %d}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.runs), row.wall_ns,
+                 row.runs_per_sec, row.threads,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("  throughput JSON -> %s (%zu rows)\n", path.c_str(),
+              rows.size());
+}
+
+/// Prints the shape-check verdict; when `json_name` is given, also dumps
+/// the recorded throughput rows to BENCH_<json_name>.json.
+inline void footer(const std::string& json_name = "") {
+  if (!json_name.empty()) write_throughput_json(json_name);
   if (failure_count() == 0) {
     std::printf("\nAll shape checks PASSED.\n\n");
   } else {

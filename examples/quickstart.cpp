@@ -94,5 +94,13 @@ int main() {
   const RunStats stats = engine.run_batch(spec.with_seeds(1, 100));
   std::printf("\n100-seed batch (%s):\n  %s\n", spec.to_string().c_str(),
               stats.summary().c_str());
+
+  // --- parallel view: same sweep on a worker pool, same answer -----------
+  // threads = 0 means one worker per hardware thread; results are
+  // byte-identical to the serial sweep at any thread count.
+  Engine pool;
+  pool.with_threads(0);
+  const bool agree = pool.run_batch(spec.with_seeds(1, 100)) == stats;
+  std::printf("parallel sweep agrees with serial: %s\n", agree ? "yes" : "NO");
   return 0;
 }

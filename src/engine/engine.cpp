@@ -1,6 +1,9 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -8,48 +11,28 @@ namespace rsb {
 
 namespace {
 
-/// Per-batch port provider: materializes the policy once (fixed policies)
-/// or per run (random), so the batch loop stays branch-free.
-class PortProvider {
- public:
-  PortProvider(Model model, PortPolicy policy,
-               const std::optional<PortAssignment>& fixed,
-               const SourceConfiguration& config, std::uint64_t port_seed)
-      : policy_(policy), rng_(port_seed) {
-    if (model != Model::kMessagePassing) return;
-    switch (policy) {
-      case PortPolicy::kNone:
-        break;
-      case PortPolicy::kFixed:
-        current_ = *fixed;
-        break;
-      case PortPolicy::kCyclic:
-        current_ = PortAssignment::cyclic(config.num_parties());
-        break;
-      case PortPolicy::kAdversarial:
-        current_ = PortAssignment::adversarial_for(config);
-        break;
-      case PortPolicy::kRandomPerRun:
-        num_parties_ = config.num_parties();
-        break;
-    }
-  }
-
-  /// The assignment for the next run; null for blackboard runs.
-  const PortAssignment* next() {
-    if (policy_ == PortPolicy::kNone) return nullptr;
-    if (policy_ == PortPolicy::kRandomPerRun) {
-      current_ = PortAssignment::random(num_parties_, rng_);
-    }
-    return &*current_;
-  }
-
- private:
-  PortPolicy policy_;
-  Xoshiro256StarStar rng_;
-  int num_parties_ = 0;
-  std::optional<PortAssignment> current_;
+/// Buffered outcome of one parallel run, kept so the observer can be
+/// drained on the calling thread in run-index order after the workers
+/// join. `ports` is populated only for kRandomPerRun; run-invariant
+/// policies share one assignment held by the drain instead of `count`
+/// copies of the same wiring.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  std::optional<PortAssignment> ports;
+  ProtocolOutcome outcome;
 };
+
+/// The worker count a batch of `count` runs actually uses: the configured
+/// number (0 = hardware concurrency), never more than the run count.
+int resolve_workers(const ParallelConfig& config, std::uint64_t count) {
+  std::uint64_t workers = static_cast<std::uint64_t>(config.threads);
+  if (config.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  }
+  if (count > 0 && workers > count) workers = count;
+  return static_cast<int>(std::max<std::uint64_t>(workers, 1));
+}
 
 }  // namespace
 
@@ -69,9 +52,16 @@ void AgentExperimentSpec::validate() const {
         "AgentExperimentSpec: ports must be given exactly for message "
         "passing");
   }
-  if (port_policy == PortPolicy::kFixed && !fixed_ports.has_value()) {
-    throw InvalidArgument(
-        "AgentExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+  if (port_policy == PortPolicy::kFixed) {
+    if (!fixed_ports.has_value()) {
+      throw InvalidArgument(
+          "AgentExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+    }
+    if (fixed_ports->num_parties() != config.num_parties()) {
+      throw InvalidArgument(
+          "AgentExperimentSpec: fixed_ports party count does not match the "
+          "configuration");
+    }
   }
   if (task.has_value() && task->num_parties() != config.num_parties()) {
     throw InvalidArgument(
@@ -80,81 +70,170 @@ void AgentExperimentSpec::validate() const {
   }
 }
 
+Engine& Engine::set_parallel(ParallelConfig config) {
+  if (config.threads < 0) {
+    throw InvalidArgument("ParallelConfig: threads must be >= 0");
+  }
+  parallel_ = config;
+  return *this;
+}
+
 ProtocolOutcome Engine::run(const ExperimentSpec& spec, std::uint64_t seed) {
   spec.validate();
   PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                      spec.config, spec.port_seed);
-  return run_prepared(spec, seed, ports.next());
+  const ProtocolOutcome outcome =
+      run_prepared(ctx_, spec, seed, ports.next());
+  store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
+  return outcome;
 }
 
 ProtocolOutcome Engine::run(const ExperimentSpec& spec) {
   return run(spec, spec.seeds.first);
 }
 
-ProtocolOutcome Engine::run_prepared(const ExperimentSpec& spec,
-                                     std::uint64_t seed,
-                                     const PortAssignment* ports) {
-  const int n = spec.config.num_parties();
-  if (bank_.has_value()) {
-    bank_->reset(spec.config, seed);
-  } else {
-    bank_.emplace(spec.config, seed);
-  }
-  store_.reset();
-  std::vector<KnowledgeId> knowledge = initial_knowledge(store_, n);
-
-  ProtocolOutcome outcome;
-  outcome.outputs.assign(static_cast<std::size_t>(n), 0);
-  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
-
-  const AnonymousProtocol& protocol = *spec.protocol;
-  int undecided = n;
-  std::vector<bool> bits;
-  for (int round = 1; round <= spec.max_rounds && undecided > 0; ++round) {
-    bits.clear();
-    bits.reserve(static_cast<std::size_t>(n));
-    for (int party = 0; party < n; ++party) {
-      bits.push_back(bank_->party_bit(party, round));
-    }
-    if (spec.model == Model::kBlackboard) {
-      knowledge = blackboard_round(store_, knowledge, bits);
-    } else {
-      knowledge = message_round(store_, knowledge, bits, *ports, spec.variant);
-    }
-    for (int party = 0; party < n; ++party) {
-      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
-        continue;
-      }
-      const auto verdict =
-          protocol.decide(store_, knowledge[static_cast<std::size_t>(party)]);
-      if (verdict.has_value()) {
-        outcome.outputs[static_cast<std::size_t>(party)] = *verdict;
-        outcome.decision_round[static_cast<std::size_t>(party)] = round;
-        --undecided;
-        outcome.rounds = round;
-      }
+/// The shared batch driver. run_fn(ctx, seed, ports) executes one run; the
+/// driver owns scheduling, port-provider advancement, statistics sharding,
+/// and observer ordering.
+///
+/// Determinism: runs are dealt to workers in fixed chunks of consecutive
+/// indices (round-robin by worker index), every worker advances its own
+/// port provider to each chunk's start with the serial sweep's exact rng
+/// consumption, and the per-worker shards are merged in worker-index
+/// order. Since maps inside RunStats are ordered and its counters
+/// commutative, the aggregate is byte-identical for every worker count.
+template <typename Spec, typename RunFn>
+RunStats Engine::drive_batch(const Spec& spec, const SymmetricTask* task,
+                             const RunObserver& observer, RunFn&& run_fn) {
+  const std::uint64_t count = spec.seeds.count;
+  int workers = resolve_workers(parallel_, count);
+  std::uint64_t chunk = count;
+  std::uint64_t num_chunks = 1;
+  if (workers > 1) {
+    chunk = parallel_.chunk != 0
+                ? parallel_.chunk
+                : (count + static_cast<std::uint64_t>(workers) - 1) /
+                      static_cast<std::uint64_t>(workers);
+    num_chunks = (count + chunk - 1) / chunk;
+    // A coarse chunk can leave fewer chunks than workers; don't spawn
+    // threads that could never receive one (a single chunk falls back to
+    // the serial path below).
+    if (static_cast<std::uint64_t>(workers) > num_chunks) {
+      workers = static_cast<int>(num_chunks);
     }
   }
-  outcome.terminated = undecided == 0;
-  store_high_water_ = std::max(store_high_water_, store_.size());
-  return outcome;
+
+  if (workers <= 1) {
+    // Serial fast path: the engine's own context, observer inline.
+    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                       spec.config, spec.port_seed);
+    RunStats stats;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t seed = spec.seeds.first + i;
+      const PortAssignment* assignment = ports.next();
+      const ProtocolOutcome outcome = run_fn(ctx_, seed, assignment);
+      stats.record(outcome, task);
+      if (observer) observer(RunView{seed, i, assignment}, outcome);
+    }
+    store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
+    return stats;
+  }
+
+  // Worker contexts persist on the engine so a sweep of many batches
+  // reuses their allocations, mirroring the serial ctx_.
+  if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
+    worker_ctxs_.resize(static_cast<std::size_t>(workers));
+  }
+  std::vector<RunStats> shards(static_cast<std::size_t>(workers));
+  const bool per_run_ports =
+      spec.port_policy == PortPolicy::kRandomPerRun;
+  std::optional<PortAssignment> shared_ports;
+  std::vector<RunRecord> records;
+  if (observer) {
+    records.resize(count);  // slot i written by exactly one worker
+    if (spec.model == Model::kMessagePassing && !per_run_ports) {
+      PortProvider once(spec.model, spec.port_policy, spec.fixed_ports,
+                        spec.config, spec.port_seed);
+      shared_ports = *once.next();
+    }
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  auto spawn = [&](int w) {
+    pool.emplace_back([&, w] {
+      try {
+        RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
+        RunStats& shard = shards[static_cast<std::size_t>(w)];
+        PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                           spec.config, spec.port_seed);
+        for (std::uint64_t c = static_cast<std::uint64_t>(w); c < num_chunks;
+             c += static_cast<std::uint64_t>(workers)) {
+          const std::uint64_t begin = c * chunk;
+          const std::uint64_t end = std::min(begin + chunk, count);
+          ports.skip_to(begin);
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const std::uint64_t seed = spec.seeds.first + i;
+            const PortAssignment* assignment = ports.next();
+            ProtocolOutcome outcome = run_fn(ctx, seed, assignment);
+            shard.record(outcome, task);  // record() only reads
+            if (observer) {
+              RunRecord& record = records[i];
+              record.seed = seed;
+              if (per_run_ports && assignment != nullptr) {
+                record.ports = *assignment;
+              }
+              record.outcome = std::move(outcome);
+            }
+          }
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  };
+  try {
+    for (int w = 0; w < workers; ++w) spawn(w);
+  } catch (...) {
+    // Thread creation failed (e.g. the host's thread limit): join the
+    // workers already running before rethrowing — destroying a joinable
+    // std::thread would terminate the process.
+    for (std::thread& worker : pool) worker.join();
+    throw;
+  }
+  for (std::thread& worker : pool) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  RunStats stats;
+  for (const RunStats& shard : shards) stats.merge(shard);
+  for (const RunContext& ctx : worker_ctxs_) {
+    store_high_water_ = std::max(store_high_water_, ctx.store_high_water);
+  }
+  if (observer) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RunRecord& record = records[i];
+      const PortAssignment* ports =
+          record.ports.has_value()
+              ? &*record.ports
+              : (shared_ports.has_value() ? &*shared_ports : nullptr);
+      observer(RunView{record.seed, i, ports}, record.outcome);
+    }
+  }
+  return stats;
 }
 
 RunStats Engine::run_batch(const ExperimentSpec& spec,
                            const RunObserver& observer) {
   spec.validate();
-  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
-                     spec.config, spec.port_seed);
-  RunStats stats;
   const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
-  for (std::uint64_t i = 0; i < spec.seeds.count; ++i) {
-    const std::uint64_t seed = spec.seeds.first + i;
-    const PortAssignment* assignment = ports.next();
-    const ProtocolOutcome outcome = run_prepared(spec, seed, assignment);
-    stats.record(outcome, task);
-    if (observer) observer(RunView{seed, i, assignment}, outcome);
-  }
-  return stats;
+  return drive_batch(spec, task, observer,
+                     [&spec](RunContext& ctx, std::uint64_t seed,
+                             const PortAssignment* ports) {
+                       return run_prepared(ctx, spec, seed, ports);
+                     });
 }
 
 std::vector<RunStats> Engine::run_sweep(const std::vector<ExperimentSpec>& specs,
@@ -170,29 +249,12 @@ std::vector<RunStats> Engine::run_sweep(const std::vector<ExperimentSpec>& specs
 RunStats Engine::run_agent_batch(const AgentExperimentSpec& spec,
                                  const RunObserver& observer) {
   spec.validate();
-  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
-                     spec.config, spec.port_seed);
-  RunStats stats;
   const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
-  for (std::uint64_t i = 0; i < spec.seeds.count; ++i) {
-    const std::uint64_t seed = spec.seeds.first + i;
-    const PortAssignment* assignment = ports.next();
-    std::optional<PortAssignment> run_ports;
-    if (assignment != nullptr) run_ports = *assignment;
-    sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
-                     spec.factory);
-    const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
-    ProtocolOutcome outcome;
-    outcome.terminated = net_outcome.all_decided;
-    outcome.rounds = net_outcome.rounds;
-    outcome.outputs = net_outcome.outputs;
-    outcome.decision_round = net_outcome.decision_round;
-    stats.record(outcome, task);
-    // The observer runs while the Network (and its agents) are alive, so it
-    // may read agent-side counters captured via the factory.
-    if (observer) observer(RunView{seed, i, assignment}, outcome);
-  }
-  return stats;
+  return drive_batch(spec, task, observer,
+                     [&spec](RunContext&, std::uint64_t seed,
+                             const PortAssignment* ports) {
+                       return run_agent_prepared(spec, seed, ports);
+                     });
 }
 
 }  // namespace rsb

@@ -1,13 +1,21 @@
 // The experiment engine: batched execution of declarative specs.
 //
-// An Engine owns the mutable scratch state a protocol run needs — the
-// KnowledgeStore intern table and the SourceBank bit streams — and reuses
-// those allocations across every run of a batch instead of rebuilding them
-// per call (the store is reset, not reallocated, so its table storage is
-// amortized across the sweep). Semantics are unchanged: a reset store hands
-// out ids in the same insertion order as a fresh one, so Engine results are
-// bit-identical to the legacy one-shot run_protocol(...) path for equal
+// An Engine drives sweeps of (spec, seed) runs. The mutable scratch state a
+// run needs — the KnowledgeStore intern table and the SourceBank bit
+// streams — lives in a RunContext (engine/run_context.hpp); the engine owns
+// one context for serial work and hands every worker of a parallel batch
+// its own, reusing allocations across all runs of a batch either way.
+// Semantics are unchanged from the one-shot path: a reset store hands out
+// ids in the same insertion order as a fresh one, so Engine results are
+// bit-identical to the legacy run_protocol(...) path for equal
 // (spec, seed) — a guarantee the engine tests assert.
+//
+// Parallelism (ParallelConfig) never changes results: every run is a pure
+// function of (spec, seed, ports), per-run port assignments are drawn
+// draw-for-draw as in the serial sweep regardless of which worker executes
+// the run, and per-worker RunStats shards are merged in worker-index order
+// — so run_batch returns byte-identical statistics for any thread count
+// (pinned by tests/parallel_engine_test.cpp).
 //
 // Two run backends share the batching and statistics machinery:
 //  * knowledge-level protocols (AnonymousProtocol decision functions over
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "engine/experiment.hpp"
+#include "engine/run_context.hpp"
 #include "knowledge/knowledge.hpp"
 #include "randomness/source_bank.hpp"
 #include "sim/network.hpp"
@@ -38,6 +47,20 @@ struct RunView {
 
 /// Optional per-run callback: benches use it for custom columns (leader
 /// counts, per-run traces) without re-rolling the sweep loop.
+///
+/// Ordering contract: the observer always fires on the calling thread, in
+/// run-index order, exactly once per run — also under a parallel batch,
+/// where outcomes are buffered and drained in order after the workers
+/// join (an observed parallel batch therefore holds every run's outcome
+/// in memory at once; skip the observer on very large sweeps and read
+/// the aggregate RunStats instead). Observers need no locking for their
+/// own state; but note
+/// that in an agent batch — serial or parallel — the observer runs after
+/// the per-run sim::Network has been destroyed, so factory-captured
+/// pointers into agents are dangling by the time it fires (bank per-run
+/// agent diagnostics out of the agent before teardown instead — and make
+/// them atomic, since under threads > 1 agent code runs concurrently on
+/// the workers).
 using RunObserver =
     std::function<void(const RunView& view, const ProtocolOutcome& outcome)>;
 
@@ -58,40 +81,72 @@ struct AgentExperimentSpec {
   void validate() const;
 };
 
+/// How a batch is spread over threads. The default is serial; threads = 0
+/// means "one worker per hardware thread". Chunks of `chunk` consecutive
+/// runs are dealt to workers round-robin (chunk = 0 picks count/threads,
+/// i.e. one contiguous span per worker). The knob trades scheduling
+/// granularity against port-stream skip-ahead work; it never affects
+/// results.
+struct ParallelConfig {
+  int threads = 1;          // worker count; 1 = serial, 0 = all hardware
+  std::uint64_t chunk = 0;  // runs per scheduling chunk; 0 = auto
+};
+
 class Engine {
  public:
   Engine() = default;
 
+  /// Sets the scheduling policy for subsequent batches. Returns *this for
+  /// chaining; throws InvalidArgument on threads < 0.
+  Engine& set_parallel(ParallelConfig config);
+
+  /// Shorthand for set_parallel({threads, 0}).
+  Engine& with_threads(int threads) { return set_parallel({threads, 0}); }
+
+  const ParallelConfig& parallel() const noexcept { return parallel_; }
+
   /// One run of the spec at the given seed. Deterministic: equal
   /// (spec, seed) produce equal outcomes regardless of the engine's
-  /// history.
+  /// history. Always executes on the calling thread.
   ProtocolOutcome run(const ExperimentSpec& spec, std::uint64_t seed);
 
   /// One run at the spec's first seed.
   ProtocolOutcome run(const ExperimentSpec& spec);
 
-  /// Sweeps spec.seeds, aggregating every outcome into a RunStats.
+  /// Sweeps spec.seeds, aggregating every outcome into a RunStats. Runs on
+  /// the configured worker pool; results are identical for every
+  /// ParallelConfig.
   RunStats run_batch(const ExperimentSpec& spec,
                      const RunObserver& observer = nullptr);
 
   /// Runs several specs back to back (a load-shape or policy sweep),
-  /// reusing this engine's allocations throughout.
+  /// reusing this engine's allocations throughout. Each spec's batch runs
+  /// on the configured worker pool.
   std::vector<RunStats> run_sweep(const std::vector<ExperimentSpec>& specs,
                                   const RunObserver& observer = nullptr);
 
-  /// Sweeps an agent-level spec through sim::Network runs.
+  /// Sweeps an agent-level spec through sim::Network runs. Parallel note:
+  /// the spec's factory (and the agents it creates) is invoked concurrently
+  /// when threads > 1 — factories must be safe to call from multiple
+  /// threads (a capture-free factory always is).
   RunStats run_agent_batch(const AgentExperimentSpec& spec,
                            const RunObserver& observer = nullptr);
 
-  /// Peak intern-table size seen so far (diagnostic for allocation reuse).
+  /// Peak intern-table size seen so far (diagnostic for allocation reuse),
+  /// aggregated as the max over the serial context and every parallel
+  /// worker context the engine has run.
   std::size_t store_high_water() const noexcept { return store_high_water_; }
 
  private:
-  ProtocolOutcome run_prepared(const ExperimentSpec& spec, std::uint64_t seed,
-                               const PortAssignment* ports);
+  /// Spec is ExperimentSpec or AgentExperimentSpec — they share the
+  /// batching fields (model, config, port policy, seeds) by name.
+  template <typename Spec, typename RunFn>
+  RunStats drive_batch(const Spec& spec, const SymmetricTask* task,
+                       const RunObserver& observer, RunFn&& run_fn);
 
-  KnowledgeStore store_;
-  std::optional<SourceBank> bank_;
+  RunContext ctx_;  // serial-mode (and single-run) context
+  std::vector<RunContext> worker_ctxs_;  // parallel-mode, reused per batch
+  ParallelConfig parallel_;
   std::size_t store_high_water_ = 0;
 };
 

@@ -127,7 +127,16 @@ struct RunStats {
   void record(const ProtocolOutcome& outcome, const SymmetricTask* task);
 
   /// Pools another batch's counters into this one (for sharded sweeps).
+  /// Merging is associative and commutative — every field is a sum, an
+  /// or, or an ordered map of sums — so shards cover the
+  /// same aggregate regardless of how the runs were dealt out; the engine
+  /// still merges per-worker shards in worker-index order so the operation
+  /// sequence itself is reproducible. Merging an empty shard is a no-op.
   void merge(const RunStats& other);
+
+  /// Field-wise equality; the parallel determinism tests compare whole
+  /// aggregates across thread counts with this.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 
   /// One-line human summary.
   std::string summary() const;

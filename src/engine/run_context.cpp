@@ -1,0 +1,122 @@
+#include "engine/run_context.hpp"
+
+#include <algorithm>
+
+#include "engine/engine.hpp"
+#include "sim/network.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+
+ProtocolOutcome run_prepared(RunContext& ctx, const ExperimentSpec& spec,
+                             std::uint64_t seed,
+                             const PortAssignment* ports) {
+  const int n = spec.config.num_parties();
+  if (ctx.bank.has_value()) {
+    ctx.bank->reset(spec.config, seed);
+  } else {
+    ctx.bank.emplace(spec.config, seed);
+  }
+  ctx.store.reset();
+  std::vector<KnowledgeId> knowledge = initial_knowledge(ctx.store, n);
+
+  ProtocolOutcome outcome;
+  outcome.outputs.assign(static_cast<std::size_t>(n), 0);
+  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
+
+  const AnonymousProtocol& protocol = *spec.protocol;
+  int undecided = n;
+  std::vector<bool>& bits = ctx.bits;
+  for (int round = 1; round <= spec.max_rounds && undecided > 0; ++round) {
+    bits.clear();
+    bits.reserve(static_cast<std::size_t>(n));
+    for (int party = 0; party < n; ++party) {
+      bits.push_back(ctx.bank->party_bit(party, round));
+    }
+    if (spec.model == Model::kBlackboard) {
+      knowledge = blackboard_round(ctx.store, knowledge, bits);
+    } else {
+      knowledge =
+          message_round(ctx.store, knowledge, bits, *ports, spec.variant);
+    }
+    for (int party = 0; party < n; ++party) {
+      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
+        continue;
+      }
+      const auto verdict = protocol.decide(
+          ctx.store, knowledge[static_cast<std::size_t>(party)]);
+      if (verdict.has_value()) {
+        outcome.outputs[static_cast<std::size_t>(party)] = *verdict;
+        outcome.decision_round[static_cast<std::size_t>(party)] = round;
+        --undecided;
+        outcome.rounds = round;
+      }
+    }
+  }
+  outcome.terminated = undecided == 0;
+  ctx.store_high_water = std::max(ctx.store_high_water, ctx.store.size());
+  return outcome;
+}
+
+ProtocolOutcome run_agent_prepared(const AgentExperimentSpec& spec,
+                                   std::uint64_t seed,
+                                   const PortAssignment* ports) {
+  std::optional<PortAssignment> run_ports;
+  if (ports != nullptr) run_ports = *ports;
+  sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
+                   spec.factory);
+  const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
+  ProtocolOutcome outcome;
+  outcome.terminated = net_outcome.all_decided;
+  outcome.rounds = net_outcome.rounds;
+  outcome.outputs = net_outcome.outputs;
+  outcome.decision_round = net_outcome.decision_round;
+  return outcome;
+}
+
+PortProvider::PortProvider(Model model, PortPolicy policy,
+                           const std::optional<PortAssignment>& fixed,
+                           const SourceConfiguration& config,
+                           std::uint64_t port_seed)
+    : policy_(policy), rng_(port_seed) {
+  if (model != Model::kMessagePassing) return;
+  switch (policy) {
+    case PortPolicy::kNone:
+      break;
+    case PortPolicy::kFixed:
+      current_ = *fixed;
+      break;
+    case PortPolicy::kCyclic:
+      current_ = PortAssignment::cyclic(config.num_parties());
+      break;
+    case PortPolicy::kAdversarial:
+      current_ = PortAssignment::adversarial_for(config);
+      break;
+    case PortPolicy::kRandomPerRun:
+      num_parties_ = config.num_parties();
+      break;
+  }
+}
+
+const PortAssignment* PortProvider::next() {
+  if (policy_ == PortPolicy::kNone) return nullptr;
+  if (policy_ == PortPolicy::kRandomPerRun) {
+    current_ = PortAssignment::random(num_parties_, rng_);
+  }
+  ++produced_;
+  return &*current_;
+}
+
+void PortProvider::skip_to(std::uint64_t run_index) {
+  if (run_index < produced_) {
+    throw InvalidArgument("PortProvider::skip_to: cannot rewind");
+  }
+  if (policy_ == PortPolicy::kRandomPerRun) {
+    for (std::uint64_t i = produced_; i < run_index; ++i) {
+      PortAssignment::discard_random(num_parties_, rng_);
+    }
+  }
+  produced_ = run_index;
+}
+
+}  // namespace rsb

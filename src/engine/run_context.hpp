@@ -1,0 +1,80 @@
+// Per-run mutable state and the free-standing run functions.
+//
+// A RunContext is everything one protocol run mutates — the KnowledgeStore
+// intern table, the SourceBank bit streams, a bits scratch vector, and the
+// store's high-water diagnostic. It is a plain value: the Engine owns one
+// for serial batches, and the parallel scheduler gives every worker its
+// own, so any worker can execute any (spec, seed) pair independently.
+//
+// The determinism contract (DESIGN.md, "Concurrency model"): run_prepared
+// is a pure function of (spec, seed, ports) — the context only recycles
+// allocations, never leaks state between runs, because both the store and
+// the bank are reset to observational freshness at the top of every run.
+// KnowledgeIds are context-local: an id produced inside one context must
+// never be compared with, or looked up in, another context's store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "knowledge/knowledge.hpp"
+#include "randomness/source_bank.hpp"
+#include "util/rng.hpp"
+
+namespace rsb {
+
+struct AgentExperimentSpec;
+
+/// The per-run scratch state of one worker. Default-constructed contexts
+/// are ready to use; reuse across runs amortizes all allocations.
+struct RunContext {
+  KnowledgeStore store;
+  std::optional<SourceBank> bank;  // allocated lazily on the first run
+  std::size_t store_high_water = 0;
+  std::vector<bool> bits;  // per-round randomness scratch
+};
+
+/// One knowledge-level run of `spec` at `seed` over `ctx`. `ports` must be
+/// non-null iff the spec is message passing. Deterministic: equal
+/// (spec, seed, *ports) produce equal outcomes in every context,
+/// regardless of the context's history.
+ProtocolOutcome run_prepared(RunContext& ctx, const ExperimentSpec& spec,
+                             std::uint64_t seed, const PortAssignment* ports);
+
+/// One agent-level run of `spec` at `seed` through a fresh sim::Network.
+/// Self-contained (the network owns its own state); deterministic in
+/// (spec, seed, ports).
+ProtocolOutcome run_agent_prepared(const AgentExperimentSpec& spec,
+                                   std::uint64_t seed,
+                                   const PortAssignment* ports);
+
+/// Per-batch port provider: materializes the port policy once (fixed
+/// policies) or per run (kRandomPerRun, drawn from the port_seed stream).
+/// next() yields the assignment for run 0, 1, 2, ... in order; skip_to()
+/// lets a parallel worker jump to its chunk while consuming the rng
+/// draw-for-draw as the serial sweep would, so the wiring of run i is
+/// independent of which worker executes it.
+class PortProvider {
+ public:
+  PortProvider(Model model, PortPolicy policy,
+               const std::optional<PortAssignment>& fixed,
+               const SourceConfiguration& config, std::uint64_t port_seed);
+
+  /// The assignment for the next run; null for blackboard runs.
+  const PortAssignment* next();
+
+  /// Advances so that the following next() yields the assignment of run
+  /// `run_index`. Must not go backwards.
+  void skip_to(std::uint64_t run_index);
+
+ private:
+  PortPolicy policy_;
+  Xoshiro256StarStar rng_;
+  int num_parties_ = 0;
+  std::uint64_t produced_ = 0;  // runs whose assignment has been drawn
+  std::optional<PortAssignment> current_;
+};
+
+}  // namespace rsb

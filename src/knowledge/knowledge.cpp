@@ -6,18 +6,40 @@
 
 namespace rsb {
 
+namespace {
+constexpr KnowledgeId kEmptySlot = static_cast<KnowledgeId>(-1);
+constexpr std::size_t kInitialSlots = 64;  // power of two
+
+/// Smallest power-of-two table that holds `nodes` entries at load <= 1/2.
+std::size_t table_size_for(std::size_t nodes) {
+  std::size_t wanted = kInitialSlots;
+  while (wanted < (nodes + 1) * 2) wanted *= 2;
+  return wanted;
+}
+}  // namespace
+
 KnowledgeStore::KnowledgeStore() { reset(); }
 
 void KnowledgeStore::reset() {
-  // clear() keeps the vector's and the hash table's storage, so repeated
-  // runs through one store stop allocating once the largest run has been
-  // seen. Reserve id 0 for ⊥.
+  // clear() keeps the vectors' storage and the slot table is vacated in
+  // place, so repeated runs through one store stop allocating once the
+  // largest run has been seen; the reserve()s from the high-water mark
+  // additionally spare a store that has only seen small runs the growth
+  // reallocations when a deep recursion arrives. Reserve id 0 for ⊥.
+  peak_nodes_ = std::max(peak_nodes_, nodes_.size());
   nodes_.clear();
-  by_hash_.clear();
+  hashes_.clear();
+  nodes_.reserve(peak_nodes_);
+  hashes_.reserve(peak_nodes_);
+  const std::size_t wanted = table_size_for(peak_nodes_);
+  if (slots_.size() < wanted) {
+    slots_.assign(wanted, kEmptySlot);
+  } else {
+    std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  }
   Node bottom;
   bottom.kind = KnowledgeKind::kBottom;
-  nodes_.push_back(bottom);
-  by_hash_[node_hash(nodes_.front())].push_back(0);
+  intern(std::move(bottom));
 }
 
 KnowledgeId KnowledgeStore::input(std::int64_t value) {
@@ -154,14 +176,38 @@ std::string KnowledgeStore::to_string(KnowledgeId id) const {
 
 KnowledgeId KnowledgeStore::intern(Node new_node) {
   const std::uint64_t h = node_hash(new_node);
-  auto& bucket = by_hash_[h];
-  for (KnowledgeId id : bucket) {
-    if (node_equal(nodes_[id], new_node)) return id;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (true) {
+    const KnowledgeId occupant = slots_[i];
+    if (occupant == kEmptySlot) break;
+    if (hashes_[occupant] == h && node_equal(nodes_[occupant], new_node)) {
+      return occupant;
+    }
+    i = (i + 1) & mask;
   }
   const KnowledgeId id = static_cast<KnowledgeId>(nodes_.size());
   nodes_.push_back(std::move(new_node));
-  bucket.push_back(id);
+  hashes_.push_back(h);
+  slots_[i] = id;
+  // Keep the load factor at most 1/2 so probe chains stay short. (The
+  // constant-time check is equivalent to table_size_for(nodes_.size()) >
+  // slots_.size() because slots_.size() is always a power of two >=
+  // kInitialSlots — don't pay the sizing loop on the hot path.)
+  if ((nodes_.size() + 1) * 2 > slots_.size()) grow_slots();
   return id;
+}
+
+void KnowledgeStore::grow_slots() {
+  std::vector<KnowledgeId> bigger(table_size_for(nodes_.size()), kEmptySlot);
+  const std::size_t mask = bigger.size() - 1;
+  for (KnowledgeId id = 0; id < static_cast<KnowledgeId>(nodes_.size());
+       ++id) {
+    std::size_t i = static_cast<std::size_t>(hashes_[id]) & mask;
+    while (bigger[i] != kEmptySlot) i = (i + 1) & mask;
+    bigger[i] = id;
+  }
+  slots_ = std::move(bigger);
 }
 
 std::uint64_t KnowledgeStore::node_hash(const Node& n) const {

@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "util/hash.hpp"
@@ -37,6 +36,11 @@ enum class KnowledgeKind : std::uint8_t {
   kMessageStep,     // Eq. (2)
 };
 
+// A KnowledgeStore is single-threaded mutable state, and a KnowledgeId is
+// meaningful only relative to the store that interned it: two stores hand
+// out ids in their own insertion orders, so ids must never be compared or
+// dereferenced across stores (see DESIGN.md, "Concurrency model"). Parallel
+// drivers give every worker its own store.
 class KnowledgeStore {
  public:
   KnowledgeStore();
@@ -46,7 +50,9 @@ class KnowledgeStore {
   /// observationally identical to a freshly constructed one — ids are
   /// handed out in the same insertion order — so batch drivers such as the
   /// experiment Engine can reuse one store across runs without perturbing
-  /// id-based canonical orders.
+  /// id-based canonical orders. The node and index storage is pre-sized
+  /// from the high-water mark over all previous resets, so steady-state
+  /// runs of a sweep allocate nothing.
   void reset();
 
   /// The unique ⊥ value (always id 0).
@@ -127,9 +133,18 @@ class KnowledgeStore {
   std::uint64_t node_hash(const Node& node) const;
   bool node_equal(const Node& a, const Node& b) const;
   const Node& node(KnowledgeId id) const;
+  void grow_slots();
 
+  // The intern index is a flat open-addressed table of ids (linear probing,
+  // power-of-two size, kEmptySlot = vacant) over nodes_, with the hash of
+  // each node cached in hashes_. Unlike a node-based unordered_map of
+  // bucket vectors, reset() can vacate it with one fill — no per-bucket
+  // deallocation — so a batch driver that resets the store between runs
+  // stops touching the allocator once the largest run has been seen.
   std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, std::vector<KnowledgeId>> by_hash_;
+  std::vector<std::uint64_t> hashes_;  // node_hash(nodes_[id]), index = id
+  std::vector<KnowledgeId> slots_;     // open-addressed index into nodes_
+  std::size_t peak_nodes_ = 0;         // high-water across resets
 };
 
 }  // namespace rsb

@@ -93,6 +93,20 @@ PortAssignment PortAssignment::random(int num_parties,
   return PortAssignment(std::move(rows));
 }
 
+void PortAssignment::discard_random(int num_parties,
+                                    Xoshiro256StarStar& rng) {
+  // Must mirror random()'s consumption exactly: per party, a Fisher–Yates
+  // pass over a row of num_parties - 1 entries — which draws nothing for
+  // n < 3 (and the unsigned row size would wrap for n = 0).
+  if (num_parties < 2) return;
+  for (int i = 0; i < num_parties; ++i) {
+    for (std::size_t a = static_cast<std::size_t>(num_parties) - 1; a > 1;
+         --a) {
+      (void)rng.below(a);
+    }
+  }
+}
+
 PortAssignment PortAssignment::adversarial(int num_parties, int block_size) {
   if (block_size < 1 || num_parties % block_size != 0) {
     throw InvalidArgument(

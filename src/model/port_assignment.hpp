@@ -46,6 +46,12 @@ class PortAssignment {
   /// Uniformly random rows.
   static PortAssignment random(int num_parties, Xoshiro256StarStar& rng);
 
+  /// Advances `rng` by exactly the draws random(num_parties, rng) would
+  /// consume, without materializing the assignment. Lets a parallel worker
+  /// skip ahead to the wiring of run i while staying draw-for-draw
+  /// identical to a serial sweep that generated runs 0..i-1 first.
+  static void discard_random(int num_parties, Xoshiro256StarStar& rng);
+
   /// The Lemma 4.3 adversarial assignment for block size g | n. With parties
   /// written i = m·g + r (block m, residue r) and ports j = q·g + s, port j
   /// of party i leads to party ((r+s) mod g) + m·g + q·g (mod n).

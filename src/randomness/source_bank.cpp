@@ -19,7 +19,11 @@ void SourceBank::reset(const SourceConfiguration& config, std::uint64_t seed) {
   const std::size_t k = static_cast<std::size_t>(config_.num_sources());
   engines_.clear();
   engines_.reserve(k);
-  emitted_.resize(k);
+  // Never shrink emitted_: a sweep that alternates between wide and narrow
+  // configurations would otherwise destroy and re-grow the surplus streams'
+  // buffers on every flip. Stale streams beyond k are ignored (all loops
+  // run over config_.num_sources()).
+  if (emitted_.size() < k) emitted_.resize(k);
   for (int source = 0; source < config_.num_sources(); ++source) {
     engines_.emplace_back(
         derive_seed(seed, static_cast<std::uint64_t>(source)));
@@ -28,7 +32,8 @@ void SourceBank::reset(const SourceConfiguration& config, std::uint64_t seed) {
 }
 
 void SourceBank::extend_to(int round) {
-  for (std::size_t source = 0; source < emitted_.size(); ++source) {
+  const std::size_t k = static_cast<std::size_t>(config_.num_sources());
+  for (std::size_t source = 0; source < k; ++source) {
     while (emitted_[source].size() < round) {
       emitted_[source].push_back(engines_[source].next_bit());
     }

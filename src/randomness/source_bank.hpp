@@ -23,7 +23,9 @@ class SourceBank {
 
   /// Re-targets the bank at a (possibly different) configuration and seed,
   /// as if freshly constructed, while keeping the per-source stream storage
-  /// allocated. Batch drivers call this between runs.
+  /// allocated (the stream buffers track the high-water source count across
+  /// resets). Batch drivers call this between runs. A bank is
+  /// single-threaded state: parallel drivers give every worker its own.
   void reset(const SourceConfiguration& config, std::uint64_t seed);
 
   const SourceConfiguration& config() const noexcept { return config_; }

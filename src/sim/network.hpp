@@ -105,6 +105,12 @@ class Agent {
   std::int64_t output_ = 0;
 };
 
+// A Network (with its agents and source streams) is single-threaded state:
+// one run mutates exactly one network. Parallel batch drivers
+// (Engine::run_agent_batch with threads > 1) build an independent Network
+// per run on each worker, so the AgentFactory handed to such a batch is
+// invoked concurrently — a factory (and any state its agents share through
+// it) must be thread-safe; capture-free factories always are.
 class Network {
  public:
   using AgentFactory = std::function<std::unique_ptr<Agent>(int party)>;

@@ -143,6 +143,44 @@ TEST(Knowledge, AccessorsValidateKind) {
   EXPECT_THROW(store.kind(999999), InvalidArgument);
 }
 
+TEST(Knowledge, ResetReplaysIdsInInsertionOrder) {
+  // The engine's reuse contract: after reset() the store must hand out the
+  // same ids for the same insertion sequence as a fresh store, including
+  // when the reset table was pre-sized by a much larger earlier run (the
+  // flat intern index keeps its high-water capacity across resets).
+  KnowledgeStore store;
+  // A deep run to push the high-water mark well past the initial table.
+  KnowledgeId deep = store.bottom();
+  for (int i = 0; i < 2000; ++i) {
+    deep = store.blackboard_step(deep, i % 2 == 0, {store.input(i)});
+  }
+  const std::size_t big = store.size();
+  EXPECT_GT(big, 2000u);
+
+  auto build = [](KnowledgeStore& s) {
+    std::vector<KnowledgeId> ids;
+    ids.push_back(s.input(7));
+    ids.push_back(s.blackboard_step(s.bottom(), true, {ids[0]}));
+    ids.push_back(s.message_step_tagged(ids[1], false, {ids[0], ids[1]},
+                                        {2, 1}));
+    ids.push_back(s.blackboard_step(ids[1], true, {ids[2], ids[0]}));
+    return ids;
+  };
+  store.reset();
+  KnowledgeStore fresh;
+  EXPECT_EQ(build(store), build(fresh));
+  EXPECT_EQ(store.size(), fresh.size());
+  EXPECT_EQ(store.bottom(), 0u);
+
+  // And the pre-sized store can grow past its old peak again.
+  store.reset();
+  KnowledgeId deeper = store.bottom();
+  for (int i = 0; i < 3000; ++i) {
+    deeper = store.blackboard_step(deeper, i % 3 == 0, {store.input(i)});
+  }
+  EXPECT_GT(store.size(), big);
+}
+
 TEST(Knowledge, ToStringRendersStructure) {
   KnowledgeStore store;
   EXPECT_EQ(store.to_string(store.bottom()), "⊥");

@@ -1,0 +1,343 @@
+// Tests for the parallel experiment engine: byte-identical RunStats across
+// thread counts (the determinism contract of DESIGN.md's "Concurrency
+// model"), observer ordering under threads > 1, RunStats::merge edge
+// cases, the chunk knob, and high-water aggregation across worker
+// contexts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/euclid.hpp"
+#include "engine/engine.hpp"
+#include "engine/run_context.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+ExperimentSpec blackboard_spec(int n, std::uint64_t seeds) {
+  return ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+      .with_protocol("wait-for-singleton-LE")
+      .with_task("leader-election")
+      .with_rounds(300)
+      .with_seeds(1, seeds);
+}
+
+ExperimentSpec message_passing_spec(std::uint64_t seeds) {
+  return ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+      .with_port_seed(99)
+      .with_protocol("wait-for-singleton-LE")
+      .with_task("leader-election")
+      .with_rounds(300)
+      .with_seeds(5, seeds);
+}
+
+AgentExperimentSpec euclid_spec(std::uint64_t seeds);
+
+// ------------------------------------------------- determinism contract
+
+TEST(ParallelEngine, RunBatchIsByteIdenticalAcrossThreadCounts) {
+  const auto spec = blackboard_spec(4, 64);
+  Engine serial;
+  const RunStats reference = serial.run_batch(spec);
+  for (int threads : {2, 8}) {
+    Engine parallel;
+    parallel.set_parallel({threads, 0});
+    const RunStats stats = parallel.run_batch(spec);
+    EXPECT_EQ(stats, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, RandomPerRunPortsAreScheduleIndependent) {
+  // The per-run random wiring must be a function of the run index alone:
+  // worker skip-ahead has to consume the port_seed stream draw-for-draw
+  // as the serial sweep does.
+  const auto spec = message_passing_spec(37);  // odd count: ragged chunks
+  Engine serial;
+  const RunStats reference = serial.run_batch(spec);
+  for (int threads : {2, 8}) {
+    Engine parallel;
+    parallel.set_parallel({threads, 0});
+    EXPECT_EQ(parallel.run_batch(spec), reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, ChunkKnobNeverChangesResults) {
+  const auto spec = message_passing_spec(23);
+  Engine serial;
+  const RunStats reference = serial.run_batch(spec);
+  for (std::uint64_t chunk : {1u, 3u, 7u, 100u}) {
+    Engine parallel;
+    parallel.set_parallel({4, chunk});
+    EXPECT_EQ(parallel.run_batch(spec), reference) << "chunk=" << chunk;
+  }
+}
+
+TEST(ParallelEngine, HardwareConcurrencyResolvesAndMatchesSerial) {
+  const auto spec = blackboard_spec(4, 16);
+  Engine serial;
+  Engine parallel;
+  parallel.set_parallel({0, 0});  // threads = 0 -> hardware concurrency
+  EXPECT_EQ(parallel.run_batch(spec), serial.run_batch(spec));
+}
+
+TEST(ParallelEngine, SweepMatchesSerialPerSpec) {
+  std::vector<ExperimentSpec> specs;
+  for (int n = 3; n <= 5; ++n) specs.push_back(blackboard_spec(n, 12));
+  Engine serial;
+  const std::vector<RunStats> reference = serial.run_sweep(specs);
+  Engine parallel;
+  parallel.set_parallel({8, 0});
+  const std::vector<RunStats> stats = parallel.run_sweep(specs);
+  ASSERT_EQ(stats.size(), reference.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i], reference[i]) << "spec " << i;
+  }
+}
+
+TEST(ParallelEngine, AgentBatchIsByteIdenticalAcrossThreadCounts) {
+  const auto spec = euclid_spec(12);
+  Engine serial;
+  const RunStats reference = serial.run_agent_batch(spec);
+  EXPECT_GT(reference.terminated, 0u);
+  for (int threads : {2, 8}) {
+    Engine parallel;
+    parallel.set_parallel({threads, 0});
+    EXPECT_EQ(parallel.run_agent_batch(spec), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, SingleEngineGivesSameAnswerSerialThenParallel) {
+  // Mode switches on one engine must not leak state between batches.
+  const auto spec = message_passing_spec(20);
+  Engine engine;
+  const RunStats serial = engine.run_batch(spec);
+  engine.set_parallel({4, 0});
+  const RunStats parallel = engine.run_batch(spec);
+  engine.set_parallel({1, 0});
+  const RunStats serial_again = engine.run_batch(spec);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(serial_again, serial);
+}
+
+// ------------------------------------------------------------ observers
+
+TEST(ParallelEngine, ObserverDrainsInRunIndexOrderUnderThreads) {
+  const auto spec = message_passing_spec(29);
+  for (int threads : {2, 8}) {
+    Engine engine;
+    engine.set_parallel({threads, 3});
+    std::vector<std::uint64_t> seeds_seen;
+    engine.run_batch(spec, [&](const RunView& view,
+                               const ProtocolOutcome& outcome) {
+      EXPECT_EQ(view.run_index, seeds_seen.size());
+      ASSERT_NE(view.ports, nullptr);  // message passing: wiring available
+      EXPECT_TRUE(outcome.terminated);
+      seeds_seen.push_back(view.seed);
+    });
+    ASSERT_EQ(seeds_seen.size(), 29u);
+    for (std::size_t i = 0; i < seeds_seen.size(); ++i) {
+      EXPECT_EQ(seeds_seen[i], spec.seeds.first + i);
+    }
+  }
+}
+
+TEST(ParallelEngine, ObserverSeesSharedWiringForRunInvariantPolicies) {
+  // Fixed/cyclic/adversarial policies use one wiring for the whole batch;
+  // the parallel drain hands observers that shared assignment instead of
+  // per-run copies.
+  const PortAssignment wiring = PortAssignment::cyclic(5);
+  auto spec =
+      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+          .with_ports(wiring)
+          .with_protocol("wait-for-singleton-LE")
+          .with_rounds(300)
+          .with_seeds(1, 17);
+  Engine engine;
+  engine.set_parallel({4, 0});
+  std::uint64_t seen = 0;
+  engine.run_batch(spec, [&](const RunView& view, const ProtocolOutcome&) {
+    ASSERT_NE(view.ports, nullptr);
+    EXPECT_EQ(*view.ports, wiring);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 17u);
+}
+
+TEST(ParallelEngine, ObserverSeesSameOutcomesAsSerial) {
+  const auto spec = blackboard_spec(4, 24);
+  auto collect = [&spec](int threads) {
+    Engine engine;
+    engine.set_parallel({threads, 0});
+    std::vector<int> rounds;
+    engine.run_batch(spec,
+                     [&](const RunView&, const ProtocolOutcome& outcome) {
+                       rounds.push_back(outcome.rounds);
+                     });
+    return rounds;
+  };
+  const std::vector<int> reference = collect(1);
+  EXPECT_EQ(collect(2), reference);
+  EXPECT_EQ(collect(8), reference);
+}
+
+// ------------------------------------------------------- RunStats::merge
+
+RunStats stats_of(const ExperimentSpec& spec) {
+  Engine engine;
+  return engine.run_batch(spec);
+}
+
+TEST(RunStatsMerge, EmptyShardIsIdentityOnBothSides) {
+  const RunStats populated = stats_of(blackboard_spec(4, 32));
+  RunStats lhs = populated;
+  lhs.merge(RunStats{});
+  EXPECT_EQ(lhs, populated);
+  RunStats rhs;
+  rhs.merge(populated);
+  EXPECT_EQ(rhs, populated);
+}
+
+TEST(RunStatsMerge, DisjointOutputKeysUnionAndSharedKeysAdd) {
+  RunStats a;
+  a.runs = 2;
+  a.output_counts[0] = 3;
+  a.output_counts[1] = 1;
+  RunStats b;
+  b.runs = 1;
+  b.output_counts[1] = 2;
+  b.output_counts[7] = 5;
+  a.merge(b);
+  EXPECT_EQ(a.runs, 3u);
+  ASSERT_EQ(a.output_counts.size(), 3u);
+  EXPECT_EQ(a.output_counts.at(0), 3u);
+  EXPECT_EQ(a.output_counts.at(1), 3u);
+  EXPECT_EQ(a.output_counts.at(7), 5u);
+}
+
+TEST(RunStatsMerge, HistogramTailRoundsSurviveMerging) {
+  // A shard whose only termination lands far in the histogram tail must
+  // neither be dropped nor re-bucketed, and mean_rounds must re-derive
+  // from the merged sums.
+  RunStats bulk;
+  bulk.runs = 4;
+  bulk.terminated = 4;
+  bulk.total_rounds = 8;
+  bulk.round_histogram[2] = 4;
+  RunStats tail;
+  tail.runs = 1;
+  tail.terminated = 1;
+  tail.total_rounds = 297;
+  tail.round_histogram[297] = 1;
+  bulk.merge(tail);
+  EXPECT_EQ(bulk.terminated, 5u);
+  EXPECT_EQ(bulk.round_histogram.at(2), 4u);
+  EXPECT_EQ(bulk.round_histogram.at(297), 1u);
+  EXPECT_DOUBLE_EQ(bulk.mean_rounds(), 305.0 / 5.0);
+  std::uint64_t histogram_total = 0;
+  for (const auto& [rounds, count] : bulk.round_histogram) {
+    (void)rounds;
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, bulk.terminated);
+}
+
+TEST(RunStatsMerge, TaskCheckedPropagatesFromEitherSide) {
+  RunStats with_task;
+  with_task.runs = 1;
+  with_task.task_checked = true;
+  with_task.task_successes = 1;
+  RunStats without_task;
+  without_task.runs = 1;
+  without_task.merge(with_task);
+  EXPECT_TRUE(without_task.task_checked);
+  EXPECT_DOUBLE_EQ(without_task.success_rate(), 0.5);
+}
+
+TEST(RunStatsMerge, MergeOrderIsImmaterial) {
+  const RunStats a = stats_of(blackboard_spec(3, 16));
+  const RunStats b = stats_of(blackboard_spec(4, 16));
+  const RunStats c = stats_of(message_passing_spec(16));
+  RunStats forward;
+  forward.merge(a);
+  forward.merge(b);
+  forward.merge(c);
+  RunStats backward;
+  backward.merge(c);
+  backward.merge(b);
+  backward.merge(a);
+  EXPECT_EQ(forward, backward);
+}
+
+// ---------------------------------------------------------- diagnostics
+
+TEST(ParallelEngine, StoreHighWaterAggregatesAcrossWorkerContexts) {
+  const auto spec = blackboard_spec(5, 32);
+  Engine serial;
+  serial.run_batch(spec);
+  ASSERT_GT(serial.store_high_water(), 0u);  // meaningful in serial mode
+  Engine parallel;
+  parallel.set_parallel({4, 0});
+  parallel.run_batch(spec);
+  // Every run interns the same recursion depth per seed, so the max over
+  // worker contexts equals the serial engine's max over the same runs.
+  EXPECT_EQ(parallel.store_high_water(), serial.store_high_water());
+}
+
+TEST(ParallelEngine, AgentSpecValidationCatchesPortArityMismatch) {
+  // Mismatched fixed wiring must be rejected upfront, not surface as a
+  // sim::Network construction error inside a worker thread.
+  AgentExperimentSpec spec = euclid_spec(4);
+  spec.port_policy = PortPolicy::kFixed;
+  spec.fixed_ports = PortAssignment::cyclic(4);  // config has 5 parties
+  Engine engine;
+  EXPECT_THROW(engine.run_agent_batch(spec), InvalidArgument);
+}
+
+TEST(ParallelEngine, ConfigValidation) {
+  Engine engine;
+  EXPECT_THROW(engine.set_parallel({-1, 0}), InvalidArgument);
+  engine.set_parallel({2, 5});
+  EXPECT_EQ(engine.parallel().threads, 2);
+  EXPECT_EQ(engine.parallel().chunk, 5u);
+  Engine fluent;
+  fluent.with_threads(8);
+  EXPECT_EQ(fluent.parallel().threads, 8);
+}
+
+TEST(ParallelEngine, FreeStandingRunPreparedMatchesEngineRun) {
+  // The state layer itself: any context can execute any (spec, seed).
+  const auto spec = blackboard_spec(4, 1);
+  Engine engine;
+  RunContext ctx;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProtocolOutcome via_engine = engine.run(spec, seed);
+    const ProtocolOutcome via_context =
+        run_prepared(ctx, spec, seed, nullptr);
+    EXPECT_EQ(via_engine.terminated, via_context.terminated);
+    EXPECT_EQ(via_engine.rounds, via_context.rounds);
+    EXPECT_EQ(via_engine.outputs, via_context.outputs);
+    EXPECT_EQ(via_engine.decision_round, via_context.decision_round);
+  }
+  EXPECT_GT(ctx.store_high_water, 0u);
+}
+
+AgentExperimentSpec euclid_spec(std::uint64_t seeds) {
+  AgentExperimentSpec spec;
+  spec.model = Model::kMessagePassing;
+  spec.config = SourceConfiguration::from_loads({2, 3});
+  spec.factory = [](int) {
+    return std::make_unique<sim::EuclidLeaderElectionAgent>();
+  };
+  spec.task = SymmetricTask::leader_election(5);
+  spec.port_policy = PortPolicy::kRandomPerRun;
+  spec.port_seed = 77;
+  spec.max_rounds = 3000;
+  spec.seeds = SeedRange::of(1, seeds);
+  return spec;
+}
+
+}  // namespace
+}  // namespace rsb
