@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tagging.dir/bench/bench_ablation_tagging.cpp.o"
+  "CMakeFiles/bench_ablation_tagging.dir/bench/bench_ablation_tagging.cpp.o.d"
+  "bench_ablation_tagging"
+  "bench_ablation_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_perf.dir/bench/bench_core_perf.cpp.o"
+  "CMakeFiles/bench_core_perf.dir/bench/bench_core_perf.cpp.o.d"
+  "bench_core_perf"
+  "bench_core_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deputy_leader.dir/bench/bench_deputy_leader.cpp.o"
+  "CMakeFiles/bench_deputy_leader.dir/bench/bench_deputy_leader.cpp.o.d"
+  "bench_deputy_leader"
+  "bench_deputy_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deputy_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

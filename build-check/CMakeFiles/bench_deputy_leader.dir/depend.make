@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_deputy_leader.
+# This may be replaced when dependencies are built.

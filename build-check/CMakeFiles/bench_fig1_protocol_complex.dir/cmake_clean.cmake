@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_protocol_complex.dir/bench/bench_fig1_protocol_complex.cpp.o"
+  "CMakeFiles/bench_fig1_protocol_complex.dir/bench/bench_fig1_protocol_complex.cpp.o.d"
+  "bench_fig1_protocol_complex"
+  "bench_fig1_protocol_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_protocol_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_equivalence.dir/bench/bench_fig4_equivalence.cpp.o"
+  "CMakeFiles/bench_fig4_equivalence.dir/bench/bench_fig4_equivalence.cpp.o.d"
+  "bench_fig4_equivalence"
+  "bench_fig4_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma43_divisibility.dir/bench/bench_lemma43_divisibility.cpp.o"
+  "CMakeFiles/bench_lemma43_divisibility.dir/bench/bench_lemma43_divisibility.cpp.o.d"
+  "bench_lemma43_divisibility"
+  "bench_lemma43_divisibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma43_divisibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

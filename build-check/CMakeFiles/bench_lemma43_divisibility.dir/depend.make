@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma43_divisibility.
+# This may be replaced when dependencies are built.

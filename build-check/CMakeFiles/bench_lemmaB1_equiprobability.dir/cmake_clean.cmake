@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemmaB1_equiprobability.dir/bench/bench_lemmaB1_equiprobability.cpp.o"
+  "CMakeFiles/bench_lemmaB1_equiprobability.dir/bench/bench_lemmaB1_equiprobability.cpp.o.d"
+  "bench_lemmaB1_equiprobability"
+  "bench_lemmaB1_equiprobability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemmaB1_equiprobability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemmaB1_equiprobability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_blackboard.dir/bench/bench_rate_blackboard.cpp.o"
+  "CMakeFiles/bench_rate_blackboard.dir/bench/bench_rate_blackboard.cpp.o.d"
+  "bench_rate_blackboard"
+  "bench_rate_blackboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_blackboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

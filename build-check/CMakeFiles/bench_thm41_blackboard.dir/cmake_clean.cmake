@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_blackboard.dir/bench/bench_thm41_blackboard.cpp.o"
+  "CMakeFiles/bench_thm41_blackboard.dir/bench/bench_thm41_blackboard.cpp.o.d"
+  "bench_thm41_blackboard"
+  "bench_thm41_blackboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_blackboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm42_message_passing.dir/bench/bench_thm42_message_passing.cpp.o"
+  "CMakeFiles/bench_thm42_message_passing.dir/bench/bench_thm42_message_passing.cpp.o.d"
+  "bench_thm42_message_passing"
+  "bench_thm42_message_passing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm42_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

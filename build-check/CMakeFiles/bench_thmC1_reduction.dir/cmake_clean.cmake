@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thmC1_reduction.dir/bench/bench_thmC1_reduction.cpp.o"
+  "CMakeFiles/bench_thmC1_reduction.dir/bench/bench_thmC1_reduction.cpp.o.d"
+  "bench_thmC1_reduction"
+  "bench_thmC1_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thmC1_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

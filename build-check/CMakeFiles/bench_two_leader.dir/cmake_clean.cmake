@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_leader.dir/bench/bench_two_leader.cpp.o"
+  "CMakeFiles/bench_two_leader.dir/bench/bench_two_leader.cpp.o.d"
+  "bench_two_leader"
+  "bench_two_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_one.dir/bench/bench_zero_one.cpp.o"
+  "CMakeFiles/bench_zero_one.dir/bench/bench_zero_one.cpp.o.d"
+  "bench_zero_one"
+  "bench_zero_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

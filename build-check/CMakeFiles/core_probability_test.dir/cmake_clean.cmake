@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_probability_test.dir/tests/core_probability_test.cpp.o"
+  "CMakeFiles/core_probability_test.dir/tests/core_probability_test.cpp.o.d"
+  "core_probability_test"
+  "core_probability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

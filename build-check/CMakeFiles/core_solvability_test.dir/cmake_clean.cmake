@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_solvability_test.dir/tests/core_solvability_test.cpp.o"
+  "CMakeFiles/core_solvability_test.dir/tests/core_solvability_test.cpp.o.d"
+  "core_solvability_test"
+  "core_solvability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_solvability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deciders_test.dir/tests/deciders_test.cpp.o"
+  "CMakeFiles/deciders_test.dir/tests/deciders_test.cpp.o.d"
+  "deciders_test"
+  "deciders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deciders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euclid_test.dir/tests/euclid_test.cpp.o"
+  "CMakeFiles/euclid_test.dir/tests/euclid_test.cpp.o.d"
+  "euclid_test"
+  "euclid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euclid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

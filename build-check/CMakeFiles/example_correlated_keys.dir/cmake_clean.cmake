@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_correlated_keys.dir/examples/correlated_keys.cpp.o"
+  "CMakeFiles/example_correlated_keys.dir/examples/correlated_keys.cpp.o.d"
+  "correlated_keys"
+  "correlated_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_correlated_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

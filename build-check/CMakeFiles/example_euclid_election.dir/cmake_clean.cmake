@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_euclid_election.dir/examples/euclid_election.cpp.o"
+  "CMakeFiles/example_euclid_election.dir/examples/euclid_election.cpp.o.d"
+  "euclid_election"
+  "euclid_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_euclid_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

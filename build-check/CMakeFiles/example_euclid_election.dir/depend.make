@@ -1,0 +1,2 @@
+# Empty dependencies file for example_euclid_election.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_port_adversary.dir/examples/port_adversary.cpp.o"
+  "CMakeFiles/example_port_adversary.dir/examples/port_adversary.cpp.o.d"
+  "port_adversary"
+  "port_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_port_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

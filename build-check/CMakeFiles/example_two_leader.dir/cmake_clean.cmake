@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_leader.dir/examples/two_leader.cpp.o"
+  "CMakeFiles/example_two_leader.dir/examples/two_leader.cpp.o.d"
+  "two_leader"
+  "two_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_test.dir/tests/knowledge_test.cpp.o"
+  "CMakeFiles/knowledge_test.dir/tests/knowledge_test.cpp.o.d"
+  "knowledge_test"
+  "knowledge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_engine_test.dir/tests/parallel_engine_test.cpp.o"
+  "CMakeFiles/parallel_engine_test.dir/tests/parallel_engine_test.cpp.o.d"
+  "parallel_engine_test"
+  "parallel_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

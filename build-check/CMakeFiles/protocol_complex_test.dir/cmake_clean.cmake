@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_complex_test.dir/tests/protocol_complex_test.cpp.o"
+  "CMakeFiles/protocol_complex_test.dir/tests/protocol_complex_test.cpp.o.d"
+  "protocol_complex_test"
+  "protocol_complex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

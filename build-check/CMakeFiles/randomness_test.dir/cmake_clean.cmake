@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomness_test.dir/tests/randomness_test.cpp.o"
+  "CMakeFiles/randomness_test.dir/tests/randomness_test.cpp.o.d"
+  "randomness_test"
+  "randomness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for randomness_test.
+# This may be replaced when dependencies are built.

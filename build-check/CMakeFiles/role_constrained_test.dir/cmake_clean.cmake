@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/role_constrained_test.dir/tests/role_constrained_test.cpp.o"
+  "CMakeFiles/role_constrained_test.dir/tests/role_constrained_test.cpp.o.d"
+  "role_constrained_test"
+  "role_constrained_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/role_constrained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

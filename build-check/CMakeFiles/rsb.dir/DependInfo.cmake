@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/agents.cpp" "CMakeFiles/rsb.dir/src/algo/agents.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/algo/agents.cpp.o.d"
+  "/root/repo/src/algo/euclid.cpp" "CMakeFiles/rsb.dir/src/algo/euclid.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/algo/euclid.cpp.o.d"
+  "/root/repo/src/algo/protocol.cpp" "CMakeFiles/rsb.dir/src/algo/protocol.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/algo/protocol.cpp.o.d"
+  "/root/repo/src/algo/reduction.cpp" "CMakeFiles/rsb.dir/src/algo/reduction.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/algo/reduction.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "CMakeFiles/rsb.dir/src/core/consistency.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/core/consistency.cpp.o.d"
+  "/root/repo/src/core/deciders.cpp" "CMakeFiles/rsb.dir/src/core/deciders.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/core/deciders.cpp.o.d"
+  "/root/repo/src/core/probability.cpp" "CMakeFiles/rsb.dir/src/core/probability.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/core/probability.cpp.o.d"
+  "/root/repo/src/core/solvability.cpp" "CMakeFiles/rsb.dir/src/core/solvability.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/core/solvability.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "CMakeFiles/rsb.dir/src/engine/engine.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/experiment.cpp" "CMakeFiles/rsb.dir/src/engine/experiment.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/engine/experiment.cpp.o.d"
+  "/root/repo/src/engine/registry.cpp" "CMakeFiles/rsb.dir/src/engine/registry.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/engine/registry.cpp.o.d"
+  "/root/repo/src/engine/run_context.cpp" "CMakeFiles/rsb.dir/src/engine/run_context.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/engine/run_context.cpp.o.d"
+  "/root/repo/src/knowledge/knowledge.cpp" "CMakeFiles/rsb.dir/src/knowledge/knowledge.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/knowledge/knowledge.cpp.o.d"
+  "/root/repo/src/model/models.cpp" "CMakeFiles/rsb.dir/src/model/models.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/model/models.cpp.o.d"
+  "/root/repo/src/model/port_assignment.cpp" "CMakeFiles/rsb.dir/src/model/port_assignment.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/model/port_assignment.cpp.o.d"
+  "/root/repo/src/protocol/complexes.cpp" "CMakeFiles/rsb.dir/src/protocol/complexes.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/protocol/complexes.cpp.o.d"
+  "/root/repo/src/randomness/config.cpp" "CMakeFiles/rsb.dir/src/randomness/config.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/randomness/config.cpp.o.d"
+  "/root/repo/src/randomness/dyadic.cpp" "CMakeFiles/rsb.dir/src/randomness/dyadic.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/randomness/dyadic.cpp.o.d"
+  "/root/repo/src/randomness/realization.cpp" "CMakeFiles/rsb.dir/src/randomness/realization.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/randomness/realization.cpp.o.d"
+  "/root/repo/src/randomness/source_bank.cpp" "CMakeFiles/rsb.dir/src/randomness/source_bank.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/randomness/source_bank.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/rsb.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/tasks/name_independent.cpp" "CMakeFiles/rsb.dir/src/tasks/name_independent.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/tasks/name_independent.cpp.o.d"
+  "/root/repo/src/tasks/role_constrained.cpp" "CMakeFiles/rsb.dir/src/tasks/role_constrained.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/tasks/role_constrained.cpp.o.d"
+  "/root/repo/src/tasks/tasks.cpp" "CMakeFiles/rsb.dir/src/tasks/tasks.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/tasks/tasks.cpp.o.d"
+  "/root/repo/src/topology/homology.cpp" "CMakeFiles/rsb.dir/src/topology/homology.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/topology/homology.cpp.o.d"
+  "/root/repo/src/topology/instantiations.cpp" "CMakeFiles/rsb.dir/src/topology/instantiations.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/topology/instantiations.cpp.o.d"
+  "/root/repo/src/util/bitstring.cpp" "CMakeFiles/rsb.dir/src/util/bitstring.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/util/bitstring.cpp.o.d"
+  "/root/repo/src/util/numeric.cpp" "CMakeFiles/rsb.dir/src/util/numeric.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/util/numeric.cpp.o.d"
+  "/root/repo/src/util/partitions.cpp" "CMakeFiles/rsb.dir/src/util/partitions.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/util/partitions.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/rsb.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/rsb.dir/src/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
