@@ -35,17 +35,21 @@ void reproduce_ablation() {
   const auto config = SourceConfiguration::from_loads({2, 3});
   const SymmetricTask le = SymmetricTask::leader_election(5);
   const PortAssignment aligned = aligned_ports_2_3();
-  std::printf("%4s %14s %14s\n", "t", "literal p(t)", "tagged p(t)");
+  ResultTable table("ablation_aligned");
   bool literal_frozen = true, tagged_moves = false;
   for (int t = 1; t <= 4; ++t) {
     const Dyadic lit = exact_solve_probability_message_passing(
         config, le, t, aligned, MessageVariant::kLiteral);
     const Dyadic tag = exact_solve_probability_message_passing(
         config, le, t, aligned, MessageVariant::kPortTagged);
-    std::printf("%4d %14.5f %14.5f\n", t, lit.to_double(), tag.to_double());
+    table.add_row()
+        .set("t", t)
+        .set("literal_p", lit.to_double())
+        .set("tagged_p", tag.to_double());
     literal_frozen = literal_frozen && lit.is_zero();
     tagged_moves = tagged_moves || !tag.is_zero();
   }
+  rsb::bench::report_table(table);
   check(literal_frozen,
         "literal Eq.(2): aligned wiring freezes the gcd-1 configuration "
         "(Theorem 4.2 'if' fails)");
@@ -97,7 +101,7 @@ void reproduce_ablation() {
   check(both_zero,
         "loads {2,4} + adversarial wiring: frozen under BOTH variants — the "
         "Lemma 4.3 automorphism preserves reciprocal ports");
-  rsb::bench::footer();
+  rsb::bench::footer("ablation_tagging");
 }
 
 void BM_MessageRoundVariant(benchmark::State& state) {

@@ -161,7 +161,7 @@ void BM_EngineBatchReusedAllocations(benchmark::State& state) {
   const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
   Engine engine;
   const auto spec =
-      ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+      Experiment::blackboard(SourceConfiguration::all_private(n))
           .with_protocol("wait-for-singleton-LE")
           .with_rounds(300)
           .with_seeds(1, seeds);
@@ -181,7 +181,7 @@ void BM_EngineBatchFreshPerRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
   const auto spec =
-      ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+      Experiment::blackboard(SourceConfiguration::all_private(n))
           .with_protocol("wait-for-singleton-LE")
           .with_rounds(300);
   for (auto _ : state) {
@@ -205,7 +205,7 @@ void BM_EngineBatchParallel(benchmark::State& state) {
   Engine engine;
   engine.set_parallel({threads, 0});
   const auto spec =
-      ExperimentSpec::blackboard(SourceConfiguration::all_private(6))
+      Experiment::blackboard(SourceConfiguration::all_private(6))
           .with_protocol("wait-for-singleton-LE")
           .with_rounds(300)
           .with_seeds(1, seeds);
@@ -242,7 +242,7 @@ BENCHMARK(BM_MessageRound)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 void report_sweep_throughput() {
   header("Experiment-engine sweep throughput (serial vs worker pool)");
   const auto spec =
-      ExperimentSpec::blackboard(SourceConfiguration::all_private(6))
+      Experiment::blackboard(SourceConfiguration::all_private(6))
           .with_protocol("wait-for-singleton-LE")
           .with_task("leader-election")
           .with_rounds(300)

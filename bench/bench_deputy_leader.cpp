@@ -52,8 +52,7 @@ void reproduce_deputy() {
   const std::vector<std::vector<int>> shapes = {
       {1, 1, 1, 1}, {1, 1, 2}, {2, 2}, {1, 3}, {4}};
 
-  std::printf("%14s %12s %10s %10s %10s %10s\n", "roles", "loads",
-              "symmetric", "decider", "p(2)", "p(4)");
+  ResultTable table("deputy_leader");
   for (const auto& pattern : patterns) {
     const RoleConstrainedTask task = RoleConstrainedTask::leader_and_deputy(
         pattern.can_lead, pattern.can_deputy);
@@ -63,10 +62,13 @@ void reproduce_deputy() {
       const bool predicted = task.eventually_solvable_blackboard(config);
       const Dyadic p2 = exact_probability(task, config, 2);
       const Dyadic p4 = exact_probability(task, config, 4);
-      std::printf("%14s %12s %10s %10s %10.4f %10.4f\n", pattern.label,
-                  loads_to_string(loads).c_str(), symmetric ? "yes" : "no",
-                  predicted ? "solvable" : "no", p2.to_double(),
-                  p4.to_double());
+      table.add_row()
+          .set("roles", pattern.label)
+          .set("loads", loads_to_string(loads))
+          .set("symmetric", symmetric ? "yes" : "no")
+          .set("decider", predicted ? "solvable" : "no")
+          .set("p2", p2.to_double())
+          .set("p4", p4.to_double());
       // Zero-one consistency: the finite series must already be on the
       // predicted side.
       if (predicted) {
@@ -82,6 +84,7 @@ void reproduce_deputy() {
       }
     }
   }
+  rsb::bench::report_table(table);
 
   // Spot structural facts.
   const RoleConstrainedTask all4 = RoleConstrainedTask::leader_and_deputy(
@@ -92,7 +95,7 @@ void reproduce_deputy() {
       {true, false, false, false}, {false, true, false, false});
   check(!is_symmetric(fixed.output_complex()),
         "role restrictions produce a non-symmetric output complex");
-  rsb::bench::footer();
+  rsb::bench::footer("deputy_leader");
 }
 
 void BM_RolePartitionSolves(benchmark::State& state) {

@@ -22,13 +22,16 @@ using rsb::bench::header;
 void reproduce_figure1() {
   header("Figure 1 — P(t) for n = 2, t = 0, 1, 2 (blackboard)");
   KnowledgeStore store;
-  std::printf("%4s %8s %10s %6s %6s\n", "t", "facets", "vertices", "dim",
-              "pure");
+  ResultTable table("fig1_protocol_complex");
   const std::size_t expected_facets[] = {1, 4, 16};
   for (int t = 0; t <= 2; ++t) {
     const KnowledgeComplex p = build_protocol_complex_blackboard(store, 2, t);
-    std::printf("%4d %8d %10d %6d %6s\n", t, p.facet_count(), p.vertex_count(),
-                p.dimension(), p.is_pure() ? "yes" : "no");
+    table.add_row()
+        .set("t", t)
+        .set("facets", p.facet_count())
+        .set("vertices", p.vertex_count())
+        .set("dim", p.dimension())
+        .set("pure", p.is_pure() ? "yes" : "no");
     check(p.facet_count() == static_cast<int>(expected_facets[t]),
           "P(" + std::to_string(t) + ") has " +
               std::to_string(expected_facets[t]) + " facets");
@@ -39,6 +42,7 @@ void reproduce_figure1() {
           "h : P(" + std::to_string(t) + ") → R(" + std::to_string(t) +
               ") is a facet isomorphism");
   }
+  rsb::bench::report_table(table);
 
   // Branching: every facet of R(t) (≅ P(t)) has exactly 4 one-round
   // extensions — the 4 arrows of Figure 1.
@@ -61,7 +65,7 @@ void reproduce_figure1() {
         "P(1) ≃ one circle (β = 1,1)");
   check(h2.betti == std::vector<std::size_t>({4, 4}),
         "P(2) ≃ four disjoint circles (β = 4,4) — Figure 1's four islands");
-  rsb::bench::footer();
+  rsb::bench::footer("fig1_protocol_complex");
 }
 
 void BM_BuildProtocolComplexBlackboard(benchmark::State& state) {

@@ -24,11 +24,18 @@ void reproduce_figure2() {
   header("Figure 2 — R(0) and R(1) for n = 3");
   const RealizationComplex r0 = build_realization_complex(3, 0);
   const RealizationComplex r1 = build_realization_complex(3, 1);
-  std::printf("%4s %8s %10s %6s\n", "t", "facets", "vertices", "dim");
-  std::printf("%4d %8d %10d %6d\n", 0, r0.facet_count(), r0.vertex_count(),
-              r0.dimension());
-  std::printf("%4d %8d %10d %6d\n", 1, r1.facet_count(), r1.vertex_count(),
-              r1.dimension());
+  ResultTable shape("fig2_complexes");
+  shape.add_row()
+      .set("t", 0)
+      .set("facets", r0.facet_count())
+      .set("vertices", r0.vertex_count())
+      .set("dim", r0.dimension());
+  shape.add_row()
+      .set("t", 1)
+      .set("facets", r1.facet_count())
+      .set("vertices", r1.vertex_count())
+      .set("dim", r1.dimension());
+  rsb::bench::report_table(shape);
   check(r0.facet_count() == 1 && r0.vertex_count() == 3,
         "R(0) is the single facet {(i,⊥)}");
   check(r1.facet_count() == 8 && r1.vertex_count() == 6,
@@ -40,23 +47,27 @@ void reproduce_figure2() {
         "R(1) has f-vector (6, 12, 8) — the octahedron boundary");
 
   subheader("facet counts: 2^{nt} overall vs 2^{kt} positive under α");
-  std::printf("%10s %4s %4s %10s %10s\n", "loads", "k", "t", "all", "positive");
+  ResultTable counts("fig2_facet_counts");
   for (const auto& loads :
        std::vector<std::vector<int>>{{3}, {1, 2}, {1, 1, 1}}) {
     const auto config = SourceConfiguration::from_loads(loads);
     for (int t = 1; t <= 2; ++t) {
       const auto all = build_realization_complex(3, t);
       const auto positive = build_realization_complex_positive(config, t);
-      std::printf("%10s %4d %4d %10d %10d\n",
-                  loads_to_string(loads).c_str(), config.num_sources(), t,
-                  all.facet_count(), positive.facet_count());
+      counts.add_row()
+          .set("loads", loads_to_string(loads))
+          .set("k", config.num_sources())
+          .set("t", t)
+          .set("all", all.facet_count())
+          .set("positive", positive.facet_count());
       check(all.facet_count() == (1 << (3 * t)),
             "|facets(R(" + std::to_string(t) + "))| = 2^{3t}");
       check(positive.facet_count() == (1 << (config.num_sources() * t)),
             loads_to_string(loads) + ": positive facets = 2^{kt}");
     }
   }
-  rsb::bench::footer();
+  rsb::bench::report_table(counts);
+  rsb::bench::footer("fig2_realization_complex");
 }
 
 void BM_BuildRealizationComplex(benchmark::State& state) {

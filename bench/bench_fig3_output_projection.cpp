@@ -21,16 +21,19 @@ using rsb::bench::header;
 
 void reproduce_figure3() {
   header("Figure 3 — O_LE and π(O_LE)");
-  std::printf("%4s %10s %12s %14s %10s\n", "n", "|O| fac.", "symmetric",
-              "|π(O)| fac.", "isolated");
+  ResultTable table("fig3_projection");
   for (int n = 3; n <= 6; ++n) {
     const SymmetricTask le = SymmetricTask::leader_election(n);
     const OutputComplex o = le.output_complex();
     const OutputComplex po = le.projected_output_complex();
     const bool symmetric = is_symmetric(o);
-    std::printf("%4d %10d %12s %14d %10zu\n", n, o.facet_count(),
-                symmetric ? "yes" : "no", po.facet_count(),
-                po.isolated_vertices().size());
+    table.add_row()
+        .set("n", n)
+        .set("output_facets", o.facet_count())
+        .set("symmetric", symmetric ? "yes" : "no")
+        .set("projected_facets", po.facet_count())
+        .set("isolated", static_cast<std::uint64_t>(
+                             po.isolated_vertices().size()));
     check(o.facet_count() == n,
           "n=" + std::to_string(n) + ": O_LE has n facets");
     check(o.is_pure() && o.dimension() == n - 1,
@@ -41,6 +44,7 @@ void reproduce_figure3() {
     check(po.isolated_vertices().size() == static_cast<std::size_t>(n),
           "n=" + std::to_string(n) + ": π(O_LE) has n isolated vertices");
   }
+  rsb::bench::report_table(table);
 
   // The drawn decomposition of π(τ_1) for n = 3.
   const SymmetricTask le3 = SymmetricTask::leader_election(3);
@@ -50,7 +54,7 @@ void reproduce_figure3() {
             pi_tau1.contains(Simplex<int>({{0, 1}})) &&
             pi_tau1.contains(Simplex<int>({{1, 0}, {2, 0}})),
         "π(τ_1) = {(1,1)} ⊔ {(2,0),(3,0)} as drawn in Figure 3");
-  rsb::bench::footer();
+  rsb::bench::footer("fig3_output_projection");
 }
 
 void BM_BuildOutputComplex(benchmark::State& state) {

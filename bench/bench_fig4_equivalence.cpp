@@ -24,8 +24,7 @@ using rsb::bench::header;
 
 void reproduce_equivalence() {
   header("Figure 4 / Lemma 3.5 — Definition 3.1 ≡ Definition 3.4 ≡ classes");
-  std::printf("%4s %4s %4s %14s %14s %10s\n", "n", "t", "m", "model",
-              "realizations", "agree");
+  ResultTable table("fig4_decider_agreement");
   for (int n = 2; n <= 4; ++n) {
     for (int t = 1; t <= (n <= 3 ? 2 : 1); ++t) {
       for (int m = 1; m <= 2 && m < n; ++m) {
@@ -46,11 +45,14 @@ void reproduce_equivalence() {
             ++total;
             if (d31 == d34 && d34 == cls) ++agree;
           });
-          std::printf("%4d %4d %4d %14s %14llu %9.1f%%\n", n, t, m,
-                      model == 0 ? "blackboard" : "message-pass",
-                      static_cast<unsigned long long>(total),
-                      100.0 * static_cast<double>(agree) /
-                          static_cast<double>(total));
+          table.add_row()
+              .set("n", n)
+              .set("t", t)
+              .set("m", m)
+              .set("model", model == 0 ? "blackboard" : "message-pass")
+              .set("realizations", total)
+              .set("agree_pct", 100.0 * static_cast<double>(agree) /
+                                    static_cast<double>(total));
           check(agree == total,
                 "n=" + std::to_string(n) + " t=" + std::to_string(t) + " m=" +
                     std::to_string(m) +
@@ -60,7 +62,8 @@ void reproduce_equivalence() {
       }
     }
   }
-  rsb::bench::footer();
+  rsb::bench::report_table(table);
+  rsb::bench::footer("fig4_equivalence");
 }
 
 // Ablation: cost of the three decision paths on one fixed facet.

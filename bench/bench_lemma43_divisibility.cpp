@@ -54,8 +54,7 @@ SweepResult sweep(const SourceConfiguration& config, const PortAssignment& pa,
 
 void reproduce_lemma43() {
   header("Lemma 4.3 — adversarial ports: g | dim(γ)+1 for every facet of π̃(ρ)");
-  std::printf("%12s %4s %14s %14s %14s\n", "loads", "g", "realizations",
-              "adv-violations", "cyclic-viol.");
+  ResultTable table("lemma43_divisibility");
   for (const auto& loads : std::vector<std::vector<int>>{
            {2, 2}, {4}, {2, 4}, {3, 3}, {6}, {2, 2, 2}, {9}, {4, 4}}) {
     const auto config = SourceConfiguration::from_loads(loads);
@@ -65,30 +64,34 @@ void reproduce_lemma43() {
     const auto adversarial =
         sweep(config, PortAssignment::adversarial_for(config), g, t_max);
     const auto cyclic = sweep(config, PortAssignment::cyclic(n), g, t_max);
-    std::printf("%12s %4d %14llu %14llu %14llu\n",
-                loads_to_string(loads).c_str(), g,
-                static_cast<unsigned long long>(adversarial.realizations),
-                static_cast<unsigned long long>(adversarial.violating),
-                static_cast<unsigned long long>(cyclic.violating));
+    table.add_row()
+        .set("loads", loads_to_string(loads))
+        .set("g", g)
+        .set("realizations", adversarial.realizations)
+        .set("adv_violations", adversarial.violating)
+        .set("cyclic_violations", cyclic.violating);
     check(adversarial.violating == 0,
           loads_to_string(loads) +
               ": no divisibility violation under adversarial ports");
   }
+  rsb::bench::report_table(table);
 
   // Show the class-size spectrum for one emblematic case.
   const auto config = SourceConfiguration::from_loads({2, 4});
   const auto result =
       sweep(config, PortAssignment::adversarial_for(config), 2, 3);
   std::printf("\nclass-size multisets at t = 3, loads {2,4}, adversarial:\n");
+  ResultTable spectrum("lemma43_spectrum");
   bool all_even = true;
   for (const auto& [sizes, count] : result.size_multisets) {
-    std::printf("  %s : %llu realizations\n",
-                loads_to_string(sizes).c_str(),
-                static_cast<unsigned long long>(count));
+    spectrum.add_row()
+        .set("class_sizes", loads_to_string(sizes))
+        .set("realizations", count);
     for (int s : sizes) all_even = all_even && s % 2 == 0;
   }
+  rsb::bench::report_table(spectrum);
   check(all_even, "every observed class size is a multiple of g = 2");
-  rsb::bench::footer();
+  rsb::bench::footer("lemma43_divisibility");
 }
 
 void BM_ConsistencyPartitionAdversarial(benchmark::State& state) {

@@ -25,8 +25,7 @@ using rsb::bench::subheader;
 
 void reproduce_lemmaB1() {
   header("Lemma B.1 — all positive realizations are equiprobable (2^{-tk})");
-  std::printf("%12s %4s %4s %12s %14s %12s\n", "loads", "k", "t", "support",
-              "off-support", "sum");
+  ResultTable table("lemmaB1_support");
   for (const auto& loads :
        std::vector<std::vector<int>>{{2}, {1, 1}, {1, 2}, {2, 2}, {1, 1, 1}}) {
     const auto config = SourceConfiguration::from_loads(loads);
@@ -47,11 +46,13 @@ void reproduce_lemmaB1() {
           sum += p;
         }
       });
-      std::printf("%12s %4d %4d %12llu %14llu %12s\n",
-                  loads_to_string(loads).c_str(), k, t,
-                  static_cast<unsigned long long>(support),
-                  static_cast<unsigned long long>(off_support),
-                  sum.to_string().c_str());
+      table.add_row()
+          .set("loads", loads_to_string(loads))
+          .set("k", k)
+          .set("t", t)
+          .set("support", support)
+          .set("off_support", off_support)
+          .set("sum", sum.to_string());
       check(support == (1ULL << (k * t)),
             loads_to_string(loads) + " t=" + std::to_string(t) +
                 ": support size is 2^{kt}");
@@ -61,6 +62,8 @@ void reproduce_lemmaB1() {
                               ": support probabilities sum to 1");
     }
   }
+
+  rsb::bench::report_table(table);
 
   subheader("chi-square of sampled executions vs uniform support");
   const auto config = SourceConfiguration::from_loads({1, 2});
@@ -85,7 +88,7 @@ void reproduce_lemmaB1() {
               static_cast<unsigned long long>(trials), chi2);
   check(histogram.size() == cells, "every support realization was sampled");
   check(chi2 < 103.4, "sampled executions are uniform over the support");
-  rsb::bench::footer();
+  rsb::bench::footer("lemmaB1_equiprobability");
 }
 
 void BM_RealizationProbability(benchmark::State& state) {

@@ -20,41 +20,59 @@ using rsb::bench::subheader;
 
 void reproduce_rate() {
   header("Theorem 4.1 rate — p(t) vs (1 − 2^{-t})^{k−1} vs 1 − (k−1)/2^t");
+  ResultTable table("rate_sandwich");
   for (int k = 2; k <= 4; ++k) {
     subheader("k = " + std::to_string(k) + " private sources (n = k)");
     const auto config = SourceConfiguration::all_private(k);
     const SymmetricTask le = SymmetricTask::leader_election(k);
-    std::printf("%4s %12s %12s %12s\n", "t", "p(t)", "tight-bound",
-                "paper-bound");
     bool sandwich = true;
     const int t_max = 20 / k;
+    ResultTable rows("rate_sandwich_k" + std::to_string(k));
     for (int t = 1; t <= t_max; ++t) {
       const double p =
           exact_solve_probability_blackboard(config, le, t).to_double();
       const double tight = theorem41_rate_lower_bound(k, t);
       const double loose = 1.0 - static_cast<double>(k - 1) / (1 << t);
-      std::printf("%4d %12.6f %12.6f %12.6f\n", t, p, tight, loose);
+      rows.add_row()
+          .set("t", t)
+          .set("p", p)
+          .set("tight_bound", tight)
+          .set("paper_bound", loose);
+      table.add_row()
+          .set("k", k)
+          .set("t", t)
+          .set("p", p)
+          .set("tight_bound", tight)
+          .set("paper_bound", loose);
       sandwich = sandwich && p + 1e-12 >= tight && tight + 1e-12 >= loose;
     }
+    std::printf("%s", rows.to_text().c_str());
     check(sandwich, "k=" + std::to_string(k) +
                         ": p(t) ≥ (1−2^{-t})^{k−1} ≥ 1 − (k−1)/2^t at all t");
   }
+  // The per-k sections already printed; record the pooled table for the
+  // footer's CSV dump only.
+  rsb::bench::recorded_tables().push_back(table);
 
   subheader("Monte-Carlo extension past the enumeration cap (k = 6)");
   const auto config6 = SourceConfiguration::all_private(6);
   const SymmetricTask le6 = SymmetricTask::leader_election(6);
-  std::printf("%4s %12s %12s %12s\n", "t", "p̂(t)", "stderr", "paper-bound");
+  ResultTable mc("rate_monte_carlo");
   bool above = true;
   for (int t : {2, 4, 6, 8}) {
     const auto est = monte_carlo_solve_probability(config6, le6, t,
                                                    std::nullopt, 40000, 99);
     const double bound = 1.0 - 5.0 / (1 << t);
-    std::printf("%4d %12.5f %12.5f %12.5f\n", t, est.p_hat, est.std_error,
-                bound);
+    mc.add_row()
+        .set("t", t)
+        .set("p_hat", est.p_hat)
+        .set("stderr", est.std_error)
+        .set("paper_bound", bound);
     above = above && est.p_hat + 5 * est.std_error >= bound;
   }
+  rsb::bench::report_table(mc);
   check(above, "k=6 Monte-Carlo stays above the paper bound (5σ slack)");
-  rsb::bench::footer();
+  rsb::bench::footer("rate_blackboard");
 }
 
 void BM_MonteCarloSolveProbability(benchmark::State& state) {

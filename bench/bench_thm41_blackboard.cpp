@@ -7,13 +7,16 @@
 //  * the exact p(t) = Pr[S(t)|α] for a few t (enumeration of all 2^{kt}
 //    realizations, Lemma B.1 weighting),
 //  * the empirical verdict (series identically 0, or rising past 1/2),
-// and checks prediction == measurement for every row.
+// and checks prediction == measurement for every row. A protocol-level
+// companion grid sweeps the solvable flagship shapes through the engine.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
 
 namespace {
 
@@ -24,8 +27,7 @@ using rsb::bench::loads_to_string;
 
 void reproduce_theorem41() {
   header("Theorem 4.1 — blackboard leader election ⇔ ∃ n_i = 1");
-  std::printf("%14s %6s %10s %9s %9s %9s %10s %7s\n", "loads", "gcd",
-              "predicted", "p(1)", "p(2)", "p(4)", "verdict", "match");
+  ResultTable table("thm41_frontier");
   int rows = 0, matches = 0;
   for (int n = 2; n <= 7; ++n) {
     const SymmetricTask le = SymmetricTask::leader_election(n);
@@ -42,18 +44,22 @@ void reproduce_theorem41() {
                    ? series[static_cast<std::size_t>(t - 1)].to_double()
                    : series.back().to_double();
       };
-      std::printf("%14s %6d %10s %9.4f %9.4f %9.4f %10s %7s\n",
-                  loads_to_string(config.loads()).c_str(),
-                  config.gcd_of_loads(), predicted ? "solvable" : "no",
-                  at(1), at(2), at(4),
-                  verdict == LimitClass::kOne    ? "→1"
-                  : verdict == LimitClass::kZero ? "0"
-                                                 : "?",
-                  match ? "yes" : "NO");
+      table.add_row()
+          .set("loads", loads_to_string(config.loads()))
+          .set("gcd", config.gcd_of_loads())
+          .set("predicted", predicted ? "solvable" : "no")
+          .set("p1", at(1))
+          .set("p2", at(2))
+          .set("p4", at(4))
+          .set("verdict", verdict == LimitClass::kOne    ? "->1"
+                          : verdict == LimitClass::kZero ? "0"
+                                                         : "?")
+          .set("match", match ? "yes" : "NO");
       ++rows;
       matches += match ? 1 : 0;
     }
   }
+  rsb::bench::report_table(table);
   std::printf("%d/%d configurations match the paper's characterization\n",
               matches, rows);
   check(matches == rows, "Theorem 4.1 frontier reproduced on every row");
@@ -72,12 +78,33 @@ void reproduce_theorem41() {
   check(deciders_agree,
         "general partition decider ≡ ∃ n_i = 1 for all shapes n ≤ 10");
 
+  // Protocol-level companion: the solvable side, measured through the
+  // engine across a load-shape grid (every shape has a singleton source,
+  // so the election must always succeed).
+  rsb::bench::subheader("protocol grid on solvable shapes (singleton source)");
+  Grid grid(Experiment::blackboard(SourceConfiguration::from_loads({1, 2}))
+                .with_protocol("wait-for-singleton-LE")
+                .with_rounds(300));
+  grid.over_loads({{1, 2}, {1, 3}, {1, 2, 2}, {1, 1, 3}})
+      .over_tasks({"leader-election"})
+      .over_seeds(1, 64);
+  Engine engine;
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  rsb::bench::report_table(grid_table("thm41_protocol_grid", grid, results));
+  bool all_elect = true;
+  for (const RunStats& stats : results) {
+    all_elect = all_elect && stats.task_successes == stats.runs;
+  }
+  check(all_elect,
+        "wait-for-singleton elects on every run of every singleton-source "
+        "shape");
+
   // Monte-Carlo companion of the table above, timed: the protocol-level
   // sweep that estimates the solvable side, at 1 and N threads.
   rsb::bench::subheader("engine sweep throughput (runs/sec)");
   rsb::bench::engine_throughput(
       "blackboard wait-for-singleton n=5",
-      ExperimentSpec::blackboard(SourceConfiguration::from_loads({1, 2, 2}))
+      Experiment::blackboard(SourceConfiguration::from_loads({1, 2, 2}))
           .with_protocol("wait-for-singleton-LE")
           .with_task("leader-election")
           .with_rounds(300)

@@ -16,6 +16,8 @@
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
 
 namespace {
 
@@ -50,26 +52,41 @@ RowResult measure(Engine& engine, const SourceConfiguration& config) {
   }
 
   // Possibility side: the election protocol across seeds × random ports.
-  const auto spec = ExperimentSpec::message_passing(config)
+  // The table's rounds column averages over *successful* runs only (a
+  // gcd>1 shape can terminate with != 1 leaders), so a fold collector
+  // accumulates the successful-run rounds alongside the built-in stats —
+  // one pass, no buffering, thread-count independent.
+  const auto spec = Experiment::message_passing(config)
                         .with_port_seed(1234)
                         .with_protocol("wait-for-singleton-LE")
                         .with_task(le)
                         .with_rounds(300)
                         .with_seeds(1, 12);
-  // The table's rounds column averages over *successful* runs only (a
-  // gcd>1 shape can terminate with != 1 leaders), so accumulate per run.
-  long success_rounds = 0;
-  const RunStats stats = engine.run_batch(
-      spec, [&](const RunView&, const ProtocolOutcome& outcome) {
-        if (!outcome.terminated) return;
-        int leaders = 0;
-        for (std::int64_t v : outcome.outputs) leaders += v == 1 ? 1 : 0;
-        if (leaders == 1) success_rounds += outcome.rounds;
-      });
+  auto [stats, success_rounds] =
+      engine
+          .run_collect(
+              spec,
+              CombineCollectors(
+                  RunStats{},
+                  fold_collector(
+                      std::int64_t{0},
+                      [](std::int64_t& rounds, const RunView&,
+                         const ProtocolOutcome& outcome) {
+                        if (!outcome.terminated) return;
+                        int leaders = 0;
+                        for (std::int64_t v : outcome.outputs) {
+                          leaders += v == 1 ? 1 : 0;
+                        }
+                        if (leaders == 1) rounds += outcome.rounds;
+                      },
+                      [](std::int64_t& rounds, std::int64_t other) {
+                        rounds += other;
+                      })))
+          .parts();
   row.protocol_runs = static_cast<int>(stats.runs);
   row.protocol_successes = static_cast<int>(stats.task_successes);
   row.mean_rounds = row.protocol_successes > 0
-                        ? static_cast<double>(success_rounds) /
+                        ? static_cast<double>(success_rounds.state()) /
                               row.protocol_successes
                         : 0.0;
   return row;
@@ -77,8 +94,7 @@ RowResult measure(Engine& engine, const SourceConfiguration& config) {
 
 void reproduce_theorem42() {
   header("Theorem 4.2 — worst-case message-passing LE ⇔ gcd(n_1..n_k) = 1");
-  std::printf("%14s %5s %10s %16s %14s %10s %7s\n", "loads", "gcd",
-              "predicted", "adv-ports p(t)", "protocol", "rounds", "match");
+  ResultTable table("thm42_frontier");
   int rows = 0, matches = 0;
   Engine engine;  // shared across every row: allocations amortize
   for (int n = 2; n <= 6; ++n) {
@@ -93,16 +109,21 @@ void reproduce_theorem42() {
       // random ports is irrelevant to the worst-case claim).
       const bool match =
           predicted ? measured_possible : row.adversarial_zero;
-      std::printf("%14s %5d %10s %16s %11d/%-2d %10.1f %7s\n",
-                  loads_to_string(config.loads()).c_str(), g,
-                  predicted ? "solvable" : "no",
-                  g == 1 ? "n/a" : (row.adversarial_zero ? "0 (frozen)" : ">0"),
-                  row.protocol_successes, row.protocol_runs, row.mean_rounds,
-                  match ? "yes" : "NO");
+      table.add_row()
+          .set("loads", loads_to_string(config.loads()))
+          .set("gcd", g)
+          .set("predicted", predicted ? "solvable" : "no")
+          .set("adv_ports_p",
+               g == 1 ? "n/a" : (row.adversarial_zero ? "0 (frozen)" : ">0"))
+          .set("protocol", std::to_string(row.protocol_successes) + "/" +
+                               std::to_string(row.protocol_runs))
+          .set("rounds", row.mean_rounds)
+          .set("match", match ? "yes" : "NO");
       ++rows;
       matches += match ? 1 : 0;
     }
   }
+  rsb::bench::report_table(table);
   std::printf("%d/%d configurations match the paper's characterization\n",
               matches, rows);
   check(matches == rows, "Theorem 4.2 frontier reproduced on every row");
@@ -121,31 +142,28 @@ void reproduce_theorem42() {
         "general worst-case decider ≡ gcd = 1 for all shapes n ≤ 10");
 
   // The paper's own constructive side: the explicit Euclid/CreateMatching
-  // protocol (Section 4.2) on the flagship gcd-1 shapes.
+  // protocol (Section 4.2) on the flagship gcd-1 shapes — one declarative
+  // grid over the load-shape axis, the task re-resolved per point.
   std::printf("\nexplicit Euclid algorithm (refinement + CreateMatching):\n");
+  Grid euclid_grid(
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
+          .with_agents([](int) {
+            return std::make_unique<sim::EuclidLeaderElectionAgent>();
+          })
+          .with_port_seed(99)
+          .with_rounds(3000));
+  euclid_grid.over_loads({{2, 3}, {3, 4}, {2, 2, 1}})
+      .over_tasks({"leader-election"})
+      .over_seeds(1, 6);
   Engine euclid_engine;
-  for (const auto& loads :
-       std::vector<std::vector<int>>{{2, 3}, {3, 4}, {2, 2, 1}}) {
-    const auto config = SourceConfiguration::from_loads(loads);
-    const int n = config.num_parties();
-    const int runs = 6;
-    AgentExperimentSpec spec;
-    spec.model = Model::kMessagePassing;
-    spec.config = config;
-    spec.factory = [](int) {
-      return std::make_unique<sim::EuclidLeaderElectionAgent>();
-    };
-    spec.task = SymmetricTask::leader_election(n);
-    spec.port_policy = PortPolicy::kRandomPerRun;
-    spec.port_seed = 99;
-    spec.max_rounds = 3000;
-    spec.seeds = SeedRange::of(1, runs);
-    const RunStats stats = euclid_engine.run_agent_batch(spec);
-    std::printf("  %s: %llu/%d runs elected exactly one leader\n",
-                loads_to_string(loads).c_str(),
-                static_cast<unsigned long long>(stats.task_successes), runs);
-    check(stats.task_successes == static_cast<std::uint64_t>(runs),
-          loads_to_string(loads) + ": Euclid protocol always elects");
+  const std::vector<RunStats> euclid_results =
+      run_grid(euclid_engine, euclid_grid);
+  rsb::bench::report_table(
+      grid_table("thm42_euclid", euclid_grid, euclid_results));
+  const std::vector<GridPoint> euclid_points = euclid_grid.expand();
+  for (std::size_t i = 0; i < euclid_results.size(); ++i) {
+    check(euclid_results[i].task_successes == euclid_results[i].runs,
+          euclid_points[i].label() + ": Euclid protocol always elects");
   }
 
   // The possibility-side sweep, timed at 1 and N threads: random ports ×
@@ -154,24 +172,22 @@ void reproduce_theorem42() {
   rsb::bench::subheader("engine sweep throughput (runs/sec)");
   rsb::bench::engine_throughput(
       "message-passing wait-for-singleton {2,3}",
-      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
           .with_port_seed(1234)
           .with_protocol("wait-for-singleton-LE")
           .with_task(SymmetricTask::leader_election(5))
           .with_rounds(300)
           .with_seeds(1, 512));
-  AgentExperimentSpec euclid_sweep;
-  euclid_sweep.model = Model::kMessagePassing;
-  euclid_sweep.config = SourceConfiguration::from_loads({2, 3});
-  euclid_sweep.factory = [](int) {
-    return std::make_unique<sim::EuclidLeaderElectionAgent>();
-  };
-  euclid_sweep.task = SymmetricTask::leader_election(5);
-  euclid_sweep.port_policy = PortPolicy::kRandomPerRun;
-  euclid_sweep.port_seed = 99;
-  euclid_sweep.max_rounds = 3000;
-  euclid_sweep.seeds = SeedRange::of(1, 64);
-  rsb::bench::agent_throughput("agent-level Euclid {2,3}", euclid_sweep);
+  rsb::bench::engine_throughput(
+      "agent-level Euclid {2,3}",
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
+          .with_agents([](int) {
+            return std::make_unique<sim::EuclidLeaderElectionAgent>();
+          })
+          .with_task(SymmetricTask::leader_election(5))
+          .with_port_seed(99)
+          .with_rounds(3000)
+          .with_seeds(1, 64));
   rsb::bench::footer("thm42_message_passing");
 }
 
@@ -191,7 +207,7 @@ void BM_WaitForSingletonProtocol(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
   const auto spec =
-      ExperimentSpec::message_passing(SourceConfiguration::from_loads({n - 3, 3}))
+      Experiment::message_passing(SourceConfiguration::from_loads({n - 3, 3}))
           .with_ports(PortAssignment::cyclic(n))
           .with_protocol("wait-for-singleton-LE")
           .with_rounds(300);

@@ -38,8 +38,7 @@ void reproduce_reduction() {
       {{2, 3}, Model::kMessagePassing},
       {{1, 2, 2}, Model::kMessagePassing},
   };
-  std::printf("%12s %14s %15s %8s %8s %10s\n", "loads", "model", "task",
-              "solved", "rounds", "valid");
+  ResultTable table("thmC1_reduction");
   for (const auto& c : cases) {
     const auto config = SourceConfiguration::from_loads(c.loads);
     const int n = config.num_parties();
@@ -55,15 +54,18 @@ void reproduce_reduction() {
           c.model, config, ports, task, inputs, /*seed=*/41, /*max_rounds=*/300);
       const bool valid =
           outcome.solved && task.validate(inputs, outcome.outputs);
-      std::printf("%12s %14s %15s %8s %8d %10s\n",
-                  loads_to_string(c.loads).c_str(),
-                  to_string(c.model).c_str(), task.name().c_str(),
-                  outcome.solved ? "yes" : "NO", outcome.rounds,
-                  valid ? "yes" : "NO");
+      table.add_row()
+          .set("loads", loads_to_string(c.loads))
+          .set("model", to_string(c.model))
+          .set("task", task.name())
+          .set("solved", outcome.solved ? "yes" : "NO")
+          .set("rounds", outcome.rounds)
+          .set("valid", valid ? "yes" : "NO");
       check(valid, loads_to_string(c.loads) + " " + to_string(c.model) + " " +
                        task.name() + ": reduction solves and validates");
     }
   }
+  rsb::bench::report_table(table);
 
   // Negative control: symmetric inputs + shared randomness stalls.
   const auto shared = SourceConfiguration::all_shared(3);
@@ -75,7 +77,7 @@ void reproduce_reduction() {
   check(!stalled.solved,
         "reduction stalls exactly where LE is unsolvable and inputs are "
         "symmetric");
-  rsb::bench::footer();
+  rsb::bench::footer("thmC1_reduction");
 }
 
 void BM_ReductionBlackboard(benchmark::State& state) {

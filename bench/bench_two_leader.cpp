@@ -17,6 +17,7 @@
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "engine/engine.hpp"
+#include "engine/report.hpp"
 #include "util/numeric.hpp"
 
 namespace {
@@ -29,8 +30,7 @@ using rsb::bench::subheader;
 
 void blackboard_table() {
   subheader("blackboard m-LE: subset-sum(loads, m) vs exact enumeration");
-  std::printf("%12s %3s %12s %10s %7s\n", "loads", "m", "subset-sum",
-              "measured", "match");
+  ResultTable table("two_leader_blackboard");
   int rows = 0, matched = 0;
   for (int n = 3; n <= 6; ++n) {
     for (int m = 1; m <= 3 && m < n; ++m) {
@@ -44,10 +44,12 @@ void blackboard_table() {
         const bool measured = verdict == LimitClass::kOne;
         const bool ok =
             predicted == measured && verdict != LimitClass::kUndetermined;
-        std::printf("%12s %3d %12s %10s %7s\n",
-                    loads_to_string(config.loads()).c_str(), m,
-                    predicted ? "solvable" : "no", measured ? "→1" : "0",
-                    ok ? "yes" : "NO");
+        table.add_row()
+            .set("loads", loads_to_string(config.loads()))
+            .set("m", m)
+            .set("subset_sum", predicted ? "solvable" : "no")
+            .set("measured", measured ? "->1" : "0")
+            .set("match", ok ? "yes" : "NO");
         ++rows;
         matched += ok ? 1 : 0;
         // The derived predicate must equal the general decider too.
@@ -58,14 +60,14 @@ void blackboard_table() {
       }
     }
   }
+  rsb::bench::report_table(table);
   std::printf("%d/%d rows match\n", matched, rows);
   check(matched == rows, "blackboard m-LE frontier fully reproduced");
 }
 
 void message_passing_table() {
   subheader("message-passing worst-case m-LE: g | m vs measurement");
-  std::printf("%12s %3s %4s %10s %16s %12s %7s\n", "loads", "m", "g",
-              "predicted", "adv-ports p(t)", "protocol", "match");
+  ResultTable table("two_leader_message_passing");
   int rows = 0, matched = 0;
   Engine engine;  // shared across every table cell: allocations amortize
   for (int n = 4; n <= 6; ++n) {
@@ -94,7 +96,7 @@ void message_passing_table() {
           // under random ports.
           const int runs = 8;
           const RunStats stats = engine.run_batch(
-              ExperimentSpec::message_passing(config)
+              Experiment::message_passing(config)
                   .with_port_seed(static_cast<std::uint64_t>(n * 100 + m))
                   .with_protocol("wait-for-class-split-LE(" +
                                  std::to_string(m) + ")")
@@ -105,10 +107,14 @@ void message_passing_table() {
                           std::to_string(runs);
           ok = stats.task_successes == static_cast<std::uint64_t>(runs);
         }
-        std::printf("%12s %3d %4d %10s %16s %12s %7s\n",
-                    loads_to_string(config.loads()).c_str(), m, g,
-                    predicted ? "solvable" : "no", adv_cell.c_str(),
-                    protocol_cell.c_str(), ok ? "yes" : "NO");
+        table.add_row()
+            .set("loads", loads_to_string(config.loads()))
+            .set("m", m)
+            .set("g", g)
+            .set("predicted", predicted ? "solvable" : "no")
+            .set("adv_ports_p", adv_cell)
+            .set("protocol", protocol_cell)
+            .set("match", ok ? "yes" : "NO");
         ++rows;
         matched += ok ? 1 : 0;
         if (eventually_solvable_message_passing_worst_case(config, task) !=
@@ -120,6 +126,7 @@ void message_passing_table() {
       }
     }
   }
+  rsb::bench::report_table(table);
   std::printf("%d/%d rows match\n", matched, rows);
   check(matched == rows, "message-passing m-LE frontier fully reproduced");
 }
@@ -138,7 +145,7 @@ void port_driven_contrast() {
   const int runs = 6;
   Engine engine;
   const RunStats stats =
-      engine.run_batch(ExperimentSpec::message_passing(config)
+      engine.run_batch(Experiment::message_passing(config)
                            .with_port_seed(77)
                            .with_protocol("wait-for-class-split-LE(2)")
                            .with_task(task)
@@ -160,7 +167,7 @@ void reproduce_two_leader() {
   rsb::bench::subheader("engine sweep throughput (runs/sec)");
   rsb::bench::engine_throughput(
       "class-split 2-LE {2,4}",
-      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 4}))
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 4}))
           .with_port_seed(123)
           .with_protocol("wait-for-class-split-LE(2)")
           .with_task("m-leader-election(2)")

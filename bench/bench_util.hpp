@@ -5,11 +5,12 @@
 // runs its google-benchmark timings. The PASS/FAIL lines make
 // bench_output.txt a self-contained record of paper-vs-measured.
 //
-// Benches that sweep seeds through the experiment engine additionally
-// report end-to-end throughput (runs/sec) at 1 thread and at full hardware
-// concurrency, and footer("name") dumps every recorded measurement to
-// BENCH_name.json — a machine-readable perf trajectory that can be diffed
-// across PRs.
+// Reporting goes through ResultTable (engine/report.hpp): report_table()
+// prints a table and records it, and footer("name") persists every
+// recorded table to TABLE_<name>_<table>.csv plus the throughput table —
+// runs/sec of every engine sweep at 1 and N threads — to
+// BENCH_<name>.json, the machine-readable perf trajectory diffed across
+// PRs (CI uploads both as workflow artifacts).
 #pragma once
 
 #include <chrono>
@@ -20,6 +21,8 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
 
 namespace rsb::bench {
 
@@ -53,26 +56,42 @@ inline std::string loads_to_string(const std::vector<int>& loads) {
   return out + "}";
 }
 
-// ------------------------------------------------- throughput recording
-
-/// One engine-sweep timing: `runs` seed-runs completed in `wall_ns` on
-/// `threads` worker threads.
-struct ThroughputRow {
-  std::string name;
-  std::uint64_t runs = 0;
-  double wall_ns = 0.0;
-  double runs_per_sec = 0.0;
-  int threads = 1;
-};
-
-inline std::vector<ThroughputRow>& throughput_rows() {
-  static std::vector<ThroughputRow> rows;
-  return rows;
-}
-
 inline int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// ---------------------------------------------------- table recording
+
+/// Every table reported during the run, dumped to CSV by footer().
+inline std::vector<ResultTable>& recorded_tables() {
+  static std::vector<ResultTable> tables;
+  return tables;
+}
+
+/// Prints the table (indented, aligned) and records it for footer()'s
+/// CSV dump.
+inline void report_table(const ResultTable& table) {
+  const std::string text = table.to_text();
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      std::printf("  %s\n", line.c_str());
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  recorded_tables().push_back(table);
+}
+
+// ------------------------------------------------- throughput recording
+
+/// One engine-sweep timing per row: `runs` seed-runs completed in
+/// `wall_ns` on `threads` worker threads.
+inline ResultTable& throughput_table() {
+  static ResultTable table("throughput");
+  return table;
 }
 
 /// Times fn() — which must perform exactly `runs` engine runs — and
@@ -88,7 +107,13 @@ inline double time_runs(const std::string& name, std::uint64_t runs,
   const double rate = wall_ns > 0.0
                           ? static_cast<double>(runs) / (wall_ns * 1e-9)
                           : 0.0;
-  throughput_rows().push_back({name, runs, wall_ns, rate, threads});
+  throughput_table()
+      .add_row()
+      .set("name", name)
+      .set("runs", runs)
+      .set("wall_ns", wall_ns)
+      .set("runs_per_sec", rate)
+      .set("threads", threads);
   std::printf("  %-44s threads=%-2d %8llu runs %12.0f runs/sec\n",
               name.c_str(), threads, static_cast<unsigned long long>(runs),
               rate);
@@ -113,55 +138,44 @@ inline double sweep_throughput(const std::string& name, std::uint64_t runs,
   return serial_rate > 0.0 ? parallel_rate / serial_rate : 0.0;
 }
 
-/// sweep_throughput over a knowledge-level spec.
+/// sweep_throughput over a spec of either backend (one Experiment type
+/// drives both the knowledge-level and the agent-level path).
 inline double engine_throughput(const std::string& name,
-                                const ExperimentSpec& spec) {
+                                const Experiment& spec) {
   return sweep_throughput(name, spec.seeds.count,
                           [&spec](Engine& engine) { engine.run_batch(spec); });
 }
 
-/// sweep_throughput over an agent-level spec.
+/// Deprecated alias of engine_throughput (agent specs are ordinary
+/// Experiments now); removed next PR.
 inline double agent_throughput(const std::string& name,
-                               const AgentExperimentSpec& spec) {
-  return sweep_throughput(name, spec.seeds.count, [&spec](Engine& engine) {
-    engine.run_agent_batch(spec);
-  });
+                               const Experiment& spec) {
+  return engine_throughput(name, spec);
 }
 
-/// Writes every recorded throughput row (plus the shape-check verdict) to
-/// BENCH_<bench_name>.json in the working directory.
-inline void write_throughput_json(const std::string& bench_name) {
-  const std::string path = "BENCH_" + bench_name + ".json";
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::printf("  (could not open %s for writing)\n", path.c_str());
-    return;
+/// Prints the shape-check verdict; when `name` is given, persists the
+/// throughput table to BENCH_<name>.json and every recorded table to
+/// TABLE_<name>_<table>.csv in the working directory.
+inline void footer(const std::string& name = "") {
+  if (!name.empty()) {
+    ResultTable& throughput = throughput_table();
+    throughput.set_meta("bench", name)
+        .set_meta("failures", std::int64_t{failure_count()})
+        .set_meta("hardware_threads", std::int64_t{hardware_threads()});
+    const std::string json_path = "BENCH_" + name + ".json";
+    if (throughput.write_json(json_path)) {
+      std::printf("  throughput JSON -> %s (%zu rows)\n", json_path.c_str(),
+                  throughput.num_rows());
+    }
+    for (const ResultTable& table : recorded_tables()) {
+      const std::string csv_path =
+          "TABLE_" + name + "_" + table.name() + ".csv";
+      if (table.write_csv(csv_path)) {
+        std::printf("  table CSV -> %s (%zu rows)\n", csv_path.c_str(),
+                    table.num_rows());
+      }
+    }
   }
-  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"failures\": %d,\n",
-               bench_name.c_str(), failure_count());
-  std::fprintf(out, "  \"hardware_threads\": %d,\n  \"throughput\": [\n",
-               hardware_threads());
-  const auto& rows = throughput_rows();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const ThroughputRow& row = rows[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"runs\": %llu, \"wall_ns\": %.0f, "
-                 "\"runs_per_sec\": %.1f, \"threads\": %d}%s\n",
-                 row.name.c_str(),
-                 static_cast<unsigned long long>(row.runs), row.wall_ns,
-                 row.runs_per_sec, row.threads,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("  throughput JSON -> %s (%zu rows)\n", path.c_str(),
-              rows.size());
-}
-
-/// Prints the shape-check verdict; when `json_name` is given, also dumps
-/// the recorded throughput rows to BENCH_<json_name>.json.
-inline void footer(const std::string& json_name = "") {
-  if (!json_name.empty()) write_throughput_json(json_name);
   if (failure_count() == 0) {
     std::printf("\nAll shape checks PASSED.\n\n");
   } else {

@@ -20,11 +20,23 @@ using rsb::bench::header;
 using rsb::bench::loads_to_string;
 using rsb::bench::subheader;
 
+ResultTable& series_table() {
+  static ResultTable table("zero_one_series");
+  return table;
+}
+
+/// Prints one trajectory and lands it in the shared series table (columns
+/// p1..p6; shorter series leave the tail cells empty).
 void print_series(const std::string& label,
                   const std::vector<Dyadic>& series) {
   std::printf("%22s :", label.c_str());
   for (const auto& p : series) std::printf(" %7.4f", p.to_double());
   std::printf("\n");
+  auto row = series_table().add_row();
+  row.set("trajectory", label);
+  for (std::size_t t = 0; t < series.size() && t < 6; ++t) {
+    row.set("p" + std::to_string(t + 1), series[t].to_double());
+  }
 }
 
 void reproduce_zero_one() {
@@ -85,7 +97,8 @@ void reproduce_zero_one() {
     check(classify_limit(adv_series) == LimitClass::kZero,
           "LE {2,4} adversarial ports: identically 0 (gcd = 2)");
   }
-  rsb::bench::footer();
+  rsb::bench::recorded_tables().push_back(series_table());
+  rsb::bench::footer("zero_one");
 }
 
 void BM_ExactSeriesBlackboard(benchmark::State& state) {

@@ -19,6 +19,7 @@
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
 
 using namespace rsb;
 
@@ -62,23 +63,28 @@ void analyze_fleet(const char* name, const std::vector<int>& batch_sizes) {
 
   // And live batches on the mesh: 20 seeds under typical (random) wirings,
   // and — when the theorems say the worst case is hopeless — the same 20
-  // seeds under the Lemma 4.3 adversarial wiring that realizes it.
+  // seeds under the Lemma 4.3 adversarial wiring that realizes it. The
+  // wiring axis is a one-declaration policy grid.
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(config)
-                  .with_port_seed(4242)
-                  .with_protocol("wait-for-singleton-LE")
-                  .with_task(le)
-                  .with_rounds(200)
-                  .with_seeds(1, 20);
-  const RunStats typical = engine.run_batch(spec);
+  std::vector<PortPolicy> policies = {PortPolicy::kRandomPerRun};
+  if (!eventually_solvable_message_passing_worst_case(config, le)) {
+    policies.push_back(PortPolicy::kAdversarial);
+  }
+  Grid grid(Experiment::message_passing(config)
+                .with_port_seed(4242)
+                .with_protocol("wait-for-singleton-LE")
+                .with_task(le)
+                .with_rounds(200));
+  grid.over_policies(policies).over_seeds(1, 20);
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  const RunStats& typical = results[0];
   std::printf("  live mesh, random wirings: coordinator in %llu/%llu runs "
               "(mean %.1f rounds)\n",
               static_cast<unsigned long long>(typical.task_successes),
               static_cast<unsigned long long>(typical.runs),
               typical.mean_rounds());
-  if (!eventually_solvable_message_passing_worst_case(config, le)) {
-    const RunStats frozen =
-        engine.run_batch(spec.with_port_policy(PortPolicy::kAdversarial));
+  if (results.size() > 1) {
+    const RunStats& frozen = results[1];
     std::printf("  live mesh, adversarial wiring: coordinator in %llu/%llu "
                 "runs (the worst case the theorem predicts)\n",
                 static_cast<unsigned long long>(frozen.task_successes),

@@ -88,7 +88,7 @@ int main() {
   // parties decide consistently one round after the split is visible.
   Engine engine;
   const auto outcome =
-      engine.run(ExperimentSpec::message_passing(config)
+      engine.run(Experiment::message_passing(config)
                      .with_ports(ports)
                      .with_protocol("wait-for-singleton-LE")
                      .with_rounds(100),

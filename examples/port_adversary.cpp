@@ -14,6 +14,8 @@
 
 #include "core/consistency.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
 #include "util/partitions.hpp"
 
 using namespace rsb;
@@ -83,21 +85,21 @@ int main() {
               "\n  class census at t = 3:\n");
   class_size_census(coprime, degenerate, 3);
 
-  // The same contrast as live batches: under the adversarial policy the
-  // election never terminates; under random wirings it always does.
+  // The same contrast as live batches: a one-declaration policy grid —
+  // under the adversarial wiring the election never terminates; under
+  // random wirings it always does.
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(config, PortPolicy::kAdversarial)
-                  .with_protocol("wait-for-singleton-LE")
-                  .with_rounds(60)
-                  .with_seeds(1, 20);
-  const RunStats frozen = engine.run_batch(spec);
-  const RunStats alive =
-      engine.run_batch(spec.with_port_policy(PortPolicy::kRandomPerRun)
-                           .with_rounds(300));
-  std::printf("\nengine batches on loads {2,4} (20 seeds each):\n"
-              "  adversarial wiring: termination rate %.2f (frozen forever)\n"
-              "  random wirings:     termination rate %.2f\n",
-              frozen.termination_rate(), alive.termination_rate());
+  Grid grid(Experiment::message_passing(config, PortPolicy::kAdversarial)
+                .with_protocol("wait-for-singleton-LE")
+                .with_rounds(300));
+  grid.over_policies({PortPolicy::kAdversarial, PortPolicy::kRandomPerRun})
+      .over_seeds(1, 20);
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  std::printf("\nengine policy grid on loads {2,4} (20 seeds per point):\n%s",
+              grid_table("port_adversary", grid, results).to_text().c_str());
+  std::printf("(the adversarial row is frozen forever — termination rate "
+              "%.2f vs %.2f under random wirings)\n",
+              results[0].termination_rate(), results[1].termination_rate());
 
   return 0;
 }

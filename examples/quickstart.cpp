@@ -1,4 +1,4 @@
-// Quickstart: the topological framework in ~90 lines.
+// Quickstart: the topological framework in ~100 lines.
 //
 // 1. Wire 4 anonymous parties to randomness sources (two share one source).
 // 2. Enumerate realizations R(t), project through the consistency
@@ -6,7 +6,8 @@
 // 3. Compute the exact probability p(t) = Pr[S(t)|α] and compare with the
 //    analytic Theorem 4.1 verdict.
 // 4. Run an actual election protocol through the experiment engine — one
-//    run for the trace, then a declarative 100-seed batch.
+//    run for the trace, a declarative 100-seed batch, and a ParamGrid
+//    sweep across wirings rendered as a ResultTable.
 //
 // Build & run:  ./build/quickstart
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include "core/probability.hpp"
 #include "core/solvability.hpp"
 #include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
 #include "util/partitions.hpp"
 
 using namespace rsb;
@@ -73,8 +76,10 @@ int main() {
                   : "not solvable");
 
   // --- protocol view: run the election through the engine ---------------
+  // One Experiment type describes the whole ensemble; protocols attach by
+  // registry name (see ProtocolRegistry::global().describe() for the list).
   Engine engine;
-  auto spec = ExperimentSpec::blackboard(config)
+  auto spec = Experiment::blackboard(config)
                   .with_protocol("blackboard-unique-string-LE")
                   .with_task(le)
                   .with_rounds(64);
@@ -96,11 +101,29 @@ int main() {
               stats.summary().c_str());
 
   // --- parallel view: same sweep on a worker pool, same answer -----------
-  // threads = 0 means one worker per hardware thread; results are
+  // threads = 0 means one worker per hardware thread; collectors shard
+  // per worker and merge in worker-index order, so results are
   // byte-identical to the serial sweep at any thread count.
   Engine pool;
   pool.with_threads(0);
-  const bool agree = pool.run_batch(spec.with_seeds(1, 100)) == stats;
+  const bool agree = pool.run_batch(spec) == stats;
   std::printf("parallel sweep agrees with serial: %s\n", agree ? "yes" : "NO");
+
+  // --- grid view: a multi-axis sweep as one declaration ------------------
+  // The same election on the message-passing clique, across port policies
+  // and round budgets; one RunStats per grid point, rendered as a table.
+  Grid grid(Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
+                .with_protocol("wait-for-singleton-LE")
+                .with_task("leader-election")
+                .with_port_seed(7));
+  grid.over_policies({PortPolicy::kCyclic, PortPolicy::kRandomPerRun,
+                      PortPolicy::kAdversarial})
+      .over_rounds({50, 300})
+      .over_seeds(1, 100);
+  const ResultTable table =
+      grid_table("quickstart_grid", grid, run_grid(pool, grid));
+  std::printf("\ngrid sweep on loads {2,3} (gcd 1 — even the adversarial "
+              "wiring cannot freeze it):\n%s",
+              table.to_text().c_str());
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "core/deciders.hpp"
 #include "engine/engine.hpp"
+#include "engine/report.hpp"
 #include "tasks/tasks.hpp"
 #include "util/numeric.hpp"
 
@@ -30,11 +31,8 @@ int main() {
 
   std::printf("m-leader election: blackboard (B) vs worst-case message "
               "passing (M)\n");
-  std::printf("legend: ✓ eventually solvable, · not solvable\n\n");
-  std::printf("%12s %4s |", "loads", "gcd");
-  for (int m = 1; m <= 4; ++m) std::printf("  m=%d(B) m=%d(M) |", m, m);
-  std::printf("\n");
-
+  std::printf("legend: + eventually solvable, . not solvable\n\n");
+  ResultTable matrix("two_leader_matrix");
   for (const auto& loads : shapes) {
     const SourceConfiguration config = SourceConfiguration::from_loads(loads);
     const int n = config.num_parties();
@@ -43,20 +41,23 @@ int main() {
       label += (i ? "," : "") + std::to_string(loads[i]);
     }
     label += "}";
-    std::printf("%12s %4d |", label.c_str(), config.gcd_of_loads());
+    auto row = matrix.add_row();
+    row.set("loads", label).set("gcd", config.gcd_of_loads());
     for (int m = 1; m <= 4; ++m) {
+      const std::string suffix = std::to_string(m);
       if (m > n) {
-        std::printf("   -      -    |");
+        row.set("m" + suffix + "(B)", "-").set("m" + suffix + "(M)", "-");
         continue;
       }
       const SymmetricTask task = SymmetricTask::m_leader_election(n, m);
       const bool board = eventually_solvable_blackboard(config, task);
       const bool mesh =
           eventually_solvable_message_passing_worst_case(config, task);
-      std::printf("   %s      %s    |", board ? "✓" : "·", mesh ? "✓" : "·");
+      row.set("m" + suffix + "(B)", board ? "+" : ".")
+          .set("m" + suffix + "(M)", mesh ? "+" : ".");
     }
-    std::printf("\n");
   }
+  std::printf("%s", matrix.to_text().c_str());
 
   std::printf("\nobservations the framework hands you for free:\n");
   std::printf(" * {1,4}: 1-LE solvable on the blackboard (singleton source) "
@@ -92,7 +93,7 @@ int main() {
   // wiring, exactly as the matrix above predicts.
   Engine engine;
   const RunStats stats = engine.run_batch(
-      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 4}))
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 4}))
           .with_protocol("wait-for-class-split-LE(2)")
           .with_task("m-leader-election(2)")
           .with_rounds(400)

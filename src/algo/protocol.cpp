@@ -138,7 +138,7 @@ ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
     throw InvalidArgument(
         "run_protocol: ports must be given exactly for message passing");
   }
-  ExperimentSpec spec;
+  Experiment spec;
   spec.model = model;
   spec.config = config;
   // Non-owning view: the caller's protocol outlives this single run.

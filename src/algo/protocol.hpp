@@ -49,7 +49,7 @@ struct ProtocolOutcome {
 ///
 /// Compatibility wrapper: delegates to a single-spec Engine run (see
 /// engine/engine.hpp) and returns its bit-identical outcome. New code
-/// sweeping seeds or configurations should build an ExperimentSpec and use
+/// sweeping seeds or configurations should build an Experiment and use
 /// Engine::run_batch directly.
 ProtocolOutcome run_protocol(Model model, const SourceConfiguration& config,
                              const std::optional<PortAssignment>& ports,

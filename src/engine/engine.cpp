@@ -1,7 +1,9 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -11,13 +13,12 @@ namespace rsb {
 
 namespace {
 
-/// Buffered outcome of one parallel run, kept so the observer can be
-/// drained on the calling thread in run-index order after the workers
-/// join. `ports` is populated only for kRandomPerRun; run-invariant
-/// policies share one assignment held by the drain instead of `count`
+/// Buffered outcome of one run inside the observed path's bounded window,
+/// kept so the observer can be drained on the calling thread in run-index
+/// order. `ports` is populated only for kRandomPerRun; run-invariant
+/// policies share one assignment held by the drain instead of per-run
 /// copies of the same wiring.
 struct RunRecord {
-  std::uint64_t seed = 0;
   std::optional<PortAssignment> ports;
   ProtocolOutcome outcome;
 };
@@ -34,41 +35,46 @@ int resolve_workers(const ParallelConfig& config, std::uint64_t count) {
   return static_cast<int>(std::max<std::uint64_t>(workers, 1));
 }
 
-}  // namespace
+/// The chunk size a parallel batch deals to workers: the configured knob,
+/// or one contiguous span per worker when auto (chunk = 0).
+std::uint64_t resolve_chunk(const ParallelConfig& config, std::uint64_t count,
+                            int workers) {
+  return config.chunk != 0
+             ? config.chunk
+             : (count + static_cast<std::uint64_t>(workers) - 1) /
+                   static_cast<std::uint64_t>(workers);
+}
 
-void AgentExperimentSpec::validate() const {
-  if (!factory) {
-    throw InvalidArgument("AgentExperimentSpec: no agent factory attached");
-  }
-  if (seeds.count == 0) {
-    throw InvalidArgument("AgentExperimentSpec: empty seed range");
-  }
-  if (max_rounds < 1) {
-    throw InvalidArgument("AgentExperimentSpec: max_rounds must be >= 1");
-  }
-  const bool wants_ports = model == Model::kMessagePassing;
-  if (wants_ports == (port_policy == PortPolicy::kNone)) {
-    throw InvalidArgument(
-        "AgentExperimentSpec: ports must be given exactly for message "
-        "passing");
-  }
-  if (port_policy == PortPolicy::kFixed) {
-    if (!fixed_ports.has_value()) {
-      throw InvalidArgument(
-          "AgentExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+/// Spawns `workers` threads running body(w), joining them all even when
+/// thread creation itself fails mid-way (destroying a joinable
+/// std::thread would terminate the process), and rethrows the first
+/// worker exception in worker-index order.
+template <typename Body>
+void run_worker_pool(int workers, Body&& body) {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  try {
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&errors, &body, w] {
+        try {
+          body(w);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
     }
-    if (fixed_ports->num_parties() != config.num_parties()) {
-      throw InvalidArgument(
-          "AgentExperimentSpec: fixed_ports party count does not match the "
-          "configuration");
-    }
+  } catch (...) {
+    for (std::thread& worker : pool) worker.join();
+    throw;
   }
-  if (task.has_value() && task->num_parties() != config.num_parties()) {
-    throw InvalidArgument(
-        "AgentExperimentSpec: task party count does not match the "
-        "configuration");
+  for (std::thread& worker : pool) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
 }
+
+}  // namespace
 
 Engine& Engine::set_parallel(ParallelConfig config) {
   if (config.threads < 0) {
@@ -78,42 +84,34 @@ Engine& Engine::set_parallel(ParallelConfig config) {
   return *this;
 }
 
-ProtocolOutcome Engine::run(const ExperimentSpec& spec, std::uint64_t seed) {
+ProtocolOutcome Engine::run(const Experiment& spec, std::uint64_t seed) {
   spec.validate();
   PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                      spec.config, spec.port_seed);
-  const ProtocolOutcome outcome =
-      run_prepared(ctx_, spec, seed, ports.next());
+  const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, ports.next());
   store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
   return outcome;
 }
 
-ProtocolOutcome Engine::run(const ExperimentSpec& spec) {
+ProtocolOutcome Engine::run(const Experiment& spec) {
   return run(spec, spec.seeds.first);
 }
 
-/// The shared batch driver. run_fn(ctx, seed, ports) executes one run; the
-/// driver owns scheduling, port-provider advancement, statistics sharding,
-/// and observer ordering.
-///
-/// Determinism: runs are dealt to workers in fixed chunks of consecutive
-/// indices (round-robin by worker index), every worker advances its own
-/// port provider to each chunk's start with the serial sweep's exact rng
-/// consumption, and the per-worker shards are merged in worker-index
-/// order. Since maps inside RunStats are ordered and its counters
-/// commutative, the aggregate is byte-identical for every worker count.
-template <typename Spec, typename RunFn>
-RunStats Engine::drive_batch(const Spec& spec, const SymmetricTask* task,
-                             const RunObserver& observer, RunFn&& run_fn) {
+/// The shared scheduling core. Determinism: runs are dealt to workers in
+/// fixed chunks of consecutive indices (round-robin by worker index),
+/// every worker advances its own port provider to each chunk's start with
+/// the serial sweep's exact rng consumption, and each run is reported to
+/// the worker's own shard — so which worker executes a run never affects
+/// what is observed, only where, and merging shards in worker-index order
+/// (run_collect) reproduces the serial aggregate byte for byte.
+void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
+                   const ShardObserver& observe) {
   const std::uint64_t count = spec.seeds.count;
   int workers = resolve_workers(parallel_, count);
   std::uint64_t chunk = count;
   std::uint64_t num_chunks = 1;
   if (workers > 1) {
-    chunk = parallel_.chunk != 0
-                ? parallel_.chunk
-                : (count + static_cast<std::uint64_t>(workers) - 1) /
-                      static_cast<std::uint64_t>(workers);
+    chunk = resolve_chunk(parallel_, count, workers);
     num_chunks = (count + chunk - 1) / chunk;
     // A coarse chunk can leave fewer chunks than workers; don't spawn
     // threads that could never receive one (a single chunk falls back to
@@ -124,19 +122,18 @@ RunStats Engine::drive_batch(const Spec& spec, const SymmetricTask* task,
   }
 
   if (workers <= 1) {
-    // Serial fast path: the engine's own context, observer inline.
+    // Serial fast path: the engine's own context, one shard.
+    prepare(1);
     PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                        spec.config, spec.port_seed);
-    RunStats stats;
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint64_t seed = spec.seeds.first + i;
       const PortAssignment* assignment = ports.next();
-      const ProtocolOutcome outcome = run_fn(ctx_, seed, assignment);
-      stats.record(outcome, task);
-      if (observer) observer(RunView{seed, i, assignment}, outcome);
+      const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, assignment);
+      observe(0, RunView{seed, i, assignment, &spec}, outcome);
     }
     store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
-    return stats;
+    return;
   }
 
   // Worker contexts persist on the engine so a sweep of many batches
@@ -144,117 +141,206 @@ RunStats Engine::drive_batch(const Spec& spec, const SymmetricTask* task,
   if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
     worker_ctxs_.resize(static_cast<std::size_t>(workers));
   }
-  std::vector<RunStats> shards(static_cast<std::size_t>(workers));
-  const bool per_run_ports =
-      spec.port_policy == PortPolicy::kRandomPerRun;
-  std::optional<PortAssignment> shared_ports;
-  std::vector<RunRecord> records;
-  if (observer) {
-    records.resize(count);  // slot i written by exactly one worker
-    if (spec.model == Model::kMessagePassing && !per_run_ports) {
-      PortProvider once(spec.model, spec.port_policy, spec.fixed_ports,
-                        spec.config, spec.port_seed);
-      shared_ports = *once.next();
-    }
-  }
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  auto spawn = [&](int w) {
-    pool.emplace_back([&, w] {
-      try {
-        RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
-        RunStats& shard = shards[static_cast<std::size_t>(w)];
-        PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
-                           spec.config, spec.port_seed);
-        for (std::uint64_t c = static_cast<std::uint64_t>(w); c < num_chunks;
-             c += static_cast<std::uint64_t>(workers)) {
-          const std::uint64_t begin = c * chunk;
-          const std::uint64_t end = std::min(begin + chunk, count);
-          ports.skip_to(begin);
-          for (std::uint64_t i = begin; i < end; ++i) {
-            const std::uint64_t seed = spec.seeds.first + i;
-            const PortAssignment* assignment = ports.next();
-            ProtocolOutcome outcome = run_fn(ctx, seed, assignment);
-            shard.record(outcome, task);  // record() only reads
-            if (observer) {
-              RunRecord& record = records[i];
-              record.seed = seed;
-              if (per_run_ports && assignment != nullptr) {
-                record.ports = *assignment;
-              }
-              record.outcome = std::move(outcome);
-            }
-          }
-        }
-      } catch (...) {
-        errors[static_cast<std::size_t>(w)] = std::current_exception();
+  prepare(workers);
+  run_worker_pool(workers, [&](int w) {
+    RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
+    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                       spec.config, spec.port_seed);
+    for (std::uint64_t c = static_cast<std::uint64_t>(w); c < num_chunks;
+         c += static_cast<std::uint64_t>(workers)) {
+      const std::uint64_t begin = c * chunk;
+      const std::uint64_t end = std::min(begin + chunk, count);
+      ports.skip_to(begin);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const std::uint64_t seed = spec.seeds.first + i;
+        const PortAssignment* assignment = ports.next();
+        const ProtocolOutcome outcome = execute_run(ctx, spec, seed, assignment);
+        observe(w, RunView{seed, i, assignment, &spec}, outcome);
       }
-    });
-  };
-  try {
-    for (int w = 0; w < workers; ++w) spawn(w);
-  } catch (...) {
-    // Thread creation failed (e.g. the host's thread limit): join the
-    // workers already running before rethrowing — destroying a joinable
-    // std::thread would terminate the process.
-    for (std::thread& worker : pool) worker.join();
-    throw;
-  }
-  for (std::thread& worker : pool) worker.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-
-  RunStats stats;
-  for (const RunStats& shard : shards) stats.merge(shard);
+    }
+  });
   for (const RunContext& ctx : worker_ctxs_) {
     store_high_water_ = std::max(store_high_water_, ctx.store_high_water);
   }
-  if (observer) {
+}
+
+RunStats Engine::run_batch(const Experiment& spec,
+                           const RunObserver& observer) {
+  spec.validate();
+  if (observer) return run_batch_observed(spec, observer);
+  return run_collect(spec, RunStats{});
+}
+
+/// The observed path. Serial batches fire the observer inline. Parallel
+/// batches process the sweep in bounded windows of threads × chunk runs
+/// (the chunk capped at 256 for this path, which never changes results):
+/// within a window every worker fills one chunk of the record buffer,
+/// then the calling thread drains the window in run-index order — folding
+/// RunStats and firing the observer run by run, exactly as the serial
+/// sweep would — before the next window starts. Memory therefore stays
+/// O(threads · chunk) regardless of the sweep length.
+RunStats Engine::run_batch_observed(const Experiment& spec,
+                                    const RunObserver& observer) {
+  const std::uint64_t count = spec.seeds.count;
+  const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
+  const int workers = resolve_workers(parallel_, count);
+  RunStats stats;
+
+  if (workers <= 1) {
+    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+                       spec.config, spec.port_seed);
     for (std::uint64_t i = 0; i < count; ++i) {
-      RunRecord& record = records[i];
-      const PortAssignment* ports =
-          record.ports.has_value()
-              ? &*record.ports
-              : (shared_ports.has_value() ? &*shared_ports : nullptr);
-      observer(RunView{record.seed, i, ports}, record.outcome);
+      const std::uint64_t seed = spec.seeds.first + i;
+      const PortAssignment* assignment = ports.next();
+      const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, assignment);
+      stats.record(outcome, task);
+      observer(RunView{seed, i, assignment, &spec}, outcome);
     }
+    store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
+    return stats;
+  }
+
+  constexpr std::uint64_t kObservedChunkCap = 256;
+  const std::uint64_t chunk =
+      std::min(resolve_chunk(parallel_, count, workers), kObservedChunkCap);
+  const std::uint64_t window = static_cast<std::uint64_t>(workers) * chunk;
+
+  if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
+    worker_ctxs_.resize(static_cast<std::size_t>(workers));
+  }
+  const bool per_run_ports = spec.port_policy == PortPolicy::kRandomPerRun;
+  std::optional<PortAssignment> shared_ports;
+  if (spec.model == Model::kMessagePassing && !per_run_ports) {
+    PortProvider once(spec.model, spec.port_policy, spec.fixed_ports,
+                      spec.config, spec.port_seed);
+    shared_ports = *once.next();
+  }
+  std::vector<RunRecord> records(
+      static_cast<std::size_t>(std::min(window, count)));
+  // One provider per worker for the whole batch: each worker's run
+  // indices only grow across windows, so skip_to advances monotonically
+  // and the total skip-ahead work stays linear in the sweep length.
+  std::vector<PortProvider> providers;
+  providers.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    providers.emplace_back(spec.model, spec.port_policy, spec.fixed_ports,
+                           spec.config, spec.port_seed);
+  }
+
+  // One persistent pool serves every window: workers sleep on a
+  // generation counter, the calling thread publishes a window, waits for
+  // the fills to land, and drains it — no per-window spawn/join churn.
+  std::mutex mutex;
+  std::condition_variable cv_work, cv_done;
+  std::uint64_t generation = 0;
+  std::uint64_t window_base = 0, window_end = 0;
+  int remaining = 0;
+  bool stop = false;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+
+  auto worker_body = [&](int w) {
+    std::uint64_t seen = 0;
+    RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
+    PortProvider& ports = providers[static_cast<std::size_t>(w)];
+    while (true) {
+      std::uint64_t base = 0, end = 0;
+      {
+        std::unique_lock lock(mutex);
+        cv_work.wait(lock, [&] { return stop || generation > seen; });
+        if (stop) return;
+        seen = generation;
+        base = window_base;
+        end = window_end;
+      }
+      // errors[w] is worker-private until the handshake below publishes
+      // it; once this worker has failed it idles through later windows.
+      if (!errors[static_cast<std::size_t>(w)]) {
+        try {
+          const std::uint64_t begin =
+              base + static_cast<std::uint64_t>(w) * chunk;
+          const std::uint64_t chunk_end = std::min(begin + chunk, end);
+          if (begin < chunk_end) {
+            ports.skip_to(begin);
+            for (std::uint64_t i = begin; i < chunk_end; ++i) {
+              const std::uint64_t seed = spec.seeds.first + i;
+              const PortAssignment* assignment = ports.next();
+              RunRecord& record = records[static_cast<std::size_t>(i - base)];
+              if (per_run_ports && assignment != nullptr) {
+                record.ports = *assignment;
+              }
+              record.outcome = execute_run(ctx, spec, seed, assignment);
+            }
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard lock(mutex);
+        if (--remaining == 0) cv_done.notify_one();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  auto join_all = [&] {
+    {
+      std::lock_guard lock(mutex);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& worker : pool) worker.join();
+  };
+  try {
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
+    for (std::uint64_t base = 0; base < count; base += window) {
+      const std::uint64_t wave_end = std::min(base + window, count);
+      {
+        std::lock_guard lock(mutex);
+        window_base = base;
+        window_end = wave_end;
+        remaining = workers;
+        ++generation;
+      }
+      cv_work.notify_all();
+      {
+        std::unique_lock lock(mutex);
+        cv_done.wait(lock, [&] { return remaining == 0; });
+      }
+      for (const std::exception_ptr& error : errors) {
+        if (error) std::rethrow_exception(error);
+      }
+      for (std::uint64_t i = base; i < wave_end; ++i) {
+        RunRecord& record = records[static_cast<std::size_t>(i - base)];
+        const PortAssignment* ports =
+            record.ports.has_value()
+                ? &*record.ports
+                : (shared_ports.has_value() ? &*shared_ports : nullptr);
+        stats.record(record.outcome, task);
+        observer(RunView{spec.seeds.first + i, i, ports, &spec},
+                 record.outcome);
+      }
+    }
+  } catch (...) {
+    join_all();
+    throw;
+  }
+  join_all();
+  for (const RunContext& ctx : worker_ctxs_) {
+    store_high_water_ = std::max(store_high_water_, ctx.store_high_water);
   }
   return stats;
 }
 
-RunStats Engine::run_batch(const ExperimentSpec& spec,
-                           const RunObserver& observer) {
-  spec.validate();
-  const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
-  return drive_batch(spec, task, observer,
-                     [&spec](RunContext& ctx, std::uint64_t seed,
-                             const PortAssignment* ports) {
-                       return run_prepared(ctx, spec, seed, ports);
-                     });
-}
-
-std::vector<RunStats> Engine::run_sweep(const std::vector<ExperimentSpec>& specs,
+std::vector<RunStats> Engine::run_sweep(const std::vector<Experiment>& specs,
                                         const RunObserver& observer) {
   std::vector<RunStats> all;
   all.reserve(specs.size());
-  for (const ExperimentSpec& spec : specs) {
+  for (const Experiment& spec : specs) {
     all.push_back(run_batch(spec, observer));
   }
   return all;
-}
-
-RunStats Engine::run_agent_batch(const AgentExperimentSpec& spec,
-                                 const RunObserver& observer) {
-  spec.validate();
-  const SymmetricTask* task = spec.task.has_value() ? &*spec.task : nullptr;
-  return drive_batch(spec, task, observer,
-                     [&spec](RunContext&, std::uint64_t seed,
-                             const PortAssignment* ports) {
-                       return run_agent_prepared(spec, seed, ports);
-                     });
 }
 
 }  // namespace rsb

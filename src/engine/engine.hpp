@@ -13,15 +13,18 @@
 // Parallelism (ParallelConfig) never changes results: every run is a pure
 // function of (spec, seed, ports), per-run port assignments are drawn
 // draw-for-draw as in the serial sweep regardless of which worker executes
-// the run, and per-worker RunStats shards are merged in worker-index order
-// — so run_batch returns byte-identical statistics for any thread count
-// (pinned by tests/parallel_engine_test.cpp).
+// the run, and per-worker collector shards are merged in worker-index
+// order — so run_collect/run_batch return byte-identical aggregates for
+// any thread count (pinned by tests/parallel_engine_test.cpp and
+// tests/collector_test.cpp).
 //
-// Two run backends share the batching and statistics machinery:
-//  * knowledge-level protocols (AnonymousProtocol decision functions over
-//    the knowledge recursion) via ExperimentSpec, and
-//  * message-level agents (sim::Network, e.g. Euclid / CreateMatching) via
-//    AgentExperimentSpec.
+// Aggregation is pluggable (engine/collector.hpp): run_collect sweeps a
+// spec into any Collector — each parallel worker owns a shard, so nothing
+// is buffered per run; run_batch is the RunStats shorthand. One spec type
+// (Experiment) drives both backends: knowledge-level protocols via
+// with_protocol, message-level agents (sim::Network, e.g. Euclid /
+// CreateMatching) via with_agents. Multi-axis sweeps live one layer up in
+// engine/grid.hpp.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,7 @@
 #include <optional>
 #include <vector>
 
+#include "engine/collector.hpp"
 #include "engine/experiment.hpp"
 #include "engine/run_context.hpp"
 #include "knowledge/knowledge.hpp"
@@ -38,48 +42,25 @@
 
 namespace rsb {
 
-/// Per-run context handed to batch observers.
-struct RunView {
-  std::uint64_t seed = 0;
-  std::uint64_t run_index = 0;             // 0-based within the batch
-  const PortAssignment* ports = nullptr;   // null for blackboard runs
-};
-
-/// Optional per-run callback: benches use it for custom columns (leader
-/// counts, per-run traces) without re-rolling the sweep loop.
+/// Optional per-run callback: a legacy escape hatch for side effects that
+/// must happen on the calling thread (tracing, printing). For custom
+/// statistics prefer a Collector — collectors shard across workers with
+/// no buffering at all.
 ///
 /// Ordering contract: the observer always fires on the calling thread, in
 /// run-index order, exactly once per run — also under a parallel batch,
-/// where outcomes are buffered and drained in order after the workers
-/// join (an observed parallel batch therefore holds every run's outcome
-/// in memory at once; skip the observer on very large sweeps and read
-/// the aggregate RunStats instead). Observers need no locking for their
-/// own state; but note
-/// that in an agent batch — serial or parallel — the observer runs after
-/// the per-run sim::Network has been destroyed, so factory-captured
-/// pointers into agents are dangling by the time it fires (bank per-run
-/// agent diagnostics out of the agent before teardown instead — and make
-/// them atomic, since under threads > 1 agent code runs concurrently on
-/// the workers).
+/// where outcomes are buffered per bounded window (at most threads ×
+/// min(chunk, 256) runs in flight) and drained in order between windows,
+/// so an observed batch holds O(threads · chunk) outcomes, never O(runs).
+/// Observers need no locking for their own state; but note that in an
+/// agent batch — serial or parallel — the observer runs after the per-run
+/// sim::Network has been destroyed, so factory-captured pointers into
+/// agents are dangling by the time it fires (bank per-run agent
+/// diagnostics out of the agent before teardown instead — and make them
+/// atomic, since under threads > 1 agent code runs concurrently on the
+/// workers).
 using RunObserver =
     std::function<void(const RunView& view, const ProtocolOutcome& outcome)>;
-
-/// An agent-level ensemble: same batching knobs as ExperimentSpec, but each
-/// run instantiates sim::Network agents from a factory instead of asking a
-/// knowledge-level decision function.
-struct AgentExperimentSpec {
-  Model model = Model::kBlackboard;
-  SourceConfiguration config = SourceConfiguration::all_shared(1);
-  sim::Network::AgentFactory factory;
-  std::optional<SymmetricTask> task;
-  PortPolicy port_policy = PortPolicy::kNone;
-  std::optional<PortAssignment> fixed_ports;
-  std::uint64_t port_seed = 0x9e3779b9;
-  int max_rounds = 1000;
-  SeedRange seeds;
-
-  void validate() const;
-};
 
 /// How a batch is spread over threads. The default is serial; threads = 0
 /// means "one worker per hardware thread". Chunks of `chunk` consecutive
@@ -108,29 +89,55 @@ class Engine {
   /// One run of the spec at the given seed. Deterministic: equal
   /// (spec, seed) produce equal outcomes regardless of the engine's
   /// history. Always executes on the calling thread.
-  ProtocolOutcome run(const ExperimentSpec& spec, std::uint64_t seed);
+  ProtocolOutcome run(const Experiment& spec, std::uint64_t seed);
 
   /// One run at the spec's first seed.
-  ProtocolOutcome run(const ExperimentSpec& spec);
+  ProtocolOutcome run(const Experiment& spec);
 
-  /// Sweeps spec.seeds, aggregating every outcome into a RunStats. Runs on
-  /// the configured worker pool; results are identical for every
-  /// ParallelConfig.
-  RunStats run_batch(const ExperimentSpec& spec,
+  /// Sweeps spec.seeds into the given collector and returns it. The
+  /// collector passed in is the empty prototype (a merge identity, which
+  /// any freshly constructed collector is): under threads > 1 every
+  /// worker observes into its own copy and the shards are merged back in
+  /// worker-index order — no per-run buffering, byte-identical results
+  /// for every ParallelConfig.
+  template <Collector C>
+  C run_collect(const Experiment& spec, C collector) {
+    spec.validate();
+    std::vector<C> shards;
+    drive(
+        spec,
+        [&](int workers) {
+          // Copy-construct the shards (collectors need not be assignable
+          // — lambda-carrying folds are not).
+          shards.reserve(static_cast<std::size_t>(workers));
+          for (int w = 0; w < workers; ++w) shards.push_back(collector);
+        },
+        [&](int shard, const RunView& view, const ProtocolOutcome& outcome) {
+          shards[static_cast<std::size_t>(shard)].observe(view, outcome);
+        });
+    for (C& shard : shards) collector.merge(std::move(shard));
+    return collector;
+  }
+
+  /// Sweeps spec.seeds, aggregating every outcome into a RunStats (the
+  /// default collector). Runs on the configured worker pool; results are
+  /// identical for every ParallelConfig. The observer, when given, fires
+  /// per run on the calling thread in run-index order (see RunObserver).
+  RunStats run_batch(const Experiment& spec,
                      const RunObserver& observer = nullptr);
 
   /// Runs several specs back to back (a load-shape or policy sweep),
   /// reusing this engine's allocations throughout. Each spec's batch runs
   /// on the configured worker pool.
-  std::vector<RunStats> run_sweep(const std::vector<ExperimentSpec>& specs,
+  std::vector<RunStats> run_sweep(const std::vector<Experiment>& specs,
                                   const RunObserver& observer = nullptr);
 
-  /// Sweeps an agent-level spec through sim::Network runs. Parallel note:
-  /// the spec's factory (and the agents it creates) is invoked concurrently
-  /// when threads > 1 — factories must be safe to call from multiple
-  /// threads (a capture-free factory always is).
-  RunStats run_agent_batch(const AgentExperimentSpec& spec,
-                           const RunObserver& observer = nullptr);
+  /// Deprecated alias of run_batch, kept for one PR: agent-level specs
+  /// are ordinary Experiments now (backend() == Backend::kAgents).
+  RunStats run_agent_batch(const Experiment& spec,
+                           const RunObserver& observer = nullptr) {
+    return run_batch(spec, observer);
+  }
 
   /// Peak intern-table size seen so far (diagnostic for allocation reuse),
   /// aggregated as the max over the serial context and every parallel
@@ -138,11 +145,26 @@ class Engine {
   std::size_t store_high_water() const noexcept { return store_high_water_; }
 
  private:
-  /// Spec is ExperimentSpec or AgentExperimentSpec — they share the
-  /// batching fields (model, config, port policy, seeds) by name.
-  template <typename Spec, typename RunFn>
-  RunStats drive_batch(const Spec& spec, const SymmetricTask* task,
-                       const RunObserver& observer, RunFn&& run_fn);
+  /// Sizes the shard set for the batch's resolved worker count (called
+  /// exactly once, before any run executes).
+  using PrepareShards = std::function<void(int workers)>;
+  /// Folds one finished run into shard `shard`. Serial batches use shard
+  /// 0 on the calling thread; parallel workers call it concurrently, each
+  /// with its own shard index.
+  using ShardObserver = std::function<void(
+      int shard, const RunView& view, const ProtocolOutcome& outcome)>;
+
+  /// The scheduling core shared by every sweep entry point: deals chunks
+  /// of consecutive runs to workers round-robin, advances each worker's
+  /// port provider draw-for-draw with the serial sweep, executes runs
+  /// through execute_run, and reports them shard-by-shard. Does not
+  /// validate the spec.
+  void drive(const Experiment& spec, const PrepareShards& prepare,
+             const ShardObserver& observe);
+
+  /// The bounded-window buffered path behind run_batch(spec, observer).
+  RunStats run_batch_observed(const Experiment& spec,
+                              const RunObserver& observer);
 
   RunContext ctx_;  // serial-mode (and single-run) context
   std::vector<RunContext> worker_ctxs_;  // parallel-mode, reused per batch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/collector.hpp"
 #include "engine/registry.hpp"
 #include "util/error.hpp"
 
@@ -23,116 +24,138 @@ std::string to_string(PortPolicy policy) {
   return "?";
 }
 
-ExperimentSpec ExperimentSpec::blackboard(SourceConfiguration config) {
-  ExperimentSpec spec;
+Experiment::Backend Experiment::backend() const {
+  const bool has_protocol = protocol != nullptr;
+  const bool has_factory = static_cast<bool>(factory);
+  if (has_protocol == has_factory) {
+    throw InvalidArgument(
+        has_protocol
+            ? "Experiment: both a protocol and an agent factory are "
+              "attached; a spec drives exactly one backend"
+            : "Experiment: no backend attached (use with_protocol or "
+              "with_agents)");
+  }
+  return has_protocol ? Backend::kProtocol : Backend::kAgents;
+}
+
+Experiment Experiment::blackboard(SourceConfiguration config) {
+  Experiment spec;
   spec.model = Model::kBlackboard;
   spec.config = std::move(config);
   spec.port_policy = PortPolicy::kNone;
   return spec;
 }
 
-ExperimentSpec ExperimentSpec::message_passing(SourceConfiguration config,
-                                               PortPolicy policy) {
-  ExperimentSpec spec;
+Experiment Experiment::message_passing(SourceConfiguration config,
+                                       PortPolicy policy) {
+  Experiment spec;
   spec.model = Model::kMessagePassing;
   spec.config = std::move(config);
   spec.port_policy = policy;
   return spec;
 }
 
-ExperimentSpec& ExperimentSpec::with_protocol(
+Experiment& Experiment::with_protocol(
     std::shared_ptr<const AnonymousProtocol> p) {
   protocol = std::move(p);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_protocol(const std::string& name) {
+Experiment& Experiment::with_protocol(const std::string& name) {
   protocol = make_protocol(name);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_task(SymmetricTask t) {
+Experiment& Experiment::with_agents(sim::Network::AgentFactory f) {
+  factory = std::move(f);
+  return *this;
+}
+
+Experiment& Experiment::with_task(SymmetricTask t) {
   task = std::move(t);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_task(const std::string& name) {
+Experiment& Experiment::with_task(const std::string& name) {
   task = make_task(name, config.num_parties());
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_ports(PortAssignment ports) {
+Experiment& Experiment::with_ports(PortAssignment ports) {
   port_policy = PortPolicy::kFixed;
   fixed_ports = std::move(ports);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_port_policy(PortPolicy policy) {
+Experiment& Experiment::with_port_policy(PortPolicy policy) {
   port_policy = policy;
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_port_seed(std::uint64_t seed) {
+Experiment& Experiment::with_port_seed(std::uint64_t seed) {
   port_seed = seed;
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_variant(MessageVariant v) {
+Experiment& Experiment::with_variant(MessageVariant v) {
   variant = v;
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_rounds(int rounds) {
+Experiment& Experiment::with_rounds(int rounds) {
   max_rounds = rounds;
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_seeds(std::uint64_t first,
-                                           std::uint64_t count) {
+Experiment& Experiment::with_seeds(std::uint64_t first, std::uint64_t count) {
   seeds = SeedRange::of(first, count);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::with_seed(std::uint64_t seed) {
+Experiment& Experiment::with_seed(std::uint64_t seed) {
   seeds = SeedRange::single(seed);
   return *this;
 }
 
-void ExperimentSpec::validate() const {
-  if (!protocol) {
-    throw InvalidArgument("ExperimentSpec: no protocol attached");
-  }
+void Experiment::validate() const {
+  backend();  // throws on no-backend / two-backend specs
   if (seeds.count == 0) {
-    throw InvalidArgument("ExperimentSpec: empty seed range");
+    throw InvalidArgument("Experiment: empty seed range");
   }
   if (max_rounds < 1) {
-    throw InvalidArgument("ExperimentSpec: max_rounds must be >= 1");
+    throw InvalidArgument("Experiment: max_rounds must be >= 1");
   }
   const bool wants_ports = model == Model::kMessagePassing;
   if (wants_ports == (port_policy == PortPolicy::kNone)) {
     throw InvalidArgument(
-        "ExperimentSpec: ports must be given exactly for message passing");
+        "Experiment: ports must be given exactly for message passing");
   }
   if (port_policy == PortPolicy::kFixed) {
     if (!fixed_ports.has_value()) {
       throw InvalidArgument(
-          "ExperimentSpec: PortPolicy::kFixed requires fixed_ports");
+          "Experiment: PortPolicy::kFixed requires fixed_ports");
     }
     if (fixed_ports->num_parties() != config.num_parties()) {
       throw InvalidArgument(
-          "ExperimentSpec: fixed_ports party count does not match the "
+          "Experiment: fixed_ports party count does not match the "
           "configuration");
     }
   }
   if (task.has_value() && task->num_parties() != config.num_parties()) {
     throw InvalidArgument(
-        "ExperimentSpec: task party count does not match the configuration");
+        "Experiment: task party count does not match the configuration");
   }
 }
 
-std::string ExperimentSpec::to_string() const {
+std::string Experiment::to_string() const {
   std::string out = "spec[" + rsb::to_string(model) + " " + config.to_string();
-  out += " " + (protocol ? protocol->name() : std::string("<no protocol>"));
+  if (protocol != nullptr) {
+    out += " " + protocol->name();
+  } else if (factory) {
+    out += " <agents>";
+  } else {
+    out += " <no backend>";
+  }
   if (task.has_value()) out += " task=" + task->name();
   if (model == Model::kMessagePassing) {
     out += " ports=" + rsb::to_string(port_policy);
@@ -188,6 +211,14 @@ void RunStats::record(const ProtocolOutcome& outcome,
       if (task->admits_vector(values)) ++task_successes;
     }
   }
+}
+
+void RunStats::observe(const RunView& view, const ProtocolOutcome& outcome) {
+  const SymmetricTask* task =
+      view.experiment != nullptr && view.experiment->task.has_value()
+          ? &*view.experiment->task
+          : nullptr;
+  record(outcome, task);
 }
 
 void RunStats::merge(const RunStats& other) {

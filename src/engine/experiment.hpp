@@ -2,16 +2,27 @@
 //
 // The paper's results are all statements about *ensembles* of executions:
 // the same knowledge recursion run across (model, source configuration,
-// port adversary, protocol, seed) combinations. An ExperimentSpec is the
+// port adversary, protocol, seed) combinations. An Experiment is the
 // value-type description of one such ensemble — which model, which wiring
-// of parties to randomness sources, how the ports are chosen per run, which
-// decision function, and which seed range to sweep — and RunStats is the
-// aggregate the Engine produces from it (termination rate, round histogram,
-// per-output counts, task success rate).
+// of parties to randomness sources, how the ports are chosen per run,
+// which backend produces the per-party decisions, and which seed range to
+// sweep. Two backends are supported by the same spec type:
 //
-// Specs are plain values: build them with the fluent setters, copy them,
-// mutate the copies for sweeps. Protocols and tasks can be attached either
-// as objects or by registry name (see engine/registry.hpp).
+//  * knowledge-level: an AnonymousProtocol decision function evaluated
+//    over the knowledge recursion (attach with with_protocol);
+//  * agent-level: a sim::Network agent factory running the explicit
+//    message-level procedures, e.g. Euclid / CreateMatching (attach with
+//    with_agents).
+//
+// Exactly one backend must be attached; validate() enforces it. Specs are
+// plain values: build them with the fluent setters, copy them, mutate the
+// copies for sweeps (engine/grid.hpp automates multi-axis sweeps).
+// Protocols and tasks can be attached either as objects or by registry
+// name (see engine/registry.hpp).
+//
+// RunStats is the built-in default collector (engine/collector.hpp) the
+// Engine aggregates from a swept spec: termination rate, round histogram,
+// per-output counts, task success rate.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +35,12 @@
 #include "model/models.hpp"
 #include "model/port_assignment.hpp"
 #include "randomness/config.hpp"
+#include "sim/network.hpp"
 #include "tasks/tasks.hpp"
 
 namespace rsb {
+
+struct RunView;
 
 /// A contiguous range of protocol seeds, swept inclusively from `first`.
 struct SeedRange {
@@ -54,48 +68,66 @@ enum class PortPolicy {
 
 std::string to_string(PortPolicy policy);
 
-/// The declarative description of an experiment ensemble.
-struct ExperimentSpec {
+/// The declarative description of an experiment ensemble (API v2: one spec
+/// type for both the knowledge-level and the agent-level backend).
+struct Experiment {
+  /// Which of the two run backends the spec drives, decided by which
+  /// attachment is present. validate() rejects none-or-both.
+  enum class Backend {
+    kProtocol,  // knowledge recursion + AnonymousProtocol::decide
+    kAgents,    // sim::Network over factory-built agents
+  };
+
   Model model = Model::kBlackboard;
   SourceConfiguration config = SourceConfiguration::all_shared(1);
-  std::shared_ptr<const AnonymousProtocol> protocol;
+  std::shared_ptr<const AnonymousProtocol> protocol;  // kProtocol backend
+  sim::Network::AgentFactory factory;                 // kAgents backend
   std::optional<SymmetricTask> task;  // enables success-rate accounting
   PortPolicy port_policy = PortPolicy::kNone;
   std::optional<PortAssignment> fixed_ports;  // for PortPolicy::kFixed
   std::uint64_t port_seed = 0x9e3779b9;       // for PortPolicy::kRandomPerRun
-  MessageVariant variant = MessageVariant::kPortTagged;
+  MessageVariant variant = MessageVariant::kPortTagged;  // kProtocol only
   int max_rounds = 300;
   SeedRange seeds;
 
+  /// The attached backend; throws InvalidArgument when neither or both
+  /// are attached (validate() gives the same diagnosis up front).
+  Backend backend() const;
+
   /// A blackboard spec over the given configuration.
-  static ExperimentSpec blackboard(SourceConfiguration config);
+  static Experiment blackboard(SourceConfiguration config);
 
   /// A message-passing spec over the given configuration; the default
   /// policy draws a fresh random wiring per run.
-  static ExperimentSpec message_passing(
+  static Experiment message_passing(
       SourceConfiguration config,
       PortPolicy policy = PortPolicy::kRandomPerRun);
 
   // --- fluent setters (each returns *this for chaining) -----------------
-  ExperimentSpec& with_protocol(std::shared_ptr<const AnonymousProtocol> p);
-  /// Looks `name` up in the global ProtocolRegistry; throws UnknownName.
-  ExperimentSpec& with_protocol(const std::string& name);
-  ExperimentSpec& with_task(SymmetricTask task);
+  Experiment& with_protocol(std::shared_ptr<const AnonymousProtocol> p);
+  /// Looks `name` up in the global ProtocolRegistry; throws UnknownName
+  /// with the registered names listed.
+  Experiment& with_protocol(const std::string& name);
+  /// Attaches the agent-level backend: `f` builds the agent for each
+  /// party index. Under a parallel batch the factory (and the agents it
+  /// creates) is invoked concurrently from several workers.
+  Experiment& with_agents(sim::Network::AgentFactory f);
+  Experiment& with_task(SymmetricTask task);
   /// Looks `name` up in the global TaskRegistry for this spec's
   /// config.num_parties(); set the configuration first.
-  ExperimentSpec& with_task(const std::string& name);
+  Experiment& with_task(const std::string& name);
   /// Fixes the wiring for every run (sets PortPolicy::kFixed).
-  ExperimentSpec& with_ports(PortAssignment ports);
-  ExperimentSpec& with_port_policy(PortPolicy policy);
-  ExperimentSpec& with_port_seed(std::uint64_t seed);
-  ExperimentSpec& with_variant(MessageVariant v);
-  ExperimentSpec& with_rounds(int rounds);
-  ExperimentSpec& with_seeds(std::uint64_t first, std::uint64_t count);
-  ExperimentSpec& with_seed(std::uint64_t seed);
+  Experiment& with_ports(PortAssignment ports);
+  Experiment& with_port_policy(PortPolicy policy);
+  Experiment& with_port_seed(std::uint64_t seed);
+  Experiment& with_variant(MessageVariant v);
+  Experiment& with_rounds(int rounds);
+  Experiment& with_seeds(std::uint64_t first, std::uint64_t count);
+  Experiment& with_seed(std::uint64_t seed);
 
-  /// Throws InvalidArgument when the spec is not runnable (no protocol,
-  /// ports present/absent inconsistently with the model, empty seed range,
-  /// task arity mismatch, ...).
+  /// Throws InvalidArgument when the spec is not runnable (no backend or
+  /// two backends, ports present/absent inconsistently with the model,
+  /// empty seed range, task arity mismatch, ...).
   void validate() const;
 
   /// e.g. "spec[message-passing α[0,0,1|loads=2,1] wait-for-singleton-LE
@@ -103,7 +135,19 @@ struct ExperimentSpec {
   std::string to_string() const;
 };
 
-/// Aggregate statistics over a batch of runs.
+/// Deprecated aliases, kept for one PR so downstream callers migrate at
+/// leisure: both legacy spec types are the unified Experiment now (the
+/// agent-specific fields simply sit unused on knowledge-level specs and
+/// vice versa). Behavioral caveat: the unified default max_rounds is
+/// 300, where the old AgentExperimentSpec defaulted to 1000 — agent
+/// specs that relied on the default must set with_rounds explicitly
+/// (every in-tree caller already did). Removed in the next PR.
+using ExperimentSpec = Experiment;
+using AgentExperimentSpec = Experiment;
+
+/// Aggregate statistics over a batch of runs — the built-in default
+/// collector (it satisfies the Collector concept of engine/collector.hpp:
+/// observe() folds one run in, merge() pools shards associatively).
 struct RunStats {
   std::uint64_t runs = 0;
   std::uint64_t terminated = 0;       // runs where every party decided
@@ -125,6 +169,9 @@ struct RunStats {
 
   /// Folds one outcome in; `task` may be null (no success accounting).
   void record(const ProtocolOutcome& outcome, const SymmetricTask* task);
+
+  /// Collector hook: record() against the swept spec's task (if any).
+  void observe(const RunView& view, const ProtocolOutcome& outcome);
 
   /// Pools another batch's counters into this one (for sharded sweeps).
   /// Merging is associative and commutative — every field is a sum, an

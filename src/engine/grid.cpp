@@ -1,0 +1,187 @@
+#include "engine/grid.hpp"
+
+#include "engine/registry.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+
+namespace {
+
+std::string loads_label(const SourceConfiguration& config) {
+  std::string out = "{";
+  const std::vector<int> loads = config.loads();
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(loads[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string GridPoint::label() const {
+  std::string out;
+  for (const auto& [axis, value] : coords) {
+    if (!out.empty()) out += " ";
+    out += axis + "=" + value;
+  }
+  return out;
+}
+
+Grid& Grid::over(std::string axis, std::vector<std::string> labels,
+                 std::vector<Apply> apply) {
+  if (labels.empty() || labels.size() != apply.size()) {
+    throw InvalidArgument("Grid::over('" + axis +
+                          "'): labels and apply must be the same nonempty "
+                          "length");
+  }
+  axes_.push_back(Axis{std::move(axis), std::move(labels), std::move(apply)});
+  return *this;
+}
+
+Grid& Grid::over_configs(std::vector<SourceConfiguration> configs) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(configs.size());
+  apply.reserve(configs.size());
+  for (SourceConfiguration& config : configs) {
+    labels.push_back(loads_label(config));
+    apply.push_back([config = std::move(config)](Experiment& spec) {
+      spec.config = config;
+    });
+  }
+  return over("loads", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_loads(std::vector<std::vector<int>> loads) {
+  std::vector<SourceConfiguration> configs;
+  configs.reserve(loads.size());
+  for (const std::vector<int>& shape : loads) {
+    configs.push_back(SourceConfiguration::from_loads(shape));
+  }
+  return over_configs(std::move(configs));
+}
+
+Grid& Grid::over_parties(std::vector<int> parties) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(parties.size());
+  apply.reserve(parties.size());
+  for (int n : parties) {
+    labels.push_back(std::to_string(n));
+    apply.push_back([n](Experiment& spec) {
+      spec.config = SourceConfiguration::all_private(n);
+    });
+  }
+  return over("parties", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_policies(std::vector<PortPolicy> policies) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(policies.size());
+  apply.reserve(policies.size());
+  for (PortPolicy policy : policies) {
+    labels.push_back(to_string(policy));
+    apply.push_back(
+        [policy](Experiment& spec) { spec.port_policy = policy; });
+  }
+  return over("policy", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_protocols(std::vector<std::string> names) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(names.size());
+  apply.reserve(names.size());
+  for (const std::string& name : names) {
+    // Resolve at declaration: unknown names fail fast, and every point
+    // of the axis shares one (stateless, const) protocol instance.
+    auto protocol = make_protocol(name);
+    labels.push_back(name);
+    apply.push_back([protocol = std::move(protocol)](Experiment& spec) {
+      spec.protocol = protocol;
+    });
+  }
+  return over("protocol", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_tasks(std::vector<std::string> names) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(names.size());
+  apply.reserve(names.size());
+  for (const std::string& name : names) {
+    labels.push_back(name);
+    // Resolved at expansion so the task binds to the point's (possibly
+    // axis-set) configuration.
+    apply.push_back([name](Experiment& spec) { spec.with_task(name); });
+  }
+  return over("task", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_rounds(std::vector<int> rounds) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(rounds.size());
+  apply.reserve(rounds.size());
+  for (int budget : rounds) {
+    labels.push_back(std::to_string(budget));
+    apply.push_back([budget](Experiment& spec) { spec.max_rounds = budget; });
+  }
+  return over("rounds", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_port_seeds(std::vector<std::uint64_t> seeds) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(seeds.size());
+  apply.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    labels.push_back(std::to_string(seed));
+    apply.push_back([seed](Experiment& spec) { spec.port_seed = seed; });
+  }
+  return over("port-seed", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_seeds(std::uint64_t first, std::uint64_t count) {
+  base_.with_seeds(first, count);
+  return *this;
+}
+
+std::size_t Grid::size() const {
+  std::size_t product = 1;
+  for (const Axis& axis : axes_) product *= axis.labels.size();
+  return product;
+}
+
+std::vector<GridPoint> Grid::expand() const {
+  std::vector<GridPoint> points;
+  points.reserve(size());
+  std::vector<std::size_t> index(axes_.size(), 0);
+  while (true) {
+    GridPoint point{{}, base_};
+    point.coords.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const Axis& axis = axes_[a];
+      point.coords.emplace_back(axis.name, axis.labels[index[a]]);
+      axis.apply[index[a]](point.spec);
+    }
+    points.push_back(std::move(point));
+    // Odometer increment, last axis fastest; done on full carry-out.
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++index[a] < axes_[a].labels.size()) break;
+      index[a] = 0;
+      if (a == 0) return points;
+    }
+    if (axes_.empty()) return points;
+  }
+}
+
+std::vector<RunStats> run_grid(Engine& engine, const Grid& grid) {
+  return run_grid(engine, grid, RunStats{});
+}
+
+}  // namespace rsb

@@ -1,0 +1,126 @@
+// ParamGrid: declarative multi-axis experiment sweeps.
+//
+// Every result in the paper is a statement about ensembles swept across
+// several axes at once — parties, source configuration, port adversary,
+// protocol, rounds, seeds. A Grid declares those axes over a base
+// Experiment and expands to the cartesian product of grid points, each a
+// fully-formed spec plus its (axis, label) coordinates:
+//
+//   Grid grid(Experiment::message_passing(SourceConfiguration::from_loads(
+//                 {2, 3}))
+//                 .with_protocol("wait-for-singleton-LE")
+//                 .with_task("leader-election"));
+//   grid.over_policies({PortPolicy::kCyclic, PortPolicy::kAdversarial,
+//                       PortPolicy::kRandomPerRun})
+//       .over_rounds({100, 300})
+//       .over_seeds(1, 1000);
+//   std::vector<RunStats> results = run_grid(engine, grid);
+//
+// Expansion rules: the product is enumerated row-major with the FIRST
+// declared axis slowest and the LAST fastest, and each point's spec is
+// built by applying one entry per axis to a copy of the base spec, in
+// axis declaration order. Axes that depend on the configuration (tasks by
+// registry name, parties-dependent factories) must therefore be declared
+// after the axis that sets the configuration. Expansion is a pure
+// function of the declaration — the engine's ParallelConfig, thread
+// scheduling, and prior runs never change the point order (pinned by
+// tests/grid_test.cpp).
+//
+// run_grid executes every point's seed sweep on the engine's worker pool
+// and yields one collector result per grid point, in expansion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace rsb {
+
+/// One cell of an expanded grid: the runnable spec plus its coordinates,
+/// one (axis name, entry label) pair per declared axis, in declaration
+/// order.
+struct GridPoint {
+  std::vector<std::pair<std::string, std::string>> coords;
+  Experiment spec;
+
+  /// "policy=cyclic rounds=300" — the coordinates joined for display.
+  std::string label() const;
+};
+
+class Grid {
+ public:
+  /// Mutates a copy of the base spec into one axis entry's variant.
+  using Apply = std::function<void(Experiment&)>;
+
+  explicit Grid(Experiment base) : base_(std::move(base)) {}
+
+  const Experiment& base() const noexcept { return base_; }
+
+  /// The generic axis: `labels[i]` names the entry realized by
+  /// `apply[i]`. The two vectors must be the same nonempty length.
+  /// Returns *this for chaining; axes multiply.
+  Grid& over(std::string axis, std::vector<std::string> labels,
+             std::vector<Apply> apply);
+
+  // --- canned axes over the common sweep dimensions ---------------------
+  /// Source configurations, labelled by their load shape.
+  Grid& over_configs(std::vector<SourceConfiguration> configs);
+  /// from_loads shorthand for over_configs.
+  Grid& over_loads(std::vector<std::vector<int>> loads);
+  /// all_private(n) shorthand: n parties, each with its own source.
+  Grid& over_parties(std::vector<int> parties);
+  Grid& over_policies(std::vector<PortPolicy> policies);
+  /// Protocols by registry name (resolved at declaration; throws
+  /// UnknownName with the known names listed).
+  Grid& over_protocols(std::vector<std::string> names);
+  /// Tasks by registry name, resolved per point against the point's
+  /// configuration — declare after any configuration axis.
+  Grid& over_tasks(std::vector<std::string> names);
+  Grid& over_rounds(std::vector<int> rounds);
+  Grid& over_port_seeds(std::vector<std::uint64_t> seeds);
+
+  /// Sets the seed range swept at every grid point (not an axis: it does
+  /// not multiply the point count).
+  Grid& over_seeds(std::uint64_t first, std::uint64_t count);
+
+  /// Number of grid points (product of axis sizes; 1 with no axes).
+  std::size_t size() const;
+
+  /// Materializes every point, first axis slowest. Deterministic: equal
+  /// declarations expand equally, whatever engine later runs the points.
+  /// Point specs are not validated here — run_grid validates as it runs.
+  std::vector<GridPoint> expand() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<std::string> labels;
+    std::vector<Apply> apply;
+  };
+
+  Experiment base_;
+  std::vector<Axis> axes_;
+};
+
+/// Runs every grid point's seed sweep through engine.run_collect with a
+/// copy of the prototype collector, returning one result per point in
+/// expansion order. Points run back to back on the engine's configured
+/// worker pool, reusing its contexts throughout.
+template <Collector C>
+std::vector<C> run_grid(Engine& engine, const Grid& grid, const C& proto) {
+  std::vector<C> results;
+  results.reserve(grid.size());
+  for (const GridPoint& point : grid.expand()) {
+    results.push_back(engine.run_collect(point.spec, proto));
+  }
+  return results;
+}
+
+/// RunStats shorthand.
+std::vector<RunStats> run_grid(Engine& engine, const Grid& grid);
+
+}  // namespace rsb

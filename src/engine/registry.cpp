@@ -58,6 +58,24 @@ std::string known_names(const std::vector<std::string>& names) {
 }
 
 template <typename Entry>
+std::vector<std::string> describe_entries(
+    const std::map<std::string, Entry>& entries) {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const auto& [name, entry] : entries) {
+    std::string line = name;
+    if (entry.arity > 0) {
+      line += "(";
+      for (int i = 0; i < entry.arity; ++i) line += i == 0 ? "_" : ",_";
+      line += ")";
+    }
+    if (!entry.help.empty()) line += " — " + entry.help;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+template <typename Entry>
 const Entry& resolve(const std::map<std::string, Entry>& entries,
                      const ParsedSpec& parsed, const char* what,
                      const std::vector<std::string>& names) {
@@ -131,6 +149,10 @@ std::vector<std::string> ProtocolRegistry::names() const {
   return out;
 }
 
+std::vector<std::string> ProtocolRegistry::describe() const {
+  return describe_entries(entries_);
+}
+
 // ----------------------------------------------------------------- tasks
 
 TaskRegistry& TaskRegistry::global() {
@@ -179,6 +201,10 @@ std::vector<std::string> TaskRegistry::names() const {
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
   return out;
+}
+
+std::vector<std::string> TaskRegistry::describe() const {
+  return describe_entries(entries_);
 }
 
 std::shared_ptr<const AnonymousProtocol> make_protocol(

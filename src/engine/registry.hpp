@@ -55,6 +55,10 @@ class ProtocolRegistry {
   /// Registered names, sorted.
   std::vector<std::string> names() const;
 
+  /// One "name(arity) — help" line per entry, sorted by name; what CLIs
+  /// and examples print when listing the available protocols.
+  std::vector<std::string> describe() const;
+
  private:
   std::map<std::string, Entry> entries_;
 };
@@ -86,6 +90,9 @@ class TaskRegistry {
 
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+
+  /// One "name(arity) — help" line per entry, sorted by name.
+  std::vector<std::string> describe() const;
 
  private:
   std::map<std::string, Entry> entries_;

@@ -8,7 +8,7 @@
 
 namespace rsb {
 
-ProtocolOutcome run_prepared(RunContext& ctx, const ExperimentSpec& spec,
+ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
                              std::uint64_t seed,
                              const PortAssignment* ports) {
   const int n = spec.config.num_parties();
@@ -58,8 +58,7 @@ ProtocolOutcome run_prepared(RunContext& ctx, const ExperimentSpec& spec,
   return outcome;
 }
 
-ProtocolOutcome run_agent_prepared(const AgentExperimentSpec& spec,
-                                   std::uint64_t seed,
+ProtocolOutcome run_agent_prepared(const Experiment& spec, std::uint64_t seed,
                                    const PortAssignment* ports) {
   std::optional<PortAssignment> run_ports;
   if (ports != nullptr) run_ports = *ports;
@@ -72,6 +71,13 @@ ProtocolOutcome run_agent_prepared(const AgentExperimentSpec& spec,
   outcome.outputs = net_outcome.outputs;
   outcome.decision_round = net_outcome.decision_round;
   return outcome;
+}
+
+ProtocolOutcome execute_run(RunContext& ctx, const Experiment& spec,
+                            std::uint64_t seed, const PortAssignment* ports) {
+  return spec.backend() == Experiment::Backend::kProtocol
+             ? run_prepared(ctx, spec, seed, ports)
+             : run_agent_prepared(spec, seed, ports);
 }
 
 PortProvider::PortProvider(Model model, PortPolicy policy,

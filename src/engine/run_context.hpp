@@ -25,8 +25,6 @@
 
 namespace rsb {
 
-struct AgentExperimentSpec;
-
 /// The per-run scratch state of one worker. Default-constructed contexts
 /// are ready to use; reuse across runs amortizes all allocations.
 struct RunContext {
@@ -40,15 +38,20 @@ struct RunContext {
 /// non-null iff the spec is message passing. Deterministic: equal
 /// (spec, seed, *ports) produce equal outcomes in every context,
 /// regardless of the context's history.
-ProtocolOutcome run_prepared(RunContext& ctx, const ExperimentSpec& spec,
+ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
                              std::uint64_t seed, const PortAssignment* ports);
 
 /// One agent-level run of `spec` at `seed` through a fresh sim::Network.
 /// Self-contained (the network owns its own state); deterministic in
 /// (spec, seed, ports).
-ProtocolOutcome run_agent_prepared(const AgentExperimentSpec& spec,
-                                   std::uint64_t seed,
+ProtocolOutcome run_agent_prepared(const Experiment& spec, std::uint64_t seed,
                                    const PortAssignment* ports);
+
+/// One run of either backend: dispatches on spec.backend() to
+/// run_prepared (knowledge-level, over `ctx`) or run_agent_prepared
+/// (agent-level, ctx untouched). Deterministic in (spec, seed, ports).
+ProtocolOutcome execute_run(RunContext& ctx, const Experiment& spec,
+                            std::uint64_t seed, const PortAssignment* ports);
 
 /// Per-batch port provider: materializes the port policy once (fixed
 /// policies) or per run (kRandomPerRun, drawn from the port_seed stream).

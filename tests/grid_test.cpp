@@ -1,0 +1,255 @@
+// Tests for the sweep layers above the engine: Grid declaration /
+// expansion (engine/grid.hpp) and ResultTable reporting
+// (engine/report.hpp). The determinism contract under test: grid
+// expansion is a pure function of the declaration — point order and
+// results are independent of the engine's ParallelConfig.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/grid.hpp"
+#include "engine/registry.hpp"
+#include "engine/report.hpp"
+#include "util/error.hpp"
+
+namespace rsb {
+namespace {
+
+Experiment le_base() {
+  return Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
+      .with_port_seed(7)
+      .with_protocol("wait-for-singleton-LE")
+      .with_task("leader-election")
+      .with_rounds(300);
+}
+
+// ------------------------------------------------------------ expansion
+
+TEST(Grid, ExpandsCartesianProductFirstAxisSlowest) {
+  Grid grid(le_base());
+  grid.over_policies({PortPolicy::kCyclic, PortPolicy::kRandomPerRun})
+      .over_rounds({100, 200, 300})
+      .over_seeds(1, 5);
+  EXPECT_EQ(grid.size(), 6u);
+  const std::vector<GridPoint> points = grid.expand();
+  ASSERT_EQ(points.size(), 6u);
+  // First axis (policy) slowest, second (rounds) fastest.
+  EXPECT_EQ(points[0].label(), "policy=cyclic rounds=100");
+  EXPECT_EQ(points[1].label(), "policy=cyclic rounds=200");
+  EXPECT_EQ(points[2].label(), "policy=cyclic rounds=300");
+  EXPECT_EQ(points[3].label(), "policy=random-per-run rounds=100");
+  EXPECT_EQ(points[5].label(), "policy=random-per-run rounds=300");
+  for (const GridPoint& point : points) {
+    EXPECT_EQ(point.spec.seeds, SeedRange::of(1, 5));
+    EXPECT_NO_THROW(point.spec.validate());
+  }
+  EXPECT_EQ(points[1].spec.max_rounds, 200);
+  EXPECT_EQ(points[3].spec.port_policy, PortPolicy::kRandomPerRun);
+}
+
+TEST(Grid, NoAxesExpandsToTheBaseSpecAlone) {
+  Grid grid(le_base().with_seeds(3, 9));
+  EXPECT_EQ(grid.size(), 1u);
+  const auto points = grid.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].coords.empty());
+  EXPECT_EQ(points[0].spec.seeds, SeedRange::of(3, 9));
+}
+
+TEST(Grid, TaskAxisResolvesAgainstThePointConfiguration) {
+  // over_parties changes num_parties per point; a task declared AFTER the
+  // configuration axis must bind to each point's own party count.
+  Grid grid(Experiment::blackboard(SourceConfiguration::all_private(2))
+                .with_protocol("wait-for-singleton-LE"));
+  grid.over_parties({3, 4, 5}).over_tasks({"leader-election"});
+  const auto points = grid.expand();
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(points[i].spec.task.has_value());
+    EXPECT_EQ(points[i].spec.task->num_parties(), static_cast<int>(i) + 3);
+  }
+}
+
+TEST(Grid, GenericAxisAndValidationErrors) {
+  Grid grid(le_base());
+  EXPECT_THROW(grid.over("empty", {}, {}), InvalidArgument);
+  EXPECT_THROW(
+      grid.over("ragged", {"a", "b"}, {[](Experiment&) {}}),
+      InvalidArgument);
+  grid.over("variant", {"tagged", "literal"},
+            {[](Experiment& spec) { spec.variant = MessageVariant::kPortTagged; },
+             [](Experiment& spec) { spec.variant = MessageVariant::kLiteral; }});
+  const auto points = grid.expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[1].spec.variant, MessageVariant::kLiteral);
+}
+
+TEST(Grid, UnknownProtocolNameFailsAtDeclarationWithKnownNames) {
+  Grid grid(le_base());
+  try {
+    grid.over_protocols({"no-such-protocol"});
+    FAIL() << "expected UnknownName";
+  } catch (const UnknownName& e) {
+    EXPECT_NE(std::string(e.what()).find("wait-for-singleton-LE"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(Grid, ExpansionAndResultsIndependentOfParallelConfig) {
+  // The satellite test: run the same grid on a serial engine, a 2-thread
+  // engine, and a hardware-concurrency engine with a ragged chunk — the
+  // per-point RunStats sequence must be identical (same order, same
+  // bytes).
+  Grid grid(le_base());
+  grid.over_loads({{2, 3}, {1, 4}})  // both 5 parties: base task stays valid
+      .over_policies({PortPolicy::kCyclic, PortPolicy::kRandomPerRun})
+      .over_seeds(1, 21);
+  Engine serial;
+  const std::vector<RunStats> reference = run_grid(serial, grid);
+  ASSERT_EQ(reference.size(), 4u);
+  for (const RunStats& stats : reference) EXPECT_EQ(stats.runs, 21u);
+  for (const ParallelConfig& config :
+       {ParallelConfig{2, 0}, ParallelConfig{0, 5}}) {
+    Engine parallel;
+    parallel.set_parallel(config);
+    const std::vector<RunStats> results = run_grid(parallel, grid);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], reference[i])
+          << "point " << i << " threads=" << config.threads
+          << " chunk=" << config.chunk;
+    }
+  }
+  // And the expansion itself is stable declaration-to-declaration.
+  const auto once = grid.expand();
+  const auto twice = grid.expand();
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].label(), twice[i].label());
+  }
+}
+
+TEST(Grid, RunGridWithCustomCollector) {
+  Grid grid(le_base());
+  grid.over_policies({PortPolicy::kCyclic, PortPolicy::kAdversarial})
+      .over_seeds(1, 6);
+  Engine engine;
+  auto results = run_grid(
+      engine, grid,
+      fold_collector(
+          std::uint64_t{0},
+          [](std::uint64_t& terminated, const RunView&,
+             const ProtocolOutcome& outcome) { terminated += outcome.terminated; },
+          [](std::uint64_t& terminated, std::uint64_t other) {
+            terminated += other;
+          }));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].state(), 6u);  // cyclic wiring on gcd-1: terminates
+  // {2,3} has gcd 1, so even the "adversarial" wiring cannot freeze it.
+  EXPECT_EQ(results[1].state(), 6u);
+}
+
+// ----------------------------------------------------------- ResultTable
+
+TEST(ResultTable, TypedColumnsTextCsvJson) {
+  ResultTable table("demo");
+  table.set_meta("bench", "unit-test").set_meta("threads", std::int64_t{4});
+  auto first = table.add_row();
+  first.set("loads", "{2,3}").set("gcd", 1).set("rate", 0.5);
+  auto second = table.add_row();
+  second.set("loads", "{2,4}").set("gcd", 2).set("note", "frozen");
+
+  EXPECT_EQ(table.num_rows(), 2u);
+  ASSERT_EQ(table.columns().size(), 4u);
+  EXPECT_EQ(table.columns()[0], "loads");
+  EXPECT_EQ(table.columns()[3], "note");  // created by the later row
+  EXPECT_EQ(std::get<std::int64_t>(table.at(1, "gcd")), 2);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(table.at(0, "note")));
+
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("loads"), std::string::npos);
+  EXPECT_NE(text.find("{2,4}"), std::string::npos);
+
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("loads,gcd,rate,note"), std::string::npos);
+  EXPECT_NE(csv.find("\"{2,3}\""), std::string::npos);  // comma → quoted
+  EXPECT_NE(csv.find("0.5"), std::string::npos);
+
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("\"table\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);  // missing cell
+}
+
+TEST(ResultTable, CsvEscapesQuotesAndNewlines) {
+  ResultTable table("escapes");
+  table.add_row().set("text", "say \"hi\"\nthere");
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\nthere\""), std::string::npos);
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("say \\\"hi\\\"\\nthere"), std::string::npos);
+}
+
+TEST(ResultTable, GridTableOneRowPerPoint) {
+  Grid grid(le_base());
+  grid.over_policies({PortPolicy::kCyclic, PortPolicy::kRandomPerRun})
+      .over_seeds(1, 4);
+  Engine engine;
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  const ResultTable table = grid_table("le-rates", grid, results);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(std::get<std::string>(table.at(0, "policy")), "cyclic");
+  EXPECT_EQ(std::get<std::string>(table.at(1, "policy")), "random-per-run");
+  EXPECT_EQ(std::get<std::int64_t>(table.at(0, "runs")), 4);
+  EXPECT_EQ(std::get<std::int64_t>(table.at(0, "successes")), 4);
+
+  std::vector<RunStats> short_results(1);
+  EXPECT_THROW(grid_table("bad", grid, short_results), InvalidArgument);
+}
+
+TEST(ResultTable, WriteEmittersRoundTripToDisk) {
+  ResultTable table("files");
+  table.add_row().set("k", 1).set("v", "x");
+  const std::string csv_path = "TABLE_grid_test_tmp.csv";
+  const std::string json_path = "TABLE_grid_test_tmp.json";
+  ASSERT_TRUE(table.write_csv(csv_path));
+  ASSERT_TRUE(table.write_json(json_path));
+  auto slurp = [](const std::string& path) {
+    std::FILE* in = std::fopen(path.c_str(), "r");
+    EXPECT_NE(in, nullptr);
+    std::string content(4096, '\0');
+    const std::size_t got = std::fread(content.data(), 1, content.size(), in);
+    std::fclose(in);
+    content.resize(got);
+    return content;
+  };
+  EXPECT_EQ(slurp(csv_path), table.to_csv());
+  EXPECT_EQ(slurp(json_path), table.to_json());
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+// ------------------------------------------------------------ registries
+
+TEST(Registry, DescribeListsEveryEntryWithArity) {
+  const auto protocols = ProtocolRegistry::global().describe();
+  ASSERT_GE(protocols.size(), 3u);
+  bool saw_split = false;
+  for (const std::string& line : protocols) {
+    if (line.find("wait-for-class-split-LE(") != std::string::npos) {
+      saw_split = true;  // arity-1 entry renders its argument slot
+    }
+  }
+  EXPECT_TRUE(saw_split);
+  const auto tasks = TaskRegistry::global().describe();
+  ASSERT_GE(tasks.size(), 3u);
+  EXPECT_NE(tasks[0].find(" — "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsb
