@@ -1,0 +1,142 @@
+// Adversarial message scheduling vs a delay-tolerant election.
+//
+// The scheduler layer's headline experiment: run the one-shot gossip
+// leader election (GossipLeaderElectionAgent — decides on the word
+// multiset alone, so its OUTPUTS are schedule-invariant) against the
+// whole scheduler family and measure what each adversary can and cannot
+// do. The sweep is a declarative over_schedulers grid axis.
+//
+// Shape checks pin the scheduler semantics end to end:
+//  * synchronous: every run decides in round 1;
+//  * random-delay(d): outputs identical to synchronous (the adversary
+//    only moves timing), rounds within [1, 1+d];
+//  * starve{0}(d): every run decides exactly d rounds late — the
+//    adversary extracts the full delay from every party, because every
+//    party needs the starved word and the starved party's inbound
+//    traffic is held too;
+//  * the whole sweep is byte-identical at 1 and N threads.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/agents.hpp"
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::subheader;
+
+constexpr int kParties = 6;
+constexpr std::uint64_t kSeeds = 400;
+
+Experiment gossip_base(std::uint64_t seeds) {
+  return Experiment::message_passing(SourceConfiguration::all_private(kParties),
+                                     PortPolicy::kCyclic)
+      .with_agents([](int) {
+        return std::make_unique<sim::GossipLeaderElectionAgent>();
+      })
+      .with_task("leader-election")
+      .with_rounds(64)
+      .with_seeds(1, seeds);
+}
+
+void reproduce_scheduler_adversary() {
+  header("adversarial scheduling — gossip election, n = " +
+         std::to_string(kParties));
+  const int kDelaySmall = 2;
+  const int kDelayLarge = 8;
+  Grid grid(gossip_base(kSeeds));
+  grid.over_schedulers({
+      sim::SchedulerSpec::synchronous(),
+      sim::SchedulerSpec::random_delay(kDelaySmall),
+      sim::SchedulerSpec::random_delay(kDelayLarge),
+      sim::SchedulerSpec::adversarial_starve({0}, kDelaySmall),
+      sim::SchedulerSpec::adversarial_starve({0}, kDelayLarge),
+  });
+  Engine engine;
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  rsb::bench::report_table(
+      grid_table("scheduler_adversary", grid, results));
+
+  const RunStats& sync = results[0];
+  check(sync.termination_rate() == 1.0 && sync.round_histogram.size() == 1 &&
+            sync.round_histogram.count(1) == 1,
+        "synchronous: every run decides in round 1");
+  check(sync.success_rate() == 1.0,
+        "synchronous: all-private words elect exactly one leader");
+
+  const std::vector<int> delays = {0, kDelaySmall, kDelayLarge, kDelaySmall,
+                                   kDelayLarge};
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const RunStats& stats = results[i];
+    const std::string label = grid.expand()[i].label();
+    check(stats.output_counts == sync.output_counts,
+          label + ": outputs identical to synchronous (timing-only "
+                  "adversary)");
+    bool bounded = true;
+    for (const auto& [rounds, count] : stats.round_histogram) {
+      (void)count;
+      bounded = bounded && rounds >= 1 && rounds <= 1 + delays[i];
+    }
+    check(bounded, label + ": rounds within [1, 1+d]");
+  }
+  for (std::size_t i = 3; i < 5; ++i) {
+    const RunStats& stats = results[i];
+    check(stats.round_histogram.size() == 1 &&
+              stats.round_histogram.count(1 + delays[i]) == 1,
+          grid.expand()[i].label() +
+              ": starvation extracts the full delay from every run");
+  }
+  check(results[2].mean_rounds() > results[1].mean_rounds(),
+        "a larger random-delay budget costs more rounds");
+
+  subheader("determinism: 1 vs N threads");
+  Engine parallel;
+  parallel.with_threads(0);
+  const std::vector<RunStats> parallel_results = run_grid(parallel, grid);
+  bool identical = parallel_results.size() == results.size();
+  for (std::size_t i = 0; identical && i < results.size(); ++i) {
+    identical = parallel_results[i] == results[i];
+  }
+  check(identical, "scheduler sweep byte-identical at 1 and N threads");
+
+  subheader("engine sweep throughput (runs/sec)");
+  rsb::bench::engine_throughput(
+      "gossip sync n=6", gossip_base(kSeeds));
+  rsb::bench::engine_throughput(
+      "gossip random-delay(8) n=6",
+      gossip_base(kSeeds).with_scheduler(
+          sim::SchedulerSpec::random_delay(kDelayLarge)));
+  rsb::bench::footer("scheduler_adversary");
+}
+
+void BM_DelayedGossipRun(benchmark::State& state) {
+  const int delay = static_cast<int>(state.range(0));
+  Engine engine;
+  auto spec = gossip_base(1);
+  if (delay > 0) {
+    spec.with_scheduler(sim::SchedulerSpec::random_delay(delay));
+  }
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(spec, seed++));
+  }
+}
+BENCHMARK(BM_DelayedGossipRun)->Arg(0)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_scheduler_adversary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// t-resilient leader election under crash-stop faults.
+//
+// The fault layer's headline experiment: sweep the crash count t of an
+// n-party blackboard election (WaitForSingletonLE over the crash-masked
+// knowledge recursion) and measure, per t, how termination and the
+// survivor-judged success of t-resilient leader election degrade. The
+// t-axis pairs each crash count with its own t-resilient task via a
+// generic grid axis, so every row answers the t-resilient question for
+// that t exactly.
+//
+// Shape checks pin the semantics the test suite proves:
+//  * t = 0 reproduces the strict fault-free election (success 1.0);
+//  * crashed_parties accounts exactly t victims per run;
+//  * success can only be lost to dead leaders — runs whose surviving
+//    census still carries exactly one leader always count;
+//  * the whole sweep is byte-identical at 1 and N threads.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
+
+namespace {
+
+using namespace rsb;
+using rsb::bench::check;
+using rsb::bench::header;
+using rsb::bench::subheader;
+
+constexpr int kParties = 6;
+constexpr int kWindow = 6;
+constexpr std::uint64_t kSeeds = 400;
+
+/// The t-sweep as one generic axis: each entry sets both the crash count
+/// and the matching t-resilient task (over_fault_counts alone would leave
+/// the task judging a different tolerance than the plan inflicts).
+Grid resilient_grid(std::uint64_t seeds) {
+  Experiment base = Experiment::blackboard(
+                        SourceConfiguration::all_private(kParties))
+                        .with_protocol("wait-for-singleton-LE")
+                        .with_rounds(300)
+                        .with_seeds(1, seeds);
+  Grid grid(std::move(base));
+  std::vector<std::string> labels;
+  std::vector<Grid::Apply> apply;
+  for (int t = 0; t <= 3; ++t) {
+    labels.push_back("t" + std::to_string(t));
+    apply.push_back([t](Experiment& spec) {
+      spec.faults = sim::FaultPlan::crash_stop(t, kWindow);
+      spec.with_task("t-resilient-leader-election(" + std::to_string(t) +
+                     ")");
+    });
+  }
+  grid.over("t", std::move(labels), std::move(apply));
+  return grid;
+}
+
+void reproduce_tresilient_leader() {
+  header("t-resilient leader election — crash-stop sweep, n = " +
+         std::to_string(kParties));
+  const Grid grid = resilient_grid(kSeeds);
+  Engine engine;
+  const std::vector<RunStats> results = run_grid(engine, grid);
+  // Like grid_table, plus the crash accounting column.
+  ResultTable detailed("tresilient_leader");
+  const auto points = grid.expand();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto row = detailed.add_row();
+    for (const auto& [axis, value] : points[i].coords) row.set(axis, value);
+    add_stats_columns(row, results[i]);
+    row.set("crashed_parties",
+            static_cast<std::int64_t>(results[i].crashed_parties));
+  }
+  rsb::bench::report_table(detailed);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const int t = static_cast<int>(i);
+    const RunStats& stats = results[i];
+    check(stats.crashed_parties ==
+              static_cast<std::uint64_t>(t) * stats.runs,
+          "t=" + std::to_string(t) + ": exactly t crash victims per run");
+    if (t == 0) {
+      check(stats.success_rate() == 1.0,
+            "t=0 reproduces the strict fault-free election");
+    } else {
+      check(stats.termination_rate() == 1.0,
+            "t=" + std::to_string(t) +
+                ": survivors always finish the election");
+      check(stats.success_rate() > 0.5,
+            "t=" + std::to_string(t) +
+                ": most runs keep a surviving leader");
+    }
+  }
+  // Success degrades (weakly) as the adversary gets more crashes.
+  bool monotone = true;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    monotone = monotone &&
+               results[i].success_rate() <= results[i - 1].success_rate() + 1e-9;
+  }
+  check(monotone, "success rate degrades monotonically in t");
+
+  subheader("determinism: 1 vs N threads");
+  Engine parallel;
+  parallel.with_threads(0);
+  const std::vector<RunStats> parallel_results = run_grid(parallel, grid);
+  bool identical = parallel_results.size() == results.size();
+  for (std::size_t i = 0; identical && i < results.size(); ++i) {
+    identical = parallel_results[i] == results[i];
+  }
+  check(identical, "fault sweep byte-identical at 1 and N threads");
+
+  subheader("engine sweep throughput (runs/sec)");
+  const auto faulty_point = grid.expand()[2].spec;  // t = 2
+  rsb::bench::engine_throughput("t-resilient LE t=2 n=6", faulty_point);
+  rsb::bench::footer("tresilient_leader");
+}
+
+void BM_FaultyElection(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Engine engine;
+  auto spec = Experiment::blackboard(SourceConfiguration::all_private(kParties))
+                  .with_protocol("wait-for-singleton-LE")
+                  .with_faults(sim::FaultPlan::crash_stop(t, kWindow))
+                  .with_rounds(300);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(spec, seed++));
+  }
+}
+BENCHMARK(BM_FaultyElection)->Arg(0)->Arg(2);
+
+void BM_FaultDraw(benchmark::State& state) {
+  const sim::FaultPlan plan =
+      sim::FaultPlan::crash_stop(static_cast<int>(state.range(0)), kWindow);
+  std::vector<int> crash;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    plan.draw(kParties, seed++, crash);
+    benchmark::DoNotOptimize(crash.data());
+  }
+}
+BENCHMARK(BM_FaultDraw)->Arg(1)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_tresilient_leader();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rsb::bench::failure_count() == 0 ? 0 : 1;
+}

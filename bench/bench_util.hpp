@@ -146,13 +146,6 @@ inline double engine_throughput(const std::string& name,
                           [&spec](Engine& engine) { engine.run_batch(spec); });
 }
 
-/// Deprecated alias of engine_throughput (agent specs are ordinary
-/// Experiments now); removed next PR.
-inline double agent_throughput(const std::string& name,
-                               const Experiment& spec) {
-  return engine_throughput(name, spec);
-}
-
 /// Prints the shape-check verdict; when `name` is given, persists the
 /// throughput table to BENCH_<name>.json and every recorded table to
 /// TABLE_<name>_<table>.csv in the working directory.

@@ -1,6 +1,7 @@
 #include "algo/agents.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 
 #include "util/error.hpp"
@@ -213,6 +214,44 @@ MatchingRole parse_role(const std::string& payload) {
 }
 
 }  // namespace
+
+void GossipLeaderElectionAgent::begin(const Init& init) { init_ = init; }
+
+void GossipLeaderElectionAgent::send_phase(int round,
+                                           std::uint64_t random_word,
+                                           Outbox& out) {
+  if (round != 1) return;  // one-shot gossip: transmit exactly once
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(random_word));
+  own_word_.assign(buffer);
+  if (init_.model == Model::kBlackboard) {
+    out.post(own_word_);
+  } else {
+    out.send_all(own_word_);
+  }
+}
+
+void GossipLeaderElectionAgent::receive_phase(int round,
+                                              const Delivery& delivery) {
+  (void)round;
+  if (init_.model == Model::kBlackboard) {
+    for (const std::string& word : delivery.board) seen_.push_back(word);
+  } else {
+    for (const PortMessage& message : delivery.by_port) {
+      seen_.push_back(message.payload);
+    }
+  }
+  if (decided() ||
+      static_cast<int>(seen_.size()) < init_.num_parties - 1) {
+    return;
+  }
+  bool strictly_largest = true;
+  for (const std::string& word : seen_) {
+    strictly_largest = strictly_largest && own_word_ > word;
+  }
+  decide(strictly_largest ? 1 : 0);
+}
 
 void CreateMatchingAgent::begin(const Init& init) {
   if (init.model != Model::kMessagePassing) {

@@ -102,6 +102,31 @@ class RefinementMLeaderElectionAgent final : public RefinementAgent {
   int num_leaders_;
 };
 
+/// Delay- and reorder-tolerant leader election by one-shot gossip: in
+/// round 1 every party transmits its random word once (as a fixed-width
+/// hex string, so lexicographic order is numeric order); a party decides
+/// as soon as it has observed the other n−1 words — whichever rounds the
+/// scheduler delivers them in — outputting 1 iff its own word strictly
+/// exceeds every word it saw (parties sharing a source share words, so
+/// ties elect nobody). Because it transmits exactly once and counts
+/// receipts, it is immune to any delivery schedule (the scheduler bench
+/// pins this) but starves forever when a peer crashes before sending —
+/// the crash-intolerant baseline the fault experiments contrast against.
+class GossipLeaderElectionAgent final : public Agent {
+ public:
+  void begin(const Init& init) override;
+  void send_phase(int round, std::uint64_t random_word, Outbox& out) override;
+  void receive_phase(int round, const Delivery& delivery) override;
+
+  /// Words observed so far (diagnostics).
+  int words_seen() const noexcept { return static_cast<int>(seen_.size()); }
+
+ private:
+  Init init_;
+  std::string own_word_;
+  std::vector<std::string> seen_;
+};
+
 /// Roles for CreateMatchingAgent; the V1/V2 split is an input of
 /// Algorithm 1 ("the separation is already known to all parties").
 enum class MatchingRole { kV1, kV2, kBystander };

@@ -37,10 +37,18 @@ class AnonymousProtocol {
 };
 
 struct ProtocolOutcome {
-  bool terminated = false;  // all parties decided within the round budget
-  int rounds = 0;           // rounds elapsed when the last party decided
+  bool terminated = false;  // every surviving party decided in the budget
+  /// Knowledge backend: the round of the last decision. Agent backend:
+  /// the rounds the network actually ran — for a terminated faulty run
+  /// this can exceed the last decision round, because an undecided victim
+  /// keeps the network stepping until its crash round unblocks it.
+  int rounds = 0;
   std::vector<std::int64_t> outputs;  // valid where decision_round >= 0
   std::vector<int> decision_round;    // -1 where undecided
+  /// The run's crash schedule under a fault plan (sim/fault.hpp): one
+  /// crash round per party, -1 for survivors. Empty for fault-free runs —
+  /// the canonical encoding consumers test to take the fast path.
+  std::vector<int> crash_round;
 };
 
 /// Runs `protocol` on n anonymous parties under the given model and

@@ -13,10 +13,12 @@
 // Parallelism (ParallelConfig) never changes results: every run is a pure
 // function of (spec, seed, ports), per-run port assignments are drawn
 // draw-for-draw as in the serial sweep regardless of which worker executes
-// the run, and per-worker collector shards are merged in worker-index
+// the run, fault and scheduler draws are keyed on the run's own seed
+// (sim/fault.hpp, sim/scheduler.hpp — no shared stream, hence no
+// skip-ahead), and per-worker collector shards are merged in worker-index
 // order — so run_collect/run_batch return byte-identical aggregates for
-// any thread count (pinned by tests/parallel_engine_test.cpp and
-// tests/collector_test.cpp).
+// any thread count (pinned by tests/parallel_engine_test.cpp,
+// tests/collector_test.cpp and tests/fault_scheduler_test.cpp).
 //
 // Aggregation is pluggable (engine/collector.hpp): run_collect sweeps a
 // spec into any Collector — each parallel worker owns a shard, so nothing
@@ -131,13 +133,6 @@ class Engine {
   /// on the configured worker pool.
   std::vector<RunStats> run_sweep(const std::vector<Experiment>& specs,
                                   const RunObserver& observer = nullptr);
-
-  /// Deprecated alias of run_batch, kept for one PR: agent-level specs
-  /// are ordinary Experiments now (backend() == Backend::kAgents).
-  RunStats run_agent_batch(const Experiment& spec,
-                           const RunObserver& observer = nullptr) {
-    return run_batch(spec, observer);
-  }
 
   /// Peak intern-table size seen so far (diagnostic for allocation reuse),
   /// aggregated as the max over the serial context and every parallel

@@ -102,6 +102,16 @@ Experiment& Experiment::with_variant(MessageVariant v) {
   return *this;
 }
 
+Experiment& Experiment::with_faults(sim::FaultPlan plan) {
+  faults = plan;
+  return *this;
+}
+
+Experiment& Experiment::with_scheduler(sim::SchedulerSpec s) {
+  scheduler = std::move(s);
+  return *this;
+}
+
 Experiment& Experiment::with_rounds(int rounds) {
   max_rounds = rounds;
   return *this;
@@ -145,6 +155,29 @@ void Experiment::validate() const {
     throw InvalidArgument(
         "Experiment: task party count does not match the configuration");
   }
+  faults.validate(config.num_parties());
+  if (faults.any() && faults.crash_window > max_rounds) {
+    throw InvalidArgument(
+        "Experiment: crash_window exceeds max_rounds — a victim whose "
+        "crash round falls beyond the budget would act alive all run yet "
+        "be accounted as crashed");
+  }
+  scheduler.validate(config.num_parties());
+  if (backend() == Backend::kProtocol) {
+    if (!scheduler.is_synchronous()) {
+      throw InvalidArgument(
+          "Experiment: the knowledge-level backend is round-lockstep by "
+          "definition; non-synchronous schedulers need the agent backend "
+          "(with_agents)");
+    }
+    if (faults.any() && model == Model::kMessagePassing) {
+      throw InvalidArgument(
+          "Experiment: crash faults on the knowledge-level backend are "
+          "supported for the blackboard model only (the Eq. (2) port tuple "
+          "has no representation for a silent channel); use the agent "
+          "backend for faulty message passing");
+    }
+  }
 }
 
 std::string Experiment::to_string() const {
@@ -161,6 +194,8 @@ std::string Experiment::to_string() const {
     out += " ports=" + rsb::to_string(port_policy);
     if (variant == MessageVariant::kLiteral) out += " variant=literal";
   }
+  if (faults.any()) out += " faults=" + faults.to_string();
+  if (!scheduler.is_synchronous()) out += " sched=" + scheduler.to_string();
   out += " rounds=" + std::to_string(max_rounds);
   out += " seeds=" + std::to_string(seeds.first) + "+" +
          std::to_string(seeds.count) + "]";
@@ -190,6 +225,7 @@ double RunStats::mean_rounds() const {
 void RunStats::record(const ProtocolOutcome& outcome,
                       const SymmetricTask* task) {
   ++runs;
+  const bool faulty = !outcome.crash_round.empty();
   if (outcome.terminated) {
     ++terminated;
     total_rounds += static_cast<std::uint64_t>(outcome.rounds);
@@ -200,6 +236,11 @@ void RunStats::record(const ProtocolOutcome& outcome,
       ++output_counts[outcome.outputs[party]];
     }
   }
+  if (faulty) {
+    for (int crash : outcome.crash_round) {
+      if (crash >= 0) ++crashed_parties;
+    }
+  }
   if (task != nullptr) {
     task_checked = true;
     if (outcome.terminated) {
@@ -208,7 +249,18 @@ void RunStats::record(const ProtocolOutcome& outcome,
       for (std::int64_t v : outcome.outputs) {
         values.push_back(static_cast<int>(v));
       }
-      if (task->admits_vector(values)) ++task_successes;
+      if (!faulty) {
+        if (task->admits_vector(values)) ++task_successes;
+      } else {
+        // Crash-aware semantics: judge the survivors' outputs only (a
+        // crashed party's pre-crash decision does not count — a leader
+        // that crashed is a dead leader).
+        std::vector<bool> alive(values.size());
+        for (std::size_t party = 0; party < values.size(); ++party) {
+          alive[party] = outcome.crash_round[party] < 0;
+        }
+        if (task->admits_surviving(values, alive)) ++task_successes;
+      }
     }
   }
 }
@@ -227,6 +279,7 @@ void RunStats::merge(const RunStats& other) {
   task_successes += other.task_successes;
   task_checked = task_checked || other.task_checked;
   total_rounds += other.total_rounds;
+  crashed_parties += other.crashed_parties;
   for (const auto& [rounds, count] : other.round_histogram) {
     round_histogram[rounds] += count;
   }

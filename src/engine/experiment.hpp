@@ -5,8 +5,10 @@
 // port adversary, protocol, seed) combinations. An Experiment is the
 // value-type description of one such ensemble — which model, which wiring
 // of parties to randomness sources, how the ports are chosen per run,
-// which backend produces the per-party decisions, and which seed range to
-// sweep. Two backends are supported by the same spec type:
+// which fault plan and delivery scheduler the runs face (sim/fault.hpp,
+// sim/scheduler.hpp), which backend produces the per-party decisions, and
+// which seed range to sweep. Two backends are supported by the same spec
+// type:
 //
 //  * knowledge-level: an AnonymousProtocol decision function evaluated
 //    over the knowledge recursion (attach with with_protocol);
@@ -35,7 +37,9 @@
 #include "model/models.hpp"
 #include "model/port_assignment.hpp"
 #include "randomness/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
+#include "sim/scheduler.hpp"
 #include "tasks/tasks.hpp"
 
 namespace rsb {
@@ -87,6 +91,14 @@ struct Experiment {
   std::optional<PortAssignment> fixed_ports;  // for PortPolicy::kFixed
   std::uint64_t port_seed = 0x9e3779b9;       // for PortPolicy::kRandomPerRun
   MessageVariant variant = MessageVariant::kPortTagged;  // kProtocol only
+  /// Crash-stop fault adversary (default: fault-free). Per-run crash
+  /// schedules are drawn from the plan's seed stream keyed on the run
+  /// seed — a pure function of (spec, seed), independent of scheduling.
+  sim::FaultPlan faults;
+  /// Delivery adversary for the agent backend (default: synchronous
+  /// lockstep). The knowledge backend is round-lockstep by definition, so
+  /// validate() rejects non-synchronous schedulers on kProtocol specs.
+  sim::SchedulerSpec scheduler;
   int max_rounds = 300;
   SeedRange seeds;
 
@@ -121,6 +133,12 @@ struct Experiment {
   Experiment& with_port_policy(PortPolicy policy);
   Experiment& with_port_seed(std::uint64_t seed);
   Experiment& with_variant(MessageVariant v);
+  /// Attaches a crash-stop fault plan (sim/fault.hpp). Success accounting
+  /// over crashed runs is survivor-based — pair with a t-resilient task.
+  Experiment& with_faults(sim::FaultPlan plan);
+  /// Selects the delivery scheduler (sim/scheduler.hpp); agent backend
+  /// only, except for the synchronous default.
+  Experiment& with_scheduler(sim::SchedulerSpec scheduler);
   Experiment& with_rounds(int rounds);
   Experiment& with_seeds(std::uint64_t first, std::uint64_t count);
   Experiment& with_seed(std::uint64_t seed);
@@ -135,25 +153,16 @@ struct Experiment {
   std::string to_string() const;
 };
 
-/// Deprecated aliases, kept for one PR so downstream callers migrate at
-/// leisure: both legacy spec types are the unified Experiment now (the
-/// agent-specific fields simply sit unused on knowledge-level specs and
-/// vice versa). Behavioral caveat: the unified default max_rounds is
-/// 300, where the old AgentExperimentSpec defaulted to 1000 — agent
-/// specs that relied on the default must set with_rounds explicitly
-/// (every in-tree caller already did). Removed in the next PR.
-using ExperimentSpec = Experiment;
-using AgentExperimentSpec = Experiment;
-
 /// Aggregate statistics over a batch of runs — the built-in default
 /// collector (it satisfies the Collector concept of engine/collector.hpp:
 /// observe() folds one run in, merge() pools shards associatively).
 struct RunStats {
   std::uint64_t runs = 0;
-  std::uint64_t terminated = 0;       // runs where every party decided
-  std::uint64_t task_successes = 0;   // terminated runs the task admits
-  bool task_checked = false;          // true iff a task was consulted
-  std::uint64_t total_rounds = 0;     // summed over terminated runs
+  std::uint64_t terminated = 0;      // runs where every surviving party decided
+  std::uint64_t task_successes = 0;  // terminated runs the task admits
+  bool task_checked = false;         // true iff a task was consulted
+  std::uint64_t total_rounds = 0;    // summed over terminated runs
+  std::uint64_t crashed_parties = 0;  // crash-stop victims, summed over runs
 
   /// rounds-to-termination → number of terminated runs.
   std::map<int, std::uint64_t> round_histogram;
@@ -168,6 +177,10 @@ struct RunStats {
   double mean_rounds() const;
 
   /// Folds one outcome in; `task` may be null (no success accounting).
+  /// Crash-aware: for outcomes carrying a crash schedule, task admission
+  /// is judged over the surviving parties' outputs (admits_surviving) and
+  /// crashed_parties accumulates the victims; fault-free outcomes take
+  /// exactly the pre-fault-layer path.
   void record(const ProtocolOutcome& outcome, const SymmetricTask* task);
 
   /// Collector hook: record() against the swept spec's task (if any).

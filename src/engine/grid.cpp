@@ -144,6 +144,32 @@ Grid& Grid::over_port_seeds(std::vector<std::uint64_t> seeds) {
   return over("port-seed", std::move(labels), std::move(apply));
 }
 
+Grid& Grid::over_fault_counts(std::vector<int> counts) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(counts.size());
+  apply.reserve(counts.size());
+  for (int t : counts) {
+    labels.push_back("t" + std::to_string(t));
+    apply.push_back([t](Experiment& spec) { spec.faults.crashes = t; });
+  }
+  return over("faults", std::move(labels), std::move(apply));
+}
+
+Grid& Grid::over_schedulers(std::vector<sim::SchedulerSpec> schedulers) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(schedulers.size());
+  apply.reserve(schedulers.size());
+  for (sim::SchedulerSpec& scheduler : schedulers) {
+    labels.push_back(scheduler.to_string());
+    apply.push_back([scheduler = std::move(scheduler)](Experiment& spec) {
+      spec.scheduler = scheduler;
+    });
+  }
+  return over("scheduler", std::move(labels), std::move(apply));
+}
+
 Grid& Grid::over_seeds(std::uint64_t first, std::uint64_t count) {
   base_.with_seeds(first, count);
   return *this;

@@ -82,6 +82,14 @@ class Grid {
   Grid& over_tasks(std::vector<std::string> names);
   Grid& over_rounds(std::vector<int> rounds);
   Grid& over_port_seeds(std::vector<std::uint64_t> seeds);
+  /// Crash counts t of a t-of-n fault sweep: each entry sets
+  /// spec.faults.crashes (window and fault seed stay the base spec's, so
+  /// declare with_faults first to sweep a non-default window). Labelled
+  /// "t0", "t1", ...
+  Grid& over_fault_counts(std::vector<int> counts);
+  /// Delivery schedulers (sim/scheduler.hpp), labelled by their
+  /// to_string(): e.g. "synchronous", "random-delay(3)", "starve{0}(4)".
+  Grid& over_schedulers(std::vector<sim::SchedulerSpec> schedulers);
 
   /// Sets the seed range swept at every grid point (not an axis: it does
   /// not multiply the point count).

@@ -172,6 +172,36 @@ TaskRegistry& TaskRegistry::global() {
            [](int n, const std::vector<int>&) {
              return SymmetricTask::weak_symmetry_breaking(n);
            });
+    r->add("matching", 0,
+           "matched/unmatched/bystander census: matched count even",
+           [](int n, const std::vector<int>&) {
+             return SymmetricTask::matching(n);
+           });
+    r->add("t-resilient-leader-election", 1,
+           "exactly one surviving leader, at most t parties missing; "
+           "argument is t",
+           [](int n, const std::vector<int>& args) {
+             return SymmetricTask::resilient_leader_election(n, args[0]);
+           });
+    r->add("t-resilient-two-leader", 1,
+           "exactly two surviving leaders, at most t parties missing; "
+           "argument is t",
+           [](int n, const std::vector<int>& args) {
+             return SymmetricTask::resilient_two_leader(n, args[0]);
+           });
+    r->add("t-resilient-m-leader-election", 2,
+           "exactly m surviving leaders, at most t parties missing; "
+           "arguments are m, t",
+           [](int n, const std::vector<int>& args) {
+             return SymmetricTask::resilient_m_leader_election(n, args[0],
+                                                               args[1]);
+           });
+    r->add("t-resilient-matching", 1,
+           "matching census over survivors, at most t parties missing; "
+           "argument is t",
+           [](int n, const std::vector<int>& args) {
+             return SymmetricTask::resilient_matching(n, args[0]);
+           });
     return r;
   }();
   return *registry;

@@ -79,6 +79,11 @@ class TaskRegistry {
   ///   leader-election
   ///   m-leader-election(m)
   ///   weak-symmetry-breaking
+  ///   matching
+  ///   t-resilient-leader-election(t)
+  ///   t-resilient-two-leader(t)
+  ///   t-resilient-m-leader-election(m,t)
+  ///   t-resilient-matching(t)
   static TaskRegistry& global();
 
   void add(const std::string& name, int arity, std::string help,

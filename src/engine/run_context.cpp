@@ -24,23 +24,49 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
   outcome.outputs.assign(static_cast<std::size_t>(n), 0);
   outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
 
+  // The crash schedule is a pure function of (spec, seed): a fault-free
+  // plan clears the scratch and the loop below is the exact pre-fault
+  // path (pinned byte-for-byte by the fault/scheduler tests).
+  spec.faults.draw(n, seed, ctx.crash_round);
+  const bool faulty = !ctx.crash_round.empty();
+  const auto crashed_by = [&](int party, int round) {
+    return faulty &&
+           ctx.crash_round[static_cast<std::size_t>(party)] >= 0 &&
+           round >= ctx.crash_round[static_cast<std::size_t>(party)];
+  };
+
   const AnonymousProtocol& protocol = *spec.protocol;
   int undecided = n;
   std::vector<bool>& bits = ctx.bits;
   for (int round = 1; round <= spec.max_rounds && undecided > 0; ++round) {
+    if (faulty) {
+      // Crash-stop: a party halts at the start of its crash round; it
+      // stops blocking termination (the requirement is only that the
+      // survivors decide) but keeps any earlier decision.
+      for (int party = 0; party < n; ++party) {
+        if (ctx.crash_round[static_cast<std::size_t>(party)] == round &&
+            outcome.decision_round[static_cast<std::size_t>(party)] < 0) {
+          --undecided;
+        }
+      }
+      if (undecided == 0) break;
+    }
     bits.clear();
     bits.reserve(static_cast<std::size_t>(n));
     for (int party = 0; party < n; ++party) {
       bits.push_back(ctx.bank->party_bit(party, round));
     }
     if (spec.model == Model::kBlackboard) {
-      knowledge = blackboard_round(ctx.store, knowledge, bits);
+      knowledge = faulty ? blackboard_round_crash(ctx.store, knowledge, bits,
+                                                  ctx.crash_round, round)
+                         : blackboard_round(ctx.store, knowledge, bits);
     } else {
       knowledge =
           message_round(ctx.store, knowledge, bits, *ports, spec.variant);
     }
     for (int party = 0; party < n; ++party) {
-      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0) {
+      if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0 ||
+          crashed_by(party, round)) {
         continue;
       }
       const auto verdict = protocol.decide(
@@ -54,22 +80,26 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
     }
   }
   outcome.terminated = undecided == 0;
+  if (faulty) outcome.crash_round = ctx.crash_round;
   ctx.store_high_water = std::max(ctx.store_high_water, ctx.store.size());
   return outcome;
 }
 
-ProtocolOutcome run_agent_prepared(const Experiment& spec, std::uint64_t seed,
+ProtocolOutcome run_agent_prepared(RunContext& ctx, const Experiment& spec,
+                                   std::uint64_t seed,
                                    const PortAssignment* ports) {
   std::optional<PortAssignment> run_ports;
   if (ports != nullptr) run_ports = *ports;
+  spec.faults.draw(spec.config.num_parties(), seed, ctx.crash_round);
   sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
-                   spec.factory);
+                   spec.factory, spec.scheduler, ctx.crash_round);
   const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
   ProtocolOutcome outcome;
   outcome.terminated = net_outcome.all_decided;
   outcome.rounds = net_outcome.rounds;
   outcome.outputs = net_outcome.outputs;
   outcome.decision_round = net_outcome.decision_round;
+  if (!ctx.crash_round.empty()) outcome.crash_round = ctx.crash_round;
   return outcome;
 }
 
@@ -77,7 +107,7 @@ ProtocolOutcome execute_run(RunContext& ctx, const Experiment& spec,
                             std::uint64_t seed, const PortAssignment* ports) {
   return spec.backend() == Experiment::Backend::kProtocol
              ? run_prepared(ctx, spec, seed, ports)
-             : run_agent_prepared(spec, seed, ports);
+             : run_agent_prepared(ctx, spec, seed, ports);
 }
 
 PortProvider::PortProvider(Model model, PortPolicy policy,

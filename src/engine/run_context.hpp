@@ -31,20 +31,26 @@ struct RunContext {
   KnowledgeStore store;
   std::optional<SourceBank> bank;  // allocated lazily on the first run
   std::size_t store_high_water = 0;
-  std::vector<bool> bits;  // per-round randomness scratch
+  std::vector<bool> bits;        // per-round randomness scratch
+  std::vector<int> crash_round;  // per-run fault-draw scratch (FaultPlan)
 };
 
 /// One knowledge-level run of `spec` at `seed` over `ctx`. `ports` must be
 /// non-null iff the spec is message passing. Deterministic: equal
 /// (spec, seed, *ports) produce equal outcomes in every context,
-/// regardless of the context's history.
+/// regardless of the context's history. Under a fault plan the run's crash
+/// schedule is drawn here from the plan's per-run seed stream (a pure
+/// function of (spec, seed) — no skip-ahead needed under parallelism) and
+/// reported back in the outcome's crash_round.
 ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
                              std::uint64_t seed, const PortAssignment* ports);
 
-/// One agent-level run of `spec` at `seed` through a fresh sim::Network.
-/// Self-contained (the network owns its own state); deterministic in
+/// One agent-level run of `spec` at `seed` through a fresh sim::Network,
+/// under the spec's scheduler and fault plan. The network owns its own
+/// state; `ctx` only lends the fault-draw scratch vector. Deterministic in
 /// (spec, seed, ports).
-ProtocolOutcome run_agent_prepared(const Experiment& spec, std::uint64_t seed,
+ProtocolOutcome run_agent_prepared(RunContext& ctx, const Experiment& spec,
+                                   std::uint64_t seed,
                                    const PortAssignment* ports);
 
 /// One run of either backend: dispatches on spec.backend() to

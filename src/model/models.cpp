@@ -62,6 +62,36 @@ std::vector<KnowledgeId> blackboard_round(KnowledgeStore& store,
   return next;
 }
 
+std::vector<KnowledgeId> blackboard_round_crash(
+    KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
+    const std::vector<bool>& bits, const std::vector<int>& crash_round,
+    int round) {
+  if (crash_round.empty()) return blackboard_round(store, prev, bits);
+  const std::size_t n = prev.size();
+  if (bits.size() != n || crash_round.size() != n) {
+    throw InvalidArgument(
+        "blackboard_round_crash: bits/crash/knowledge size mismatch");
+  }
+  const auto alive = [&](std::size_t j) {
+    return crash_round[j] < 0 || round < crash_round[j];
+  };
+  std::vector<KnowledgeId> next;
+  next.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive(i)) {
+      next.push_back(prev[i]);  // frozen at the last pre-crash value
+      continue;
+    }
+    std::vector<KnowledgeId> others;
+    others.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && alive(j)) others.push_back(prev[j]);
+    }
+    next.push_back(store.blackboard_step(prev[i], bits[i], std::move(others)));
+  }
+  return next;
+}
+
 std::vector<KnowledgeId> message_round(KnowledgeStore& store,
                                        const std::vector<KnowledgeId>& prev,
                                        const std::vector<bool>& bits,

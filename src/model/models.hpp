@@ -54,6 +54,18 @@ std::vector<KnowledgeId> blackboard_round(KnowledgeStore& store,
                                           const std::vector<KnowledgeId>& prev,
                                           const std::vector<bool>& bits);
 
+/// One blackboard round under crash-stop faults: party j participates in
+/// round `round` iff crash_round[j] < 0 or round < crash_round[j]
+/// (sim/fault.hpp semantics — a party halts at the start of its crash
+/// round). A crashed party posts nothing, so the Eq. (1) multiset seen by
+/// the survivors ranges over the still-participating parties only; the
+/// crashed party's own knowledge is frozen at its last pre-crash value.
+/// With an empty crash schedule this is exactly blackboard_round.
+std::vector<KnowledgeId> blackboard_round_crash(
+    KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
+    const std::vector<bool>& bits, const std::vector<int>& crash_round,
+    int round);
+
 /// One message-passing round (Eq. 2) under the given port assignment.
 std::vector<KnowledgeId> message_round(
     KnowledgeStore& store, const std::vector<KnowledgeId>& prev,

@@ -1,0 +1,59 @@
+#include "sim/fault.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsb::sim {
+
+FaultPlan FaultPlan::crash_stop(int crashes, int crash_window,
+                                std::uint64_t fault_seed) {
+  FaultPlan plan;
+  plan.crashes = crashes;
+  plan.crash_window = crash_window;
+  plan.fault_seed = fault_seed;
+  return plan;
+}
+
+void FaultPlan::validate(int num_parties) const {
+  if (crashes < 0) {
+    throw InvalidArgument("FaultPlan: crashes must be >= 0");
+  }
+  if (crashes >= num_parties && crashes > 0) {
+    throw InvalidArgument(
+        "FaultPlan: crashes must leave at least one survivor (crashes=" +
+        std::to_string(crashes) + ", parties=" + std::to_string(num_parties) +
+        ")");
+  }
+  if (crash_window < 1) {
+    throw InvalidArgument("FaultPlan: crash_window must be >= 1");
+  }
+}
+
+void FaultPlan::draw(int num_parties, std::uint64_t run_seed,
+                     std::vector<int>& crash_round) const {
+  crash_round.clear();
+  if (crashes <= 0) return;
+  crash_round.assign(static_cast<std::size_t>(num_parties), -1);
+  // Uniform sampling without replacement by rejection (crashes < n, so
+  // each pick terminates; allocation-free — the output vector doubles as
+  // the membership marker). Keyed on the run's own seed, so the schedule
+  // is identical whichever worker draws it.
+  Xoshiro256StarStar rng(derive_seed(fault_seed, run_seed));
+  for (int k = 0; k < crashes; ++k) {
+    std::size_t party;
+    do {
+      party = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(num_parties)));
+    } while (crash_round[party] != -1);
+    crash_round[party] =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(crash_window)));
+  }
+}
+
+std::string FaultPlan::to_string() const {
+  if (!any()) return "none";
+  return "crash-stop(" + std::to_string(crashes) + "@" +
+         std::to_string(crash_window) + ")";
+}
+
+}  // namespace rsb::sim

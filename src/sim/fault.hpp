@@ -1,0 +1,79 @@
+// Crash-stop fault plans for experiment ensembles.
+//
+// The paper's topological method is motivated by exactly the adversarial
+// settings this module opens up: wait-free and t-resilient computation,
+// where up to t of the n parties may crash (cf. Kozlov's treatment of weak
+// symmetry breaking under wait-free crashes). A FaultPlan is the
+// *declarative* description of the fault adversary attached to an
+// Experiment: how many parties crash per run (the classic "t of n"
+// parameter) and over which round window the crash times range. The
+// concrete crash schedule of one run — WHICH parties crash, and WHEN — is
+// drawn by draw() as a pure function of (plan, num_parties, run seed), so
+//
+//  * every run of a seed sweep gets its own schedule (the adversary is
+//    resampled per run, like PortPolicy::kRandomPerRun resamples wirings),
+//  * the schedule never depends on which engine worker executes the run:
+//    the draw is keyed on the run's seed itself rather than on a shared
+//    stream cursor, so parallel workers need no skip-ahead at all to stay
+//    draw-for-draw identical with a serial sweep (DESIGN.md, "Fault model
+//    & schedulers").
+//
+// Crash-stop semantics (both engine backends): a party with crash round r
+// behaves correctly through round r−1, then halts at the start of round r —
+// from round r on it transmits nothing, observes nothing, and never
+// decides. Decisions made before r stand (decisions are irrevocable).
+// Success accounting over crashed runs is survivor-based; see
+// SymmetricTask::admits_surviving and the t-resilient task variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsb::sim {
+
+struct FaultPlan {
+  /// Parties crashed per run (the t of "t-resilient"). 0 = fault-free:
+  /// draw() then leaves the schedule empty and every fault-aware code path
+  /// reduces to the plain one (pinned byte-for-byte by the tests).
+  int crashes = 0;
+
+  /// Crash rounds are drawn uniformly from [1, crash_window]. A crash at
+  /// round 1 is a party that never acts at all.
+  int crash_window = 8;
+
+  /// Root of the per-run fault streams: run schedules are drawn from
+  /// derive_seed(fault_seed, run_seed). Distinct from the port seed so the
+  /// fault adversary and the port adversary stay independent.
+  std::uint64_t fault_seed = 0xfa017ULL;
+
+  /// The fault-free plan (the default).
+  static FaultPlan none() { return FaultPlan{}; }
+
+  /// A t-of-n crash-stop plan over the given round window.
+  static FaultPlan crash_stop(int crashes, int crash_window = 8,
+                              std::uint64_t fault_seed = 0xfa017ULL);
+
+  bool any() const noexcept { return crashes > 0; }
+
+  /// Throws InvalidArgument unless 0 <= crashes < num_parties (at least
+  /// one survivor) and crash_window >= 1.
+  void validate(int num_parties) const;
+
+  /// Draws the run's crash schedule into `crash_round`: crash_round[i] is
+  /// the crash round of party i, or -1 if party i never crashes. Exactly
+  /// `crashes` parties crash, chosen uniformly without replacement; each
+  /// crash round is uniform on [1, crash_window]. Pure function of
+  /// (*this, num_parties, run_seed); the output vector is reused scratch
+  /// (resized, fully overwritten). With crashes == 0 the vector is
+  /// cleared, the canonical "no faults" encoding.
+  void draw(int num_parties, std::uint64_t run_seed,
+            std::vector<int>& crash_round) const;
+
+  /// e.g. "crash-stop(2@8)"; "none" for the fault-free plan.
+  std::string to_string() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace rsb::sim

@@ -44,8 +44,13 @@ void Agent::decide(std::int64_t value) {
 
 Network::Network(Model model, const SourceConfiguration& config,
                  std::uint64_t seed, std::optional<PortAssignment> ports,
-                 const AgentFactory& factory)
-    : model_(model), config_(config), ports_(std::move(ports)) {
+                 const AgentFactory& factory, const SchedulerSpec& scheduler,
+                 const std::vector<int>& crash_round)
+    : model_(model),
+      config_(config),
+      ports_(std::move(ports)),
+      crash_round_(crash_round),
+      scheduler_(scheduler, config.num_parties(), seed) {
   if (model_ == Model::kMessagePassing) {
     if (!ports_.has_value()) {
       throw InvalidArgument("Network: message passing requires ports");
@@ -55,6 +60,10 @@ Network::Network(Model model, const SourceConfiguration& config,
     }
   } else if (ports_.has_value()) {
     throw InvalidArgument("Network: blackboard model takes no ports");
+  }
+  if (!crash_round_.empty() &&
+      crash_round_.size() != static_cast<std::size_t>(config_.num_parties())) {
+    throw InvalidArgument("Network: crash schedule/config party mismatch");
   }
   source_words_.reserve(static_cast<std::size_t>(config_.num_sources()));
   for (int source = 0; source < config_.num_sources(); ++source) {
@@ -73,11 +82,19 @@ Network::Network(Model model, const SourceConfiguration& config,
   }
 }
 
+bool Network::alive_in_round(int party, int round) const noexcept {
+  if (crash_round_.empty()) return true;
+  const int crash = crash_round_[static_cast<std::size_t>(party)];
+  return crash < 0 || round < crash;
+}
+
 bool Network::step() {
   const int n = config_.num_parties();
   ++round_;
 
   // Draw this round's word per source; all same-source parties share it.
+  // Drawn regardless of crashes, so survivor randomness never depends on
+  // the fault pattern.
   std::vector<std::uint64_t> word_of_source(
       static_cast<std::size_t>(config_.num_sources()));
   for (int source = 0; source < config_.num_sources(); ++source) {
@@ -85,51 +102,92 @@ bool Network::step() {
         source_words_[static_cast<std::size_t>(source)].next();
   }
 
-  // Send phase.
+  // Send phase: crashed parties transmit nothing.
   std::vector<Outbox> outboxes;
   outboxes.reserve(static_cast<std::size_t>(n));
   for (int party = 0; party < n; ++party) {
     Outbox out(model_, n - 1);
-    agents_[static_cast<std::size_t>(party)]->send_phase(
-        round_, word_of_source[static_cast<std::size_t>(
-                    config_.source_of(party))],
-        out);
+    if (alive_in_round(party, round_)) {
+      agents_[static_cast<std::size_t>(party)]->send_phase(
+          round_, word_of_source[static_cast<std::size_t>(
+                      config_.source_of(party))],
+          out);
+    }
     outboxes.push_back(std::move(out));
   }
 
-  // Delivery phase.
+  // Delivery phase: route this round's traffic through the scheduler —
+  // immediate messages join the round's delivery directly, delayed ones go
+  // to the held queues — then merge in everything previously held that
+  // falls due this round, and canonically sort.
   std::vector<Delivery> deliveries(static_cast<std::size_t>(n));
   if (model_ == Model::kBlackboard) {
-    for (int receiver = 0; receiver < n; ++receiver) {
-      auto& board = deliveries[static_cast<std::size_t>(receiver)].board;
-      for (int sender = 0; sender < n; ++sender) {
-        if (sender == receiver) continue;  // the board shows others' posts
-        for (const auto& payload :
-             outboxes[static_cast<std::size_t>(sender)].posts_) {
-          board.push_back(payload);
+    for (int sender = 0; sender < n; ++sender) {
+      for (auto& payload : outboxes[static_cast<std::size_t>(sender)].posts_) {
+        const int due = scheduler_.delivery_round(round_, sender, -1);
+        if (due <= round_) {
+          for (int receiver = 0; receiver < n; ++receiver) {
+            if (receiver == sender) continue;  // the board shows others' posts
+            deliveries[static_cast<std::size_t>(receiver)].board.push_back(
+                payload);
+          }
+        } else {
+          held_posts_.push_back(HeldPost{due, sender, std::move(payload)});
         }
       }
-      std::sort(board.begin(), board.end());
     }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < held_posts_.size(); ++i) {
+      HeldPost& held = held_posts_[i];
+      if (held.due != round_) {
+        if (kept != i) held_posts_[kept] = std::move(held);
+        ++kept;
+        continue;
+      }
+      for (int receiver = 0; receiver < n; ++receiver) {
+        if (receiver == held.sender) continue;
+        deliveries[static_cast<std::size_t>(receiver)].board.push_back(
+            held.payload);
+      }
+    }
+    held_posts_.resize(kept);
+    for (auto& d : deliveries) std::sort(d.board.begin(), d.board.end());
   } else {
     for (int sender = 0; sender < n; ++sender) {
-      for (const auto& [port, payload] :
+      for (auto& [port, payload] :
            outboxes[static_cast<std::size_t>(sender)].sends_) {
         const int receiver = ports_->neighbor(sender, port);
         const int receiving_port = ports_->port_to(receiver, sender);
-        deliveries[static_cast<std::size_t>(receiver)].by_port.push_back(
-            PortMessage{receiving_port, payload});
+        const int due = scheduler_.delivery_round(round_, sender, receiver);
+        if (due <= round_) {
+          deliveries[static_cast<std::size_t>(receiver)].by_port.push_back(
+              PortMessage{receiving_port, std::move(payload)});
+        } else {
+          held_sends_.push_back(
+              HeldSend{due, receiver, receiving_port, std::move(payload)});
+        }
       }
     }
-    for (auto& d : deliveries) {
-      std::sort(d.by_port.begin(), d.by_port.end());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < held_sends_.size(); ++i) {
+      HeldSend& held = held_sends_[i];
+      if (held.due != round_) {
+        if (kept != i) held_sends_[kept] = std::move(held);
+        ++kept;
+        continue;
+      }
+      deliveries[static_cast<std::size_t>(held.receiver)].by_port.push_back(
+          PortMessage{held.port, std::move(held.payload)});
     }
+    held_sends_.resize(kept);
+    for (auto& d : deliveries) std::sort(d.by_port.begin(), d.by_port.end());
   }
 
-  // Receive phase.
+  // Receive phase: messages addressed to crashed parties are dropped here.
   bool all_decided = true;
   for (int party = 0; party < n; ++party) {
     Agent& agent = *agents_[static_cast<std::size_t>(party)];
+    if (!alive_in_round(party, round_)) continue;  // crashed: never blocks
     const bool was_decided = agent.decided();
     agent.receive_phase(round_, deliveries[static_cast<std::size_t>(party)]);
     if (!was_decided && agent.decided()) {

@@ -1,13 +1,28 @@
-// Synchronous lockstep network simulator with physical message routing.
+// Round-based network simulator with physical message routing, pluggable
+// delivery schedulers, and crash-stop faults.
 //
 // This is the executable counterpart of the paper's model (Section 2.1):
-// n anonymous, identical, fault-free parties proceed in rounds; in the
-// blackboard model a party appends messages to an anonymous shared board
-// visible to everyone at the end of the round; in the message-passing model
-// a party sends along its privately-numbered ports and the message is
-// physically delivered to the other endpoint of the edge. Correlated
-// randomness comes from a SourceBank: parties wired to one source draw
-// identical randomness.
+// n anonymous, identical parties proceed in rounds; in the blackboard
+// model a party appends messages to an anonymous shared board visible to
+// everyone, and in the message-passing model a party sends along its
+// privately-numbered ports and the message is physically delivered to the
+// other endpoint of the edge. Correlated randomness comes from a
+// SourceBank: parties wired to one source draw identical randomness.
+//
+// Two adversaries beyond the port wiring are optional (both default off,
+// leaving the classic fault-free synchronous lockstep bit-for-bit intact):
+//
+//  * a Scheduler (sim/scheduler.hpp) maps each transmitted message to a
+//    delivery round >= its send round; held messages are merged into the
+//    receiving round's canonical sorted delivery, so agents see late
+//    traffic exactly as they see fresh traffic;
+//  * a crash schedule (sim/fault.hpp): a party with crash round r acts
+//    normally through round r-1 and halts at the start of round r — it
+//    transmits nothing, its receive_phase is never called again, messages
+//    addressed to it are dropped at delivery time, and it never decides
+//    (decisions made before r stand). Source word streams are drawn
+//    per round regardless of crashes, so the surviving parties' randomness
+//    is independent of the fault pattern.
 //
 // Agents are written against the Agent interface below. Anonymity is by
 // construction: an agent never learns its global index (the factory receives
@@ -29,6 +44,7 @@
 
 #include "model/models.hpp"
 #include "randomness/config.hpp"
+#include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace rsb::sim {
@@ -107,26 +123,33 @@ class Agent {
 
 // A Network (with its agents and source streams) is single-threaded state:
 // one run mutates exactly one network. Parallel batch drivers
-// (Engine::run_agent_batch with threads > 1) build an independent Network
-// per run on each worker, so the AgentFactory handed to such a batch is
-// invoked concurrently — a factory (and any state its agents share through
+// (Engine::run_batch over an agent-backed Experiment with threads > 1)
+// build an independent Network per run on each worker, so the AgentFactory
+// handed to such a batch is invoked concurrently — a factory (and any state its agents share through
 // it) must be thread-safe; capture-free factories always are.
 class Network {
  public:
   using AgentFactory = std::function<std::unique_ptr<Agent>(int party)>;
 
-  /// `ports` must be set iff model == kMessagePassing.
+  /// `ports` must be set iff model == kMessagePassing. `scheduler` selects
+  /// the delivery adversary (default: synchronous lockstep; the per-run
+  /// delay stream is derived from `seed`). `crash_round` is the run's
+  /// crash schedule — either empty (no faults) or one entry per party,
+  /// crash round or -1 (see sim/fault.hpp; FaultPlan::draw produces it).
   Network(Model model, const SourceConfiguration& config, std::uint64_t seed,
-          std::optional<PortAssignment> ports, const AgentFactory& factory);
+          std::optional<PortAssignment> ports, const AgentFactory& factory,
+          const SchedulerSpec& scheduler = SchedulerSpec{},
+          const std::vector<int>& crash_round = {});
 
   struct Outcome {
-    bool all_decided = false;
+    bool all_decided = false;  // every surviving party decided
     int rounds = 0;
     std::vector<std::int64_t> outputs;  // defined where decided
     std::vector<int> decision_round;    // -1 where undecided
   };
 
-  /// Runs one round; returns true iff every agent has decided.
+  /// Runs one round; returns true iff every party that has not crashed by
+  /// the end of this round has decided (every party, when fault-free).
   bool step();
 
   /// Runs until all agents decide or `max_rounds` elapse.
@@ -137,12 +160,35 @@ class Network {
   const Agent& agent(int party) const;
 
  private:
+  /// A transmitted-but-not-yet-delivered message held by the scheduler.
+  /// Blackboard posts keep the sender (the board excludes own posts);
+  /// port messages are pre-routed to (receiver, receiving port).
+  struct HeldPost {
+    int due = 0;
+    int sender = 0;
+    std::string payload;
+  };
+  struct HeldSend {
+    int due = 0;
+    int receiver = 0;
+    int port = 0;  // the receiver's port
+    std::string payload;
+  };
+
+  /// True iff `party` still participates in round `round` (crash-stop:
+  /// a party halts at the start of its crash round).
+  bool alive_in_round(int party, int round) const noexcept;
+
   Model model_;
   SourceConfiguration config_;
   std::optional<PortAssignment> ports_;
   std::vector<Xoshiro256StarStar> source_words_;  // one word stream per source
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<int> decision_round_;
+  std::vector<int> crash_round_;  // empty = fault-free
+  Scheduler scheduler_;
+  std::vector<HeldPost> held_posts_;
+  std::vector<HeldSend> held_sends_;
   int round_ = 0;
 };
 

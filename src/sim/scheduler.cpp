@@ -1,0 +1,100 @@
+#include "sim/scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace rsb::sim {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSynchronous:
+      return "synchronous";
+    case SchedulerKind::kRandomDelay:
+      return "random-delay";
+    case SchedulerKind::kAdversarialStarve:
+      return "starve";
+  }
+  return "?";
+}
+
+SchedulerSpec SchedulerSpec::random_delay(int max_delay,
+                                          std::uint64_t sched_seed) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kRandomDelay;
+  spec.max_delay = max_delay;
+  spec.sched_seed = sched_seed;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::adversarial_starve(std::vector<int> starved,
+                                                int max_delay) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kAdversarialStarve;
+  spec.max_delay = max_delay;
+  spec.starved = std::move(starved);
+  return spec;
+}
+
+void SchedulerSpec::validate(int num_parties) const {
+  if (max_delay < 0) {
+    throw InvalidArgument("SchedulerSpec: max_delay must be >= 0");
+  }
+  for (int party : starved) {
+    if (party < 0 || party >= num_parties) {
+      throw InvalidArgument("SchedulerSpec: starved party " +
+                            std::to_string(party) + " outside [0," +
+                            std::to_string(num_parties) + ")");
+    }
+  }
+}
+
+std::string SchedulerSpec::to_string() const {
+  switch (kind) {
+    case SchedulerKind::kSynchronous:
+      return "synchronous";
+    case SchedulerKind::kRandomDelay:
+      return "random-delay(" + std::to_string(max_delay) + ")";
+    case SchedulerKind::kAdversarialStarve: {
+      std::string out = "starve{";
+      for (std::size_t i = 0; i < starved.size(); ++i) {
+        if (i != 0) out += ",";
+        out += std::to_string(starved[i]);
+      }
+      return out + "}(" + std::to_string(max_delay) + ")";
+    }
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(const SchedulerSpec& spec, int num_parties,
+                     std::uint64_t run_seed)
+    : kind_(spec.kind),
+      max_delay_(spec.max_delay),
+      rng_(derive_seed(spec.sched_seed, run_seed)) {
+  spec.validate(num_parties);
+  if (kind_ == SchedulerKind::kAdversarialStarve) {
+    starved_.assign(static_cast<std::size_t>(num_parties), false);
+    for (int party : spec.starved) {
+      starved_[static_cast<std::size_t>(party)] = true;
+    }
+  }
+}
+
+int Scheduler::delivery_round(int round, int sender, int receiver) {
+  switch (kind_) {
+    case SchedulerKind::kSynchronous:
+      return round;
+    case SchedulerKind::kRandomDelay:
+      if (max_delay_ <= 0) return round;
+      return round + static_cast<int>(
+                         rng_.below(static_cast<std::uint64_t>(max_delay_) + 1));
+    case SchedulerKind::kAdversarialStarve: {
+      const bool touches_starved =
+          starved_[static_cast<std::size_t>(sender)] ||
+          (receiver >= 0 && starved_[static_cast<std::size_t>(receiver)]);
+      return touches_starved ? round + max_delay_ : round;
+    }
+  }
+  return round;
+}
+
+}  // namespace rsb::sim

@@ -1,0 +1,111 @@
+// Pluggable message schedulers for sim::Network.
+//
+// The baseline simulator is fully synchronous: everything transmitted in
+// round r is observed at the end of round r. Real adversaries control the
+// schedule too, not just the wiring — and the symmetry-breaking literature
+// (and the t-resilient setting the fault layer opens) is about protocols
+// that survive exactly that. A SchedulerSpec declares which delivery
+// adversary a run faces:
+//
+//  * kSynchronous — the lockstep baseline; delivery round == send round.
+//    Bit-for-bit identical to the pre-scheduler simulator (pinned by the
+//    fault/scheduler tests).
+//  * kRandomDelay — seeded random interleaving: each message is held for
+//    an independent uniform delay in [0, max_delay] rounds, drawn from a
+//    per-run stream (derive_seed(sched_seed, run_seed)) in the network's
+//    deterministic message order. The draw is a pure function of the run,
+//    never of the engine worker executing it.
+//  * kAdversarialStarve — a deterministic delayer that maximally starves
+//    the tagged parties: every message sent by OR addressed to a starved
+//    party (and every blackboard post by one) is held for the full
+//    max_delay; all other traffic is delivered immediately.
+//
+// A Scheduler is the per-run instance the Network consults: it maps each
+// transmitted message to its delivery round. Messages are delivered at the
+// end of their delivery round, merged with that round's direct traffic and
+// canonically sorted, so the receiving agent cannot distinguish late
+// messages from fresh ones except by content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rsb::sim {
+
+enum class SchedulerKind {
+  kSynchronous,
+  kRandomDelay,
+  kAdversarialStarve,
+};
+
+std::string to_string(SchedulerKind kind);
+
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kSynchronous;
+
+  /// Maximum extra rounds a message may be held. kSynchronous ignores it;
+  /// kRandomDelay draws uniformly from [0, max_delay]; kAdversarialStarve
+  /// holds starved traffic exactly max_delay rounds.
+  int max_delay = 0;
+
+  /// Root of the per-run delay streams (kRandomDelay): a run's draws come
+  /// from derive_seed(sched_seed, run_seed).
+  std::uint64_t sched_seed = 0x5ced01eULL;
+
+  /// Parties whose traffic is starved (kAdversarialStarve), by index.
+  std::vector<int> starved;
+
+  /// The lockstep baseline (the default).
+  static SchedulerSpec synchronous() { return SchedulerSpec{}; }
+
+  /// Seeded random interleaving with per-message delays in [0, max_delay].
+  static SchedulerSpec random_delay(int max_delay,
+                                    std::uint64_t sched_seed = 0x5ced01eULL);
+
+  /// The adversarial delayer: all traffic touching `starved` is held for
+  /// `max_delay` rounds.
+  static SchedulerSpec adversarial_starve(std::vector<int> starved,
+                                          int max_delay);
+
+  /// True iff the spec cannot reorder anything (the synchronous kind, or a
+  /// delayer with max_delay == 0 and hence no effect).
+  bool is_synchronous() const noexcept {
+    return kind == SchedulerKind::kSynchronous || max_delay == 0;
+  }
+
+  /// Throws InvalidArgument on max_delay < 0 or starved indices outside
+  /// [0, num_parties).
+  void validate(int num_parties) const;
+
+  /// e.g. "synchronous", "random-delay(3)", "starve{0,2}(4)".
+  std::string to_string() const;
+
+  friend bool operator==(const SchedulerSpec&, const SchedulerSpec&) = default;
+};
+
+/// The per-run scheduler instance. Construction binds the spec to the
+/// run's seed; delivery_round() is then consulted once per transmitted
+/// message, in the Network's deterministic iteration order (senders by
+/// index, each outbox in transmission order), which fixes the kRandomDelay
+/// stream consumption per run.
+class Scheduler {
+ public:
+  Scheduler(const SchedulerSpec& spec, int num_parties,
+            std::uint64_t run_seed);
+
+  /// The round at the end of which a message transmitted in `round` is
+  /// observed. `receiver` is -1 for blackboard posts (addressed to the
+  /// board, i.e. everyone). Always >= round.
+  int delivery_round(int round, int sender, int receiver);
+
+ private:
+  SchedulerKind kind_;
+  int max_delay_;
+  std::vector<bool> starved_;  // by party index
+  Xoshiro256StarStar rng_;
+};
+
+}  // namespace rsb::sim

@@ -77,12 +77,86 @@ SymmetricTask SymmetricTask::exact_census(int num_parties,
       [expected](const std::vector<int>& counts) { return counts == expected; });
 }
 
+SymmetricTask SymmetricTask::resilient_leader_election(int num_parties,
+                                                       int max_crashes) {
+  return resilient_m_leader_election(num_parties, 1, max_crashes);
+}
+
+SymmetricTask SymmetricTask::resilient_m_leader_election(int num_parties,
+                                                         int num_leaders,
+                                                         int max_crashes) {
+  if (num_leaders < 0 || num_leaders > num_parties) {
+    throw InvalidArgument("resilient_m_leader_election: m outside [0,n]");
+  }
+  if (max_crashes < 0 || max_crashes >= num_parties) {
+    throw InvalidArgument(
+        "resilient_m_leader_election: t outside [0,n-1] (at least one "
+        "survivor)");
+  }
+  const std::string task_name = std::to_string(max_crashes) + "-resilient-" +
+                                std::to_string(num_leaders) + "-LE";
+  return SymmetricTask(
+      task_name, num_parties, {0, 1},
+      [num_parties, num_leaders, max_crashes](const std::vector<int>& counts) {
+        const int survivors = counts[0] + counts[1];
+        return survivors >= num_parties - max_crashes &&
+               counts[1] == num_leaders;
+      });
+}
+
+SymmetricTask SymmetricTask::resilient_two_leader(int num_parties,
+                                                  int max_crashes) {
+  return resilient_m_leader_election(num_parties, 2, max_crashes);
+}
+
+SymmetricTask SymmetricTask::matching(int num_parties) {
+  return SymmetricTask("matching", num_parties, {-1, 0, 1},
+                       [](const std::vector<int>& counts) {
+                         return counts[2] % 2 == 0;  // matched count even
+                       });
+}
+
+SymmetricTask SymmetricTask::resilient_matching(int num_parties,
+                                                int max_crashes) {
+  if (max_crashes < 0 || max_crashes >= num_parties) {
+    throw InvalidArgument(
+        "resilient_matching: t outside [0,n-1] (at least one survivor)");
+  }
+  const std::string task_name =
+      std::to_string(max_crashes) + "-resilient-matching";
+  return SymmetricTask(
+      task_name, num_parties, {-1, 0, 1},
+      [num_parties, max_crashes](const std::vector<int>& counts) {
+        const int survivors = counts[0] + counts[1] + counts[2];
+        if (survivors < num_parties - max_crashes) return false;
+        // An odd matched count is only explicable by a crashed partner.
+        return counts[2] % 2 == 0 || survivors < num_parties;
+      });
+}
+
 bool SymmetricTask::admits_vector(const std::vector<int>& value_per_party) const {
   if (static_cast<int>(value_per_party.size()) != num_parties_) {
     throw InvalidArgument("SymmetricTask::admits_vector: size mismatch");
   }
   std::vector<int> counts(alphabet_.size(), 0);
   for (int v : value_per_party) {
+    const auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), v);
+    if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
+    ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
+  }
+  return admits_(counts);
+}
+
+bool SymmetricTask::admits_surviving(const std::vector<int>& value_per_party,
+                                     const std::vector<bool>& alive) const {
+  if (static_cast<int>(value_per_party.size()) != num_parties_ ||
+      alive.size() != value_per_party.size()) {
+    throw InvalidArgument("SymmetricTask::admits_surviving: size mismatch");
+  }
+  std::vector<int> counts(alphabet_.size(), 0);
+  for (std::size_t i = 0; i < value_per_party.size(); ++i) {
+    if (!alive[i]) continue;
+    const int v = value_per_party[i];
     const auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), v);
     if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
     ++counts[static_cast<std::size_t>(it - alphabet_.begin())];

@@ -45,12 +45,59 @@ class SymmetricTask {
   static SymmetricTask exact_census(int num_parties,
                                     const std::map<int, int>& census);
 
+  // --- crash-resilient variants (judged over survivors) -----------------
+  //
+  // Under a crash-stop fault plan (sim/fault.hpp) the success question is
+  // the t-resilient one: did the SURVIVING parties produce a legal output?
+  // These variants encode that question as predicates on the survivor
+  // census — they admit any census whose total is at least n − t (at most
+  // t parties missing) and whose surviving values satisfy the task. With
+  // t = 0 they coincide with the strict task on every full output vector.
+  // Evaluate them with admits_surviving; RunStats does so automatically
+  // for crashed runs.
+
+  /// t-resilient leader election: exactly one surviving party outputs 1,
+  /// every other survivor outputs 0, and at most t parties are missing.
+  static SymmetricTask resilient_leader_election(int num_parties,
+                                                 int max_crashes);
+
+  /// t-resilient m-leader election: exactly m surviving leaders.
+  static SymmetricTask resilient_m_leader_election(int num_parties,
+                                                   int num_leaders,
+                                                   int max_crashes);
+
+  /// t-resilient two-leader election (the paper's Section 1.2 challenge,
+  /// crash-tolerant): shorthand for m = 2.
+  static SymmetricTask resilient_two_leader(int num_parties, int max_crashes);
+
+  /// Matching census over {-1 bystander, 0 unmatched, 1 matched}
+  /// (CreateMatchingAgent's output alphabet): the number of matched
+  /// parties must be even — the census-level necessary condition for a
+  /// pairing (pair integrity itself is not visible to a value census).
+  static SymmetricTask matching(int num_parties);
+
+  /// t-resilient matching census: at most t parties missing, and the
+  /// matched-survivor count must be even unless a crashed party could be
+  /// the missing partner (i.e. an odd count is admitted only when at
+  /// least one party crashed).
+  static SymmetricTask resilient_matching(int num_parties, int max_crashes);
+
   const std::string& name() const noexcept { return name_; }
   int num_parties() const noexcept { return num_parties_; }
   const std::vector<int>& alphabet() const noexcept { return alphabet_; }
 
   /// Is the value vector (one value per party) a legal global output?
   bool admits_vector(const std::vector<int>& value_per_party) const;
+
+  /// Crash-aware admission: judges only the parties with alive[i] true —
+  /// their values are counted and fed to the predicate; crashed parties'
+  /// entries are ignored entirely. The predicate sees a census totalling
+  /// the survivor count (resilient tasks are written for exactly that;
+  /// strict tasks like leader_election simply reject partial censuses,
+  /// which is the honest answer for a task that is not crash-tolerant).
+  /// `alive` must have one entry per party.
+  bool admits_surviving(const std::vector<int>& value_per_party,
+                        const std::vector<bool>& alive) const;
 
   /// Is the count vector (aligned with alphabet()) admissible?
   bool admits_counts(const std::vector<int>& counts) const;

@@ -290,11 +290,5 @@ TEST(Experiment, BackendIsExclusive) {
   EXPECT_NE(agent_backed.to_string().find("<agents>"), std::string::npos);
 }
 
-TEST(Experiment, LegacyAliasesStillNameTheUnifiedType) {
-  static_assert(std::is_same_v<ExperimentSpec, Experiment>);
-  static_assert(std::is_same_v<AgentExperimentSpec, Experiment>);
-  SUCCEED();
-}
-
 }  // namespace
 }  // namespace rsb

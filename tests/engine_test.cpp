@@ -64,7 +64,7 @@ TEST(EngineRoundTrip, BitIdenticalToReferenceOnBlackboard) {
   const auto config = SourceConfiguration::from_loads({2, 1, 1});
   const BlackboardUniqueStringLE protocol;
   Engine engine;  // one engine across all seeds: exercises store reuse
-  auto spec = ExperimentSpec::blackboard(config)
+  auto spec = Experiment::blackboard(config)
                   .with_protocol("blackboard-unique-string-LE")
                   .with_rounds(200);
   for (std::uint64_t seed = 1; seed <= 25; ++seed) {
@@ -81,7 +81,7 @@ TEST(EngineRoundTrip, BitIdenticalToReferenceOnMessagePassing) {
   const PortAssignment ports = PortAssignment::cyclic(5);
   const WaitForSingletonLE protocol;
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(config)
+  auto spec = Experiment::message_passing(config)
                   .with_ports(ports)
                   .with_protocol("wait-for-singleton-LE")
                   .with_rounds(200);
@@ -98,7 +98,7 @@ TEST(EngineRoundTrip, RunProtocolWrapperDelegatesUnchanged) {
   const auto config = SourceConfiguration::all_private(4);
   const WaitForSingletonLE protocol;
   Engine engine;
-  auto spec = ExperimentSpec::blackboard(config)
+  auto spec = Experiment::blackboard(config)
                   .with_protocol("wait-for-singleton-LE")
                   .with_rounds(150);
   for (std::uint64_t seed = 5; seed <= 15; ++seed) {
@@ -111,7 +111,7 @@ TEST(EngineRoundTrip, RunProtocolWrapperDelegatesUnchanged) {
 
 TEST(EngineRoundTrip, ReusedEngineMatchesFreshEngines) {
   const auto config = SourceConfiguration::from_loads({1, 3});
-  auto spec = ExperimentSpec::message_passing(config)
+  auto spec = Experiment::message_passing(config)
                   .with_port_policy(PortPolicy::kRandomPerRun)
                   .with_port_seed(404)
                   .with_protocol("wait-for-singleton-LE")
@@ -138,7 +138,7 @@ TEST(EngineBatch, HundredSeedSingletonLEOnFourPartiesAlwaysTerminates) {
   // The ISSUE acceptance criterion: >= 100 seeds, WaitForSingletonLE,
   // n = 4, termination rate 1.0 through Engine::run_batch.
   Engine engine;
-  auto spec = ExperimentSpec::blackboard(SourceConfiguration::all_private(4))
+  auto spec = Experiment::blackboard(SourceConfiguration::all_private(4))
                   .with_protocol("wait-for-singleton-LE")
                   .with_task("leader-election")
                   .with_rounds(300)
@@ -163,7 +163,7 @@ TEST(EngineBatch, AdversarialPortsFreezeEvenGcd) {
   // Lemma 4.3: with gcd{2,4} = 2 the adversarial wiring keeps every
   // consistency class even — no singleton, no termination, ever.
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(
+  auto spec = Experiment::message_passing(
                   SourceConfiguration::from_loads({2, 4}),
                   PortPolicy::kAdversarial)
                   .with_protocol("wait-for-singleton-LE")
@@ -177,7 +177,7 @@ TEST(EngineBatch, AdversarialPortsFreezeEvenGcd) {
 
 TEST(EngineBatch, ObserverSeesEveryRunInOrder) {
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(
+  auto spec = Experiment::message_passing(
                   SourceConfiguration::from_loads({2, 3}))
                   .with_port_seed(7)
                   .with_protocol("wait-for-singleton-LE")
@@ -199,9 +199,9 @@ TEST(EngineBatch, ObserverSeesEveryRunInOrder) {
 
 TEST(EngineBatch, SweepRunsEachSpec) {
   Engine engine;
-  std::vector<ExperimentSpec> specs;
+  std::vector<Experiment> specs;
   for (int n = 3; n <= 5; ++n) {
-    specs.push_back(ExperimentSpec::blackboard(
+    specs.push_back(Experiment::blackboard(
                         SourceConfiguration::all_private(n))
                         .with_protocol("wait-for-singleton-LE")
                         .with_rounds(300)
@@ -221,7 +221,7 @@ TEST(EngineBatch, SweepRunsEachSpec) {
 
 TEST(EngineBatch, ClassSplitElectsExactlyMLeaders) {
   Engine engine;
-  auto spec = ExperimentSpec::message_passing(
+  auto spec = Experiment::message_passing(
                   SourceConfiguration::from_loads({2, 4}))
                   .with_port_seed(123)
                   .with_protocol("wait-for-class-split-LE(2)")
@@ -238,28 +238,28 @@ TEST(EngineBatch, ClassSplitElectsExactlyMLeaders) {
 
 TEST(EngineSpec, ValidationCatchesInconsistentSpecs) {
   Engine engine;
-  ExperimentSpec no_protocol = ExperimentSpec::blackboard(
+  Experiment no_protocol = Experiment::blackboard(
       SourceConfiguration::all_private(3));
   EXPECT_THROW(engine.run_batch(no_protocol), InvalidArgument);
 
-  auto ports_on_blackboard = ExperimentSpec::blackboard(
+  auto ports_on_blackboard = Experiment::blackboard(
                                  SourceConfiguration::all_private(3))
                                  .with_protocol("wait-for-singleton-LE")
                                  .with_ports(PortAssignment::cyclic(3));
   EXPECT_THROW(engine.run_batch(ports_on_blackboard), InvalidArgument);
 
-  auto no_ports = ExperimentSpec::message_passing(
+  auto no_ports = Experiment::message_passing(
                       SourceConfiguration::all_private(3), PortPolicy::kNone)
                       .with_protocol("wait-for-singleton-LE");
   EXPECT_THROW(engine.run_batch(no_ports), InvalidArgument);
 
-  auto task_mismatch = ExperimentSpec::blackboard(
+  auto task_mismatch = Experiment::blackboard(
                            SourceConfiguration::all_private(3))
                            .with_protocol("wait-for-singleton-LE")
                            .with_task(SymmetricTask::leader_election(4));
   EXPECT_THROW(engine.run_batch(task_mismatch), InvalidArgument);
 
-  auto empty_seeds = ExperimentSpec::blackboard(
+  auto empty_seeds = Experiment::blackboard(
                          SourceConfiguration::all_private(3))
                          .with_protocol("wait-for-singleton-LE")
                          .with_seeds(1, 0);
@@ -327,7 +327,7 @@ TEST(Registry, NamesAreSortedAndComplete) {
 TEST(Registry, SpecStringConstruction) {
   // The fully string-driven path: model + config + names -> stats.
   Engine engine;
-  auto spec = ExperimentSpec::blackboard(SourceConfiguration::from_loads(
+  auto spec = Experiment::blackboard(SourceConfiguration::from_loads(
                                              {1, 1, 1, 1}))
                   .with_protocol("wait-for-singleton-LE")
                   .with_task("leader-election")

@@ -1,0 +1,73 @@
+// Golden-file helpers for byte-for-byte regression tests.
+//
+// Fixtures live under tests/golden/ (checked in; resolved through the
+// RSB_TESTS_DIR compile definition, so the suites run from any build
+// directory). expect_matches_golden compares an emitted string against a
+// fixture byte-for-byte and fails with a readable first-difference
+// diagnostic. To regenerate after an intentional format change, rerun the
+// suite with UPDATE_GOLDEN=1 in the environment — the helper then rewrites
+// the fixture and fails the test once, so a stale CI cache can never
+// silently bless new output.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace rsb::testing {
+
+inline std::string golden_path(const std::string& name) {
+  return std::string(RSB_TESTS_DIR) + "/golden/" + name;
+}
+
+inline std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    content.append(buffer, got);
+  }
+  std::fclose(in);
+  return content;
+}
+
+inline void expect_matches_golden(const std::string& actual,
+                                  const std::string& fixture_name) {
+  const std::string path = golden_path(fixture_name);
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr) << "cannot write fixture " << path;
+    std::fwrite(actual.data(), 1, actual.size(), out);
+    std::fclose(out);
+    FAIL() << "fixture " << fixture_name
+           << " regenerated (UPDATE_GOLDEN set); rerun without it";
+  }
+  const std::optional<std::string> expected = read_file(path);
+  ASSERT_TRUE(expected.has_value())
+      << "missing fixture " << path
+      << " — generate it with UPDATE_GOLDEN=1 and check it in";
+  if (actual == *expected) return;
+  std::size_t diff = 0;
+  while (diff < actual.size() && diff < expected->size() &&
+         actual[diff] == (*expected)[diff]) {
+    ++diff;
+  }
+  const auto context = [&](const std::string& s) {
+    const std::size_t begin = diff < 40 ? 0 : diff - 40;
+    return s.substr(begin, 80);
+  };
+  ADD_FAILURE() << "golden mismatch for " << fixture_name << " at byte "
+                << diff << " (actual " << actual.size() << " bytes, fixture "
+                << expected->size() << " bytes)\n--- fixture around byte "
+                << diff << ":\n"
+                << context(*expected) << "\n--- actual around byte " << diff
+                << ":\n"
+                << context(actual);
+}
+
+}  // namespace rsb::testing

@@ -16,16 +16,16 @@
 namespace rsb {
 namespace {
 
-ExperimentSpec blackboard_spec(int n, std::uint64_t seeds) {
-  return ExperimentSpec::blackboard(SourceConfiguration::all_private(n))
+Experiment blackboard_spec(int n, std::uint64_t seeds) {
+  return Experiment::blackboard(SourceConfiguration::all_private(n))
       .with_protocol("wait-for-singleton-LE")
       .with_task("leader-election")
       .with_rounds(300)
       .with_seeds(1, seeds);
 }
 
-ExperimentSpec message_passing_spec(std::uint64_t seeds) {
-  return ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+Experiment message_passing_spec(std::uint64_t seeds) {
+  return Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
       .with_port_seed(99)
       .with_protocol("wait-for-singleton-LE")
       .with_task("leader-election")
@@ -33,7 +33,7 @@ ExperimentSpec message_passing_spec(std::uint64_t seeds) {
       .with_seeds(5, seeds);
 }
 
-AgentExperimentSpec euclid_spec(std::uint64_t seeds);
+Experiment euclid_spec(std::uint64_t seeds);
 
 // ------------------------------------------------- determinism contract
 
@@ -83,7 +83,7 @@ TEST(ParallelEngine, HardwareConcurrencyResolvesAndMatchesSerial) {
 }
 
 TEST(ParallelEngine, SweepMatchesSerialPerSpec) {
-  std::vector<ExperimentSpec> specs;
+  std::vector<Experiment> specs;
   for (int n = 3; n <= 5; ++n) specs.push_back(blackboard_spec(n, 12));
   Engine serial;
   const std::vector<RunStats> reference = serial.run_sweep(specs);
@@ -99,12 +99,12 @@ TEST(ParallelEngine, SweepMatchesSerialPerSpec) {
 TEST(ParallelEngine, AgentBatchIsByteIdenticalAcrossThreadCounts) {
   const auto spec = euclid_spec(12);
   Engine serial;
-  const RunStats reference = serial.run_agent_batch(spec);
+  const RunStats reference = serial.run_batch(spec);
   EXPECT_GT(reference.terminated, 0u);
   for (int threads : {2, 8}) {
     Engine parallel;
     parallel.set_parallel({threads, 0});
-    EXPECT_EQ(parallel.run_agent_batch(spec), reference)
+    EXPECT_EQ(parallel.run_batch(spec), reference)
         << "threads=" << threads;
   }
 }
@@ -150,7 +150,7 @@ TEST(ParallelEngine, ObserverSeesSharedWiringForRunInvariantPolicies) {
   // per-run copies.
   const PortAssignment wiring = PortAssignment::cyclic(5);
   auto spec =
-      ExperimentSpec::message_passing(SourceConfiguration::from_loads({2, 3}))
+      Experiment::message_passing(SourceConfiguration::from_loads({2, 3}))
           .with_ports(wiring)
           .with_protocol("wait-for-singleton-LE")
           .with_rounds(300)
@@ -185,7 +185,7 @@ TEST(ParallelEngine, ObserverSeesSameOutcomesAsSerial) {
 
 // ------------------------------------------------------- RunStats::merge
 
-RunStats stats_of(const ExperimentSpec& spec) {
+RunStats stats_of(const Experiment& spec) {
   Engine engine;
   return engine.run_batch(spec);
 }
@@ -289,11 +289,11 @@ TEST(ParallelEngine, StoreHighWaterAggregatesAcrossWorkerContexts) {
 TEST(ParallelEngine, AgentSpecValidationCatchesPortArityMismatch) {
   // Mismatched fixed wiring must be rejected upfront, not surface as a
   // sim::Network construction error inside a worker thread.
-  AgentExperimentSpec spec = euclid_spec(4);
+  Experiment spec = euclid_spec(4);
   spec.port_policy = PortPolicy::kFixed;
   spec.fixed_ports = PortAssignment::cyclic(4);  // config has 5 parties
   Engine engine;
-  EXPECT_THROW(engine.run_agent_batch(spec), InvalidArgument);
+  EXPECT_THROW(engine.run_batch(spec), InvalidArgument);
 }
 
 TEST(ParallelEngine, ConfigValidation) {
@@ -324,8 +324,8 @@ TEST(ParallelEngine, FreeStandingRunPreparedMatchesEngineRun) {
   EXPECT_GT(ctx.store_high_water, 0u);
 }
 
-AgentExperimentSpec euclid_spec(std::uint64_t seeds) {
-  AgentExperimentSpec spec;
+Experiment euclid_spec(std::uint64_t seeds) {
+  Experiment spec;
   spec.model = Model::kMessagePassing;
   spec.config = SourceConfiguration::from_loads({2, 3});
   spec.factory = [](int) {

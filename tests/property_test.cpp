@@ -3,11 +3,15 @@
 // library's "laws"; each encodes a fact the paper's proofs rely on.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "algo/agents.hpp"
 #include "algo/protocol.hpp"
 #include "core/consistency.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
 #include "core/solvability.hpp"
+#include "engine/engine.hpp"
 #include "protocol/complexes.hpp"
 #include "randomness/source_bank.hpp"
 #include "util/numeric.hpp"
@@ -254,6 +258,105 @@ TEST(DeciderProperty, SubsetSumFormulationMatchesPartitionSolver) {
         EXPECT_EQ(via_decider, via_sums)
             << config.to_string() << " m=" << m;
       }
+    }
+  }
+}
+
+// Law 11 — fault draws are a pure function of (spec, seed): across random
+// plan shapes, the schedule recomputed from scratch equals the schedule
+// reported by engine runs, whatever engine, thread count, or scratch
+// history produced it.
+TEST(FaultProperty, DrawsArePureFunctionsOfSpecAndSeed) {
+  Xoshiro256StarStar shape_rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(shape_rng.below(7));
+    const sim::FaultPlan plan = sim::FaultPlan::crash_stop(
+        static_cast<int>(shape_rng.below(static_cast<std::uint64_t>(n))),
+        1 + static_cast<int>(shape_rng.below(10)), shape_rng.next());
+    const std::uint64_t seed = shape_rng.next();
+    std::vector<int> fresh;
+    plan.draw(n, seed, fresh);
+    // A polluted scratch vector never leaks into the draw.
+    std::vector<int> polluted(37, 123);
+    plan.draw(n, seed, polluted);
+    EXPECT_EQ(polluted, fresh) << "trial " << trial;
+  }
+  // Engine-reported schedules across thread counts equal the plan's draw.
+  auto spec = Experiment::blackboard(SourceConfiguration::all_private(4))
+                  .with_protocol("wait-for-singleton-LE")
+                  .with_faults(sim::FaultPlan::crash_stop(1, 5))
+                  .with_rounds(200)
+                  .with_seeds(3, 20);
+  for (int threads : {1, 4}) {
+    Engine engine;
+    engine.set_parallel({threads, 0});
+    std::vector<int> expected;
+    engine.run_batch(spec,
+                     [&](const RunView& view, const ProtocolOutcome& outcome) {
+                       spec.faults.draw(4, view.seed, expected);
+                       EXPECT_EQ(outcome.crash_round, expected)
+                           << "seed " << view.seed << " threads " << threads;
+                     });
+  }
+}
+
+// Law 12 — crashing zero parties is byte-identical to the no-fault path,
+// on both backends: the fault layer must be invisible when empty.
+TEST(FaultProperty, CrashingZeroPartiesIsByteIdenticalToNoFaultPath) {
+  auto knowledge = Experiment::blackboard(SourceConfiguration::from_loads(
+                                              {2, 1, 1}))
+                       .with_protocol("blackboard-unique-string-LE")
+                       .with_task("leader-election")
+                       .with_rounds(200)
+                       .with_seeds(1, 32);
+  auto agents = Experiment::message_passing(SourceConfiguration::all_private(4),
+                                            PortPolicy::kCyclic)
+                    .with_agents([](int) {
+                      return std::make_unique<sim::GossipLeaderElectionAgent>();
+                    })
+                    .with_task("leader-election")
+                    .with_rounds(40)
+                    .with_seeds(1, 32);
+  Engine engine;
+  for (const Experiment& plain : {knowledge, agents}) {
+    Experiment zeroed = plain;
+    zeroed.with_faults(sim::FaultPlan::crash_stop(0, 17, 999));
+    EXPECT_EQ(engine.run_batch(zeroed), engine.run_batch(plain));
+    const ProtocolOutcome a = engine.run(plain, 7);
+    const ProtocolOutcome b = engine.run(zeroed, 7);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.decision_round, b.decision_round);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.terminated, b.terminated);
+    EXPECT_TRUE(b.crash_round.empty());
+  }
+}
+
+// Law 13 — scheduler output is independent of thread count: random
+// delivery schedules are drawn from per-run streams, so sweeping under
+// any ParallelConfig reproduces the serial aggregate byte for byte.
+TEST(SchedulerProperty, OutputIndependentOfThreadCount) {
+  Xoshiro256StarStar shape_rng(5150);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int delay = 1 + static_cast<int>(shape_rng.below(4));
+    auto spec =
+        Experiment::message_passing(SourceConfiguration::all_private(4),
+                                    PortPolicy::kCyclic)
+            .with_agents([](int) {
+              return std::make_unique<sim::GossipLeaderElectionAgent>();
+            })
+            .with_task("leader-election")
+            .with_scheduler(sim::SchedulerSpec::random_delay(delay,
+                                                             shape_rng.next()))
+            .with_rounds(40)
+            .with_seeds(1, 25 + static_cast<std::uint64_t>(trial));
+    Engine serial;
+    const RunStats reference = serial.run_batch(spec);
+    for (int threads : {2, 8}) {
+      Engine parallel;
+      parallel.set_parallel({threads, 0});
+      EXPECT_EQ(parallel.run_batch(spec), reference)
+          << "delay " << delay << " threads " << threads;
     }
   }
 }

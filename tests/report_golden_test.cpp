@@ -1,0 +1,87 @@
+// Golden-file regression tests for the ResultTable emitters.
+//
+// The BENCH_*.json / TABLE_*.csv artifacts are the perf-and-results
+// trajectory diffed across PRs, so silent drift in the text/CSV/JSON
+// formats corrupts the record downstream. These tests pin all three
+// emitters byte-for-byte against checked-in fixtures in tests/golden/:
+// a synthetic table exercising every cell type and escaping edge case,
+// and an engine-produced grid table exercising the real reporting path.
+// Regenerate intentionally with UPDATE_GOLDEN=1 (see tests/golden_util.hpp).
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
+#include "golden_util.hpp"
+
+namespace rsb {
+namespace {
+
+using rsb::testing::expect_matches_golden;
+
+/// Every cell type and quoting hazard the emitters must handle: strings
+/// with commas, double quotes, backslashes and tabs; integers (including
+/// negative and uint64-sized); doubles (integral-valued, long fractions,
+/// negative, zero); and cells never set (monostate -> empty / null).
+ResultTable synthetic_table() {
+  ResultTable table("emitters");
+  table.set_meta("purpose", "golden fixture — do not edit by hand")
+      .set_meta("answer", std::int64_t{42})
+      .set_meta("ratio", 0.3333333333333333);
+  table.add_row()
+      .set("label", "plain")
+      .set("count", 7)
+      .set("rate", 1.0)
+      .set("note", "first");
+  table.add_row()
+      .set("label", "comma,separated")
+      .set("count", std::int64_t{-3})
+      .set("rate", 2.0 / 3.0);
+  // note left unset: monostate.
+  table.add_row()
+      .set("label", "quote\"inside")
+      .set("count", std::uint64_t{1} << 62)
+      .set("rate", 0.0)
+      .set("note", "tab\there backslash\\done");
+  table.add_row()
+      .set("label", "")
+      .set("count", 0)
+      .set("rate", -0.125)
+      .set("note", "empty label above");
+  return table;
+}
+
+TEST(ReportGolden, TextEmitterMatchesFixture) {
+  expect_matches_golden(synthetic_table().to_text(), "emitters.txt");
+}
+
+TEST(ReportGolden, CsvEmitterMatchesFixture) {
+  expect_matches_golden(synthetic_table().to_csv(), "emitters.csv");
+}
+
+TEST(ReportGolden, JsonEmitterMatchesFixture) {
+  expect_matches_golden(synthetic_table().to_json(), "emitters.json");
+}
+
+TEST(ReportGolden, EngineGridTableMatchesFixture) {
+  // The real reporting path end to end: a deterministic policy x rounds
+  // sweep through run_grid, grid_table, and all three emitters.
+  Grid grid(Experiment::message_passing(SourceConfiguration::from_loads(
+                                            {2, 2}))
+                .with_protocol("wait-for-singleton-LE")
+                .with_task("leader-election")
+                .with_port_seed(17)
+                .with_seeds(1, 16));
+  grid.over_policies({PortPolicy::kCyclic, PortPolicy::kAdversarial,
+                      PortPolicy::kRandomPerRun})
+      .over_rounds({40, 300});
+  Engine engine;
+  ResultTable table = grid_table("policy_sweep", grid, run_grid(engine, grid));
+  table.set_meta("source", "tests/report_golden_test.cpp");
+  expect_matches_golden(table.to_text(), "policy_sweep.txt");
+  expect_matches_golden(table.to_csv(), "policy_sweep.csv");
+  expect_matches_golden(table.to_json(), "policy_sweep.json");
+}
+
+}  // namespace
+}  // namespace rsb
