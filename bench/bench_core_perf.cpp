@@ -299,7 +299,9 @@ int main(int argc, char** argv) {
   // Parse/validate flags before the multi-second sweep so flag typos fail
   // fast (the throughput/shape section itself always runs — it is the
   // bench's artifact — so utility flags like --benchmark_list_tests still
-  // pay for it).
+  // pay for it). --baseline (ours) must come off argv before
+  // google-benchmark sees it.
+  rsb::bench::consume_baseline_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   report_sweep_throughput();

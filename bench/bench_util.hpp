@@ -13,11 +13,17 @@
 // PRs (CI uploads both as workflow artifacts).
 #pragma once
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -146,11 +152,206 @@ inline double engine_throughput(const std::string& name,
                           [&spec](Engine& engine) { engine.run_batch(spec); });
 }
 
+// ------------------------------------------- baseline regression gate
+
+/// The --baseline file consumed by consume_baseline_flag, if any.
+inline std::string& baseline_path() {
+  static std::string path;
+  return path;
+}
+
+/// Throughput regressions beyond this fraction fail the bench binary.
+inline constexpr double kBaselineRegressionTolerance = 0.25;
+
+/// Strips a `--baseline <file>` or `--baseline=<file>` flag from argv.
+/// Call BEFORE benchmark::Initialize (google-benchmark rejects unknown
+/// flags). When set, footer() compares this run's throughput table
+/// against the recorded BENCH_<name>.json: any single-thread row whose
+/// runs/sec falls more than 25% below its baseline row (matched by name)
+/// is a shape-check failure, so the binary exits non-zero — the CI bench
+/// smoke job runs Release benches against the committed baselines with
+/// exactly this flag. Multi-thread rows are reported but not gated: on a
+/// shared CI host their wall clock is not a property of the code.
+inline void consume_baseline_flag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      value = argv[i] + 11;
+      consumed = 1;
+    }
+    if (consumed == 0) continue;
+    baseline_path() = value;
+    for (int j = i; j + consumed < *argc; ++j) argv[j] = argv[j + consumed];
+    *argc -= consumed;
+    return;
+  }
+}
+
+/// One row of a BENCH_<name>.json throughput table.
+struct BaselineRow {
+  std::string name;
+  double runs_per_sec = 0.0;
+  int threads = 0;
+};
+
+/// Parses the exact JSON shape ResultTable::write_json emits for the
+/// throughput table ("columns": [...], "rows": [[...], ...]). Returns
+/// false (and reports a failure) when the file is missing or malformed —
+/// a silently skipped gate would read as a pass.
+inline bool load_baseline(const std::string& path,
+                          std::vector<BaselineRow>& rows) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Column order: find the "columns" array and locate the fields.
+  const auto parse_string_list = [](const std::string& list) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = list.find('"', pos)) != std::string::npos) {
+      const std::size_t end = list.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      out.push_back(list.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    }
+    return out;
+  };
+  const std::size_t columns_at = text.find("\"columns\"");
+  if (columns_at == std::string::npos) return false;
+  const std::size_t columns_open = text.find('[', columns_at);
+  const std::size_t columns_close = text.find(']', columns_open);
+  if (columns_open == std::string::npos || columns_close == std::string::npos) {
+    return false;
+  }
+  const std::vector<std::string> columns = parse_string_list(
+      text.substr(columns_open, columns_close - columns_open));
+  int name_col = -1, rate_col = -1, threads_col = -1;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == "name") name_col = static_cast<int>(c);
+    if (columns[c] == "runs_per_sec") rate_col = static_cast<int>(c);
+    if (columns[c] == "threads") threads_col = static_cast<int>(c);
+  }
+  if (name_col < 0 || rate_col < 0 || threads_col < 0) return false;
+
+  // Rows: arrays of cells; strings are quoted, numbers bare.
+  std::size_t rows_at = text.find("\"rows\"", columns_close);
+  if (rows_at == std::string::npos) return false;
+  std::size_t pos = text.find('[', rows_at);
+  if (pos == std::string::npos) return false;
+  ++pos;  // inside the rows array
+  while (true) {
+    const std::size_t row_open = text.find('[', pos);
+    if (row_open == std::string::npos) break;
+    const std::size_t row_close = text.find(']', row_open);
+    if (row_close == std::string::npos) return false;
+    std::vector<std::string> cells;
+    std::size_t cell = row_open + 1;
+    while (cell < row_close) {
+      while (cell < row_close &&
+             (text[cell] == ' ' || text[cell] == ',' || text[cell] == '\n')) {
+        ++cell;
+      }
+      if (cell >= row_close) break;
+      if (text[cell] == '"') {
+        const std::size_t end = text.find('"', cell + 1);
+        if (end == std::string::npos || end > row_close) return false;
+        cells.push_back(text.substr(cell + 1, end - cell - 1));
+        cell = end + 1;
+      } else {
+        std::size_t end = cell;
+        while (end < row_close && text[end] != ',') ++end;
+        cells.push_back(text.substr(cell, end - cell));
+        cell = end;
+      }
+    }
+    if (static_cast<std::size_t>(name_col) < cells.size() &&
+        static_cast<std::size_t>(rate_col) < cells.size() &&
+        static_cast<std::size_t>(threads_col) < cells.size()) {
+      BaselineRow row;
+      row.name = cells[static_cast<std::size_t>(name_col)];
+      row.runs_per_sec = std::atof(cells[static_cast<std::size_t>(rate_col)].c_str());
+      row.threads = std::atoi(cells[static_cast<std::size_t>(threads_col)].c_str());
+      rows.push_back(row);
+    }
+    pos = row_close + 1;
+    // Stop at the end of the rows array (the next non-space char that is
+    // not a comma closes it).
+    std::size_t peek = pos;
+    while (peek < text.size() && (text[peek] == ' ' || text[peek] == ',' ||
+                                  text[peek] == '\n')) {
+      ++peek;
+    }
+    if (peek >= text.size() || text[peek] == ']') break;
+  }
+  return true;
+}
+
+/// Applies the --baseline gate against this run's throughput table.
+inline void check_against_baseline() {
+  const std::string& path = baseline_path();
+  if (path.empty()) return;
+  subheader("baseline throughput gate (" + path + ")");
+  std::vector<BaselineRow> baseline;
+  if (!load_baseline(path, baseline)) {
+    check(false, "baseline file readable: " + path);
+    return;
+  }
+  const ResultTable& current = throughput_table();
+  const auto cell_string = [&current](std::size_t r, const char* column) {
+    const ResultTable::Cell& cell = current.at(r, column);
+    const std::string* value = std::get_if<std::string>(&cell);
+    return value != nullptr ? *value : std::string();
+  };
+  const auto cell_number = [&current](std::size_t r, const char* column) {
+    const ResultTable::Cell& cell = current.at(r, column);
+    if (const double* d = std::get_if<double>(&cell)) return *d;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&cell)) {
+      return static_cast<double>(*i);
+    }
+    return 0.0;
+  };
+  bool any_gated = false;
+  for (const BaselineRow& expected : baseline) {
+    if (expected.threads != 1) continue;  // multi-thread rows: not gated
+    bool found = false;
+    for (std::size_t r = 0; r < current.num_rows(); ++r) {
+      if (cell_string(r, "name") != expected.name) continue;
+      if (cell_number(r, "threads") != 1.0) continue;
+      found = true;
+      any_gated = true;
+      const double rate = cell_number(r, "runs_per_sec");
+      const double floor =
+          expected.runs_per_sec * (1.0 - kBaselineRegressionTolerance);
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "%s: %.0f runs/sec vs baseline %.0f (floor %.0f)",
+                    expected.name.c_str(), rate, expected.runs_per_sec,
+                    floor);
+      check(rate >= floor, line);
+      break;
+    }
+    if (!found) {
+      check(false, "baseline row present in this run: " + expected.name);
+    }
+  }
+  if (!any_gated) {
+    check(false, "baseline gate matched at least one single-thread row");
+  }
+}
+
 /// Prints the shape-check verdict; when `name` is given, persists the
 /// throughput table to BENCH_<name>.json and every recorded table to
-/// TABLE_<name>_<table>.csv in the working directory.
+/// TABLE_<name>_<table>.csv in the working directory, then applies the
+/// --baseline regression gate (consume_baseline_flag) if one was given.
 inline void footer(const std::string& name = "") {
   if (!name.empty()) {
+    check_against_baseline();
     ResultTable& throughput = throughput_table();
     throughput.set_meta("bench", name)
         .set_meta("failures", std::int64_t{failure_count()})

@@ -13,8 +13,8 @@ namespace {
 constexpr char kSigPrefix[] = "S|";
 constexpr char kRankPrefix[] = "R|";
 
-bool has_prefix(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
 }
 
 }  // namespace
@@ -61,12 +61,13 @@ void RefinementAgent::receive_phase(int round, const Delivery& delivery) {
         std::to_string(label_) + "|" + (bits_.back() ? "1" : "0");
     if (init_.model == Model::kBlackboard) {
       std::vector<std::string> received;
-      for (const auto& payload : delivery.board) {
+      for (const PayloadId id : delivery.board) {
+        const std::string_view payload = delivery.text(id);
         if (!has_prefix(payload, kSigPrefix)) {
           throw ValidationError("RefinementAgent: unexpected board payload '" +
-                                payload + "'");
+                                std::string(payload) + "'");
         }
-        received.push_back(payload.substr(2));
+        received.emplace_back(payload.substr(2));
       }
       std::sort(received.begin(), received.end());
       sig += "|{";
@@ -77,11 +78,13 @@ void RefinementAgent::receive_phase(int round, const Delivery& delivery) {
       sig += "}";
     } else {
       for (const auto& msg : delivery.by_port) {  // sorted by (port, payload)
-        if (!has_prefix(msg.payload, kSigPrefix)) {
+        const std::string_view payload = delivery.text(msg);
+        if (!has_prefix(payload, kSigPrefix)) {
           throw ValidationError("RefinementAgent: unexpected port payload '" +
-                                msg.payload + "'");
+                                std::string(payload) + "'");
         }
-        sig += "|" + std::to_string(msg.port) + ":" + msg.payload.substr(2);
+        sig += "|" + std::to_string(msg.port) + ":";
+        sig += payload.substr(2);
       }
     }
     pending_signature_ = std::move(sig);
@@ -91,20 +94,22 @@ void RefinementAgent::receive_phase(int round, const Delivery& delivery) {
   // End of round B: rank agreement over all n signatures.
   std::vector<std::string> all;
   if (init_.model == Model::kBlackboard) {
-    for (const auto& payload : delivery.board) {
+    for (const PayloadId id : delivery.board) {
+      const std::string_view payload = delivery.text(id);
       if (!has_prefix(payload, kRankPrefix)) {
         throw ValidationError("RefinementAgent: unexpected rank payload '" +
-                              payload + "'");
+                              std::string(payload) + "'");
       }
-      all.push_back(payload.substr(2));
+      all.emplace_back(payload.substr(2));
     }
   } else {
     for (const auto& msg : delivery.by_port) {
-      if (!has_prefix(msg.payload, kRankPrefix)) {
+      const std::string_view payload = delivery.text(msg);
+      if (!has_prefix(payload, kRankPrefix)) {
         throw ValidationError("RefinementAgent: unexpected rank payload '" +
-                              msg.payload + "'");
+                              std::string(payload) + "'");
       }
-      all.push_back(msg.payload.substr(2));
+      all.emplace_back(payload.substr(2));
     }
   }
   all.push_back(pending_signature_);
@@ -203,14 +208,14 @@ std::string role_payload(MatchingRole role) {
   return {};
 }
 
-MatchingRole parse_role(const std::string& payload) {
+MatchingRole parse_role(std::string_view payload) {
   if (payload == std::string(kRolePrefix) + "1") return MatchingRole::kV1;
   if (payload == std::string(kRolePrefix) + "2") return MatchingRole::kV2;
   if (payload == std::string(kRolePrefix) + "0") {
     return MatchingRole::kBystander;
   }
-  throw ValidationError("CreateMatchingAgent: bad role payload '" + payload +
-                        "'");
+  throw ValidationError("CreateMatchingAgent: bad role payload '" +
+                        std::string(payload) + "'");
 }
 
 }  // namespace
@@ -236,10 +241,12 @@ void GossipLeaderElectionAgent::receive_phase(int round,
                                               const Delivery& delivery) {
   (void)round;
   if (init_.model == Model::kBlackboard) {
-    for (const std::string& word : delivery.board) seen_.push_back(word);
+    for (const PayloadId id : delivery.board) {
+      seen_.emplace_back(delivery.text(id));
+    }
   } else {
     for (const PortMessage& message : delivery.by_port) {
-      seen_.push_back(message.payload);
+      seen_.emplace_back(delivery.text(message));
     }
   }
   if (decided() ||
@@ -314,7 +321,7 @@ void CreateMatchingAgent::receive_phase(int round, const Delivery& delivery) {
       int v1 = role_ == MatchingRole::kV1 ? 1 : 0;
       int v2 = role_ == MatchingRole::kV2 ? 1 : 0;
       for (const auto& msg : delivery.by_port) {
-        const MatchingRole role = parse_role(msg.payload);
+        const MatchingRole role = parse_role(delivery.text(msg));
         role_of_port_[msg.port] = role;
         active_of_port_[msg.port] = role != MatchingRole::kBystander;
         v1 += role == MatchingRole::kV1 ? 1 : 0;
@@ -338,7 +345,8 @@ void CreateMatchingAgent::receive_phase(int round, const Delivery& delivery) {
       if (role_ == MatchingRole::kV2 && self_active_) {
         int min_port = 0;
         for (const auto& msg : delivery.by_port) {
-          if (msg.payload == kReq && (min_port == 0 || msg.port < min_port)) {
+          if (delivery.text(msg) == kReq &&
+              (min_port == 0 || msg.port < min_port)) {
             min_port = msg.port;
           }
         }
@@ -349,13 +357,14 @@ void CreateMatchingAgent::receive_phase(int round, const Delivery& delivery) {
     }
     case Phase::kAcknowledge: {
       for (const auto& msg : delivery.by_port) {
-        if (msg.payload == kAck && role_ == MatchingRole::kV1 && !matched_) {
+        const std::string_view payload = delivery.text(msg);
+        if (payload == kAck && role_ == MatchingRole::kV1 && !matched_) {
           matched_ = true;
           self_active_ = false;
           announce_retire_ = true;
           self_retirement_pending_ = true;
         }
-        if (msg.payload == kRetireV2) {
+        if (payload == kRetireV2) {
           active_of_port_[msg.port] = false;
         }
       }
@@ -364,7 +373,7 @@ void CreateMatchingAgent::receive_phase(int round, const Delivery& delivery) {
     }
     case Phase::kRetire: {
       for (const auto& msg : delivery.by_port) {
-        if (msg.payload == kRetireV1) {
+        if (delivery.text(msg) == kRetireV1) {
           active_of_port_[msg.port] = false;
           --active_v1_;
         }

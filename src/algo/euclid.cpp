@@ -16,8 +16,8 @@ constexpr char kAck[] = "ACK";
 constexpr char kRetireV1[] = "RET1";
 constexpr char kRetireV2[] = "RET2";
 
-bool has_prefix(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
 }
 
 }  // namespace
@@ -103,11 +103,13 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
       // Assemble the port-indexed tagged signature.
       std::string sig = pending_signature_;
       for (const auto& msg : delivery.by_port) {
-        if (!has_prefix(msg.payload, kSig)) {
+        const std::string_view payload = delivery.text(msg);
+        if (!has_prefix(payload, kSig)) {
           throw ValidationError("EuclidLeaderElectionAgent: bad payload '" +
-                                msg.payload + "'");
+                                std::string(payload) + "'");
         }
-        sig += "|" + std::to_string(msg.port) + ":" + msg.payload.substr(2);
+        sig += "|" + std::to_string(msg.port) + ":";
+        sig += payload.substr(2);
       }
       pending_signature_ = std::move(sig);
       phase_ = Phase::kRefineRank;
@@ -116,11 +118,12 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
     case Phase::kRefineRank: {
       std::vector<std::string> all;
       for (const auto& msg : delivery.by_port) {
-        if (!has_prefix(msg.payload, kRank)) {
+        const std::string_view payload = delivery.text(msg);
+        if (!has_prefix(payload, kRank)) {
           throw ValidationError("EuclidLeaderElectionAgent: bad rank '" +
-                                msg.payload + "'");
+                                std::string(payload) + "'");
         }
-        all.push_back(msg.payload.substr(2));
+        all.emplace_back(payload.substr(2));
       }
       all.push_back(pending_signature_);
       own_signature_ = pending_signature_;
@@ -128,7 +131,8 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
       complete_labeling(std::move(all));
       label_of_port_.clear();
       for (const auto& msg : delivery.by_port) {
-        label_of_port_[msg.port] = rank_of(msg.payload.substr(2));
+        label_of_port_[msg.port] =
+            rank_of(std::string(delivery.text(msg).substr(2)));
       }
       maybe_start_matching();
       break;
@@ -137,7 +141,8 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
       if (is_v2_ && self_active_) {
         int min_port = 0;
         for (const auto& msg : delivery.by_port) {
-          if (msg.payload == kReq && (min_port == 0 || msg.port < min_port)) {
+          if (delivery.text(msg) == kReq &&
+              (min_port == 0 || msg.port < min_port)) {
             min_port = msg.port;
           }
         }
@@ -148,20 +153,21 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
     }
     case Phase::kMatchAck: {
       for (const auto& msg : delivery.by_port) {
-        if (msg.payload == kAck && is_v1_ && !matched_) {
+        const std::string_view payload = delivery.text(msg);
+        if (payload == kAck && is_v1_ && !matched_) {
           matched_ = true;
           self_active_ = false;
           announce_retire_ = true;
           self_retirement_pending_ = true;
         }
-        if (msg.payload == kRetireV2) active_of_port_[msg.port] = false;
+        if (payload == kRetireV2) active_of_port_[msg.port] = false;
       }
       phase_ = Phase::kMatchRetire;
       break;
     }
     case Phase::kMatchRetire: {
       for (const auto& msg : delivery.by_port) {
-        if (msg.payload == kRetireV1) {
+        if (delivery.text(msg) == kRetireV1) {
           active_of_port_[msg.port] = false;
           --active_v1_;
         }
@@ -182,11 +188,12 @@ void EuclidLeaderElectionAgent::receive_phase(int round,
     case Phase::kStatusExchange: {
       std::vector<std::string> all;
       for (const auto& msg : delivery.by_port) {
-        if (!has_prefix(msg.payload, kStatus)) {
+        const std::string_view payload = delivery.text(msg);
+        if (!has_prefix(payload, kStatus)) {
           throw ValidationError("EuclidLeaderElectionAgent: bad status '" +
-                                msg.payload + "'");
+                                std::string(payload) + "'");
         }
-        all.push_back(msg.payload.substr(2));
+        all.emplace_back(payload.substr(2));
       }
       all.push_back(pending_signature_);
       own_signature_ = pending_signature_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <span>
 #include <map>
 
 #include "engine/engine.hpp"
@@ -13,14 +14,22 @@ namespace {
 
 /// The multiset of every party's knowledge at time t−1, reconstructed from
 /// one party's knowledge at time t: the received values plus the party's
-/// own previous value. Empty when t = 0 (nothing received yet).
+/// own previous value. Empty when t = 0 (nothing received yet). Silence
+/// entries (crash-masked channels, KnowledgeKind::kSilence) are dropped:
+/// a dead channel is not a party's knowledge, so decision rules range over
+/// the still-participating parties only — the message-passing counterpart
+/// of Eq. (1)'s survivor-restricted multiset.
 std::vector<KnowledgeId> knowledge_multiset_previous_round(
     const KnowledgeStore& store, KnowledgeId knowledge) {
   const KnowledgeKind k = store.kind(knowledge);
   if (k != KnowledgeKind::kBlackboardStep && k != KnowledgeKind::kMessageStep) {
     return {};
   }
-  std::vector<KnowledgeId> multiset = store.received(knowledge);
+  std::vector<KnowledgeId> multiset;
+  multiset.reserve(store.received(knowledge).size() + 1);
+  for (KnowledgeId id : store.received(knowledge)) {
+    if (store.kind(id) != KnowledgeKind::kSilence) multiset.push_back(id);
+  }
   multiset.push_back(store.previous(knowledge));
   std::sort(multiset.begin(), multiset.end());
   return multiset;
@@ -62,16 +71,50 @@ std::optional<std::int64_t> BlackboardUniqueStringLE::decide(
 
 std::optional<std::int64_t> WaitForSingletonLE::decide(
     const KnowledgeStore& store, KnowledgeId knowledge) const {
-  const std::vector<KnowledgeId> multiset =
-      knowledge_multiset_previous_round(store, knowledge);
-  if (multiset.empty()) return std::nullopt;
-  const std::map<KnowledgeId, int> counts = count_by_value(multiset);
-  // The canonical order on knowledge values is their interned id; ids are
+  // Allocation-free hot path (this decide runs once per undecided party
+  // per round of every engine sweep). The time-(t−1) multiset is the
+  // received tuple plus the party's own previous value; for blackboard
+  // steps the received vector is already the sorted canonical multiset, so
+  // the smallest singleton falls out of one merged run-length scan. The
+  // canonical order on knowledge values is their interned id; ids are
   // deterministic content handles, so this is a name-independent rule.
-  for (const auto& [id, count] : counts) {
-    if (count == 1) {
-      return store.previous(knowledge) == id ? 1 : 0;
+  const KnowledgeKind k = store.kind(knowledge);
+  if (k != KnowledgeKind::kBlackboardStep && k != KnowledgeKind::kMessageStep) {
+    return std::nullopt;
+  }
+  const KnowledgeId prev = store.previous(knowledge);
+  if (k == KnowledgeKind::kMessageStep) {
+    // Port tuples are port-ordered, not sorted (and may contain
+    // crash-masked silence entries): take the general sorted path.
+    const std::vector<KnowledgeId> multiset =
+        knowledge_multiset_previous_round(store, knowledge);
+    const std::map<KnowledgeId, int> counts = count_by_value(multiset);
+    for (const auto& [id, count] : counts) {
+      if (count == 1) return prev == id ? 1 : 0;
     }
+    return std::nullopt;
+  }
+  const std::span<const KnowledgeId> received = store.received(knowledge);
+  // Merged run-length scan over sorted(received) ∪ {prev}: the first
+  // (smallest) value with multiplicity 1 decides.
+  std::size_t i = 0;
+  bool prev_pending = true;
+  while (i < received.size() || prev_pending) {
+    KnowledgeId value;
+    int count;
+    if (prev_pending && (i == received.size() || prev <= received[i])) {
+      value = prev;
+      count = 1;
+      prev_pending = false;
+    } else {
+      value = received[i];
+      count = 0;
+    }
+    while (i < received.size() && received[i] == value) {
+      ++count;
+      ++i;
+    }
+    if (count == 1) return prev == value ? 1 : 0;
   }
   return std::nullopt;
 }

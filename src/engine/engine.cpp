@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -35,15 +36,88 @@ int resolve_workers(const ParallelConfig& config, std::uint64_t count) {
   return static_cast<int>(std::max<std::uint64_t>(workers, 1));
 }
 
-/// The chunk size a parallel batch deals to workers: the configured knob,
-/// or one contiguous span per worker when auto (chunk = 0).
+/// The scheduling granule of a parallel batch: the configured knob, or —
+/// when auto (chunk = 0) — several granules per worker (capped at
+/// kAutoGranulesPerWorker) so the work-stealing deque has something to
+/// balance when run lengths are uneven. Granularity never affects results
+/// (per-chunk shards are merged in chunk order), only load balance and
+/// shard count.
+constexpr std::uint64_t kAutoGranulesPerWorker = 8;
+
+/// Ceiling on the number of chunks (= collector shards) one batch may
+/// materialize: shard memory and the final merge are O(chunks), so the
+/// chunk knob is a granularity *hint* — a sweep large enough to exceed
+/// this many chunks gets a proportionally coarser effective chunk. Also
+/// keeps the chunk index safely within int for the shard observer.
+constexpr std::uint64_t kMaxChunksPerBatch = 4096;
+
 std::uint64_t resolve_chunk(const ParallelConfig& config, std::uint64_t count,
                             int workers) {
-  return config.chunk != 0
-             ? config.chunk
-             : (count + static_cast<std::uint64_t>(workers) - 1) /
-                   static_cast<std::uint64_t>(workers);
+  std::uint64_t chunk = config.chunk;
+  if (chunk == 0) {
+    const std::uint64_t granules =
+        static_cast<std::uint64_t>(workers) * kAutoGranulesPerWorker;
+    chunk = std::max<std::uint64_t>(1, (count + granules - 1) / granules);
+  }
+  return std::max(chunk, (count + kMaxChunksPerBatch - 1) / kMaxChunksPerBatch);
 }
+
+/// The work-stealing chunk deque. Every worker starts owning a contiguous
+/// range of chunk indices; it pops from the front of its own range, and
+/// when dry steals the back half of the fullest victim's range. One lock
+/// guards the whole structure — it is taken once per *chunk* (not per
+/// run), so contention is negligible at any sane granularity. Stealing
+/// makes the worker→chunk map timing-dependent, which is why results are
+/// keyed by chunk (per-chunk shards, per-run records), never by worker.
+class ChunkDeque {
+ public:
+  ChunkDeque(std::uint64_t num_chunks, int workers)
+      : ranges_(static_cast<std::size_t>(workers)) {
+    const std::uint64_t base =
+        num_chunks / static_cast<std::uint64_t>(workers);
+    const std::uint64_t extra =
+        num_chunks % static_cast<std::uint64_t>(workers);
+    std::uint64_t begin = 0;
+    for (std::size_t w = 0; w < ranges_.size(); ++w) {
+      const std::uint64_t len = base + (w < extra ? 1 : 0);
+      ranges_[w] = Range{begin, begin + len};
+      begin += len;
+    }
+  }
+
+  /// Claims the next chunk for worker `w`; false when the batch is done.
+  bool pop(int w, std::uint64_t& chunk) {
+    std::lock_guard lock(mutex_);
+    Range& own = ranges_[static_cast<std::size_t>(w)];
+    if (own.begin == own.end) {
+      // Steal the back half of the fullest victim.
+      std::size_t victim = ranges_.size();
+      std::uint64_t best = 0;
+      for (std::size_t v = 0; v < ranges_.size(); ++v) {
+        const std::uint64_t len = ranges_[v].end - ranges_[v].begin;
+        if (len > best) {
+          best = len;
+          victim = v;
+        }
+      }
+      if (victim == ranges_.size()) return false;  // everything claimed
+      Range& from = ranges_[victim];
+      const std::uint64_t take = (best + 1) / 2;
+      own = Range{from.end - take, from.end};
+      from.end -= take;
+    }
+    chunk = own.begin++;
+    return true;
+  }
+
+ private:
+  struct Range {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<Range> ranges_;
+  std::mutex mutex_;
+};
 
 /// Spawns `workers` threads running body(w), joining them all even when
 /// thread creation itself fails mid-way (destroying a joinable
@@ -97,13 +171,15 @@ ProtocolOutcome Engine::run(const Experiment& spec) {
   return run(spec, spec.seeds.first);
 }
 
-/// The shared scheduling core. Determinism: runs are dealt to workers in
-/// fixed chunks of consecutive indices (round-robin by worker index),
-/// every worker advances its own port provider to each chunk's start with
-/// the serial sweep's exact rng consumption, and each run is reported to
-/// the worker's own shard — so which worker executes a run never affects
-/// what is observed, only where, and merging shards in worker-index order
-/// (run_collect) reproduces the serial aggregate byte for byte.
+/// The shared scheduling core. Determinism under work stealing: the sweep
+/// is cut into fixed chunks of consecutive run indices, workers claim
+/// chunks dynamically through the ChunkDeque (timing-dependent), each
+/// worker repositions its port provider to every chunk's start with the
+/// serial sweep's exact rng consumption (PortProvider::skip_to, rewind
+/// included), and each run is reported into its *chunk's* shard — so the
+/// timing-dependent worker→chunk map never reaches the observations, and
+/// merging shards in chunk-index order (run_collect) reproduces the
+/// serial aggregate byte for byte.
 void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
                    const ShardObserver& observe) {
   const std::uint64_t count = spec.seeds.count;
@@ -141,13 +217,14 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
   if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
     worker_ctxs_.resize(static_cast<std::size_t>(workers));
   }
-  prepare(workers);
+  prepare(static_cast<int>(num_chunks));
+  ChunkDeque deque(num_chunks, workers);
   run_worker_pool(workers, [&](int w) {
     RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
     PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                        spec.config, spec.port_seed);
-    for (std::uint64_t c = static_cast<std::uint64_t>(w); c < num_chunks;
-         c += static_cast<std::uint64_t>(workers)) {
+    std::uint64_t c = 0;
+    while (deque.pop(w, c)) {
       const std::uint64_t begin = c * chunk;
       const std::uint64_t end = std::min(begin + chunk, count);
       ports.skip_to(begin);
@@ -155,7 +232,8 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
         const std::uint64_t seed = spec.seeds.first + i;
         const PortAssignment* assignment = ports.next();
         const ProtocolOutcome outcome = execute_run(ctx, spec, seed, assignment);
-        observe(w, RunView{seed, i, assignment, &spec}, outcome);
+        observe(static_cast<int>(c), RunView{seed, i, assignment, &spec},
+                outcome);
       }
     }
   });
@@ -174,10 +252,12 @@ RunStats Engine::run_batch(const Experiment& spec,
 /// The observed path. Serial batches fire the observer inline. Parallel
 /// batches process the sweep in bounded windows of threads × chunk runs
 /// (the chunk capped at 256 for this path, which never changes results):
-/// within a window every worker fills one chunk of the record buffer,
-/// then the calling thread drains the window in run-index order — folding
-/// RunStats and firing the observer run by run, exactly as the serial
-/// sweep would — before the next window starts. Memory therefore stays
+/// within a window workers claim chunks of the record buffer dynamically
+/// (work stealing off a shared cursor — records are slotted by run index,
+/// so the timing-dependent claim order is invisible), then the calling
+/// thread drains the window in run-index order — folding RunStats and
+/// firing the observer run by run, exactly as the serial sweep would —
+/// before the next window starts. Memory therefore stays
 /// O(threads · chunk) regardless of the sweep length.
 RunStats Engine::run_batch_observed(const Experiment& spec,
                                     const RunObserver& observer) {
@@ -234,6 +314,12 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   std::condition_variable cv_work, cv_done;
   std::uint64_t generation = 0;
   std::uint64_t window_base = 0, window_end = 0;
+  // The window's work-stealing cursor: workers claim chunks with
+  // fetch_add until the window is exhausted, so an uneven window (one
+  // slow chunk) no longer idles the other workers. Claimed chunk starts
+  // only grow — within a window by the fetch_add, across windows because
+  // bases ascend — so each worker's provider skips strictly forward here.
+  std::atomic<std::uint64_t> window_cursor{0};
   int remaining = 0;
   bool stop = false;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
@@ -256,10 +342,10 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
       // it; once this worker has failed it idles through later windows.
       if (!errors[static_cast<std::size_t>(w)]) {
         try {
-          const std::uint64_t begin =
-              base + static_cast<std::uint64_t>(w) * chunk;
-          const std::uint64_t chunk_end = std::min(begin + chunk, end);
-          if (begin < chunk_end) {
+          while (true) {
+            const std::uint64_t begin = window_cursor.fetch_add(chunk);
+            if (begin >= end) break;
+            const std::uint64_t chunk_end = std::min(begin + chunk, end);
             ports.skip_to(begin);
             for (std::uint64_t i = begin; i < chunk_end; ++i) {
               const std::uint64_t seed = spec.seeds.first + i;
@@ -300,6 +386,7 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
         std::lock_guard lock(mutex);
         window_base = base;
         window_end = wave_end;
+        window_cursor.store(base, std::memory_order_relaxed);
         remaining = workers;
         ++generation;
       }

@@ -15,10 +15,16 @@
 // draw-for-draw as in the serial sweep regardless of which worker executes
 // the run, fault and scheduler draws are keyed on the run's own seed
 // (sim/fault.hpp, sim/scheduler.hpp — no shared stream, hence no
-// skip-ahead), and per-worker collector shards are merged in worker-index
-// order — so run_collect/run_batch return byte-identical aggregates for
-// any thread count (pinned by tests/parallel_engine_test.cpp,
-// tests/collector_test.cpp and tests/fault_scheduler_test.cpp).
+// skip-ahead). Chunks of consecutive runs are claimed through a
+// work-stealing deque — each worker owns a contiguous chunk range, pops
+// from its front, and steals the back half of the fullest victim when dry
+// — and every chunk observes into its *own* collector shard; shards are
+// merged in chunk-index order, i.e. run-index order, so which worker
+// executed a chunk (inherently timing-dependent under stealing) never
+// reaches the results: run_collect/run_batch return byte-identical
+// aggregates for any thread count (pinned by
+// tests/parallel_engine_test.cpp, tests/collector_test.cpp and
+// tests/fault_scheduler_test.cpp).
 //
 // Aggregation is pluggable (engine/collector.hpp): run_collect sweeps a
 // spec into any Collector — each parallel worker owns a shard, so nothing
@@ -65,11 +71,13 @@ using RunObserver =
     std::function<void(const RunView& view, const ProtocolOutcome& outcome)>;
 
 /// How a batch is spread over threads. The default is serial; threads = 0
-/// means "one worker per hardware thread". Chunks of `chunk` consecutive
-/// runs are dealt to workers round-robin (chunk = 0 picks count/threads,
-/// i.e. one contiguous span per worker). The knob trades scheduling
-/// granularity against port-stream skip-ahead work; it never affects
-/// results.
+/// means "one worker per hardware thread". The sweep is cut into chunks of
+/// `chunk` consecutive runs — the granule of the work-stealing scheduler
+/// and of per-chunk collector shards (chunk = 0 picks several granules per
+/// worker, so uneven runs balance). The knob is a granularity hint: it
+/// trades scheduling granularity against shard count and port-stream skip
+/// work, the engine coarsens it as needed so one batch never materializes
+/// more than a few thousand shards, and it never affects results.
 struct ParallelConfig {
   int threads = 1;          // worker count; 1 = serial, 0 = all hardware
   std::uint64_t chunk = 0;  // runs per scheduling chunk; 0 = auto
@@ -99,9 +107,12 @@ class Engine {
   /// Sweeps spec.seeds into the given collector and returns it. The
   /// collector passed in is the empty prototype (a merge identity, which
   /// any freshly constructed collector is): under threads > 1 every
-  /// worker observes into its own copy and the shards are merged back in
-  /// worker-index order — no per-run buffering, byte-identical results
-  /// for every ParallelConfig.
+  /// scheduling chunk observes into its own copy and the shards are
+  /// merged back in chunk-index (= run-index) order — shard memory is
+  /// bounded (the chunk hint is coarsened past a few thousand chunks),
+  /// nothing is buffered per run, and results are byte-identical for
+  /// every ParallelConfig however the work-stealing scheduler balances
+  /// the chunks.
   template <Collector C>
   C run_collect(const Experiment& spec, C collector) {
     spec.validate();
@@ -140,19 +151,22 @@ class Engine {
   std::size_t store_high_water() const noexcept { return store_high_water_; }
 
  private:
-  /// Sizes the shard set for the batch's resolved worker count (called
-  /// exactly once, before any run executes).
-  using PrepareShards = std::function<void(int workers)>;
+  /// Sizes the shard set for the batch (called exactly once, before any
+  /// run executes): one shard per scheduling chunk — serial batches use a
+  /// single shard. Merging the shards in index order reproduces run-index
+  /// order.
+  using PrepareShards = std::function<void(int shards)>;
   /// Folds one finished run into shard `shard`. Serial batches use shard
   /// 0 on the calling thread; parallel workers call it concurrently, each
-  /// with its own shard index.
+  /// holding exactly one chunk (= shard) at a time.
   using ShardObserver = std::function<void(
       int shard, const RunView& view, const ProtocolOutcome& outcome)>;
 
-  /// The scheduling core shared by every sweep entry point: deals chunks
-  /// of consecutive runs to workers round-robin, advances each worker's
-  /// port provider draw-for-draw with the serial sweep, executes runs
-  /// through execute_run, and reports them shard-by-shard. Does not
+  /// The scheduling core shared by every sweep entry point: cuts the sweep
+  /// into chunks of consecutive runs, lets workers claim them through the
+  /// work-stealing deque, repositions each worker's port provider
+  /// draw-for-draw with the serial sweep, executes runs through
+  /// execute_run, and reports each run into its chunk's shard. Does not
   /// validate the spec.
   void drive(const Experiment& spec, const PrepareShards& prepare,
              const ShardObserver& observe);

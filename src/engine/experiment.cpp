@@ -163,20 +163,11 @@ void Experiment::validate() const {
         "be accounted as crashed");
   }
   scheduler.validate(config.num_parties());
-  if (backend() == Backend::kProtocol) {
-    if (!scheduler.is_synchronous()) {
-      throw InvalidArgument(
-          "Experiment: the knowledge-level backend is round-lockstep by "
-          "definition; non-synchronous schedulers need the agent backend "
-          "(with_agents)");
-    }
-    if (faults.any() && model == Model::kMessagePassing) {
-      throw InvalidArgument(
-          "Experiment: crash faults on the knowledge-level backend are "
-          "supported for the blackboard model only (the Eq. (2) port tuple "
-          "has no representation for a silent channel); use the agent "
-          "backend for faulty message passing");
-    }
+  if (backend() == Backend::kProtocol && !scheduler.is_synchronous()) {
+    throw InvalidArgument(
+        "Experiment: the knowledge-level backend is round-lockstep by "
+        "definition; non-synchronous schedulers need the agent backend "
+        "(with_agents)");
   }
 }
 
@@ -244,23 +235,14 @@ void RunStats::record(const ProtocolOutcome& outcome,
   if (task != nullptr) {
     task_checked = true;
     if (outcome.terminated) {
-      std::vector<int> values;
-      values.reserve(outcome.outputs.size());
-      for (std::int64_t v : outcome.outputs) {
-        values.push_back(static_cast<int>(v));
-      }
-      if (!faulty) {
-        if (task->admits_vector(values)) ++task_successes;
-      } else {
-        // Crash-aware semantics: judge the survivors' outputs only (a
-        // crashed party's pre-crash decision does not count — a leader
-        // that crashed is a dead leader).
-        std::vector<bool> alive(values.size());
-        for (std::size_t party = 0; party < values.size(); ++party) {
-          alive[party] = outcome.crash_round[party] < 0;
-        }
-        if (task->admits_surviving(values, alive)) ++task_successes;
-      }
+      // Zero-copy admission straight off the outcome: for faulty runs the
+      // survivors' outputs only (a crashed party's pre-crash decision does
+      // not count — a leader that crashed is a dead leader).
+      const bool admitted =
+          faulty ? task->admits_surviving_outputs(outcome.outputs,
+                                                  outcome.crash_round)
+                 : task->admits_outputs(outcome.outputs);
+      if (admitted) ++task_successes;
     }
   }
 }

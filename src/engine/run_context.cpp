@@ -18,7 +18,8 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
     ctx.bank.emplace(spec.config, seed);
   }
   ctx.store.reset();
-  std::vector<KnowledgeId> knowledge = initial_knowledge(ctx.store, n);
+  std::vector<KnowledgeId>& knowledge = ctx.knowledge;
+  knowledge.assign(static_cast<std::size_t>(n), ctx.store.bottom());
 
   ProtocolOutcome outcome;
   outcome.outputs.assign(static_cast<std::size_t>(n), 0);
@@ -57,12 +58,23 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
       bits.push_back(ctx.bank->party_bit(party, round));
     }
     if (spec.model == Model::kBlackboard) {
-      knowledge = faulty ? blackboard_round_crash(ctx.store, knowledge, bits,
-                                                  ctx.crash_round, round)
-                         : blackboard_round(ctx.store, knowledge, bits);
+      if (faulty) {
+        knowledge = blackboard_round_crash(ctx.store, knowledge, bits,
+                                           ctx.crash_round, round);
+      } else {
+        blackboard_round_inplace(ctx.store, knowledge, bits,
+                                 ctx.round_scratch);
+      }
     } else {
-      knowledge =
-          message_round(ctx.store, knowledge, bits, *ports, spec.variant);
+      if (faulty) {
+        // Eq. (2) with silence-masked channels (DESIGN.md §7b): the
+        // knowledge backend now runs t-resilient message passing too.
+        knowledge = message_round_crash(ctx.store, knowledge, bits, *ports,
+                                        spec.variant, ctx.crash_round, round);
+      } else {
+        message_round_inplace(ctx.store, knowledge, bits, *ports,
+                              spec.variant, ctx.round_scratch);
+      }
     }
     for (int party = 0; party < n; ++party) {
       if (outcome.decision_round[static_cast<std::size_t>(party)] >= 0 ||
@@ -92,7 +104,7 @@ ProtocolOutcome run_agent_prepared(RunContext& ctx, const Experiment& spec,
   if (ports != nullptr) run_ports = *ports;
   spec.faults.draw(spec.config.num_parties(), seed, ctx.crash_round);
   sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
-                   spec.factory, spec.scheduler, ctx.crash_round);
+                   spec.factory, spec.scheduler, ctx.crash_round, &ctx.arena);
   const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
   ProtocolOutcome outcome;
   outcome.terminated = net_outcome.all_decided;
@@ -134,9 +146,25 @@ PortProvider::PortProvider(Model model, PortPolicy policy,
   }
 }
 
+void PortProvider::maybe_checkpoint() {
+  if (produced_ % kCheckpointStride != 0) return;
+  const std::size_t k = static_cast<std::size_t>(produced_ / kCheckpointStride);
+  // Checkpoints are only ever appended at the stream's frontier; a cursor
+  // revisiting an already-checkpointed boundary changes nothing (the
+  // stream is deterministic, so the state is identical anyway).
+  if (k == checkpoints_.size()) checkpoints_.push_back(rng_);
+}
+
+void PortProvider::advance_one() {
+  maybe_checkpoint();
+  PortAssignment::discard_random(num_parties_, rng_);
+  ++produced_;
+}
+
 const PortAssignment* PortProvider::next() {
   if (policy_ == PortPolicy::kNone) return nullptr;
   if (policy_ == PortPolicy::kRandomPerRun) {
+    maybe_checkpoint();
     current_ = PortAssignment::random(num_parties_, rng_);
   }
   ++produced_;
@@ -144,15 +172,23 @@ const PortAssignment* PortProvider::next() {
 }
 
 void PortProvider::skip_to(std::uint64_t run_index) {
+  if (policy_ != PortPolicy::kRandomPerRun) {
+    produced_ = run_index;
+    return;
+  }
   if (run_index < produced_) {
-    throw InvalidArgument("PortProvider::skip_to: cannot rewind");
+    // Rewind (a stolen chunk behind the worker's cursor): restore the
+    // nearest checkpoint at or below the target and replay forward —
+    // draw-for-draw what the serial sweep consumed, so run_index still
+    // receives its canonical wiring, at O(stride) cost. checkpoints_[0]
+    // (the root state) always exists by the time produced_ > 0.
+    const std::size_t k = std::min(
+        static_cast<std::size_t>(run_index / kCheckpointStride),
+        checkpoints_.size() - 1);
+    rng_ = checkpoints_[k];
+    produced_ = static_cast<std::uint64_t>(k) * kCheckpointStride;
   }
-  if (policy_ == PortPolicy::kRandomPerRun) {
-    for (std::uint64_t i = produced_; i < run_index; ++i) {
-      PortAssignment::discard_random(num_parties_, rng_);
-    }
-  }
-  produced_ = run_index;
+  while (produced_ < run_index) advance_one();
 }
 
 }  // namespace rsb

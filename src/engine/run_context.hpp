@@ -20,7 +20,9 @@
 
 #include "engine/experiment.hpp"
 #include "knowledge/knowledge.hpp"
+#include "model/models.hpp"
 #include "randomness/source_bank.hpp"
+#include "sim/payload.hpp"
 #include "util/rng.hpp"
 
 namespace rsb {
@@ -31,8 +33,12 @@ struct RunContext {
   KnowledgeStore store;
   std::optional<SourceBank> bank;  // allocated lazily on the first run
   std::size_t store_high_water = 0;
-  std::vector<bool> bits;        // per-round randomness scratch
-  std::vector<int> crash_round;  // per-run fault-draw scratch (FaultPlan)
+  std::vector<bool> bits;           // per-round randomness scratch
+  std::vector<int> crash_round;     // per-run fault-draw scratch (FaultPlan)
+  std::vector<KnowledgeId> knowledge;  // per-run knowledge-vector scratch
+  RoundScratch round_scratch;       // in-place round-operator buffers
+  sim::PayloadArena arena;          // agent-backend payload pool (lent to
+                                    // each run's sim::Network)
 };
 
 /// One knowledge-level run of `spec` at `seed` over `ctx`. `ports` must be
@@ -62,9 +68,14 @@ ProtocolOutcome execute_run(RunContext& ctx, const Experiment& spec,
 /// Per-batch port provider: materializes the port policy once (fixed
 /// policies) or per run (kRandomPerRun, drawn from the port_seed stream).
 /// next() yields the assignment for run 0, 1, 2, ... in order; skip_to()
-/// lets a parallel worker jump to its chunk while consuming the rng
-/// draw-for-draw as the serial sweep would, so the wiring of run i is
-/// independent of which worker executes it.
+/// repositions the provider so a worker can jump to any chunk while
+/// consuming the rng draw-for-draw as the serial sweep would — the wiring
+/// of run i is independent of which worker executes it, and of the order
+/// the work-stealing scheduler hands chunks out. The rng state is
+/// checkpointed every kCheckpointStride runs as the stream advances, so a
+/// backward jump (a stolen chunk behind the worker's cursor) restores the
+/// nearest checkpoint and replays at most a stride of draws — rewinds
+/// stay O(stride), not O(run_index), however often the deque steals.
 class PortProvider {
  public:
   PortProvider(Model model, PortPolicy policy,
@@ -74,16 +85,25 @@ class PortProvider {
   /// The assignment for the next run; null for blackboard runs.
   const PortAssignment* next();
 
-  /// Advances so that the following next() yields the assignment of run
-  /// `run_index`. Must not go backwards.
+  /// Repositions so that the following next() yields the assignment of
+  /// run `run_index` (forwards or backwards).
   void skip_to(std::uint64_t run_index);
 
  private:
+  static constexpr std::uint64_t kCheckpointStride = 1024;
+
+  /// Records checkpoints_[produced_ / stride] when the cursor sits on a
+  /// stride boundary it has not checkpointed yet (kRandomPerRun only).
+  void maybe_checkpoint();
+  /// Consumes one run's worth of stream (kRandomPerRun), checkpointing.
+  void advance_one();
+
   PortPolicy policy_;
   Xoshiro256StarStar rng_;
   int num_parties_ = 0;
   std::uint64_t produced_ = 0;  // runs whose assignment has been drawn
   std::optional<PortAssignment> current_;
+  std::vector<Xoshiro256StarStar> checkpoints_;  // state at k*stride
 };
 
 }  // namespace rsb

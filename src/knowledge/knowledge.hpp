@@ -15,9 +15,19 @@
 // in a KnowledgeStore: structurally equal values receive the same id, so
 // equality is id comparison, and memory is proportional to the number of
 // distinct sub-values, not to the written-out size.
+//
+// Data layout (the zero-copy core): a node's received tuple and tag list
+// live in two flat pools shared by all nodes — a node stores offsets, not
+// vectors — so interning a new value appends to the pools instead of
+// allocating, and reset() recycles everything in place. Step values can be
+// interned from *borrowed* storage (spans): the store probes with the
+// caller's buffer and copies into the pools only on first insertion, so a
+// steady-state batch sweep runs the whole knowledge recursion without
+// touching the allocator.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +44,10 @@ enum class KnowledgeKind : std::uint8_t {
   kInput,           // K_i(0) = v_i for input-output tasks (Appendix C)
   kBlackboardStep,  // Eq. (1)
   kMessageStep,     // Eq. (2)
+  kSilence,         // a crashed channel: the Eq. (2) tuple entry for a
+                    // port whose sender has halted (crash-stop faults on
+                    // the knowledge backend). Interned lazily, so
+                    // fault-free id sequences are untouched.
 };
 
 // A KnowledgeStore is single-threaded mutable state, and a KnowledgeId is
@@ -46,17 +60,22 @@ class KnowledgeStore {
   KnowledgeStore();
 
   /// Forgets every interned value (except ⊥, which is re-created with id 0)
-  /// while keeping the underlying table storage. After reset() the store is
-  /// observationally identical to a freshly constructed one — ids are
-  /// handed out in the same insertion order — so batch drivers such as the
-  /// experiment Engine can reuse one store across runs without perturbing
-  /// id-based canonical orders. The node and index storage is pre-sized
-  /// from the high-water mark over all previous resets, so steady-state
-  /// runs of a sweep allocate nothing.
+  /// while keeping the underlying table and pool storage. After reset() the
+  /// store is observationally identical to a freshly constructed one — ids
+  /// are handed out in the same insertion order — so batch drivers such as
+  /// the experiment Engine can reuse one store across runs without
+  /// perturbing id-based canonical orders. Node, pool and index storage is
+  /// pre-sized from the high-water mark over all previous resets, so
+  /// steady-state runs of a sweep allocate nothing.
   void reset();
 
   /// The unique ⊥ value (always id 0).
   KnowledgeId bottom() const noexcept { return 0; }
+
+  /// The distinguished "silence" value marking a crashed channel in the
+  /// Eq. (2) tuple. Interned on first use (never eagerly), so runs that
+  /// need no silence hand out exactly the historical id sequence.
+  KnowledgeId silence();
 
   /// K_i(0) = v for an input value v.
   KnowledgeId input(std::int64_t value);
@@ -67,6 +86,14 @@ class KnowledgeStore {
   /// board order corresponds to this canonical sorting.
   KnowledgeId blackboard_step(KnowledgeId prev, bool bit,
                               std::vector<KnowledgeId> others);
+
+  /// Eq. (1) zero-copy path for batch drivers: `others_sorted` must
+  /// already be sorted ascending. The value is probed with the borrowed
+  /// storage and only copied into the pools on first insertion. Ids (and
+  /// insertion order) are identical to
+  /// blackboard_step(prev, bit, {others_sorted...}).
+  KnowledgeId blackboard_step_sorted(KnowledgeId prev, bool bit,
+                                     std::span<const KnowledgeId> others_sorted);
 
   /// Eq. (2), literal form. `by_port[p]` is the knowledge received on port
   /// p+1; the tuple order is significant (ports are local names for
@@ -85,8 +112,17 @@ class KnowledgeStore {
                                   std::vector<KnowledgeId> by_port,
                                   std::vector<int> tags);
 
-  /// The reciprocal port tags; empty for untagged steps.
-  const std::vector<int>& tags(KnowledgeId id) const;
+  /// Eq. (2) zero-copy path with borrowed storage: `by_port` is the
+  /// port-ordered tuple, `tags` the reciprocal port numbers (pass an empty
+  /// span for the untagged literal variant). Copies into the pools only on
+  /// first insertion; ids identical to the vector-taking overloads.
+  KnowledgeId message_step_view(KnowledgeId prev, bool bit,
+                                std::span<const KnowledgeId> by_port,
+                                std::span<const int> tags);
+
+  /// The reciprocal port tags; empty for untagged steps. The span borrows
+  /// pool storage: valid until the next mutating call on this store.
+  std::span<const int> tags(KnowledgeId id) const;
 
   KnowledgeKind kind(KnowledgeId id) const;
 
@@ -97,8 +133,9 @@ class KnowledgeStore {
   bool bit(KnowledgeId id) const;
 
   /// The received knowledge (sorted multiset for blackboard, port-ordered
-  /// tuple for message passing); only for step kinds.
-  const std::vector<KnowledgeId>& received(KnowledgeId id) const;
+  /// tuple for message passing); only for step kinds. The span borrows
+  /// pool storage: valid until the next mutating call on this store.
+  std::span<const KnowledgeId> received(KnowledgeId id) const;
 
   /// The input value; only for kInput.
   std::int64_t input_value(KnowledgeId id) const;
@@ -119,20 +156,44 @@ class KnowledgeStore {
   std::string to_string(KnowledgeId id) const;
 
  private:
+  /// A node's identity-defining fields; received/tags live in the shared
+  /// flat pools, referenced by offset — no per-node allocations.
   struct Node {
     KnowledgeKind kind;
     bool bit = false;
     KnowledgeId prev = 0;
     std::int64_t input = 0;
-    std::vector<KnowledgeId> received;
-    std::vector<int> tags;  // reciprocal port numbers; empty if untagged
+    std::uint32_t received_offset = 0;
+    std::uint32_t received_size = 0;
+    std::uint32_t tags_offset = 0;
+    std::uint32_t tags_size = 0;
     int time = 0;
   };
 
-  KnowledgeId intern(Node node);
-  std::uint64_t node_hash(const Node& node) const;
-  bool node_equal(const Node& a, const Node& b) const;
+  /// Borrowed view of a candidate node, used to probe the intern index
+  /// without materializing anything.
+  struct NodeShape {
+    KnowledgeKind kind;
+    bool bit = false;
+    KnowledgeId prev = 0;
+    std::int64_t input = 0;
+    std::span<const KnowledgeId> received;
+    std::span<const int> tags;
+    int time = 0;  // not identity-defining; stored on insertion
+  };
+
+  /// Probes with the borrowed shape; appends the spans to the pools on
+  /// first insertion.
+  KnowledgeId intern_shape(const NodeShape& shape);
+  std::uint64_t shape_hash(const NodeShape& shape) const;
+  bool shape_equal(const Node& a, const NodeShape& b) const;
   const Node& node(KnowledgeId id) const;
+  std::span<const KnowledgeId> node_received(const Node& n) const noexcept {
+    return {received_pool_.data() + n.received_offset, n.received_size};
+  }
+  std::span<const int> node_tags(const Node& n) const noexcept {
+    return {tags_pool_.data() + n.tags_offset, n.tags_size};
+  }
   void grow_slots();
 
   // The intern index is a flat open-addressed table of ids (linear probing,
@@ -142,9 +203,13 @@ class KnowledgeStore {
   // deallocation — so a batch driver that resets the store between runs
   // stops touching the allocator once the largest run has been seen.
   std::vector<Node> nodes_;
-  std::vector<std::uint64_t> hashes_;  // node_hash(nodes_[id]), index = id
-  std::vector<KnowledgeId> slots_;     // open-addressed index into nodes_
-  std::size_t peak_nodes_ = 0;         // high-water across resets
+  std::vector<std::uint64_t> hashes_;        // shape_hash per node, index = id
+  std::vector<KnowledgeId> received_pool_;   // all nodes' received tuples
+  std::vector<int> tags_pool_;               // all nodes' tag lists
+  std::vector<KnowledgeId> slots_;           // open-addressed index into nodes_
+  std::size_t peak_nodes_ = 0;               // high-water across resets
+  std::size_t peak_received_ = 0;
+  std::size_t peak_tags_ = 0;
 };
 
 }  // namespace rsb

@@ -1,5 +1,7 @@
 #include "model/models.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/partitions.hpp"
 
@@ -92,6 +94,73 @@ std::vector<KnowledgeId> blackboard_round_crash(
   return next;
 }
 
+void blackboard_round_inplace(KnowledgeStore& store,
+                              std::vector<KnowledgeId>& knowledge,
+                              const std::vector<bool>& bits,
+                              RoundScratch& scratch) {
+  const std::size_t n = knowledge.size();
+  if (bits.size() != n) {
+    throw InvalidArgument(
+        "blackboard_round_inplace: bits/knowledge size mismatch");
+  }
+  // One shared sort canonicalizes every party's multiset: the multiset
+  // {prev[j] : j != i} is the sorted previous vector minus one occurrence
+  // of prev[i], spliced out with two copies.
+  scratch.sorted_prev = knowledge;
+  std::sort(scratch.sorted_prev.begin(), scratch.sorted_prev.end());
+  scratch.next.clear();
+  scratch.next.reserve(n);
+  scratch.received.resize(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const KnowledgeId own = knowledge[i];
+    const auto it = std::lower_bound(scratch.sorted_prev.begin(),
+                                     scratch.sorted_prev.end(), own);
+    const std::size_t skip =
+        static_cast<std::size_t>(it - scratch.sorted_prev.begin());
+    std::copy(scratch.sorted_prev.begin(), it, scratch.received.begin());
+    std::copy(it + 1, scratch.sorted_prev.end(),
+              scratch.received.begin() + static_cast<std::ptrdiff_t>(skip));
+    scratch.next.push_back(
+        store.blackboard_step_sorted(own, bits[i], scratch.received));
+  }
+  knowledge.swap(scratch.next);
+}
+
+void message_round_inplace(KnowledgeStore& store,
+                           std::vector<KnowledgeId>& knowledge,
+                           const std::vector<bool>& bits,
+                           const PortAssignment& ports, MessageVariant variant,
+                           RoundScratch& scratch) {
+  const std::size_t n = knowledge.size();
+  if (bits.size() != n) {
+    throw InvalidArgument(
+        "message_round_inplace: bits/knowledge size mismatch");
+  }
+  if (ports.num_parties() != static_cast<int>(n)) {
+    throw InvalidArgument(
+        "message_round_inplace: ports/knowledge size mismatch");
+  }
+  const bool tagged = variant == MessageVariant::kPortTagged;
+  scratch.next.clear();
+  scratch.next.reserve(n);
+  scratch.received.resize(n > 0 ? n - 1 : 0);
+  scratch.tags.resize(tagged && n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int p = 1; p <= static_cast<int>(n) - 1; ++p) {
+      const int sender = ports.neighbor(static_cast<int>(i), p);
+      scratch.received[static_cast<std::size_t>(p - 1)] =
+          knowledge[static_cast<std::size_t>(sender)];
+      if (tagged) {
+        scratch.tags[static_cast<std::size_t>(p - 1)] =
+            ports.port_to(sender, static_cast<int>(i));
+      }
+    }
+    scratch.next.push_back(store.message_step_view(
+        knowledge[i], bits[i], scratch.received, scratch.tags));
+  }
+  knowledge.swap(scratch.next);
+}
+
 std::vector<KnowledgeId> message_round(KnowledgeStore& store,
                                        const std::vector<KnowledgeId>& prev,
                                        const std::vector<bool>& bits,
@@ -116,6 +185,58 @@ std::vector<KnowledgeId> message_round(KnowledgeStore& store,
       by_port.push_back(prev[static_cast<std::size_t>(sender)]);
       if (variant == MessageVariant::kPortTagged) {
         tags.push_back(ports.port_to(sender, static_cast<int>(i)));
+      }
+    }
+    if (variant == MessageVariant::kPortTagged) {
+      next.push_back(store.message_step_tagged(prev[i], bits[i],
+                                               std::move(by_port),
+                                               std::move(tags)));
+    } else {
+      next.push_back(store.message_step(prev[i], bits[i], std::move(by_port)));
+    }
+  }
+  return next;
+}
+
+std::vector<KnowledgeId> message_round_crash(
+    KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
+    const std::vector<bool>& bits, const PortAssignment& ports,
+    MessageVariant variant, const std::vector<int>& crash_round, int round) {
+  if (crash_round.empty()) {
+    return message_round(store, prev, bits, ports, variant);
+  }
+  const std::size_t n = prev.size();
+  if (bits.size() != n || crash_round.size() != n) {
+    throw InvalidArgument(
+        "message_round_crash: bits/crash/knowledge size mismatch");
+  }
+  if (ports.num_parties() != static_cast<int>(n)) {
+    throw InvalidArgument("message_round_crash: ports/knowledge size mismatch");
+  }
+  const auto alive = [&](std::size_t j) {
+    return crash_round[j] < 0 || round < crash_round[j];
+  };
+  std::vector<KnowledgeId> next;
+  next.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive(i)) {
+      next.push_back(prev[i]);  // frozen at the last pre-crash value
+      continue;
+    }
+    std::vector<KnowledgeId> by_port;
+    std::vector<int> tags;
+    by_port.reserve(n - 1);
+    if (variant == MessageVariant::kPortTagged) tags.reserve(n - 1);
+    for (int p = 1; p <= static_cast<int>(n) - 1; ++p) {
+      const int sender = ports.neighbor(static_cast<int>(i), p);
+      const bool sender_alive = alive(static_cast<std::size_t>(sender));
+      by_port.push_back(sender_alive ? prev[static_cast<std::size_t>(sender)]
+                                     : store.silence());
+      if (variant == MessageVariant::kPortTagged) {
+        // A silent channel transmits nothing, so no reciprocal tag; 0 is
+        // outside the valid port range [1, n-1].
+        tags.push_back(sender_alive ? ports.port_to(sender, static_cast<int>(i))
+                                    : 0);
       }
     }
     if (variant == MessageVariant::kPortTagged) {

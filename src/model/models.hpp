@@ -54,6 +54,34 @@ std::vector<KnowledgeId> blackboard_round(KnowledgeStore& store,
                                           const std::vector<KnowledgeId>& prev,
                                           const std::vector<bool>& bits);
 
+/// Reusable scratch buffers for the in-place round operators below. Batch
+/// drivers keep one per worker (RunContext) so steady-state sweeps run the
+/// knowledge recursion without a single allocation per round.
+struct RoundScratch {
+  std::vector<KnowledgeId> sorted_prev;
+  std::vector<KnowledgeId> received;
+  std::vector<int> tags;
+  std::vector<KnowledgeId> next;
+};
+
+/// One blackboard round in place: knowledge := Eq. (1)(knowledge, bits).
+/// Byte-identical ids (and store insertion order) to blackboard_round —
+/// the multiset each party receives is canonicalized by one shared sort of
+/// the previous vector instead of n per-party sorts, and values are probed
+/// with borrowed storage (KnowledgeStore::blackboard_step_sorted).
+void blackboard_round_inplace(KnowledgeStore& store,
+                              std::vector<KnowledgeId>& knowledge,
+                              const std::vector<bool>& bits,
+                              RoundScratch& scratch);
+
+/// One message-passing round in place; byte-identical ids to
+/// message_round under the same variant.
+void message_round_inplace(KnowledgeStore& store,
+                           std::vector<KnowledgeId>& knowledge,
+                           const std::vector<bool>& bits,
+                           const PortAssignment& ports, MessageVariant variant,
+                           RoundScratch& scratch);
+
 /// One blackboard round under crash-stop faults: party j participates in
 /// round `round` iff crash_round[j] < 0 or round < crash_round[j]
 /// (sim/fault.hpp semantics — a party halts at the start of its crash
@@ -71,6 +99,20 @@ std::vector<KnowledgeId> message_round(
     KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
     const std::vector<bool>& bits, const PortAssignment& ports,
     MessageVariant variant = MessageVariant::kPortTagged);
+
+/// One message-passing round under crash-stop faults: party j participates
+/// in round `round` iff crash_round[j] < 0 or round < crash_round[j]
+/// (sim/fault.hpp semantics). A crashed party's knowledge is frozen at its
+/// last pre-crash value; an alive receiver's Eq. (2) tuple entry for a
+/// port whose sender has halted is the distinguished "silence" value
+/// (KnowledgeStore::silence) — the synchronous-model fact that a dead
+/// channel is detectable — with reciprocal tag 0 in the port-tagged
+/// variant (a silent channel transmits no tag; real ports are >= 1).
+/// With an empty crash schedule this is exactly message_round.
+std::vector<KnowledgeId> message_round_crash(
+    KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
+    const std::vector<bool>& bits, const PortAssignment& ports,
+    MessageVariant variant, const std::vector<int>& crash_round, int round);
 
 /// The knowledge vector at the realization's time in the blackboard model,
 /// computed by running Eq. (1) for t rounds on the realization's bits.

@@ -6,14 +6,15 @@
 
 namespace rsb::sim {
 
-void Outbox::post(std::string payload) {
+void Outbox::post(std::string_view payload) {
   if (model_ != Model::kBlackboard) {
     throw InvalidArgument("Outbox::post: not a blackboard network");
   }
-  posts_.push_back(std::move(payload));
+  net_->round_posts_.push_back(
+      Network::Post{sender_, net_->arena_->intern(payload)});
 }
 
-void Outbox::send(int port, std::string payload) {
+void Outbox::send(int port, std::string_view payload) {
   if (model_ != Model::kMessagePassing) {
     throw InvalidArgument("Outbox::send: not a message-passing network");
   }
@@ -21,15 +22,24 @@ void Outbox::send(int port, std::string payload) {
     throw InvalidArgument("Outbox::send: port " + std::to_string(port) +
                           " outside [1," + std::to_string(num_ports_) + "]");
   }
-  sends_.emplace_back(port, std::move(payload));
+  net_->round_sends_.push_back(
+      Network::Send{sender_, port, net_->arena_->intern(payload)});
 }
 
-void Outbox::send_all(const std::string& payload) {
-  for (int port = 1; port <= num_ports_; ++port) send(port, payload);
+void Outbox::send_all(std::string_view payload) {
+  if (model_ != Model::kMessagePassing) {
+    throw InvalidArgument("Outbox::send_all: not a message-passing network");
+  }
+  // One interned copy shared by every port — the broadcast fast path the
+  // arena exists for (pinned by the payload tests).
+  const PayloadId id = net_->arena_->intern(payload);
+  for (int port = 1; port <= num_ports_; ++port) {
+    net_->round_sends_.push_back(Network::Send{sender_, port, id});
+  }
 }
 
-Outbox::Outbox(Model model, int num_ports)
-    : model_(model), num_ports_(num_ports) {}
+Outbox::Outbox(Network* net, int sender, Model model, int num_ports)
+    : net_(net), sender_(sender), model_(model), num_ports_(num_ports) {}
 
 std::int64_t Agent::output() const {
   if (!decided_) throw InvalidArgument("Agent::output: not decided yet");
@@ -45,12 +55,18 @@ void Agent::decide(std::int64_t value) {
 Network::Network(Model model, const SourceConfiguration& config,
                  std::uint64_t seed, std::optional<PortAssignment> ports,
                  const AgentFactory& factory, const SchedulerSpec& scheduler,
-                 const std::vector<int>& crash_round)
+                 const std::vector<int>& crash_round, PayloadArena* arena)
     : model_(model),
       config_(config),
       ports_(std::move(ports)),
       crash_round_(crash_round),
-      scheduler_(scheduler, config.num_parties(), seed) {
+      scheduler_(scheduler, config.num_parties(), seed),
+      arena_(arena) {
+  if (arena_ == nullptr) {
+    owned_arena_ = std::make_unique<PayloadArena>();
+    arena_ = owned_arena_.get();
+  }
+  arena_->reset();  // this run starts from an observationally fresh pool
   if (model_ == Model::kMessagePassing) {
     if (!ports_.has_value()) {
       throw InvalidArgument("Network: message passing requires ports");
@@ -88,6 +104,117 @@ bool Network::alive_in_round(int party, int round) const noexcept {
   return crash < 0 || round < crash;
 }
 
+/// Routes the round's blackboard traffic: scheduler triage of the fresh
+/// posts, merge-in of held posts falling due, one canonical sort by
+/// payload bytes, then a per-receiver board view (everyone's due posts
+/// except the receiver's own) delivered as a span.
+void Network::deliver_blackboard() {
+  const int n = config_.num_parties();
+  due_posts_.clear();
+  for (const Post& post : round_posts_) {
+    const int due = scheduler_.delivery_round(round_, post.sender, -1);
+    if (due <= round_) {
+      due_posts_.push_back(RoutedPost{post.sender, post.payload});
+    } else {
+      held_posts_.push_back(HeldPost{due, post.sender, post.payload});
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_posts_.size(); ++i) {
+    const HeldPost held = held_posts_[i];
+    if (held.due != round_) {
+      held_posts_[kept] = held;
+      ++kept;
+      continue;
+    }
+    due_posts_.push_back(RoutedPost{held.sender, held.payload});
+  }
+  held_posts_.resize(kept);
+  std::sort(due_posts_.begin(), due_posts_.end(),
+            [this](const RoutedPost& a, const RoutedPost& b) {
+              return arena_->less(a.payload, b.payload);
+            });
+  for (int receiver = 0; receiver < n; ++receiver) {
+    if (!alive_in_round(receiver, round_)) continue;  // dropped at delivery
+    board_scratch_.clear();
+    for (const RoutedPost& post : due_posts_) {
+      if (post.sender != receiver) board_scratch_.push_back(post.payload);
+    }
+    Delivery delivery;
+    delivery.board = board_scratch_;
+    delivery.arena = arena_;
+    Agent& agent = *agents_[static_cast<std::size_t>(receiver)];
+    const bool was_decided = agent.decided();
+    agent.receive_phase(round_, delivery);
+    if (!was_decided && agent.decided()) {
+      decision_round_[static_cast<std::size_t>(receiver)] = round_;
+    }
+  }
+}
+
+/// Routes the round's port traffic to (receiver, receiving port) pairs,
+/// merges in held messages falling due, sorts once by (receiver, port,
+/// payload bytes) and delivers each receiver its contiguous span.
+void Network::deliver_message_passing() {
+  const int n = config_.num_parties();
+  due_sends_.clear();
+  for (const Send& send : round_sends_) {
+    const int receiver = ports_->neighbor(send.sender, send.port);
+    const int receiving_port = ports_->port_to(receiver, send.sender);
+    const int due = scheduler_.delivery_round(round_, send.sender, receiver);
+    if (due <= round_) {
+      due_sends_.push_back(
+          RoutedSend{receiver, PortMessage{receiving_port, send.payload}});
+    } else {
+      held_sends_.push_back(
+          HeldSend{due, receiver, receiving_port, send.payload});
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_sends_.size(); ++i) {
+    const HeldSend held = held_sends_[i];
+    if (held.due != round_) {
+      held_sends_[kept] = held;
+      ++kept;
+      continue;
+    }
+    due_sends_.push_back(
+        RoutedSend{held.receiver, PortMessage{held.port, held.payload}});
+  }
+  held_sends_.resize(kept);
+  std::sort(due_sends_.begin(), due_sends_.end(),
+            [this](const RoutedSend& a, const RoutedSend& b) {
+              if (a.receiver != b.receiver) return a.receiver < b.receiver;
+              if (a.message.port != b.message.port) {
+                return a.message.port < b.message.port;
+              }
+              return arena_->less(a.message.payload, b.message.payload);
+            });
+  by_port_flat_.clear();
+  by_port_flat_.reserve(due_sends_.size());
+  for (const RoutedSend& routed : due_sends_) {
+    by_port_flat_.push_back(routed.message);
+  }
+  std::size_t cursor = 0;
+  for (int receiver = 0; receiver < n; ++receiver) {
+    const std::size_t begin = cursor;
+    while (cursor < due_sends_.size() && due_sends_[cursor].receiver == receiver) {
+      ++cursor;
+    }
+    if (!alive_in_round(receiver, round_)) continue;  // dropped at delivery
+    Delivery delivery;
+    delivery.by_port = std::span<const PortMessage>(
+        by_port_flat_.data() + begin, cursor - begin);
+    delivery.arena = arena_;
+    Agent& agent = *agents_[static_cast<std::size_t>(receiver)];
+    const bool was_decided = agent.decided();
+    agent.receive_phase(round_, delivery);
+    if (!was_decided && agent.decided()) {
+      decision_round_[static_cast<std::size_t>(receiver)] = round_;
+    }
+  }
+}
+
 bool Network::step() {
   const int n = config_.num_parties();
   ++round_;
@@ -95,105 +222,39 @@ bool Network::step() {
   // Draw this round's word per source; all same-source parties share it.
   // Drawn regardless of crashes, so survivor randomness never depends on
   // the fault pattern.
-  std::vector<std::uint64_t> word_of_source(
-      static_cast<std::size_t>(config_.num_sources()));
+  word_of_source_.resize(static_cast<std::size_t>(config_.num_sources()));
   for (int source = 0; source < config_.num_sources(); ++source) {
-    word_of_source[static_cast<std::size_t>(source)] =
+    word_of_source_[static_cast<std::size_t>(source)] =
         source_words_[static_cast<std::size_t>(source)].next();
   }
 
-  // Send phase: crashed parties transmit nothing.
-  std::vector<Outbox> outboxes;
-  outboxes.reserve(static_cast<std::size_t>(n));
+  // Send phase: agents append into the network's flat transmission
+  // buffers (sender order, then transmission order — the scheduler's
+  // stream-consumption order). Crashed parties transmit nothing.
+  round_posts_.clear();
+  round_sends_.clear();
   for (int party = 0; party < n; ++party) {
-    Outbox out(model_, n - 1);
-    if (alive_in_round(party, round_)) {
-      agents_[static_cast<std::size_t>(party)]->send_phase(
-          round_, word_of_source[static_cast<std::size_t>(
-                      config_.source_of(party))],
-          out);
-    }
-    outboxes.push_back(std::move(out));
+    if (!alive_in_round(party, round_)) continue;
+    Outbox out(this, party, model_, n - 1);
+    agents_[static_cast<std::size_t>(party)]->send_phase(
+        round_,
+        word_of_source_[static_cast<std::size_t>(config_.source_of(party))],
+        out);
   }
 
-  // Delivery phase: route this round's traffic through the scheduler —
-  // immediate messages join the round's delivery directly, delayed ones go
-  // to the held queues — then merge in everything previously held that
-  // falls due this round, and canonically sort.
-  std::vector<Delivery> deliveries(static_cast<std::size_t>(n));
+  // Delivery + receive phase: messages addressed to crashed parties are
+  // dropped at delivery time, inside the per-model router.
   if (model_ == Model::kBlackboard) {
-    for (int sender = 0; sender < n; ++sender) {
-      for (auto& payload : outboxes[static_cast<std::size_t>(sender)].posts_) {
-        const int due = scheduler_.delivery_round(round_, sender, -1);
-        if (due <= round_) {
-          for (int receiver = 0; receiver < n; ++receiver) {
-            if (receiver == sender) continue;  // the board shows others' posts
-            deliveries[static_cast<std::size_t>(receiver)].board.push_back(
-                payload);
-          }
-        } else {
-          held_posts_.push_back(HeldPost{due, sender, std::move(payload)});
-        }
-      }
-    }
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < held_posts_.size(); ++i) {
-      HeldPost& held = held_posts_[i];
-      if (held.due != round_) {
-        if (kept != i) held_posts_[kept] = std::move(held);
-        ++kept;
-        continue;
-      }
-      for (int receiver = 0; receiver < n; ++receiver) {
-        if (receiver == held.sender) continue;
-        deliveries[static_cast<std::size_t>(receiver)].board.push_back(
-            held.payload);
-      }
-    }
-    held_posts_.resize(kept);
-    for (auto& d : deliveries) std::sort(d.board.begin(), d.board.end());
+    deliver_blackboard();
   } else {
-    for (int sender = 0; sender < n; ++sender) {
-      for (auto& [port, payload] :
-           outboxes[static_cast<std::size_t>(sender)].sends_) {
-        const int receiver = ports_->neighbor(sender, port);
-        const int receiving_port = ports_->port_to(receiver, sender);
-        const int due = scheduler_.delivery_round(round_, sender, receiver);
-        if (due <= round_) {
-          deliveries[static_cast<std::size_t>(receiver)].by_port.push_back(
-              PortMessage{receiving_port, std::move(payload)});
-        } else {
-          held_sends_.push_back(
-              HeldSend{due, receiver, receiving_port, std::move(payload)});
-        }
-      }
-    }
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < held_sends_.size(); ++i) {
-      HeldSend& held = held_sends_[i];
-      if (held.due != round_) {
-        if (kept != i) held_sends_[kept] = std::move(held);
-        ++kept;
-        continue;
-      }
-      deliveries[static_cast<std::size_t>(held.receiver)].by_port.push_back(
-          PortMessage{held.port, std::move(held.payload)});
-    }
-    held_sends_.resize(kept);
-    for (auto& d : deliveries) std::sort(d.by_port.begin(), d.by_port.end());
+    deliver_message_passing();
   }
 
-  // Receive phase: messages addressed to crashed parties are dropped here.
   bool all_decided = true;
   for (int party = 0; party < n; ++party) {
-    Agent& agent = *agents_[static_cast<std::size_t>(party)];
     if (!alive_in_round(party, round_)) continue;  // crashed: never blocks
-    const bool was_decided = agent.decided();
-    agent.receive_phase(round_, deliveries[static_cast<std::size_t>(party)]);
-    if (!was_decided && agent.decided()) {
-      decision_round_[static_cast<std::size_t>(party)] = round_;
-    }
-    all_decided = all_decided && agent.decided();
+    all_decided =
+        all_decided && agents_[static_cast<std::size_t>(party)]->decided();
   }
   return all_decided;
 }

@@ -1,5 +1,5 @@
 // Round-based network simulator with physical message routing, pluggable
-// delivery schedulers, and crash-stop faults.
+// delivery schedulers, crash-stop faults, and arena-interned payloads.
 //
 // This is the executable counterpart of the paper's model (Section 2.1):
 // n anonymous, identical parties proceed in rounds; in the blackboard
@@ -8,6 +8,16 @@
 // privately-numbered ports and the message is physically delivered to the
 // other endpoint of the edge. Correlated randomness comes from a
 // SourceBank: parties wired to one source draw identical randomness.
+//
+// Zero-copy data layout: message payloads are interned once into a per-run
+// PayloadArena (sim/payload.hpp) and travel as 4-byte PayloadIds through
+// the outboxes, the held (delayed) queues, and the flat per-round delivery
+// buffers — a broadcast (Outbox::send_all, or a blackboard post fanned out
+// to n−1 receivers) shares a single interned copy of its bytes. Each round
+// the simulator routes all transmissions into one flat buffer, sorts it by
+// (receiver, port, payload bytes) — byte-identical to the historical
+// per-receiver std::string sort — and hands every agent a Delivery of
+// spans into that buffer.
 //
 // Two adversaries beyond the port wiring are optional (both default off,
 // leaving the classic fault-free synchronous lockstep bit-for-bit intact):
@@ -39,54 +49,83 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <string>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "model/models.hpp"
 #include "randomness/config.hpp"
+#include "sim/payload.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace rsb::sim {
 
-/// A message delivered on a receiving port.
+/// A message delivered on a receiving port. The payload id resolves
+/// against the round's arena via Delivery::text.
 struct PortMessage {
   int port = 0;  // the *receiver's* port number (1-based)
-  std::string payload;
+  PayloadId payload = 0;
 
-  friend auto operator<=>(const PortMessage&, const PortMessage&) = default;
+  friend bool operator==(const PortMessage&, const PortMessage&) = default;
 };
 
-/// What an agent may transmit during the send phase of a round.
+class Network;
+
+/// What an agent may transmit during the send phase of a round. Payload
+/// bytes are interned into the run's arena at the call; the views passed
+/// in need only live for the duration of the call.
 class Outbox {
  public:
   /// Blackboard: append a message to the anonymous board.
-  void post(std::string payload);
+  void post(std::string_view payload);
 
   /// Message passing: send on one of the agent's ports (1-based).
-  void send(int port, std::string payload);
+  void send(int port, std::string_view payload);
 
-  /// Message passing: send the same payload on every port.
-  void send_all(const std::string& payload);
+  /// Message passing: send the same payload on every port. The payload is
+  /// interned exactly once and the id shared across all ports.
+  void send_all(std::string_view payload);
 
  private:
   friend class Network;
-  Outbox(Model model, int num_ports);
+  Outbox(Network* net, int sender, Model model, int num_ports);
 
+  Network* net_;
+  int sender_;
   Model model_;
   int num_ports_;
-  std::vector<std::string> posts_;                    // blackboard
-  std::vector<std::pair<int, std::string>> sends_;    // (port, payload)
 };
 
-/// What an agent observes during the receive phase of a round.
+/// What an agent observes during the receive phase of a round: spans into
+/// the network's flat per-round delivery buffers plus the arena that
+/// resolves payload ids to bytes.
+///
+/// Lifetime contract (the price of zero-copy): the spans are valid only
+/// for the duration of the receive_phase call — the buffers are recycled
+/// next round (the board span is recycled per *receiver*). Payload ids and
+/// the string_views text() returns stay valid for the rest of the run
+/// (the arena is reset only between runs), so agents that accumulate
+/// state across rounds may keep either, but must copy the spans' contents
+/// out if they need the per-round structure later.
 struct Delivery {
   /// Blackboard: the messages posted this round by the *other* parties,
-  /// sorted lexicographically (the board is anonymous and unordered).
-  std::vector<std::string> board;
+  /// sorted lexicographically by bytes (the board is anonymous and
+  /// unordered).
+  std::span<const PayloadId> board;
 
-  /// Message passing: messages by receiving port, sorted by (port, payload).
-  std::vector<PortMessage> by_port;
+  /// Message passing: messages by receiving port, sorted by
+  /// (port, payload bytes).
+  std::span<const PortMessage> by_port;
+
+  const PayloadArena* arena = nullptr;
+
+  std::string_view text(PayloadId id) const noexcept {
+    return arena->view(id);
+  }
+  std::string_view text(const PortMessage& message) const noexcept {
+    return arena->view(message.payload);
+  }
 };
 
 class Agent {
@@ -136,10 +175,15 @@ class Network {
   /// delay stream is derived from `seed`). `crash_round` is the run's
   /// crash schedule — either empty (no faults) or one entry per party,
   /// crash round or -1 (see sim/fault.hpp; FaultPlan::draw produces it).
+  /// `arena` is the payload pool the run interns into: pass a per-worker
+  /// arena (engine batches lend RunContext::arena) to amortize message
+  /// allocations across runs — it is reset here — or null to let the
+  /// network own a private one.
   Network(Model model, const SourceConfiguration& config, std::uint64_t seed,
           std::optional<PortAssignment> ports, const AgentFactory& factory,
           const SchedulerSpec& scheduler = SchedulerSpec{},
-          const std::vector<int>& crash_round = {});
+          const std::vector<int>& crash_round = {},
+          PayloadArena* arena = nullptr);
 
   struct Outcome {
     bool all_decided = false;  // every surviving party decided
@@ -159,25 +203,53 @@ class Network {
   int num_parties() const noexcept { return config_.num_parties(); }
   const Agent& agent(int party) const;
 
+  /// The run's payload pool (diagnostics: arena size pins intern sharing).
+  const PayloadArena& arena() const noexcept { return *arena_; }
+
  private:
+  friend class Outbox;
+
   /// A transmitted-but-not-yet-delivered message held by the scheduler.
   /// Blackboard posts keep the sender (the board excludes own posts);
   /// port messages are pre-routed to (receiver, receiving port).
   struct HeldPost {
     int due = 0;
     int sender = 0;
-    std::string payload;
+    PayloadId payload = 0;
   };
   struct HeldSend {
     int due = 0;
     int receiver = 0;
     int port = 0;  // the receiver's port
-    std::string payload;
+    PayloadId payload = 0;
+  };
+  /// One transmission of the current round, in outbox order (sender index,
+  /// then transmission order — the scheduler's stream-consumption order).
+  struct Post {
+    int sender = 0;
+    PayloadId payload = 0;
+  };
+  struct Send {
+    int sender = 0;
+    int port = 0;  // the sender's port
+    PayloadId payload = 0;
+  };
+  /// A message due this round, routed to its receiver.
+  struct RoutedPost {
+    int sender = 0;
+    PayloadId payload = 0;
+  };
+  struct RoutedSend {
+    int receiver = 0;
+    PortMessage message;
   };
 
   /// True iff `party` still participates in round `round` (crash-stop:
   /// a party halts at the start of its crash round).
   bool alive_in_round(int party, int round) const noexcept;
+
+  void deliver_blackboard();
+  void deliver_message_passing();
 
   Model model_;
   SourceConfiguration config_;
@@ -187,6 +259,15 @@ class Network {
   std::vector<int> decision_round_;
   std::vector<int> crash_round_;  // empty = fault-free
   Scheduler scheduler_;
+  PayloadArena* arena_;                         // the run's payload pool
+  std::unique_ptr<PayloadArena> owned_arena_;   // when none was lent
+  std::vector<std::uint64_t> word_of_source_;   // per-round scratch
+  std::vector<Post> round_posts_;    // current round's transmissions
+  std::vector<Send> round_sends_;
+  std::vector<RoutedPost> due_posts_;  // due this round, pre-sort scratch
+  std::vector<RoutedSend> due_sends_;
+  std::vector<PortMessage> by_port_flat_;  // due_sends_' messages, flat
+  std::vector<PayloadId> board_scratch_;   // per-receiver board view
   std::vector<HeldPost> held_posts_;
   std::vector<HeldSend> held_sends_;
   int round_ = 0;

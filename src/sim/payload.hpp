@@ -1,0 +1,96 @@
+// Arena-interned message payloads for the zero-copy simulation core.
+//
+// Every message a sim::Network run materializes — blackboard posts, port
+// sends, held (delayed) traffic — used to be its own std::string, so a
+// round of n broadcasting parties heap-allocated O(n²) strings and the
+// held-message queues copied them again. A PayloadArena replaces all of
+// that with one per-run pool: payload bytes live in bump-allocated blocks
+// and are deduplicated on intern, so a message is a 4-byte PayloadId
+// everywhere in the simulator (Outbox, PortMessage, the held queues, the
+// flat per-round delivery buffers) and broadcast traffic — Outbox::send_all
+// or a blackboard post fanned out to n−1 receivers — shares one interned
+// copy of the bytes.
+//
+// Identity and order: equal byte strings always receive the same id
+// (intern deduplicates), so id equality is payload equality. Ids
+// themselves are insertion-order handles; canonical delivery order is
+// lexicographic over the *bytes*, which less() provides — the simulator's
+// sorted boards and port queues are byte-identical to the pre-arena
+// std::string sort.
+//
+// Lifetime: an arena is single-threaded per-run state (parallel batch
+// drivers give every worker its own via RunContext). Interned bytes are
+// stable — blocks never move — so a std::string_view from view() stays
+// valid until the next reset(). reset() keeps every block and the intern
+// index allocated, so once a run has paid for its peak message volume,
+// subsequent runs of a sweep allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rsb::sim {
+
+/// Identifier of an interned payload; equality of ids is equality of the
+/// payload bytes *within one arena*. Ids must never cross arenas.
+using PayloadId = std::uint32_t;
+
+class PayloadArena {
+ public:
+  PayloadArena();
+
+  /// Forgets every interned payload while keeping the block storage and
+  /// the intern index allocated. Views obtained before the reset dangle.
+  void reset();
+
+  /// Interns `bytes`, returning the id of the (unique) stored copy.
+  PayloadId intern(std::string_view bytes);
+
+  /// The interned bytes; valid until the next reset().
+  std::string_view view(PayloadId id) const noexcept {
+    const Entry& e = entries_[id];
+    return {e.data, e.size};
+  }
+
+  /// Lexicographic byte order — the simulator's canonical payload order.
+  bool less(PayloadId a, PayloadId b) const noexcept {
+    return a != b && view(a) < view(b);
+  }
+
+  /// Number of distinct interned payloads.
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Total bytes of distinct payload content currently interned.
+  std::size_t bytes_interned() const noexcept { return bytes_interned_; }
+
+ private:
+  struct Entry {
+    const char* data = nullptr;
+    std::uint32_t size = 0;
+  };
+
+  /// Copies `bytes` into bump storage and returns the stable location.
+  const char* allocate(std::string_view bytes);
+  void grow_slots();
+
+  static constexpr std::size_t kBlockBytes = 1 << 16;
+
+  // Bump blocks: each inner buffer is reserved once and never reallocated
+  // (an oversized payload gets a dedicated block), so entry pointers stay
+  // stable while the outer vector grows.
+  std::vector<std::vector<char>> blocks_;
+  std::size_t active_block_ = 0;
+
+  // Intern index: flat open-addressed table of ids (linear probing,
+  // power-of-two size) over entries_, hashes cached per entry — the same
+  // shape as the KnowledgeStore index, for the same reason: reset() is one
+  // fill, no per-bucket deallocation.
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<PayloadId> slots_;
+  std::size_t peak_entries_ = 0;
+  std::size_t bytes_interned_ = 0;
+};
+
+}  // namespace rsb::sim

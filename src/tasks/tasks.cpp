@@ -164,6 +164,44 @@ bool SymmetricTask::admits_surviving(const std::vector<int>& value_per_party,
   return admits_(counts);
 }
 
+bool SymmetricTask::admits_outputs(
+    std::span<const std::int64_t> outputs) const {
+  if (static_cast<int>(outputs.size()) != num_parties_) {
+    throw InvalidArgument("SymmetricTask::admits_outputs: size mismatch");
+  }
+  // One reusable census per thread: record() runs on every engine worker,
+  // each judging into its own shard but through the shared task object.
+  static thread_local std::vector<int> counts;
+  counts.assign(alphabet_.size(), 0);
+  for (const std::int64_t value : outputs) {
+    const int v = static_cast<int>(value);  // the historical narrowing
+    const auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), v);
+    if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
+    ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
+  }
+  return admits_(counts);
+}
+
+bool SymmetricTask::admits_surviving_outputs(
+    std::span<const std::int64_t> outputs,
+    std::span<const int> crash_round) const {
+  if (static_cast<int>(outputs.size()) != num_parties_ ||
+      crash_round.size() != outputs.size()) {
+    throw InvalidArgument(
+        "SymmetricTask::admits_surviving_outputs: size mismatch");
+  }
+  static thread_local std::vector<int> counts;
+  counts.assign(alphabet_.size(), 0);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (crash_round[i] >= 0) continue;  // crashed: not consulted
+    const int v = static_cast<int>(outputs[i]);
+    const auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), v);
+    if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
+    ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
+  }
+  return admits_(counts);
+}
+
 bool SymmetricTask::admits_counts(const std::vector<int>& counts) const {
   if (counts.size() != alphabet_.size()) {
     throw InvalidArgument("SymmetricTask::admits_counts: size mismatch");

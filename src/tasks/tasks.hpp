@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,20 @@ class SymmetricTask {
 
   /// Is the count vector (aligned with alphabet()) admissible?
   bool admits_counts(const std::vector<int>& counts) const;
+
+  /// Zero-copy admission straight off a ProtocolOutcome's outputs (the
+  /// engine's int64 values; narrowed per party exactly as the historical
+  /// conversion did). Same verdicts as admits_vector over the narrowed
+  /// vector, without materializing it — RunStats::record judges every
+  /// terminated run through this.
+  bool admits_outputs(std::span<const std::int64_t> outputs) const;
+
+  /// Crash-aware zero-copy admission: party i is judged iff
+  /// crash_round[i] < 0 (the outcome's crash-schedule encoding; crashed
+  /// parties' values are ignored entirely). Same verdicts as
+  /// admits_surviving over the materialized values/alive pair.
+  bool admits_surviving_outputs(std::span<const std::int64_t> outputs,
+                                std::span<const int> crash_round) const;
 
   /// The explicit output complex O: one facet per admissible value vector.
   /// |alphabet|^n enumeration — for small n only.

@@ -417,6 +417,142 @@ TEST(Scheduler, DelayedGossipIndependentOfThreadCount) {
   }
 }
 
+// ----------------------------- knowledge-backend message-passing faults
+
+/// Knowledge-level message-passing spec with crash faults — the silence
+/// kind (KnowledgeStore::silence) makes this combination runnable; before
+/// it, validate() rejected MP faults on the knowledge backend.
+Experiment faulty_mp_spec(int n, int crashes, std::uint64_t seeds) {
+  return Experiment::message_passing(SourceConfiguration::all_private(n),
+                                     PortPolicy::kCyclic)
+      .with_protocol("wait-for-singleton-LE")
+      .with_task("t-resilient-leader-election(" + std::to_string(crashes) +
+                 ")")
+      .with_faults(FaultPlan::crash_stop(crashes, 6))
+      .with_rounds(300)
+      .with_seeds(1, seeds);
+}
+
+TEST(KnowledgeMPFaults, ValidatesAndRunsOnBothVariants) {
+  for (const MessageVariant variant :
+       {MessageVariant::kPortTagged, MessageVariant::kLiteral}) {
+    auto spec = faulty_mp_spec(5, 2, 32).with_variant(variant);
+    spec.validate();  // used to throw before the silence kind existed
+    Engine engine;
+    const RunStats stats = engine.run_batch(spec);
+    EXPECT_EQ(stats.runs, 32u);
+    EXPECT_EQ(stats.crashed_parties, 2u * 32u);
+    EXPECT_GT(stats.terminated, 0u)
+        << "survivors must elect under " << rsb::to_string(variant);
+    EXPECT_GT(stats.task_successes, 0u);
+  }
+}
+
+TEST(KnowledgeMPFaults, ByteIdenticalAcrossThreadCountsAndChunks) {
+  const auto spec = faulty_mp_spec(5, 2, 48);
+  Engine serial;
+  const RunStats reference = serial.run_batch(spec);
+  for (int threads : {2, 8}) {
+    Engine parallel;
+    parallel.set_parallel({threads, 0});
+    EXPECT_EQ(parallel.run_batch(spec), reference) << "threads=" << threads;
+  }
+  for (std::uint64_t chunk : {1u, 3u, 7u, 100u}) {
+    Engine parallel;
+    parallel.set_parallel({4, chunk});
+    EXPECT_EQ(parallel.run_batch(spec), reference) << "chunk=" << chunk;
+  }
+}
+
+TEST(KnowledgeMPFaults, CrashZeroIsByteIdenticalToThePlainPath) {
+  // The PR 4 compatibility pin, extended to the new combination: an empty
+  // fault plan with silence support must leave the message-passing
+  // knowledge recursion bit-for-bit untouched.
+  auto plain = Experiment::message_passing(SourceConfiguration::from_loads(
+                                               {2, 2, 1}),
+                                           PortPolicy::kRandomPerRun)
+                   .with_protocol("wait-for-singleton-LE")
+                   .with_task("leader-election")
+                   .with_port_seed(19)
+                   .with_rounds(300)
+                   .with_seeds(1, 40);
+  auto layered = plain;
+  layered.with_faults(FaultPlan::crash_stop(0, 9, 777));
+  Engine engine;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto a = engine.run(plain, seed);
+    const auto b = engine.run(layered, seed);
+    EXPECT_TRUE(outcomes_identical(a, b)) << "seed " << seed;
+    EXPECT_TRUE(b.crash_round.empty());
+  }
+  EXPECT_EQ(engine.run_batch(plain), engine.run_batch(layered));
+}
+
+TEST(KnowledgeMPFaults, SilenceMasksCrashedChannels) {
+  // Direct semantics of message_round_crash: the crashed party's knowledge
+  // freezes, survivors' tuples carry the silence value (tag 0) on the dead
+  // channel, and with an empty schedule the operator is message_round.
+  KnowledgeStore store;
+  const PortAssignment ports = PortAssignment::cyclic(3);
+  const std::vector<bool> bits = {true, false, true};
+  const std::vector<KnowledgeId> prev = initial_knowledge(store, 3);
+
+  const auto plain = message_round(store, prev, bits, ports);
+  const auto empty_sched = message_round_crash(store, prev, bits, ports,
+                                               MessageVariant::kPortTagged,
+                                               {}, 1);
+  EXPECT_EQ(plain, empty_sched);
+
+  // Party 1 crashes at round 1: it never participates.
+  const std::vector<int> crash = {-1, 1, -1};
+  const auto next = message_round_crash(store, prev, bits, ports,
+                                        MessageVariant::kPortTagged, crash, 1);
+  EXPECT_EQ(next[1], prev[1]) << "crashed knowledge frozen";
+  EXPECT_NE(next[0], plain[0]) << "survivor sees a silent channel";
+  const KnowledgeId silence = store.silence();
+  EXPECT_EQ(store.kind(silence), KnowledgeKind::kSilence);
+  // Survivor 0's tuple: exactly one silence entry (the dead neighbor),
+  // with reciprocal tag 0 at the same position.
+  const auto received = store.received(next[0]);
+  const auto tags = store.tags(next[0]);
+  ASSERT_EQ(received.size(), 2u);
+  ASSERT_EQ(tags.size(), 2u);
+  int silent_entries = 0;
+  for (std::size_t p = 0; p < received.size(); ++p) {
+    if (received[p] == silence) {
+      ++silent_entries;
+      EXPECT_EQ(tags[p], 0) << "a silent channel transmits no tag";
+    } else {
+      EXPECT_GE(tags[p], 1);
+    }
+  }
+  EXPECT_EQ(silent_entries, 1);
+}
+
+TEST(KnowledgeMPFaults, CrashSchedulesHonoredRunForRun) {
+  const auto spec = faulty_mp_spec(5, 1, 24);
+  Engine engine;
+  std::vector<int> expected;
+  engine.run_batch(spec,
+                   [&](const RunView& view, const ProtocolOutcome& outcome) {
+                     spec.faults.draw(5, view.seed, expected);
+                     EXPECT_EQ(outcome.crash_round, expected)
+                         << "seed " << view.seed;
+                     for (int party = 0; party < 5; ++party) {
+                       const int crash =
+                           outcome.crash_round[static_cast<std::size_t>(party)];
+                       const int decided = outcome.decision_round
+                           [static_cast<std::size_t>(party)];
+                       if (crash >= 0 && decided >= 0) {
+                         EXPECT_LT(decided, crash);
+                       }
+                       if (outcome.terminated && crash < 0) {
+                         EXPECT_GE(decided, 0);
+                       }
+                     }
+                   });
+}
+
 // ------------------------------------------------- t-resilient tasks
 
 TEST(ResilientTasks, SurvivorJudgedAdmission) {

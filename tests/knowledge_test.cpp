@@ -70,7 +70,9 @@ TEST(Knowledge, TaggedStepsDistinguishReciprocalPorts) {
   const KnowledgeId c =
       store.message_step_tagged(bot, true, {bot, bot}, {1, 2});
   EXPECT_EQ(a, c);
-  EXPECT_EQ(store.tags(a), (std::vector<int>{1, 2}));
+  const std::span<const int> tags = store.tags(a);
+  EXPECT_EQ(std::vector<int>(tags.begin(), tags.end()),
+            (std::vector<int>{1, 2}));
 }
 
 TEST(Knowledge, TaggedAndUntaggedStepsDiffer) {
@@ -188,6 +190,58 @@ TEST(Knowledge, ToStringRendersStructure) {
   EXPECT_EQ(store.to_string(in), "in(3)");
   const KnowledgeId step = store.blackboard_step(store.bottom(), true, {in});
   EXPECT_NE(store.to_string(step).find("bit=1"), std::string::npos);
+}
+
+TEST(Knowledge, SilenceIsDistinguishedAndLazilyInterned) {
+  KnowledgeStore store;
+  // Lazily interned: a store that never sees a crash hands out the exact
+  // historical id sequence (⊥ = 0, first step = 1, ...) — pinned here
+  // because every byte-identity law depends on it.
+  const KnowledgeId step = store.blackboard_step(store.bottom(), true, {});
+  EXPECT_EQ(step, 1u);
+  const KnowledgeId silence = store.silence();
+  EXPECT_EQ(silence, 2u);  // interned on first use, not at reset
+  EXPECT_EQ(store.silence(), silence);  // idempotent
+  EXPECT_EQ(store.kind(silence), KnowledgeKind::kSilence);
+  EXPECT_EQ(store.time(silence), 0);
+  EXPECT_EQ(store.to_string(silence), "silence");
+  EXPECT_NE(silence, store.bottom());
+  // Silence is no step: the step accessors reject it.
+  EXPECT_THROW(store.previous(silence), InvalidArgument);
+  EXPECT_THROW(store.received(silence), InvalidArgument);
+  // A tuple containing silence is distinct from one containing ⊥ — a
+  // receiver can tell a dead channel from a fresh peer.
+  const KnowledgeId with_bottom =
+      store.message_step(store.bottom(), false, {store.bottom()});
+  const KnowledgeId with_silence =
+      store.message_step(store.bottom(), false, {silence});
+  EXPECT_NE(with_bottom, with_silence);
+  // Reset replays silence at the same point of the insertion order.
+  store.reset();
+  EXPECT_EQ(store.blackboard_step(store.bottom(), true, {}), 1u);
+  EXPECT_EQ(store.silence(), 2u);
+}
+
+TEST(Knowledge, BorrowedSpanPathsMatchTheVectorPaths) {
+  // The zero-copy interning paths must be id-for-id interchangeable with
+  // the vector-taking ones — same ids, same insertion order.
+  KnowledgeStore a;
+  KnowledgeStore b;
+  const std::vector<KnowledgeId> others = {a.bottom(), a.bottom()};
+  const KnowledgeId via_vector =
+      a.blackboard_step(a.bottom(), true, others);
+  const KnowledgeId via_span =
+      b.blackboard_step_sorted(b.bottom(), true, others);
+  EXPECT_EQ(via_vector, via_span);
+  const std::vector<int> tags = {2, 1};
+  const KnowledgeId t_vector = a.message_step_tagged(
+      a.bottom(), false, {via_vector, a.bottom()}, tags);
+  const KnowledgeId t_span = b.message_step_view(
+      b.bottom(), false, std::vector<KnowledgeId>{via_span, b.bottom()}, tags);
+  EXPECT_EQ(t_vector, t_span);
+  // Probing with borrowed storage dedups against pool-stored nodes.
+  EXPECT_EQ(a.blackboard_step_sorted(a.bottom(), true, others), via_vector);
+  EXPECT_EQ(a.size(), b.size());
 }
 
 }  // namespace

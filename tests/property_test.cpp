@@ -317,8 +317,17 @@ TEST(FaultProperty, CrashingZeroPartiesIsByteIdenticalToNoFaultPath) {
                     .with_task("leader-election")
                     .with_rounds(40)
                     .with_seeds(1, 32);
+  // The knowledge backend runs faulty message passing too now (silence
+  // kind): its empty-plan path must be equally invisible.
+  auto knowledge_mp =
+      Experiment::message_passing(SourceConfiguration::all_private(4),
+                                  PortPolicy::kCyclic)
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(200)
+          .with_seeds(1, 32);
   Engine engine;
-  for (const Experiment& plain : {knowledge, agents}) {
+  for (const Experiment& plain : {knowledge, agents, knowledge_mp}) {
     Experiment zeroed = plain;
     zeroed.with_faults(sim::FaultPlan::crash_stop(0, 17, 999));
     EXPECT_EQ(engine.run_batch(zeroed), engine.run_batch(plain));
@@ -330,6 +339,65 @@ TEST(FaultProperty, CrashingZeroPartiesIsByteIdenticalToNoFaultPath) {
     EXPECT_EQ(a.terminated, b.terminated);
     EXPECT_TRUE(b.crash_round.empty());
   }
+}
+
+// Law 13½ — the fault adversary is backend-independent: t-resilient
+// leader election on the knowledge backend and on the agent backend,
+// given the same FaultPlan and shared seeds, face the *same* crash
+// schedule run for run — the adversary is a pure function of
+// (plan, n, seed), never of the backend, the scheduler, or the worker
+// that executed the run — and therefore account the same crash totals.
+TEST(FaultProperty, BackendsFaceTheSameAdversaryRunForRun) {
+  const sim::FaultPlan plan = sim::FaultPlan::crash_stop(2, 5, 31337);
+  const int n = 5;
+  const std::uint64_t seeds = 24;
+  auto knowledge = Experiment::blackboard(SourceConfiguration::all_private(n))
+                       .with_protocol("wait-for-singleton-LE")
+                       .with_task("t-resilient-leader-election(2)")
+                       .with_faults(plan)
+                       .with_rounds(300)
+                       .with_seeds(5, seeds);
+  auto knowledge_mp =
+      Experiment::message_passing(SourceConfiguration::all_private(n),
+                                  PortPolicy::kCyclic)
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("t-resilient-leader-election(2)")
+          .with_faults(plan)
+          .with_rounds(300)
+          .with_seeds(5, seeds);
+  auto agents = Experiment::message_passing(SourceConfiguration::all_private(n),
+                                            PortPolicy::kCyclic)
+                    .with_agents([](int) {
+                      return std::make_unique<sim::GossipLeaderElectionAgent>();
+                    })
+                    .with_task("t-resilient-leader-election(2)")
+                    .with_faults(plan)
+                    .with_rounds(40)
+                    .with_seeds(5, seeds);
+  Engine engine;
+  auto schedules_of = [&engine](const Experiment& spec) {
+    std::vector<std::vector<int>> schedules;
+    engine.run_batch(spec,
+                     [&](const RunView&, const ProtocolOutcome& outcome) {
+                       schedules.push_back(outcome.crash_round);
+                     });
+    return schedules;
+  };
+  const auto a = schedules_of(knowledge);
+  const auto b = schedules_of(knowledge_mp);
+  const auto c = schedules_of(agents);
+  ASSERT_EQ(a.size(), seeds);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  // Equal schedules imply equal crash accounting in the aggregates.
+  const RunStats ka = engine.run_batch(knowledge);
+  const RunStats ga = engine.run_batch(agents);
+  EXPECT_EQ(ka.crashed_parties, ga.crashed_parties);
+  EXPECT_EQ(ka.crashed_parties, 2u * seeds);
+  // And the knowledge backends genuinely solve the t-resilient task on
+  // both models — survivors elect a leader despite the shared adversary.
+  EXPECT_GT(ka.task_successes, 0u);
+  EXPECT_GT(engine.run_batch(knowledge_mp).task_successes, 0u);
 }
 
 // Law 13 — scheduler output is independent of thread count: random

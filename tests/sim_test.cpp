@@ -10,6 +10,8 @@ namespace rsb::sim {
 namespace {
 
 /// Posts a fixed payload each round and records everything it observes.
+/// The Delivery spans are only valid during receive_phase (zero-copy
+/// contract), so the probe materializes their contents immediately.
 class ProbeAgent final : public Agent {
  public:
   explicit ProbeAgent(std::string payload) : payload_(std::move(payload)) {}
@@ -30,17 +32,29 @@ class ProbeAgent final : public Agent {
 
   void receive_phase(int round, const Delivery& delivery) override {
     (void)round;
-    last_delivery_ = delivery;
+    last_board_.clear();
+    for (const PayloadId id : delivery.board) {
+      last_board_.emplace_back(delivery.text(id));
+    }
+    last_by_port_.clear();
+    for (const PortMessage& message : delivery.by_port) {
+      last_by_port_.emplace_back(message.port,
+                                 std::string(delivery.text(message)));
+    }
     if (!decided()) decide(static_cast<std::int64_t>(words_.size()));
   }
 
-  const Delivery& last_delivery() const { return last_delivery_; }
+  const std::vector<std::string>& last_board() const { return last_board_; }
+  const std::vector<std::pair<int, std::string>>& last_by_port() const {
+    return last_by_port_;
+  }
   const std::vector<std::uint64_t>& words() const { return words_; }
 
  private:
   std::string payload_;
   Init init_;
-  Delivery last_delivery_;
+  std::vector<std::string> last_board_;
+  std::vector<std::pair<int, std::string>> last_by_port_;
   std::vector<std::uint64_t> words_;
 };
 
@@ -55,12 +69,9 @@ TEST(Network, BlackboardShowsOthersPostsSorted) {
                 return agent;
               });
   EXPECT_TRUE(net.step());
-  EXPECT_EQ(probes[0]->last_delivery().board,
-            (std::vector<std::string>{"b", "c"}));
-  EXPECT_EQ(probes[1]->last_delivery().board,
-            (std::vector<std::string>{"a", "c"}));
-  EXPECT_EQ(probes[2]->last_delivery().board,
-            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(probes[0]->last_board(), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(probes[1]->last_board(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(probes[2]->last_board(), (std::vector<std::string>{"a", "b"}));
 }
 
 TEST(Network, MessagePassingRoutesThroughPhysicalEdges) {
@@ -77,12 +88,12 @@ TEST(Network, MessagePassingRoutesThroughPhysicalEdges) {
   // Party 0's port 1 → party 1, port 2 → party 2 (cyclic). Party 1 sends
   // "b@1" on its port 1 (to party 2) and "b@2" on its port 2 (to party 0);
   // party 0 receives "b@2" on the port where it sees party 1, i.e. port 1.
-  const auto& d0 = probes[0]->last_delivery().by_port;
+  const auto& d0 = probes[0]->last_by_port();
   ASSERT_EQ(d0.size(), 2u);
-  EXPECT_EQ(d0[0].port, 1);
-  EXPECT_EQ(d0[0].payload, "b@2");
-  EXPECT_EQ(d0[1].port, 2);
-  EXPECT_EQ(d0[1].payload, "c@1");
+  EXPECT_EQ(d0[0].first, 1);
+  EXPECT_EQ(d0[0].second, "b@2");
+  EXPECT_EQ(d0[1].first, 2);
+  EXPECT_EQ(d0[1].second, "c@1");
 }
 
 TEST(Network, SameSourceAgentsShareRandomWords) {
