@@ -42,11 +42,13 @@ void RefinementAgent::send_phase(int round, std::uint64_t random_word,
       }
     }
   } else {
-    // Round B: broadcast the completed signature for rank agreement.
+    // Round B: broadcast the completed signature for rank agreement. The
+    // Outbox hands back the interned id — that id *is* the party's own
+    // signature for the step (interning makes equal bytes equal ids).
     if (init_.model == Model::kBlackboard) {
-      out.post(kRankPrefix + pending_signature_);
+      pending_rank_id_ = out.post(kRankPrefix + pending_signature_);
     } else {
-      out.send_all(kRankPrefix + pending_signature_);
+      pending_rank_id_ = out.send_all(kRankPrefix + pending_signature_);
     }
   }
 }
@@ -91,40 +93,43 @@ void RefinementAgent::receive_phase(int round, const Delivery& delivery) {
     awaiting_rank_ = true;
     return;
   }
-  // End of round B: rank agreement over all n signatures.
-  std::vector<std::string> all;
+  // End of round B: rank agreement over all n signatures, as interned ids
+  // — the "R|" prefix is common to every rank payload, so sorting the full
+  // payload bytes orders exactly as the historical stripped-string sort.
+  std::vector<PayloadId> all;
   if (init_.model == Model::kBlackboard) {
     for (const PayloadId id : delivery.board) {
-      const std::string_view payload = delivery.text(id);
-      if (!has_prefix(payload, kRankPrefix)) {
+      if (!has_prefix(delivery.text(id), kRankPrefix)) {
         throw ValidationError("RefinementAgent: unexpected rank payload '" +
-                              std::string(payload) + "'");
+                              std::string(delivery.text(id)) + "'");
       }
-      all.emplace_back(payload.substr(2));
+      all.push_back(id);
     }
   } else {
     for (const auto& msg : delivery.by_port) {
-      const std::string_view payload = delivery.text(msg);
-      if (!has_prefix(payload, kRankPrefix)) {
+      if (!has_prefix(delivery.text(msg), kRankPrefix)) {
         throw ValidationError("RefinementAgent: unexpected rank payload '" +
-                              std::string(payload) + "'");
+                              std::string(delivery.text(msg)) + "'");
       }
-      all.emplace_back(payload.substr(2));
+      all.push_back(msg.payload);
     }
   }
-  all.push_back(pending_signature_);
-  own_signature_ = pending_signature_;
+  all.push_back(pending_rank_id_);
+  own_signature_ = pending_rank_id_;
   awaiting_rank_ = false;
-  complete_step(std::move(all));
+  complete_step(std::move(all), *delivery.arena);
 }
 
-void RefinementAgent::complete_step(std::vector<std::string> all_signatures) {
-  std::sort(all_signatures.begin(), all_signatures.end());
+void RefinementAgent::complete_step(std::vector<PayloadId> all_signatures,
+                                    const PayloadArena& arena) {
+  std::sort(all_signatures.begin(), all_signatures.end(),
+            [&](PayloadId a, PayloadId b) { return arena.less(a, b); });
   signatures_ = std::move(all_signatures);
-  // Distinct signatures in sorted order define the label space.
-  std::vector<std::string> distinct;
+  // Distinct signatures in sorted order define the label space; id
+  // equality is byte equality within the run's arena.
+  std::vector<PayloadId> distinct;
   std::vector<int> sizes;
-  for (const auto& sig : signatures_) {
+  for (const PayloadId sig : signatures_) {
     if (distinct.empty() || distinct.back() != sig) {
       distinct.push_back(sig);
       sizes.push_back(1);
@@ -133,7 +138,8 @@ void RefinementAgent::complete_step(std::vector<std::string> all_signatures) {
     }
   }
   const auto it =
-      std::lower_bound(distinct.begin(), distinct.end(), own_signature_);
+      std::lower_bound(distinct.begin(), distinct.end(), own_signature_,
+                       [&](PayloadId a, PayloadId b) { return arena.less(a, b); });
   label_ = static_cast<int>(it - distinct.begin());
   class_sizes_ = std::move(sizes);
   ++steps_;
@@ -157,8 +163,8 @@ void RefinementLeaderElectionAgent::on_step_complete() {
 void RefinementMLeaderElectionAgent::on_step_complete() {
   if (decided()) return;
   const auto& sigs = latest_signatures();
-  std::vector<std::pair<std::string, int>> classes;
-  for (const auto& sig : sigs) {
+  std::vector<std::pair<PayloadId, int>> classes;
+  for (const PayloadId sig : sigs) {
     if (classes.empty() || classes.back().first != sig) {
       classes.emplace_back(sig, 1);
     } else {
@@ -240,13 +246,14 @@ void GossipLeaderElectionAgent::send_phase(int round,
 void GossipLeaderElectionAgent::receive_phase(int round,
                                               const Delivery& delivery) {
   (void)round;
+  arena_ = delivery.arena;  // ids stay valid for the rest of the run
   if (init_.model == Model::kBlackboard) {
     for (const PayloadId id : delivery.board) {
-      seen_.emplace_back(delivery.text(id));
+      seen_.push_back(id);
     }
   } else {
     for (const PortMessage& message : delivery.by_port) {
-      seen_.emplace_back(delivery.text(message));
+      seen_.push_back(message.payload);
     }
   }
   if (decided() ||
@@ -254,8 +261,9 @@ void GossipLeaderElectionAgent::receive_phase(int round,
     return;
   }
   bool strictly_largest = true;
-  for (const std::string& word : seen_) {
-    strictly_largest = strictly_largest && own_word_ > word;
+  const std::string_view own(own_word_);
+  for (const PayloadId word : seen_) {
+    strictly_largest = strictly_largest && own > arena_->view(word);
   }
   decide(strictly_largest ? 1 : 0);
 }

@@ -46,9 +46,12 @@ class RefinementAgent : public Agent {
   /// Sizes of all classes at the last completed step, indexed by label.
   const std::vector<int>& class_sizes() const noexcept { return class_sizes_; }
 
-  /// The signature strings of all n parties at the last completed step,
-  /// sorted (the party's global view of the partition).
-  const std::vector<std::string>& latest_signatures() const noexcept {
+  /// The signatures of all n parties at the last completed step as
+  /// arena-interned payload ids, sorted in canonical byte order. Interning
+  /// makes id equality signature equality, so the partition is these 4-byte
+  /// ids instead of n owned strings; resolve bytes (when needed at all)
+  /// through the run's arena.
+  const std::vector<PayloadId>& latest_signatures() const noexcept {
     return signatures_;
   }
 
@@ -61,22 +64,25 @@ class RefinementAgent : public Agent {
   /// class_sizes and latest_signatures are fresh. Subclasses decide here.
   virtual void on_step_complete() {}
 
-  /// The party's own signature at the last completed step.
-  const std::string& own_signature() const noexcept { return own_signature_; }
+  /// The party's own signature at the last completed step (its interned
+  /// id; compare against latest_signatures() entries by equality).
+  PayloadId own_signature() const noexcept { return own_signature_; }
 
  private:
-  void complete_step(std::vector<std::string> all_signatures);
+  void complete_step(std::vector<PayloadId> all_signatures,
+                     const PayloadArena& arena);
 
   Init init_;
   int label_ = 0;
   int steps_ = 0;
   std::vector<int> class_sizes_;
-  std::vector<std::string> signatures_;
-  std::string own_signature_;
+  std::vector<PayloadId> signatures_;
+  PayloadId own_signature_ = 0;
   std::vector<bool> bits_;
   // Message-passing two-phase bookkeeping:
   bool awaiting_rank_ = false;
-  std::string pending_signature_;
+  std::string pending_signature_;  // assembled locally, interned on send
+  PayloadId pending_rank_id_ = 0;  // own round-B broadcast, from the Outbox
 };
 
 /// Leader election on top of refinement: decide when a singleton class
@@ -124,7 +130,8 @@ class GossipLeaderElectionAgent final : public Agent {
  private:
   Init init_;
   std::string own_word_;
-  std::vector<std::string> seen_;
+  std::vector<PayloadId> seen_;  // interned word ids, resolved via arena_
+  const PayloadArena* arena_ = nullptr;  // the run's arena (set on receive)
 };
 
 /// Roles for CreateMatchingAgent; the V1/V2 split is an input of

@@ -1,0 +1,109 @@
+// Canonical experiment-spec wire format with a stable 64-bit spec hash.
+//
+// The service layer (rsbd / rsbctl, src/service/server.hpp) needs a spec
+// representation that (a) travels over a socket as plain text, (b) is
+// *canonical* — two requests describing the same ensemble serialize to the
+// same bytes however the client ordered or spelled them — and (c) hashes
+// stably, because the result cache (src/service/cache.hpp) keys completed
+// (spec, seed range) shards by that hash across daemon restarts and client
+// generations. The existing string-spec registries (engine/registry.hpp)
+// are the vocabulary: protocols and tasks appear as registry spec strings
+// ("wait-for-singleton-LE", "m-leader-election(2)"), never as C++ objects,
+// so every wire spec is constructible on any peer.
+//
+// Textual form: `key=value` pairs separated by newlines or semicolons
+// ('#' starts a comment, whitespace around keys/values is ignored):
+//
+//   model=message-passing
+//   loads=2,3
+//   protocol=wait-for-singleton-LE
+//   task=leader-election
+//   seeds=1+1000
+//
+// canonical_text() re-emits the pairs one per line, keys sorted, with
+// every default-valued pair omitted — so an explicitly spelled default and
+// an omitted key are literally the same spec, and reordering never changes
+// the bytes. The seed range is deliberately NOT part of the canonical
+// identity (or the hash): the cache subsumes overlapping sweeps of one
+// spec, so identity is "which ensemble", and `seeds` rides alongside as
+// the query range.
+//
+// Grid requests: any value except `seeds` may carry `|`-separated
+// alternatives ("rounds=100|300"); expand() yields the cartesian product
+// as fully-formed single-point specs, axes expanding in sorted-key order
+// with the first sorted axis slowest (the same row-major convention as
+// engine/grid.hpp), each point labelled by its coordinates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.hpp"
+
+namespace rsb::service {
+
+/// A parsed, canonicalizable experiment spec. Fields mirror Experiment but
+/// hold registry spec strings instead of objects; to_experiment() resolves
+/// them. Default-constructed fields equal the Experiment defaults.
+struct CanonicalSpec {
+  std::string model = "blackboard";  // "blackboard" | "message-passing"
+  std::vector<int> loads;            // source loads; required, nonempty
+  std::string protocol;              // ProtocolRegistry spec string; required
+  std::string task;                  // TaskRegistry spec string; "" = none
+  /// Port policy name (to_string(PortPolicy)); "" = the model's default:
+  /// none on the blackboard, random-per-run on message passing.
+  std::string port_policy;
+  std::vector<int> ports;  // fixed wiring (policy "fixed"): row-major matrix
+  std::uint64_t port_seed = 0x9e3779b9;
+  std::string variant = "port-tagged";  // | "literal"
+  int fault_crashes = 0;
+  int fault_window = 8;
+  std::uint64_t fault_seed = 0xfa017ULL;
+  /// Scheduler spec in SchedulerSpec::to_string form: "synchronous",
+  /// "random-delay(3)", "starve{0,2}(4)".
+  std::string sched = "synchronous";
+  std::uint64_t sched_seed = 0x5ced01eULL;
+  int rounds = 300;
+  SeedRange seeds;  // the query range; NOT part of canonical identity
+
+  /// Parses the key=value text form. Unknown keys, malformed values, and
+  /// duplicate keys throw InvalidArgument; registry names are resolved
+  /// lazily by to_experiment(), not here. Values containing '|' are
+  /// rejected here — parse grid requests with expand().
+  static CanonicalSpec parse(const std::string& text);
+
+  /// The canonical identity: key-sorted `key=value` lines, one per line,
+  /// defaults omitted, seeds omitted. parse(canonical_text()) round-trips.
+  std::string canonical_text() const;
+
+  /// Stable 64-bit hash of canonical_text() (util/hash.hpp chain; no
+  /// per-process seed, so hashes persist across daemon restarts).
+  std::uint64_t hash() const;
+
+  /// `hash()` as 16 lowercase hex digits — the wire/cache-file spelling.
+  std::string hash_hex() const;
+
+  /// Builds and validates the runnable Experiment via the global
+  /// registries. Throws UnknownName / InvalidArgument on unresolvable or
+  /// invalid specs.
+  Experiment to_experiment() const;
+};
+
+/// One point of an expanded grid request: the spec plus a display label
+/// ("rounds=100 loads=2,3"; empty for a single-point request).
+struct SpecPoint {
+  std::string label;
+  CanonicalSpec spec;
+};
+
+/// Parses a request that may carry `|`-alternatives and expands it to the
+/// cartesian product of single-point specs. Axes expand in sorted-key
+/// order, first sorted axis slowest; alternatives keep their declared
+/// order. A request without alternatives yields exactly one unlabelled
+/// point. Throws InvalidArgument when the expansion exceeds `max_points`.
+std::vector<SpecPoint> expand_request(const std::string& text,
+                                      std::size_t max_points = 4096);
+
+}  // namespace rsb::service

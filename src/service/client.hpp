@@ -1,0 +1,48 @@
+// A blocking line client for the rsbd wire protocol (src/service/server.hpp).
+//
+// Connects to 127.0.0.1:port, sends one newline-framed request per
+// send_line, reads one newline-framed response per read_line. This is the
+// whole client side of the protocol — rsbctl and the loopback integration
+// tests both drive the daemon through it, so the tests exercise the same
+// framing the tool ships.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace rsb::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Throws Error on failure.
+  void connect(int port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends `line` + '\n'. Throws Error when the connection is gone.
+  void send_line(const std::string& line);
+
+  /// The next response line (without the newline); nullopt on EOF.
+  /// Throws Error on a read error or an over-long (> 1 MiB) line.
+  std::optional<std::string> read_line();
+
+  /// Convenience: send_line(request) then read_line(), throwing on EOF.
+  std::string request(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Escapes `spec_text` into a {"op":"submit","spec":...} request line.
+std::string submit_request(const std::string& spec_text);
+
+}  // namespace rsb::service

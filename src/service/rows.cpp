@@ -1,0 +1,74 @@
+#include "service/rows.hpp"
+
+#include "service/json.hpp"
+
+namespace rsb::service {
+
+std::vector<SeedRange> chunk_plan(SeedRange range) {
+  std::vector<SeedRange> out;
+  std::uint64_t at = range.first;
+  const std::uint64_t end = range.first + range.count;
+  while (at < end) {
+    // Next absolute alignment boundary strictly past `at`.
+    const std::uint64_t boundary = (at / kChunkRuns + 1) * kChunkRuns;
+    const std::uint64_t stop = boundary < end ? boundary : end;
+    out.push_back(SeedRange::of(at, stop - at));
+    at = stop;
+  }
+  return out;
+}
+
+std::string row_payload(SeedRange chunk, const RunStats& stats) {
+  // Hand-rolled in field order (json::Value would work too, but the row is
+  // the hot serialization path and the format is fixed); integer counters
+  // only, so the bytes are libc-independent.
+  std::string out = "{\"seed_first\":" + std::to_string(chunk.first);
+  out += ",\"seeds\":" + std::to_string(chunk.count);
+  out += ",\"runs\":" + std::to_string(stats.runs);
+  out += ",\"terminated\":" + std::to_string(stats.terminated);
+  out += ",\"total_rounds\":" + std::to_string(stats.total_rounds);
+  out += ",\"crashed_parties\":" + std::to_string(stats.crashed_parties);
+  out += ",\"task_checked\":";
+  out += stats.task_checked ? "true" : "false";
+  if (stats.task_checked) {
+    out += ",\"successes\":" + std::to_string(stats.task_successes);
+  }
+  out += ",\"rounds\":{";
+  bool first = true;
+  for (const auto& [rounds, count] : stats.round_histogram) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + std::to_string(rounds) + "\":" + std::to_string(count);
+  }
+  out += "},\"outputs\":{";
+  first = true;
+  for (const auto& [value, count] : stats.output_counts) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + std::to_string(value) + "\":" + std::to_string(count);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string run_chunk(Engine& engine, const Experiment& spec, SeedRange chunk,
+                      RunStats* stats_out) {
+  Experiment sub = spec;
+  sub.seeds = chunk;
+  RunStats stats = engine.run_collect(sub, RunStats{});
+  const std::string payload = row_payload(chunk, stats);
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return payload;
+}
+
+std::vector<std::string> reference_rows(Engine& engine,
+                                        const CanonicalSpec& spec) {
+  const Experiment experiment = spec.to_experiment();
+  std::vector<std::string> out;
+  for (const SeedRange chunk : chunk_plan(spec.seeds)) {
+    out.push_back(run_chunk(engine, experiment, chunk));
+  }
+  return out;
+}
+
+}  // namespace rsb::service

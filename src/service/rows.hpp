@@ -1,0 +1,56 @@
+// Chunked result rows: the unit of streaming, caching, and determinism.
+//
+// A service query is answered as a sequence of ResultTable-style rows, one
+// per *chunk* of the requested seed range. Chunks are aligned to absolute
+// multiples of kChunkRuns in seed space — chunk boundaries depend only on
+// the seed numbers, never on where a particular query's range starts — so
+// two overlapping queries of the same spec share their interior chunks
+// byte-for-byte and cache-entry-for-cache-entry; only the (at most two)
+// partial edge chunks of a misaligned range are query-shaped. Each chunk
+// is executed as one Engine::run_collect sweep into a RunStats shard (the
+// collector-shard merge the engine already does internally), serialized by
+// row_payload() into a canonical JSON object of integer counters:
+//
+//   {"seed_first":256,"seeds":256,"runs":256,"terminated":256,
+//    "total_rounds":980,"crashed_parties":0,"task_checked":true,
+//    "successes":241,"rounds":{"3":120,...},"outputs":{"0":1280,"1":241}}
+//
+// Integer counters only — no doubles — so the bytes are exactly
+// reproducible on any libc. The pinned invariant: for a given (spec, seed
+// range), the concatenation of row payloads served by the daemon — cold,
+// cached, or interleaved with other clients — is byte-identical to
+// reference_rows() computed in-process on a fresh Engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "service/canonical.hpp"
+
+namespace rsb::service {
+
+/// Runs per chunk; also the alignment of chunk boundaries in seed space.
+inline constexpr std::uint64_t kChunkRuns = 256;
+
+/// Splits [range.first, range.first + range.count) at absolute multiples
+/// of kChunkRuns, in ascending seed order. Every chunk is nonempty;
+/// interior chunks are exactly kChunkRuns long and aligned.
+std::vector<SeedRange> chunk_plan(SeedRange range);
+
+/// Serializes one executed chunk as the canonical row payload (see file
+/// header). `stats` must be the RunStats of exactly that chunk.
+std::string row_payload(SeedRange chunk, const RunStats& stats);
+
+/// Executes one chunk of the spec and returns its payload: run_collect
+/// over a copy of `spec` restricted to `chunk`.
+std::string run_chunk(Engine& engine, const Experiment& spec, SeedRange chunk,
+                      RunStats* stats_out = nullptr);
+
+/// The in-process reference the daemon is pinned against: every chunk of
+/// the spec's seed range, executed and serialized in order.
+std::vector<std::string> reference_rows(Engine& engine,
+                                        const CanonicalSpec& spec);
+
+}  // namespace rsb::service

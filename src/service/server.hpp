@@ -1,0 +1,170 @@
+// rsbd server core: a TCP line-protocol experiment service over Engine.
+//
+// The daemon listens on a loopback TCP port and speaks newline-delimited
+// JSON (src/service/json.hpp). A client submits an experiment spec in the
+// canonical text form (src/service/canonical.hpp, optionally a grid
+// request with `|` alternatives); the server expands it, splits every
+// point's seed range into absolute-aligned chunks (src/service/rows.hpp),
+// and streams one row back per chunk as it completes, in point-then-chunk
+// (= run-index) order, followed by a `done` summary merged through
+// RunStats::merge. Requests:
+//
+//   {"op":"submit","spec":"loads=2,3\nprotocol=wait-for-singleton-LE\n..."}
+//   {"op":"ping"}        {"op":"stats"}        {"op":"shutdown"}
+//
+// Responses (one JSON object per line):
+//
+//   {"type":"accepted","ok":true,"job":1,"points":1,"chunks":4,
+//    "spec_hashes":["97a0..."]}
+//   {"type":"row","job":1,"point":0,"label":"","chunk":0,"cached":false,
+//    "row":{...}}                      (row payload: rows.hpp)
+//   {"type":"done","job":1,"chunks":4,"runs":1000,"runs_executed":1000,
+//    "runs_cached":0,"summary":{...}}
+//   {"type":"error","ok":false,"reason":"..."}
+//
+// Three server-side policies:
+//
+//  * admission control — at most `max_queue_jobs` jobs may be pending at
+//    once; a submit past the bound is rejected immediately with a reason
+//    (never silently queued), as is any submit while draining;
+//  * fair scheduling — one scheduler thread deals *chunks* (not whole
+//    jobs) onto the engine's work-stealing pool via deficit round robin
+//    across clients: each visit grants a client `quantum_runs` of credit,
+//    a chunk costs its run count, cache hits cost nothing — so a client
+//    streaming a huge sweep cannot starve a client running a small one,
+//    and cached replays are never queued behind cold work;
+//  * result cache — every executed chunk lands in an LRU ResultCache
+//    (src/service/cache.hpp) keyed by (spec hash, chunk range); repeated
+//    or overlapping queries stream the covered chunks back without
+//    executing a single run.
+//
+// Determinism: a row's bytes are a pure function of (spec, chunk) — the
+// engine is deterministic for any thread count, cached bytes are the
+// executed bytes, and scheduling order never reaches row content — so
+// rows served cold, cached, or under concurrent clients are byte-identical
+// to rows.hpp reference_rows() in-process (pinned by tests/service_test
+// and the CI service-smoke job).
+//
+// Shutdown: begin_drain() rejects new submits while queued jobs finish;
+// stop() drains, then joins every thread (rsbd calls it on SIGTERM; the
+// `shutdown` op sets shutdown_requested() for the daemon loop to observe).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "service/cache.hpp"
+
+namespace rsb::service {
+
+struct ServerConfig {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see Server::port).
+  int port = 0;
+  /// Engine worker threads per chunk sweep (ParallelConfig; 0 = hardware).
+  int threads = 0;
+  /// Admission bound: pending (queued + running) jobs across all clients.
+  std::size_t max_queue_jobs = 64;
+  /// Result-cache byte budget.
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Deficit-round-robin credit granted per client visit, in runs.
+  std::uint64_t quantum_runs = 4096;
+  /// Hard bound on grid expansion per request.
+  std::size_t max_points = 1024;
+};
+
+struct ServerStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t runs_executed = 0;  // runs actually swept by the engine
+  std::uint64_t runs_cached = 0;    // runs served from the result cache
+  bool draining = false;
+  ResultCache::Stats cache;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:config.port, starts the accept and scheduler
+  /// threads. Throws Error when the socket cannot be bound.
+  void start();
+
+  /// The bound port (after start(); the ephemeral one when config.port=0).
+  int port() const noexcept { return port_; }
+
+  /// Stops admitting new jobs; queued jobs keep streaming.
+  void begin_drain();
+
+  /// True once a client issued the `shutdown` op (the daemon's cue to
+  /// call stop()).
+  bool shutdown_requested() const noexcept {
+    return shutdown_requested_.load();
+  }
+
+  /// Drains the queue, closes the listener and every session, joins all
+  /// threads. Idempotent; safe to call without start().
+  void stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Session;
+  struct Job;
+
+  void accept_loop();
+  void session_loop(std::shared_ptr<Session> session);
+  void scheduler_loop();
+
+  /// Handles one parsed request line; returns the reply line (empty when
+  /// the reply is deferred to the scheduler stream).
+  std::string handle_request(const std::shared_ptr<Session>& session,
+                             const std::string& line);
+  std::string handle_submit(const std::shared_ptr<Session>& session,
+                            const std::string& spec_text);
+
+  /// Picks the next chunk to serve under DRR; null job when idle.
+  struct Pick {
+    std::shared_ptr<Job> job;
+    bool any_pending = false;
+  };
+  Pick pick_next();  // caller holds sched_mutex_
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  Engine engine_;
+  ResultCache cache_;
+
+  std::thread accept_thread_;
+  std::thread scheduler_thread_;
+  std::vector<std::thread> session_threads_;  // guarded by sched_mutex_
+
+  mutable std::mutex sched_mutex_;
+  std::condition_variable work_cv_;   // scheduler wake: work or stop
+  std::condition_variable drain_cv_;  // stop() wake: queue empty
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::size_t rr_cursor_ = 0;  // DRR rotation over sessions_
+  std::size_t pending_jobs_ = 0;
+  std::uint64_t next_job_id_ = 1;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace rsb::service

@@ -6,15 +6,16 @@
 
 namespace rsb::sim {
 
-void Outbox::post(std::string_view payload) {
+PayloadId Outbox::post(std::string_view payload) {
   if (model_ != Model::kBlackboard) {
     throw InvalidArgument("Outbox::post: not a blackboard network");
   }
-  net_->round_posts_.push_back(
-      Network::Post{sender_, net_->arena_->intern(payload)});
+  const PayloadId id = net_->arena_->intern(payload);
+  net_->round_posts_.push_back(Network::Post{sender_, id});
+  return id;
 }
 
-void Outbox::send(int port, std::string_view payload) {
+PayloadId Outbox::send(int port, std::string_view payload) {
   if (model_ != Model::kMessagePassing) {
     throw InvalidArgument("Outbox::send: not a message-passing network");
   }
@@ -22,11 +23,12 @@ void Outbox::send(int port, std::string_view payload) {
     throw InvalidArgument("Outbox::send: port " + std::to_string(port) +
                           " outside [1," + std::to_string(num_ports_) + "]");
   }
-  net_->round_sends_.push_back(
-      Network::Send{sender_, port, net_->arena_->intern(payload)});
+  const PayloadId id = net_->arena_->intern(payload);
+  net_->round_sends_.push_back(Network::Send{sender_, port, id});
+  return id;
 }
 
-void Outbox::send_all(std::string_view payload) {
+PayloadId Outbox::send_all(std::string_view payload) {
   if (model_ != Model::kMessagePassing) {
     throw InvalidArgument("Outbox::send_all: not a message-passing network");
   }
@@ -36,6 +38,7 @@ void Outbox::send_all(std::string_view payload) {
   for (int port = 1; port <= num_ports_; ++port) {
     net_->round_sends_.push_back(Network::Send{sender_, port, id});
   }
+  return id;
 }
 
 Outbox::Outbox(Network* net, int sender, Model model, int num_ports)

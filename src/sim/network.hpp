@@ -74,18 +74,22 @@ class Network;
 
 /// What an agent may transmit during the send phase of a round. Payload
 /// bytes are interned into the run's arena at the call; the views passed
-/// in need only live for the duration of the call.
+/// in need only live for the duration of the call. Each transmit returns
+/// the interned PayloadId — stable for the rest of the run and canonical
+/// per byte string — so an agent that later compares its own transmission
+/// against received ids can keep the 4-byte id instead of a copy of the
+/// bytes (see RefinementAgent's rank agreement).
 class Outbox {
  public:
   /// Blackboard: append a message to the anonymous board.
-  void post(std::string_view payload);
+  PayloadId post(std::string_view payload);
 
   /// Message passing: send on one of the agent's ports (1-based).
-  void send(int port, std::string_view payload);
+  PayloadId send(int port, std::string_view payload);
 
   /// Message passing: send the same payload on every port. The payload is
   /// interned exactly once and the id shared across all ports.
-  void send_all(std::string_view payload);
+  PayloadId send_all(std::string_view payload);
 
  private:
   friend class Network;

@@ -1,0 +1,216 @@
+// Canonical spec wire format (src/service/canonical.hpp): parse /
+// canonical_text round trips, default omission, inert-knob normalization,
+// hash identity, grid expansion — and a golden file pinning the canonical
+// form and 64-bit hash of a spec for every registry-listed protocol and
+// task, so a hash-affecting change to the format (which would orphan every
+// cached result shard) cannot land silently.
+#include "service/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "golden_util.hpp"
+#include "util/error.hpp"
+
+namespace rsb::service {
+namespace {
+
+TEST(CanonicalSpec, ParseRoundTripsThroughCanonicalText) {
+  const CanonicalSpec spec = CanonicalSpec::parse(
+      "model=message-passing\nloads=2,3\nprotocol=wait-for-singleton-LE\n"
+      "task=leader-election\nrounds=120\nseeds=7+100");
+  const std::string canonical = spec.canonical_text();
+  const CanonicalSpec reparsed = CanonicalSpec::parse(canonical);
+  EXPECT_EQ(reparsed.canonical_text(), canonical);
+  EXPECT_EQ(reparsed.hash(), spec.hash());
+  EXPECT_EQ(spec.seeds.first, 7u);
+  EXPECT_EQ(spec.seeds.count, 100u);
+}
+
+TEST(CanonicalSpec, KeyOrderAndSeparatorsDoNotChangeIdentity) {
+  const CanonicalSpec a = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\ntask=leader-election");
+  const CanonicalSpec b = CanonicalSpec::parse(
+      "task = leader-election ; protocol = wait-for-singleton-LE ;"
+      " loads = 2,3  # comment");
+  EXPECT_EQ(a.canonical_text(), b.canonical_text());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(CanonicalSpec, ExplicitDefaultsCanonicalizeAway) {
+  const CanonicalSpec bare =
+      CanonicalSpec::parse("loads=2,3\nprotocol=wait-for-singleton-LE");
+  const CanonicalSpec spelled = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nmodel=blackboard\n"
+      "rounds=300\nvariant=port-tagged\nfault-crashes=0\n"
+      "sched=synchronous");
+  EXPECT_EQ(spelled.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(spelled.hash(), bare.hash());
+}
+
+TEST(CanonicalSpec, SeedsAreNotPartOfTheIdentity) {
+  const CanonicalSpec a = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nseeds=0+100");
+  const CanonicalSpec b = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nseeds=500+2000");
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.canonical_text(), b.canonical_text());
+  EXPECT_NE(a.seeds.first, b.seeds.first);
+}
+
+TEST(CanonicalSpec, InertKnobsNormalizeAway) {
+  // fault-seed and fault-window are inert without crashes; sched-seed is
+  // inert under a synchronous scheduler; random-delay(0) IS synchronous.
+  const CanonicalSpec bare =
+      CanonicalSpec::parse("loads=2,3\nprotocol=wait-for-singleton-LE");
+  const CanonicalSpec knobbed = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nfault-seed=99\n"
+      "fault-window=5\nsched=random-delay(0)\nsched-seed=123");
+  EXPECT_EQ(knobbed.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(knobbed.hash(), bare.hash());
+  // ... but the same knobs are live once faults / delays are on.
+  const CanonicalSpec faulty = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nfault-crashes=1\n"
+      "fault-seed=99");
+  EXPECT_NE(faulty.hash(), bare.hash());
+}
+
+TEST(CanonicalSpec, DistinctSpecsHashDistinct) {
+  const char* specs[] = {
+      "loads=2,3\nprotocol=wait-for-singleton-LE",
+      "loads=3,2\nprotocol=wait-for-singleton-LE",
+      "loads=2,3\nprotocol=wait-for-class-split-LE(2)",
+      "loads=2,3\nprotocol=wait-for-singleton-LE\ntask=leader-election",
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nrounds=100",
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nmodel=message-passing",
+  };
+  std::vector<std::uint64_t> hashes;
+  for (const char* text : specs) {
+    hashes.push_back(CanonicalSpec::parse(text).hash());
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << specs[i] << " vs " << specs[j];
+    }
+  }
+}
+
+TEST(CanonicalSpec, RejectsMalformedInput) {
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3\nloads=4"), InvalidArgument);
+  EXPECT_THROW(CanonicalSpec::parse("unknown-key=1"), InvalidArgument);
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3\nrounds=ten"),
+               InvalidArgument);
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3\nrounds=100|300"),
+               InvalidArgument);  // alternatives only via expand_request
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3\nseeds=xyz"), InvalidArgument);
+}
+
+TEST(CanonicalSpec, ToExperimentResolvesAndValidates) {
+  const CanonicalSpec good = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "seeds=1+10");
+  const Experiment experiment = good.to_experiment();
+  EXPECT_EQ(experiment.seeds.count, 10u);
+  const CanonicalSpec unknown = CanonicalSpec::parse(
+      "loads=2,3\nprotocol=no-such-protocol");
+  EXPECT_THROW(unknown.to_experiment(), UnknownName);
+}
+
+TEST(ExpandRequest, CartesianProductInSortedKeyOrder) {
+  const std::vector<SpecPoint> points = expand_request(
+      "loads=2,3|3,3\nprotocol=wait-for-singleton-LE\nrounds=100|300\n"
+      "seeds=0+10");
+  // Axes in sorted key order (loads before rounds), first axis slowest.
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].label, "loads=2,3 rounds=100");
+  EXPECT_EQ(points[1].label, "loads=2,3 rounds=300");
+  EXPECT_EQ(points[2].label, "loads=3,3 rounds=100");
+  EXPECT_EQ(points[3].label, "loads=3,3 rounds=300");
+  for (const SpecPoint& point : points) {
+    EXPECT_EQ(point.spec.seeds.count, 10u);
+  }
+  EXPECT_NE(points[0].spec.hash(), points[1].spec.hash());
+}
+
+TEST(ExpandRequest, SinglePointHasNoLabelAndBoundIsEnforced) {
+  const std::vector<SpecPoint> single =
+      expand_request("loads=2,3\nprotocol=wait-for-singleton-LE");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].label, "");
+  EXPECT_THROW(
+      expand_request("loads=2,3\nprotocol=wait-for-singleton-LE\n"
+                     "rounds=1|2|3|4|5",
+                     4),
+      InvalidArgument);
+}
+
+// ------------------------------------------------------------- golden
+
+// Example spec-string arguments for parametric registry entries. The
+// assertion below fails when a new protocol or task is registered without
+// a golden entry, so the fixture always covers the full vocabulary.
+const std::map<std::string, std::string>& protocol_examples() {
+  static const std::map<std::string, std::string> examples = {
+      {"blackboard-unique-string-LE", "blackboard-unique-string-LE"},
+      {"wait-for-singleton-LE", "wait-for-singleton-LE"},
+      {"wait-for-class-split-LE", "wait-for-class-split-LE(2)"},
+  };
+  return examples;
+}
+
+const std::map<std::string, std::string>& task_examples() {
+  static const std::map<std::string, std::string> examples = {
+      {"leader-election", "leader-election"},
+      {"m-leader-election", "m-leader-election(2)"},
+      {"weak-symmetry-breaking", "weak-symmetry-breaking"},
+      {"matching", "matching"},
+      {"t-resilient-leader-election", "t-resilient-leader-election(1)"},
+      {"t-resilient-two-leader", "t-resilient-two-leader(1)"},
+      {"t-resilient-m-leader-election", "t-resilient-m-leader-election(2,1)"},
+      {"t-resilient-matching", "t-resilient-matching(1)"},
+  };
+  return examples;
+}
+
+TEST(CanonicalSpecGolden, EveryRegistrySpecHasAPinnedFormAndHash) {
+  std::string report;
+  const auto emit = [&report](const std::string& title,
+                              const std::string& text) {
+    const CanonicalSpec spec = CanonicalSpec::parse(text);
+    report += "== " + title + "\n";
+    report += spec.canonical_text();
+    report += "hash " + spec.hash_hex() + "\n\n";
+  };
+
+  for (const std::string& name : ProtocolRegistry::global().names()) {
+    const auto it = protocol_examples().find(name);
+    ASSERT_NE(it, protocol_examples().end())
+        << "protocol '" << name
+        << "' has no golden example; add one to protocol_examples()";
+    emit("protocol " + name,
+         "loads=2,3\nprotocol=" + it->second + "\ntask=leader-election");
+  }
+  for (const std::string& name : TaskRegistry::global().names()) {
+    const auto it = task_examples().find(name);
+    ASSERT_NE(it, task_examples().end())
+        << "task '" << name
+        << "' has no golden example; add one to task_examples()";
+    emit("task " + name,
+         "loads=2,3\nprotocol=wait-for-singleton-LE\ntask=" + it->second);
+  }
+  // A fully-loaded message-passing spec: every non-default knob live.
+  emit("full message-passing",
+       "model=message-passing\nloads=2,2\nprotocol=wait-for-singleton-LE\n"
+       "task=leader-election\nport-policy=random-per-run\nport-seed=42\n"
+       "variant=literal\nfault-crashes=1\nfault-window=4\nfault-seed=7\n"
+       "sched=random-delay(3)\nsched-seed=11\nrounds=64");
+
+  rsb::testing::expect_matches_golden(report, "canonical_specs.txt");
+}
+
+}  // namespace
+}  // namespace rsb::service

@@ -1,0 +1,317 @@
+// Loopback integration tests for the experiment service (rsbd core):
+// daemon-served rows are byte-identical to the in-process engine — cold,
+// cached, and under concurrent clients (the pinned invariant of the
+// service layer) — the result cache serves repeated and subsumed queries
+// without executing runs, admission control bounds the queue with a
+// reasoned rejection, and drain finishes queued jobs while rejecting new
+// ones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "service/canonical.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/rows.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+
+namespace rsb::service {
+namespace {
+
+using json::Value;
+
+// A spec that terminates fast (singleton class exists from the start) so
+// whole sweeps are cheap; 600 seeds span three aligned chunks (256-aligned
+// boundaries at 256 and 512).
+constexpr char kSpec[] =
+    "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+    "seeds=0+600";
+
+struct JobResult {
+  std::vector<std::string> rows;   // the "row" objects, serialized
+  std::vector<std::string> lines;  // the raw row lines
+  std::uint64_t runs_executed = 0;
+  std::uint64_t runs_cached = 0;
+  std::string done_line;
+};
+
+/// Submits `spec` and reads until done. Asserts the accept handshake and
+/// that row chunks arrive in run-index order.
+JobResult run_job(Client& client, const std::string& spec) {
+  JobResult result;
+  const Value accepted = Value::parse(client.request(submit_request(spec)));
+  EXPECT_EQ(accepted.find("type")->as_string(), "accepted");
+  std::uint64_t next_chunk = 0;
+  while (auto line = client.read_line()) {
+    const Value msg = Value::parse(*line);
+    const std::string type = msg.find("type")->as_string();
+    if (type == "row") {
+      EXPECT_EQ(msg.find("chunk")->as_uint(), next_chunk++);
+      result.rows.push_back(msg.find("row")->serialize());
+      result.lines.push_back(*line);
+      continue;
+    }
+    EXPECT_EQ(type, "done") << *line;
+    result.runs_executed = msg.find("runs_executed")->as_uint();
+    result.runs_cached = msg.find("runs_cached")->as_uint();
+    result.done_line = *line;
+    break;
+  }
+  return result;
+}
+
+std::vector<std::string> reference_for(const std::string& spec_text) {
+  Engine engine;
+  return reference_rows(engine, CanonicalSpec::parse(spec_text));
+}
+
+TEST(Service, ColdRowsAreByteIdenticalToInProcessEngine) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const JobResult job = run_job(client, kSpec);
+  const std::vector<std::string> expected = reference_for(kSpec);
+  ASSERT_EQ(job.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(job.rows[i], expected[i]) << "chunk " << i;
+  }
+  EXPECT_EQ(job.runs_executed, 600u);
+  EXPECT_EQ(job.runs_cached, 0u);
+  server.stop();
+}
+
+TEST(Service, RepeatedQueryIsServedEntirelyFromCache) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const JobResult cold = run_job(client, kSpec);
+  const std::uint64_t executed_after_cold = server.stats().runs_executed;
+  const JobResult warm = run_job(client, kSpec);
+
+  // Zero new runs: the engine's run counter did not move, and the job
+  // accounting says every run came from the cache.
+  EXPECT_EQ(server.stats().runs_executed, executed_after_cold);
+  EXPECT_EQ(warm.runs_executed, 0u);
+  EXPECT_EQ(warm.runs_cached, 600u);
+  // Byte-identical replay (the cache stores the serialized payloads).
+  ASSERT_EQ(warm.rows.size(), cold.rows.size());
+  for (std::size_t i = 0; i < cold.rows.size(); ++i) {
+    EXPECT_EQ(warm.rows[i], cold.rows[i]) << "chunk " << i;
+  }
+  EXPECT_GE(server.stats().cache.hits, 3u);
+  server.stop();
+}
+
+TEST(Service, OverlappingSweepOnlyRunsUncoveredSeeds) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  // First sweep covers chunks [0,256) and [256,512); the overlapping sweep
+  // shares its interior chunk (absolute alignment) and pays only for
+  // [512,768).
+  const std::string first =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "seeds=0+512";
+  const std::string overlapping =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "seeds=256+512";
+  const JobResult cold = run_job(client, first);
+  EXPECT_EQ(cold.runs_executed, 512u);
+  const JobResult warm = run_job(client, overlapping);
+  EXPECT_EQ(warm.runs_cached, 256u);
+  EXPECT_EQ(warm.runs_executed, 256u);
+
+  // The overlapping sweep's rows are still the reference bytes.
+  const std::vector<std::string> expected = reference_for(overlapping);
+  ASSERT_EQ(warm.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(warm.rows[i], expected[i]) << "chunk " << i;
+  }
+  server.stop();
+}
+
+TEST(Service, ConcurrentClientsGetReferenceBytes) {
+  Server server({.threads = 2});
+  server.start();
+
+  // Distinct specs (different rounds) so the clients cannot serve each
+  // other's cache entries, submitted concurrently so the DRR scheduler
+  // interleaves their chunks.
+  const std::string spec_a =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "rounds=40\nseeds=0+600";
+  const std::string spec_b =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "rounds=60\nseeds=128+600";
+  JobResult result_a, result_b;
+  std::thread thread_a([&] {
+    Client client;
+    client.connect(server.port());
+    result_a = run_job(client, spec_a);
+  });
+  std::thread thread_b([&] {
+    Client client;
+    client.connect(server.port());
+    result_b = run_job(client, spec_b);
+  });
+  thread_a.join();
+  thread_b.join();
+
+  const std::vector<std::string> expected_a = reference_for(spec_a);
+  const std::vector<std::string> expected_b = reference_for(spec_b);
+  ASSERT_EQ(result_a.rows.size(), expected_a.size());
+  ASSERT_EQ(result_b.rows.size(), expected_b.size());
+  for (std::size_t i = 0; i < expected_a.size(); ++i) {
+    EXPECT_EQ(result_a.rows[i], expected_a[i]) << "client A chunk " << i;
+  }
+  for (std::size_t i = 0; i < expected_b.size(); ++i) {
+    EXPECT_EQ(result_b.rows[i], expected_b[i]) << "client B chunk " << i;
+  }
+  server.stop();
+}
+
+TEST(Service, GridRequestStreamsEveryPointInOrder) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const std::string grid =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "rounds=30|50\nseeds=0+300";
+  const Value accepted = Value::parse(client.request(submit_request(grid)));
+  ASSERT_EQ(accepted.find("type")->as_string(), "accepted");
+  EXPECT_EQ(accepted.find("points")->as_uint(), 2u);
+  EXPECT_EQ(accepted.find("chunks")->as_uint(), 4u);  // 2 points x 2 chunks
+  ASSERT_EQ(accepted.find("spec_hashes")->items().size(), 2u);
+
+  std::vector<std::string> labels;
+  std::uint64_t last_point = 0;
+  while (auto line = client.read_line()) {
+    const Value msg = Value::parse(*line);
+    if (msg.find("type")->as_string() != "row") break;
+    const std::uint64_t point = msg.find("point")->as_uint();
+    EXPECT_GE(point, last_point);  // points stream in run-index order
+    last_point = point;
+    labels.push_back(msg.find("label")->as_string());
+  }
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels.front(), "rounds=30");
+  EXPECT_EQ(labels.back(), "rounds=50");
+  server.stop();
+}
+
+TEST(Service, MalformedRequestsGetReasonedErrors) {
+  Server server({.threads = 1});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  // Not JSON at all.
+  const Value bad_json = Value::parse(client.request("this is not json"));
+  EXPECT_EQ(bad_json.find("type")->as_string(), "error");
+  // Valid JSON, unknown op.
+  const Value bad_op = Value::parse(client.request("{\"op\":\"frobnicate\"}"));
+  EXPECT_EQ(bad_op.find("type")->as_string(), "error");
+  // A malformed spec is rejected at submit, never queued.
+  const Value bad_spec = Value::parse(
+      client.request(submit_request("loads=2,3\nno-such-key=1")));
+  EXPECT_EQ(bad_spec.find("type")->as_string(), "error");
+  EXPECT_NE(bad_spec.find("reason")->as_string().find("no-such-key"),
+            std::string::npos);
+  // An unresolvable registry name is also a submit-time error.
+  const Value bad_name = Value::parse(
+      client.request(submit_request("loads=2,3\nprotocol=nope")));
+  EXPECT_EQ(bad_name.find("type")->as_string(), "error");
+  // The connection survives all of it.
+  const Value pong = Value::parse(client.request("{\"op\":\"ping\"}"));
+  EXPECT_EQ(pong.find("type")->as_string(), "pong");
+  EXPECT_EQ(server.stats().jobs_rejected, 0u);  // parse errors != admission
+  server.stop();
+}
+
+TEST(Service, AdmissionQueueBoundRejectsWithReason) {
+  Server server({.threads = 1, .max_queue_jobs = 1});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  // Job 1 is admitted and takes a while (non-terminating spec sweeps all
+  // 300 rounds per run); job 2 arrives while it is pending and must be
+  // rejected immediately with a reason — not silently queued.
+  const std::string slow =
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nseeds=0+512";
+  const Value first = Value::parse(client.request(submit_request(slow)));
+  ASSERT_EQ(first.find("type")->as_string(), "accepted");
+  Client second;
+  second.connect(server.port());
+  const Value rejected = Value::parse(
+      second.request(submit_request("loads=1,2\nprotocol=wait-for-singleton-LE"
+                                    "\nseeds=0+10")));
+  EXPECT_EQ(rejected.find("type")->as_string(), "error");
+  EXPECT_NE(rejected.find("reason")->as_string().find("queue full"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().jobs_rejected, 1u);
+  server.stop();  // drains job 1
+}
+
+TEST(Service, DrainFinishesQueuedJobsAndRejectsNewOnes) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const Value accepted = Value::parse(client.request(submit_request(kSpec)));
+  ASSERT_EQ(accepted.find("type")->as_string(), "accepted");
+  server.begin_drain();
+  Client late;
+  late.connect(server.port());
+  const Value rejected =
+      Value::parse(late.request(submit_request(kSpec)));
+  EXPECT_EQ(rejected.find("type")->as_string(), "error");
+  EXPECT_NE(rejected.find("reason")->as_string().find("draining"),
+            std::string::npos);
+
+  // The admitted job still streams to completion.
+  std::size_t rows = 0;
+  std::string done_type;
+  while (auto line = client.read_line()) {
+    const Value msg = Value::parse(*line);
+    const std::string type = msg.find("type")->as_string();
+    if (type == "row") {
+      ++rows;
+      continue;
+    }
+    done_type = type;
+    break;
+  }
+  EXPECT_EQ(rows, 3u);
+  EXPECT_EQ(done_type, "done");
+  server.stop();
+}
+
+TEST(Service, ShutdownOpRequestsDaemonExit) {
+  Server server({.threads = 1});
+  server.start();
+  EXPECT_FALSE(server.shutdown_requested());
+  Client client;
+  client.connect(server.port());
+  const Value ack = Value::parse(client.request("{\"op\":\"shutdown\"}"));
+  EXPECT_EQ(ack.find("type")->as_string(), "shutdown-ack");
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rsb::service

@@ -1,0 +1,104 @@
+// rsbd — the experiment service daemon.
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral), announces the bound port on
+// stdout, then serves the line protocol (src/service/server.hpp) until
+// SIGTERM/SIGINT or a client's `shutdown` op; either way it drains the
+// admitted queue before exiting, so accepted jobs always finish streaming.
+//
+//   rsbd [--port N] [--threads N] [--cache-mb N] [--max-queue N]
+//        [--quantum RUNS]
+//
+// The announce line ("rsbd: listening on 127.0.0.1:41234") is how scripts
+// discover an ephemeral port: start rsbd, read the first stdout line.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--threads N] [--cache-mb N]"
+               " [--max-queue N] [--quantum RUNS]\n",
+               argv0);
+  std::exit(2);
+}
+
+long long parse_number(const char* argv0, const char* flag, const char* text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "%s: %s wants a non-negative integer, got '%s'\n",
+                 argv0, flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rsb::service::ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      config.port = static_cast<int>(parse_number(argv[0], "--port", argv[++i]));
+    } else if (arg == "--threads" && has_value) {
+      config.threads =
+          static_cast<int>(parse_number(argv[0], "--threads", argv[++i]));
+    } else if (arg == "--cache-mb" && has_value) {
+      config.cache_bytes = static_cast<std::uint64_t>(parse_number(
+                               argv[0], "--cache-mb", argv[++i]))
+                           << 20;
+    } else if (arg == "--max-queue" && has_value) {
+      config.max_queue_jobs = static_cast<std::size_t>(
+          parse_number(argv[0], "--max-queue", argv[++i]));
+    } else if (arg == "--quantum" && has_value) {
+      config.quantum_runs = static_cast<std::uint64_t>(
+          parse_number(argv[0], "--quantum", argv[++i]));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  rsb::service::Server server(config);
+  try {
+    server.start();
+  } catch (const rsb::Error& e) {
+    std::fprintf(stderr, "rsbd: %s\n", e.what());
+    return 1;
+  }
+  std::printf("rsbd: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  while (g_signalled == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "rsbd: draining\n");
+  server.stop();
+
+  const rsb::service::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "rsbd: served %llu jobs (%llu rejected), %llu runs executed,"
+               " %llu runs from cache\n",
+               static_cast<unsigned long long>(stats.jobs_completed),
+               static_cast<unsigned long long>(stats.jobs_rejected),
+               static_cast<unsigned long long>(stats.runs_executed),
+               static_cast<unsigned long long>(stats.runs_cached));
+  return 0;
+}
