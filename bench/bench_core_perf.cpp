@@ -1,8 +1,8 @@
 // E14 — engineering microbenchmarks for the core library: knowledge
 // interning throughput, model round operators, consistency partitions,
 // the exact-probability engine's 2^{kt} scaling, the simplicial-map
-// existence search, and the experiment engine's serial and parallel sweep
-// throughput. No paper artifact — this is the performance record of the
+// existence search, and the experiment engine's serial, parallel, and
+// lockstep-batched sweep throughput. No paper artifact — this is the performance record of the
 // substrate that makes the exhaustive reproductions feasible; the
 // runs/sec section at 1..N threads is dumped to BENCH_core_perf.json so
 // the trajectory is diffable across PRs.
@@ -220,6 +220,31 @@ BENCHMARK(BM_EngineBatchParallel)
     ->Args({4, 256})
     ->Args({0, 256});  // 0 = hardware concurrency
 
+void BM_EngineBatchLockstep(benchmark::State& state) {
+  // Lockstep SoA execution: B runs advance through one instruction
+  // stream per worker (run_prepared_batch). B=1 is the scalar path; the
+  // spread across widths is the batching win in isolation.
+  const int batch = static_cast<int>(state.range(0));
+  const std::uint64_t seeds = static_cast<std::uint64_t>(state.range(1));
+  Engine engine;
+  engine.set_parallel({1, 0, batch});
+  const auto spec =
+      Experiment::blackboard(SourceConfiguration::all_private(6))
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(300)
+          .with_seeds(1, seeds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_batch(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(seeds));
+}
+BENCHMARK(BM_EngineBatchLockstep)
+    ->Args({1, 256})
+    ->Args({8, 256})
+    ->Args({16, 256})
+    ->Args({32, 256});
+
 void BM_MessageRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const PortAssignment pa = PortAssignment::cyclic(n);
@@ -235,10 +260,11 @@ void BM_MessageRound(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageRound)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-/// End-to-end sweep throughput at 1 and N threads — the acceptance record
-/// for the parallel engine (runs/sec per thread count lands in
-/// BENCH_core_perf.json). The determinism check is the hard guarantee:
-/// the parallel aggregate must equal the serial one byte for byte.
+/// End-to-end sweep throughput at 1 and N threads, scalar and lockstep-
+/// batched — the acceptance record for the parallel engine (runs/sec per
+/// row lands in BENCH_core_perf.json; --batch sets the lockstep width).
+/// The determinism checks are the hard guarantee: the parallel and the
+/// batched aggregates must equal the serial one byte for byte.
 void report_sweep_throughput() {
   header("Experiment-engine sweep throughput (serial vs worker pool)");
   const auto spec =
@@ -249,19 +275,39 @@ void report_sweep_throughput() {
           .with_seeds(1, 2048);
   const int hw = rsb::bench::hardware_threads();
   RunStats serial_stats;
-  bool captured = false;
-  // sweep_throughput times the serial engine first, so the first callback
-  // result is the serial reference for the determinism check below.
-  const double speedup = rsb::bench::sweep_throughput(
-      "blackboard-LE n=6 sweep", spec.seeds.count, [&](Engine& engine) {
-        const RunStats stats = engine.run_batch(spec);
-        if (!captured) {
-          serial_stats = stats;
-          captured = true;
-        }
-      });
+  Engine serial;
+  const double serial_rate = rsb::bench::time_runs(
+      "blackboard-LE n=6 sweep", spec.seeds.count, 1,
+      [&] { serial_stats = serial.run_batch(spec); });
+  double speedup = 1.0;
+  if (hw > 1) {
+    Engine pool;
+    pool.with_threads(0);
+    const double parallel_rate =
+        rsb::bench::time_runs("blackboard-LE n=6 sweep", spec.seeds.count,
+                              hw, [&] { pool.run_batch(spec); });
+    speedup = serial_rate > 0.0 ? parallel_rate / serial_rate : 0.0;
+  }
   std::printf("  hardware threads: %d, parallel speedup: %.2fx\n", hw,
               speedup);
+  // Lockstep batched row — the same sweep with B runs per instruction
+  // stream on one worker. Gated by --baseline like the serial row; the
+  // identity check is the hard guarantee, the ≥2x line is informational
+  // (a one-shot wall-clock sample must not flake the exit code).
+  const int batch = rsb::bench::batch_width();
+  Engine batched;
+  batched.set_parallel({1, 0, batch});
+  RunStats batched_stats;
+  const double batched_rate = rsb::bench::time_runs(
+      "blackboard-LE n=6 sweep batched", spec.seeds.count, 1,
+      [&] { batched_stats = batched.run_batch(spec); });
+  check(batched_stats == serial_stats,
+        "batched (B=" + std::to_string(batch) +
+            ") RunStats byte-identical to serial");
+  std::printf("  batched lockstep target ≥ 2x serial: %s (%.2fx at B=%d)\n",
+              batched_rate >= 2.0 * serial_rate ? "met"
+                                                : "NOT met (timing sample)",
+              serial_rate > 0.0 ? batched_rate / serial_rate : 0.0, batch);
   bool parallel_matches = true;
   std::vector<int> thread_counts{2, 4, hw};
   std::sort(thread_counts.begin(), thread_counts.end());
@@ -299,9 +345,10 @@ int main(int argc, char** argv) {
   // Parse/validate flags before the multi-second sweep so flag typos fail
   // fast (the throughput/shape section itself always runs — it is the
   // bench's artifact — so utility flags like --benchmark_list_tests still
-  // pay for it). --baseline (ours) must come off argv before
-  // google-benchmark sees it.
+  // pay for it). --baseline and --batch (ours) must come off argv before
+  // google-benchmark sees them.
   rsb::bench::consume_baseline_flag(&argc, argv);
+  rsb::bench::consume_batch_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   report_sweep_throughput();

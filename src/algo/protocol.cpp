@@ -44,6 +44,24 @@ std::map<KnowledgeId, int> count_by_value(
 
 }  // namespace
 
+AnonymousProtocol::RoundVerdicts AnonymousProtocol::decide_round_from_prev(
+    const KnowledgeStore& /*store*/,
+    std::span<const KnowledgeId> /*knowledge*/,
+    std::span<const KnowledgeId> /*sorted_prev*/,
+    std::vector<std::optional<std::int64_t>>& /*verdicts*/) const {
+  return RoundVerdicts::kUnsupported;
+}
+
+void AnonymousProtocol::decide_all(
+    const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+    std::vector<KnowledgeId>& /*scratch*/,
+    std::vector<std::optional<std::int64_t>>& verdicts) const {
+  verdicts.resize(knowledge.size());
+  for (std::size_t i = 0; i < knowledge.size(); ++i) {
+    verdicts[i] = decide(store, knowledge[i]);
+  }
+}
+
 std::optional<std::int64_t> BlackboardUniqueStringLE::decide(
     const KnowledgeStore& store, KnowledgeId knowledge) const {
   const std::vector<KnowledgeId> multiset =
@@ -117,6 +135,99 @@ std::optional<std::int64_t> WaitForSingletonLE::decide(
     if (count == 1) return prev == value ? 1 : 0;
   }
   return std::nullopt;
+}
+
+void WaitForSingletonLE::decide_all(
+    const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+    std::vector<KnowledgeId>& scratch,
+    std::vector<std::optional<std::int64_t>>& verdicts) const {
+  verdicts.assign(knowledge.size(), std::nullopt);
+  if (knowledge.empty()) return;
+  const KnowledgeKind k = store.kind(knowledge.front());
+  if (k != KnowledgeKind::kBlackboardStep && k != KnowledgeKind::kMessageStep) {
+    return;
+  }
+  // Fault-free whole-round contract: no silence entries, and every party
+  // reconstructs the same time-(t−1) multiset {previous(K_j) : all j}.
+  // Find its smallest singleton once, against party 0's view.
+  const KnowledgeId prev0 = store.previous(knowledge.front());
+  const std::span<const KnowledgeId> received = store.received(knowledge.front());
+  bool found = false;
+  KnowledgeId singleton{};
+  if (k == KnowledgeKind::kBlackboardStep) {
+    // received is already the sorted canonical multiset: the same merged
+    // run-length scan as the scalar decide, run once per round.
+    std::size_t i = 0;
+    bool prev_pending = true;
+    while ((i < received.size() || prev_pending) && !found) {
+      KnowledgeId value;
+      int count;
+      if (prev_pending && (i == received.size() || prev0 <= received[i])) {
+        value = prev0;
+        count = 1;
+        prev_pending = false;
+      } else {
+        value = received[i];
+        count = 0;
+      }
+      while (i < received.size() && received[i] == value) {
+        ++count;
+        ++i;
+      }
+      if (count == 1) {
+        singleton = value;
+        found = true;
+      }
+    }
+  } else {
+    // Port tuples are port-ordered, not sorted: sort one copy per round
+    // (the scalar path pays this per party).
+    scratch.assign(received.begin(), received.end());
+    scratch.push_back(prev0);
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t i = 0; i < scratch.size() && !found;) {
+      std::size_t j = i + 1;
+      while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+      if (j - i == 1) {
+        singleton = scratch[i];
+        found = true;
+      }
+      i = j;
+    }
+  }
+  if (!found) return;
+  for (std::size_t i = 0; i < knowledge.size(); ++i) {
+    verdicts[i] = store.previous(knowledge[i]) == singleton ? 1 : 0;
+  }
+}
+
+AnonymousProtocol::RoundVerdicts WaitForSingletonLE::decide_round_from_prev(
+    const KnowledgeStore& /*store*/, std::span<const KnowledgeId> knowledge,
+    std::span<const KnowledgeId> sorted_prev,
+    std::vector<std::optional<std::int64_t>>& verdicts) const {
+  // The round-t verdict of the scalar decide ranges over the multiset
+  // received(K_i(t)) ∪ {previous(K_i(t))}, and in a fault-free round that
+  // is exactly {K_j(t−1) : all j} for every party (the round operators
+  // splice own-prev out of the shared sorted vector once) — which is
+  // sorted_prev. No reconstruction from a step value is needed, so this
+  // also covers round 1, where the scalar decide sees the all-⊥ multiset.
+  bool found = false;
+  KnowledgeId singleton{};
+  for (std::size_t i = 0; i < sorted_prev.size() && !found;) {
+    std::size_t j = i + 1;
+    while (j < sorted_prev.size() && sorted_prev[j] == sorted_prev[i]) ++j;
+    if (j - i == 1) {
+      singleton = sorted_prev[i];
+      found = true;
+    }
+    i = j;
+  }
+  if (!found) return RoundVerdicts::kNone;
+  verdicts.resize(knowledge.size());
+  for (std::size_t i = 0; i < knowledge.size(); ++i) {
+    verdicts[i] = knowledge[i] == singleton ? 1 : 0;
+  }
+  return RoundVerdicts::kSome;
 }
 
 WaitForClassSplitMLE::WaitForClassSplitMLE(int num_leaders)

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,44 @@ class AnonymousProtocol {
   /// (store, knowledge) — the runner may call it in any order.
   virtual std::optional<std::int64_t> decide(const KnowledgeStore& store,
                                              KnowledgeId knowledge) const = 0;
+
+  /// Whole-round decision hook for the lockstep batched engine path:
+  /// fills verdicts[i] = decide(store, knowledge[i]) for every party at
+  /// once. `knowledge` must be the complete party vector produced by one
+  /// *fault-free* round operator (every entry stepped through the same
+  /// round — the engine falls back to per-party decide on faulty lanes);
+  /// `scratch` is caller-owned reusable storage. The default loops the
+  /// scalar decide; protocols whose rule ranges over the round's shared
+  /// time-(t−1) multiset override this to compute that multiset once per
+  /// round instead of once per party. Overrides must stay verdict-
+  /// identical to the scalar decide — the batched-vs-unbatched property
+  /// laws pin it.
+  virtual void decide_all(
+      const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+      std::vector<KnowledgeId>& scratch,
+      std::vector<std::optional<std::int64_t>>& verdicts) const;
+
+  /// Result of decide_round_from_prev below.
+  enum class RoundVerdicts {
+    kUnsupported,  // cannot decide from the time-(t−1) multiset alone
+    kNone,         // supported; nobody decides this round, verdicts untouched
+    kSome,         // verdicts filled for every party deciding this round
+  };
+
+  /// Pre-round decision hook for the lockstep batched engine path. Some
+  /// protocols' round-t verdicts are a function of the time-(t−1)
+  /// knowledge alone: `knowledge` is the complete fault-free party vector
+  /// about to be advanced, `sorted_prev` the same values sorted ascending
+  /// (the time-(t−1) multiset in canonical order). Overriding lets the
+  /// engine decide *before* executing the round — and skip a run's final
+  /// round operator entirely, since once every survivor has decided the
+  /// operator's output is unobservable. Overrides must agree verdict-for-
+  /// verdict with decide on the post-round knowledge (pinned by the
+  /// batched-vs-unbatched property laws). The default opts out.
+  virtual RoundVerdicts decide_round_from_prev(
+      const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+      std::span<const KnowledgeId> sorted_prev,
+      std::vector<std::optional<std::int64_t>>& verdicts) const;
 };
 
 struct ProtocolOutcome {
@@ -90,6 +129,22 @@ class WaitForSingletonLE final : public AnonymousProtocol {
   std::string name() const override { return "wait-for-singleton-LE"; }
   std::optional<std::int64_t> decide(const KnowledgeStore& store,
                                      KnowledgeId knowledge) const override;
+  /// Fused whole-round form: in a fault-free full-information round every
+  /// party's time-(t−1) multiset received(K_i) ∪ {previous(K_i)} is the
+  /// same multiset {previous(K_j) : all j}, so the smallest singleton is
+  /// found once and each party's verdict is one id comparison.
+  void decide_all(
+      const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+      std::vector<KnowledgeId>& scratch,
+      std::vector<std::optional<std::int64_t>>& verdicts) const override;
+  /// Pre-round form: the round-t rule ranges over exactly the time-(t−1)
+  /// multiset, which is sorted_prev itself — one run-length scan decides
+  /// the whole round before it executes (both models; the paper's
+  /// isolated-vertex criterion is a property of π̃(ρ) at t−1).
+  RoundVerdicts decide_round_from_prev(
+      const KnowledgeStore& store, std::span<const KnowledgeId> knowledge,
+      std::span<const KnowledgeId> sorted_prev,
+      std::vector<std::optional<std::int64_t>>& verdicts) const override;
 };
 
 /// Generalization to m leaders: decides once the consistency classes at

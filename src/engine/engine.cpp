@@ -51,6 +51,15 @@ constexpr std::uint64_t kAutoGranulesPerWorker = 8;
 /// keeps the chunk index safely within int for the shard observer.
 constexpr std::uint64_t kMaxChunksPerBatch = 4096;
 
+/// Rounds `chunk` up to a whole number of lockstep batches so a scheduling
+/// chunk claims full batches and only the sweep's final chunk can leave
+/// remainder lanes for the scalar path. Identity for batch <= 1.
+std::uint64_t align_to_batch(std::uint64_t chunk, int batch) {
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(batch, 1));
+  if (b <= 1) return chunk;
+  return (chunk + b - 1) / b * b;
+}
+
 std::uint64_t resolve_chunk(const ParallelConfig& config, std::uint64_t count,
                             int workers) {
   std::uint64_t chunk = config.chunk;
@@ -59,7 +68,9 @@ std::uint64_t resolve_chunk(const ParallelConfig& config, std::uint64_t count,
         static_cast<std::uint64_t>(workers) * kAutoGranulesPerWorker;
     chunk = std::max<std::uint64_t>(1, (count + granules - 1) / granules);
   }
-  return std::max(chunk, (count + kMaxChunksPerBatch - 1) / kMaxChunksPerBatch);
+  chunk =
+      std::max(chunk, (count + kMaxChunksPerBatch - 1) / kMaxChunksPerBatch);
+  return align_to_batch(chunk, config.batch);
 }
 
 /// The work-stealing chunk deque. Every worker starts owning a contiguous
@@ -148,11 +159,44 @@ void run_worker_pool(int workers, Body&& body) {
   }
 }
 
+/// Executes runs [begin, end) of `spec` through `ctx`, reporting each run
+/// to per_run(run_index, ports, outcome) in run-index order. Knowledge-
+/// backend runs go through the lockstep batched path in full groups of
+/// `batch` lanes; remainder runs — and agent-backend specs, whose state
+/// lives in per-run sim::Networks — take the scalar path. `ports` must be
+/// positioned at `begin`; on return it is positioned at `end`.
+template <typename PerRun>
+void execute_range(RunContext& ctx, const Experiment& spec,
+                   PortProvider& ports, std::uint64_t begin, std::uint64_t end,
+                   int batch, const PerRun& per_run) {
+  std::uint64_t i = begin;
+  if (batch > 1 && spec.backend() == Experiment::Backend::kProtocol) {
+    while (end - i >= static_cast<std::uint64_t>(batch)) {
+      run_prepared_batch(ctx, spec, spec.seeds.first + i, batch, ports);
+      for (int l = 0; l < batch; ++l) {
+        const BatchedRunContext::Lane& lane =
+            ctx.batched.lanes[static_cast<std::size_t>(l)];
+        per_run(i + static_cast<std::uint64_t>(l), lane.ports, lane.outcome);
+      }
+      i += static_cast<std::uint64_t>(batch);
+    }
+  }
+  for (; i < end; ++i) {
+    const PortAssignment* assignment = ports.next();
+    const ProtocolOutcome outcome =
+        execute_run(ctx, spec, spec.seeds.first + i, assignment);
+    per_run(i, assignment, outcome);
+  }
+}
+
 }  // namespace
 
 Engine& Engine::set_parallel(ParallelConfig config) {
   if (config.threads < 0) {
     throw InvalidArgument("ParallelConfig: threads must be >= 0");
+  }
+  if (config.batch < 1) {
+    throw InvalidArgument("ParallelConfig: batch must be >= 1");
   }
   parallel_ = config;
   return *this;
@@ -202,12 +246,13 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
     prepare(1);
     PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                        spec.config, spec.port_seed);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint64_t seed = spec.seeds.first + i;
-      const PortAssignment* assignment = ports.next();
-      const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, assignment);
-      observe(0, RunView{seed, i, assignment, &spec}, outcome);
-    }
+    execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
+                  [&](std::uint64_t i, const PortAssignment* assignment,
+                      const ProtocolOutcome& outcome) {
+                    observe(0, RunView{spec.seeds.first + i, i, assignment,
+                                       &spec},
+                            outcome);
+                  });
     store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
     return;
   }
@@ -228,13 +273,16 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
       const std::uint64_t begin = c * chunk;
       const std::uint64_t end = std::min(begin + chunk, count);
       ports.skip_to(begin);
-      for (std::uint64_t i = begin; i < end; ++i) {
-        const std::uint64_t seed = spec.seeds.first + i;
-        const PortAssignment* assignment = ports.next();
-        const ProtocolOutcome outcome = execute_run(ctx, spec, seed, assignment);
-        observe(static_cast<int>(c), RunView{seed, i, assignment, &spec},
-                outcome);
-      }
+      // Chunks are batch-aligned (resolve_chunk), so only the sweep's
+      // final chunk can leave remainder lanes for the scalar path.
+      execute_range(ctx, spec, ports, begin, end, parallel_.batch,
+                    [&](std::uint64_t i, const PortAssignment* assignment,
+                        const ProtocolOutcome& outcome) {
+                      observe(static_cast<int>(c),
+                              RunView{spec.seeds.first + i, i, assignment,
+                                      &spec},
+                              outcome);
+                    });
     }
   });
   for (const RunContext& ctx : worker_ctxs_) {
@@ -269,20 +317,25 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   if (workers <= 1) {
     PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
                        spec.config, spec.port_seed);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint64_t seed = spec.seeds.first + i;
-      const PortAssignment* assignment = ports.next();
-      const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, assignment);
-      stats.record(outcome, task);
-      observer(RunView{seed, i, assignment, &spec}, outcome);
-    }
+    execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
+                  [&](std::uint64_t i, const PortAssignment* assignment,
+                      const ProtocolOutcome& outcome) {
+                    stats.record(outcome, task);
+                    observer(RunView{spec.seeds.first + i, i, assignment,
+                                     &spec},
+                             outcome);
+                  });
     store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
     return stats;
   }
 
   constexpr std::uint64_t kObservedChunkCap = 256;
-  const std::uint64_t chunk =
-      std::min(resolve_chunk(parallel_, count, workers), kObservedChunkCap);
+  // The cap bounds window memory, the batch alignment keeps whole batches
+  // per chunk; a batch beyond 256 wins (the cap is a heuristic, alignment
+  // is what preserves the lockstep path's gains).
+  const std::uint64_t chunk = align_to_batch(
+      std::min(resolve_chunk(parallel_, count, workers), kObservedChunkCap),
+      parallel_.batch);
   const std::uint64_t window = static_cast<std::uint64_t>(workers) * chunk;
 
   if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
@@ -347,15 +400,17 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
             if (begin >= end) break;
             const std::uint64_t chunk_end = std::min(begin + chunk, end);
             ports.skip_to(begin);
-            for (std::uint64_t i = begin; i < chunk_end; ++i) {
-              const std::uint64_t seed = spec.seeds.first + i;
-              const PortAssignment* assignment = ports.next();
-              RunRecord& record = records[static_cast<std::size_t>(i - base)];
-              if (per_run_ports && assignment != nullptr) {
-                record.ports = *assignment;
-              }
-              record.outcome = execute_run(ctx, spec, seed, assignment);
-            }
+            execute_range(
+                ctx, spec, ports, begin, chunk_end, parallel_.batch,
+                [&](std::uint64_t i, const PortAssignment* assignment,
+                    const ProtocolOutcome& outcome) {
+                  RunRecord& record =
+                      records[static_cast<std::size_t>(i - base)];
+                  if (per_run_ports && assignment != nullptr) {
+                    record.ports = *assignment;
+                  }
+                  record.outcome = outcome;
+                });
           }
         } catch (...) {
           errors[static_cast<std::size_t>(w)] = std::current_exception();

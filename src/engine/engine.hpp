@@ -81,6 +81,15 @@ using RunObserver =
 struct ParallelConfig {
   int threads = 1;          // worker count; 1 = serial, 0 = all hardware
   std::uint64_t chunk = 0;  // runs per scheduling chunk; 0 = auto
+  /// Lanes per lockstep batch on the knowledge backend: with batch = B > 1
+  /// a sweep executes B runs of the spec per instruction stream through
+  /// the structure-of-arrays path (engine/run_context.hpp,
+  /// BatchedRunContext) — scheduling chunks are rounded up to whole
+  /// batches, remainder runs and agent-backend specs fall back to the
+  /// scalar path. Results are byte-identical for every batch size (pinned
+  /// by the property laws); the knob only trades locality for lane-state
+  /// memory. 1 = scalar.
+  int batch = 1;
 };
 
 class Engine {
@@ -88,7 +97,7 @@ class Engine {
   Engine() = default;
 
   /// Sets the scheduling policy for subsequent batches. Returns *this for
-  /// chaining; throws InvalidArgument on threads < 0.
+  /// chaining; throws InvalidArgument on threads < 0 or batch < 1.
   Engine& set_parallel(ParallelConfig config);
 
   /// Shorthand for set_parallel({threads, 0}).

@@ -27,6 +27,46 @@
 
 namespace rsb {
 
+class PortProvider;
+
+/// Structure-of-arrays state for lockstep batched execution
+/// (run_prepared_batch): B lanes of one spec advance through a shared
+/// round schedule, each lane owning exactly the per-run state that
+/// determines ids and outcomes — its KnowledgeStore (ids are store-local,
+/// so lanes can never share one), knowledge column, raw coin engines, and
+/// crash schedule. Round scratch and the decision buffers are shared
+/// across lanes: a round operator finishes with one lane before the next
+/// lane starts, and every shared buffer is overwritten at entry, so
+/// nothing leaks between lanes (byte-identity to the scalar path is
+/// pinned by the batched-vs-unbatched property laws).
+struct BatchedRunContext {
+  struct Lane {
+    KnowledgeStore store;
+    std::vector<KnowledgeId> knowledge;
+    std::vector<int> crash_round;
+    /// One raw engine per source, seeded like the SourceBank's: drawing
+    /// one next_bit per source per executed round replays the bank's
+    /// stream draw-for-draw (the bank extends all sources by one bit per
+    /// round), without the bank's emitted-history buffers.
+    std::vector<Xoshiro256StarStar> coins;
+    std::optional<PortAssignment> ports_storage;  // kRandomPerRun copy
+    const PortAssignment* ports = nullptr;
+    ProtocolOutcome outcome;
+    int undecided = 0;
+    bool faulty = false;
+    bool done = false;
+  };
+  std::vector<Lane> lanes;
+  std::vector<unsigned char> source_bits;  // per-round per-source scratch
+  std::vector<std::optional<std::int64_t>> verdicts;  // decide_all output
+  std::vector<KnowledgeId> decide_scratch;            // decide_all scratch
+  // Sorted copy of a lane's pre-round knowledge vector: input to the
+  // protocol's pre-round decision hook (decide_round_from_prev) and, on
+  // the blackboard, the round operator's shared multiset — one sort per
+  // lane-round serves both.
+  std::vector<KnowledgeId> sorted_prev;
+};
+
 /// The per-run scratch state of one worker. Default-constructed contexts
 /// are ready to use; reuse across runs amortizes all allocations.
 struct RunContext {
@@ -37,6 +77,7 @@ struct RunContext {
   std::vector<int> crash_round;     // per-run fault-draw scratch (FaultPlan)
   std::vector<KnowledgeId> knowledge;  // per-run knowledge-vector scratch
   RoundScratch round_scratch;       // in-place round-operator buffers
+  BatchedRunContext batched;        // lockstep-lane state (run_prepared_batch)
   sim::PayloadArena arena;          // agent-backend payload pool (lent to
                                     // each run's sim::Network)
 };
@@ -50,6 +91,20 @@ struct RunContext {
 /// reported back in the outcome's crash_round.
 ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
                              std::uint64_t seed, const PortAssignment* ports);
+
+/// `lanes` consecutive knowledge-level runs of `spec` (seeds first_seed,
+/// first_seed + 1, ...) executed in lockstep over ctx.batched: one shared
+/// round loop advances every live lane through the same instruction
+/// stream. Each lane's result (ctx.batched.lanes[l].outcome) is
+/// byte-identical to run_prepared(ctx, spec, first_seed + l, ...) — per-
+/// lane stores and coin columns reproduce the scalar id sequences and
+/// randomness draw-for-draw. `ports` must be positioned at the first
+/// lane's run index; each lane's assignment is drawn through next() in
+/// order (kRandomPerRun assignments are copied into lane storage, so
+/// lane.ports stays valid until the next batch). Knowledge backend only.
+void run_prepared_batch(RunContext& ctx, const Experiment& spec,
+                        std::uint64_t first_seed, int lanes,
+                        PortProvider& ports);
 
 /// One agent-level run of `spec` at `seed` through a fresh sim::Network,
 /// under the spec's scheduler and fault plan. The network owns its own

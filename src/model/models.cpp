@@ -126,6 +126,99 @@ void blackboard_round_inplace(KnowledgeStore& store,
   knowledge.swap(scratch.next);
 }
 
+void blackboard_round_inplace_dedup(KnowledgeStore& store,
+                                    std::vector<KnowledgeId>& knowledge,
+                                    const std::vector<bool>& bits,
+                                    std::span<const KnowledgeId> sorted_prev,
+                                    RoundScratch& scratch) {
+  const std::size_t n = knowledge.size();
+  if (bits.size() != n || sorted_prev.size() != n) {
+    throw InvalidArgument(
+        "blackboard_round_inplace_dedup: bits/sorted_prev/knowledge size "
+        "mismatch");
+  }
+  scratch.next.clear();
+  scratch.next.reserve(n);
+  scratch.received.resize(n > 0 ? n - 1 : 0);
+  scratch.memo_prev.clear();
+  scratch.memo_bit.clear();
+  scratch.memo_id.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const KnowledgeId own = knowledge[i];
+    const unsigned char bit = bits[i] ? 1 : 0;
+    std::size_t m = 0;
+    for (; m < scratch.memo_prev.size(); ++m) {
+      if (scratch.memo_prev[m] == own && scratch.memo_bit[m] == bit) break;
+    }
+    if (m < scratch.memo_prev.size()) {
+      scratch.next.push_back(scratch.memo_id[m]);
+      continue;
+    }
+    const auto it =
+        std::lower_bound(sorted_prev.begin(), sorted_prev.end(), own);
+    const std::size_t skip =
+        static_cast<std::size_t>(it - sorted_prev.begin());
+    std::copy(sorted_prev.begin(), it, scratch.received.begin());
+    std::copy(it + 1, sorted_prev.end(),
+              scratch.received.begin() + static_cast<std::ptrdiff_t>(skip));
+    const KnowledgeId id =
+        store.blackboard_step_sorted(own, bits[i], scratch.received);
+    scratch.memo_prev.push_back(own);
+    scratch.memo_bit.push_back(bit);
+    scratch.memo_id.push_back(id);
+    scratch.next.push_back(id);
+  }
+  knowledge.swap(scratch.next);
+}
+
+void blackboard_round_crash_inplace(KnowledgeStore& store,
+                                    std::vector<KnowledgeId>& knowledge,
+                                    const std::vector<bool>& bits,
+                                    const std::vector<int>& crash_round,
+                                    int round, RoundScratch& scratch) {
+  if (crash_round.empty()) {
+    blackboard_round_inplace(store, knowledge, bits, scratch);
+    return;
+  }
+  const std::size_t n = knowledge.size();
+  if (bits.size() != n || crash_round.size() != n) {
+    throw InvalidArgument(
+        "blackboard_round_crash_inplace: bits/crash/knowledge size mismatch");
+  }
+  const auto alive = [&](std::size_t j) {
+    return crash_round[j] < 0 || round < crash_round[j];
+  };
+  // Eq. (1)'s survivor-restricted multiset: one shared sort of the alive
+  // previous values; each alive party's multiset is that vector minus one
+  // occurrence of its own value.
+  scratch.sorted_prev.clear();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (alive(j)) scratch.sorted_prev.push_back(knowledge[j]);
+  }
+  std::sort(scratch.sorted_prev.begin(), scratch.sorted_prev.end());
+  scratch.next.clear();
+  scratch.next.reserve(n);
+  scratch.received.resize(
+      scratch.sorted_prev.empty() ? 0 : scratch.sorted_prev.size() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive(i)) {
+      scratch.next.push_back(knowledge[i]);  // frozen at last pre-crash value
+      continue;
+    }
+    const KnowledgeId own = knowledge[i];
+    const auto it = std::lower_bound(scratch.sorted_prev.begin(),
+                                     scratch.sorted_prev.end(), own);
+    const std::size_t skip =
+        static_cast<std::size_t>(it - scratch.sorted_prev.begin());
+    std::copy(scratch.sorted_prev.begin(), it, scratch.received.begin());
+    std::copy(it + 1, scratch.sorted_prev.end(),
+              scratch.received.begin() + static_cast<std::ptrdiff_t>(skip));
+    scratch.next.push_back(
+        store.blackboard_step_sorted(own, bits[i], scratch.received));
+  }
+  knowledge.swap(scratch.next);
+}
+
 void message_round_inplace(KnowledgeStore& store,
                            std::vector<KnowledgeId>& knowledge,
                            const std::vector<bool>& bits,
@@ -248,6 +341,60 @@ std::vector<KnowledgeId> message_round_crash(
     }
   }
   return next;
+}
+
+void message_round_crash_inplace(KnowledgeStore& store,
+                                 std::vector<KnowledgeId>& knowledge,
+                                 const std::vector<bool>& bits,
+                                 const PortAssignment& ports,
+                                 MessageVariant variant,
+                                 const std::vector<int>& crash_round,
+                                 int round, RoundScratch& scratch) {
+  if (crash_round.empty()) {
+    message_round_inplace(store, knowledge, bits, ports, variant, scratch);
+    return;
+  }
+  const std::size_t n = knowledge.size();
+  if (bits.size() != n || crash_round.size() != n) {
+    throw InvalidArgument(
+        "message_round_crash_inplace: bits/crash/knowledge size mismatch");
+  }
+  if (ports.num_parties() != static_cast<int>(n)) {
+    throw InvalidArgument(
+        "message_round_crash_inplace: ports/knowledge size mismatch");
+  }
+  const auto alive = [&](std::size_t j) {
+    return crash_round[j] < 0 || round < crash_round[j];
+  };
+  const bool tagged = variant == MessageVariant::kPortTagged;
+  scratch.next.clear();
+  scratch.next.reserve(n);
+  scratch.received.resize(n > 0 ? n - 1 : 0);
+  scratch.tags.resize(tagged && n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive(i)) {
+      scratch.next.push_back(knowledge[i]);  // frozen at last pre-crash value
+      continue;
+    }
+    for (int p = 1; p <= static_cast<int>(n) - 1; ++p) {
+      const int sender = ports.neighbor(static_cast<int>(i), p);
+      const bool sender_alive = alive(static_cast<std::size_t>(sender));
+      // silence() interns lazily on first use — the same point in the id
+      // sequence as the allocating version, keeping ids byte-identical.
+      scratch.received[static_cast<std::size_t>(p - 1)] =
+          sender_alive ? knowledge[static_cast<std::size_t>(sender)]
+                       : store.silence();
+      if (tagged) {
+        // A silent channel transmits nothing, so no reciprocal tag; 0 is
+        // outside the valid port range [1, n-1].
+        scratch.tags[static_cast<std::size_t>(p - 1)] =
+            sender_alive ? ports.port_to(sender, static_cast<int>(i)) : 0;
+      }
+    }
+    scratch.next.push_back(store.message_step_view(
+        knowledge[i], bits[i], scratch.received, scratch.tags));
+  }
+  knowledge.swap(scratch.next);
 }
 
 namespace {

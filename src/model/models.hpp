@@ -6,6 +6,7 @@
 // each party contributes its entire knowledge every round.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,10 @@ struct RoundScratch {
   std::vector<KnowledgeId> received;
   std::vector<int> tags;
   std::vector<KnowledgeId> next;
+  // Per-round (prev, bit) → id memo of the deduping blackboard operator.
+  std::vector<KnowledgeId> memo_prev;
+  std::vector<unsigned char> memo_bit;
+  std::vector<KnowledgeId> memo_id;
 };
 
 /// One blackboard round in place: knowledge := Eq. (1)(knowledge, bits).
@@ -94,6 +99,34 @@ std::vector<KnowledgeId> blackboard_round_crash(
     const std::vector<bool>& bits, const std::vector<int>& crash_round,
     int round);
 
+/// blackboard_round_inplace with a per-round (prev, bit) memo: within one
+/// round, a party's step value is a function of its own previous value and
+/// bit alone (every party splices the same shared multiset), so parties
+/// sharing a (prev, bit) pair share the result id. The first occurrence
+/// performs exactly the insertion the undeduped operator would; repeats
+/// would have been no-op probes, so skipping them keeps ids and store
+/// insertion order byte-identical. The memo scan is O(n) per party against
+/// at most n entries — a win whenever duplicates exist (early rounds,
+/// where most of a sweep's rounds are spent), which is why the lockstep
+/// batched path uses this variant. `sorted_prev` must be the caller-sorted
+/// copy of `knowledge` (the batched engine already builds it for the
+/// pre-round decision hook, so the sort is paid once per round).
+void blackboard_round_inplace_dedup(KnowledgeStore& store,
+                                    std::vector<KnowledgeId>& knowledge,
+                                    const std::vector<bool>& bits,
+                                    std::span<const KnowledgeId> sorted_prev,
+                                    RoundScratch& scratch);
+
+/// blackboard_round_crash with scratch buffers: byte-identical ids (and
+/// store insertion order — survivors intern in party order, the dead
+/// intern nothing) with no steady-state allocations. With an empty crash
+/// schedule this is exactly blackboard_round_inplace.
+void blackboard_round_crash_inplace(KnowledgeStore& store,
+                                    std::vector<KnowledgeId>& knowledge,
+                                    const std::vector<bool>& bits,
+                                    const std::vector<int>& crash_round,
+                                    int round, RoundScratch& scratch);
+
 /// One message-passing round (Eq. 2) under the given port assignment.
 std::vector<KnowledgeId> message_round(
     KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
@@ -113,6 +146,18 @@ std::vector<KnowledgeId> message_round_crash(
     KnowledgeStore& store, const std::vector<KnowledgeId>& prev,
     const std::vector<bool>& bits, const PortAssignment& ports,
     MessageVariant variant, const std::vector<int>& crash_round, int round);
+
+/// message_round_crash with scratch buffers: byte-identical ids and store
+/// insertion order (silence is interned lazily at the same first-use point
+/// as the allocating version). With an empty crash schedule this is
+/// exactly message_round_inplace.
+void message_round_crash_inplace(KnowledgeStore& store,
+                                 std::vector<KnowledgeId>& knowledge,
+                                 const std::vector<bool>& bits,
+                                 const PortAssignment& ports,
+                                 MessageVariant variant,
+                                 const std::vector<int>& crash_round,
+                                 int round, RoundScratch& scratch);
 
 /// The knowledge vector at the realization's time in the blackboard model,
 /// computed by running Eq. (1) for t rounds on the realization's bits.

@@ -18,10 +18,10 @@ namespace {
 // The complete wire vocabulary, sorted — canonical_text() emits in exactly
 // this order and parse() rejects anything else by listing it.
 constexpr const char* kKeys[] = {
-    "fault-crashes", "fault-seed", "fault-window", "loads",
-    "model",         "port-policy", "port-seed",   "ports",
-    "protocol",      "rounds",      "sched",       "sched-seed",
-    "seeds",         "task",        "variant",
+    "batch",         "fault-crashes", "fault-seed", "fault-window",
+    "loads",         "model",         "port-policy", "port-seed",
+    "ports",         "protocol",      "rounds",      "sched",
+    "sched-seed",    "seeds",         "task",        "variant",
 };
 
 std::string known_keys() {
@@ -193,7 +193,13 @@ CanonicalSpec CanonicalSpec::parse(const std::string& text) {
   }
 
   for (const auto& [key, value] : pairs) {
-    if (key == "model") {
+    if (key == "batch") {
+      const long long parsed = parse_int(value, key);
+      if (parsed < 0) {
+        throw InvalidArgument("spec: batch must be >= 0, got " + value);
+      }
+      spec.batch = static_cast<int>(parsed);
+    } else if (key == "model") {
       if (value != "blackboard" && value != "message-passing") {
         throw InvalidArgument("spec: unknown model '" + value + "'");
       }
@@ -252,8 +258,10 @@ std::string CanonicalSpec::canonical_text() const {
   // Every pair whose value differs from the default, keys sorted (the
   // kKeys order), one per line. Inert knobs — a port seed under a
   // non-random policy, fault fields with zero crashes, a sched seed under
-  // a non-random scheduler — are normalized away: they cannot change any
-  // run, so they must not change the hash.
+  // a non-random scheduler, and `batch` always (batched execution is
+  // byte-identical to unbatched, so the width never changes any result) —
+  // are normalized away: they cannot change any run, so they must not
+  // change the hash.
   const std::string effective_policy =
       port_policy.empty() ? default_policy(model) : port_policy;
   const std::string sched_canon = canonical_sched(sched);

@@ -61,6 +61,13 @@ struct CanonicalSpec {
   int fault_crashes = 0;
   int fault_window = 8;
   std::uint64_t fault_seed = 0xfa017ULL;
+  /// Lockstep batch width the submitter would like the executor to use
+  /// (ParallelConfig::batch); 0 = leave it to the daemon's default. Purely
+  /// an execution-strategy knob: batched results are byte-identical to
+  /// unbatched, so `batch` is normalized out of canonical_text() and the
+  /// spec hash — two requests differing only in batch are the same
+  /// ensemble and share cache shards.
+  int batch = 0;
   /// Scheduler spec in SchedulerSpec::to_string form: "synchronous",
   /// "random-delay(3)", "starve{0,2}(4)".
   std::string sched = "synchronous";

@@ -10,6 +10,9 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
 
 #include "service/canonical.hpp"
 #include "service/json.hpp"
@@ -92,6 +95,16 @@ struct Server::Job {
   std::vector<Point> points;
   SeedRange request_seeds;  // shared by every point (seeds is not an axis)
 
+  /// Chunks another job's execution already produced (cross-job dedup),
+  /// keyed by (spec hash, first seed, run count); the claim path consumes
+  /// and erases a matching entry instead of executing or consulting the
+  /// cache. Guarded by sched_mutex_; filled only for *unclaimed* chunks,
+  /// so a handed-over shard is always eventually claimed and the map
+  /// drains by the time the job finishes.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           ResultCache::Entry>
+      fulfilled;
+
   std::size_t next_point = 0;
   std::size_t next_chunk = 0;
   std::size_t rows_emitted = 0;
@@ -111,7 +124,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.exchange(true)) return;
-  engine_.set_parallel({config_.threads, 0});
+  engine_.set_parallel({config_.threads, 0, config_.batch});
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -392,6 +405,7 @@ void Server::scheduler_loop() {
     std::size_t point_index = 0;
     std::size_t row_index = 0;
     SeedRange chunk;
+    std::optional<ResultCache::Entry> prefilled;
     {
       std::unique_lock<std::mutex> lock(sched_mutex_);
       while (true) {
@@ -413,6 +427,15 @@ void Server::scheduler_loop() {
         job->next_chunk = 0;
         ++job->next_point;
       }
+      // Cross-job dedup, consume side: another job already executed this
+      // exact shard and handed it over — serve it without touching the
+      // engine or the cache (the bytes may have been evicted since).
+      const auto handed = job->fulfilled.find(std::make_tuple(
+          job->points[point_index].hash, chunk.first, chunk.count));
+      if (handed != job->fulfilled.end()) {
+        prefilled = std::move(handed->second);
+        job->fulfilled.erase(handed);
+      }
     }
 
     Job::Point& point = job->points[point_index];
@@ -420,7 +443,11 @@ void Server::scheduler_loop() {
     RunStats stats;
     std::string payload;
     bool cached = false;
-    if (auto hit = cache_.lookup(key)) {
+    if (prefilled.has_value()) {
+      payload = std::move(prefilled->payload);
+      stats = std::move(prefilled->stats);
+      cached = true;
+    } else if (auto hit = cache_.lookup(key)) {
       payload = std::move(hit->payload);
       stats = std::move(hit->stats);
       cached = true;
@@ -441,6 +468,34 @@ void Server::scheduler_loop() {
     bool finished = false;
     {
       std::lock_guard<std::mutex> lock(sched_mutex_);
+      if (!cached) {
+        // Cross-job dedup, fill side: hand the freshly executed shard to
+        // every other queued job still waiting on the same (spec hash,
+        // chunk). Only unclaimed chunks qualify — a claimed one is already
+        // past the consume check above. Rows are pure functions of
+        // (spec, chunk), so the handover is byte-identical to executing.
+        const auto dedup_key =
+            std::make_tuple(point.hash, chunk.first, chunk.count);
+        for (const auto& other_session : sessions_) {
+          for (const auto& other : other_session->jobs) {
+            if (other == job) continue;
+            for (std::size_t p = other->next_point; p < other->points.size();
+                 ++p) {
+              if (other->points[p].hash != point.hash) continue;
+              const std::vector<SeedRange>& chunks = other->points[p].chunks;
+              for (std::size_t c = p == other->next_point ? other->next_chunk
+                                                          : 0;
+                   c < chunks.size(); ++c) {
+                if (chunks[c].first == chunk.first &&
+                    chunks[c].count == chunk.count) {
+                  other->fulfilled.emplace(dedup_key,
+                                           ResultCache::Entry{payload, stats});
+                }
+              }
+            }
+          }
+        }
+      }
       job->summary.merge(stats);
       if (cached) {
         job->runs_cached += chunk.count;

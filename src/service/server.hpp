@@ -22,7 +22,7 @@
 //    "runs_cached":0,"summary":{...}}
 //   {"type":"error","ok":false,"reason":"..."}
 //
-// Three server-side policies:
+// Four server-side policies:
 //
 //  * admission control — at most `max_queue_jobs` jobs may be pending at
 //    once; a submit past the bound is rejected immediately with a reason
@@ -36,7 +36,13 @@
 //  * result cache — every executed chunk lands in an LRU ResultCache
 //    (src/service/cache.hpp) keyed by (spec hash, chunk range); repeated
 //    or overlapping queries stream the covered chunks back without
-//    executing a single run.
+//    executing a single run;
+//  * cross-job dedup — when an executed chunk also appears, unclaimed, in
+//    another queued job with the same spec hash, the scheduler hands the
+//    completed shard to that job at completion time, so concurrent
+//    queries over one ensemble execute each chunk once — even when the
+//    LRU cache is too small to retain the bytes until the second job's
+//    turn comes around.
 //
 // Determinism: a row's bytes are a pure function of (spec, chunk) — the
 // engine is deterministic for any thread count, cached bytes are the
@@ -69,6 +75,10 @@ struct ServerConfig {
   int port = 0;
   /// Engine worker threads per chunk sweep (ParallelConfig; 0 = hardware).
   int threads = 0;
+  /// Lockstep batch width per chunk sweep (ParallelConfig::batch). Batched
+  /// execution is byte-identical to unbatched, so this is invisible on the
+  /// wire — rows and cache shards do not change with the width.
+  int batch = 16;
   /// Admission bound: pending (queued + running) jobs across all clients.
   std::size_t max_queue_jobs = 64;
   /// Result-cache byte budget.

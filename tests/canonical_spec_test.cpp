@@ -79,6 +79,23 @@ TEST(CanonicalSpec, InertKnobsNormalizeAway) {
   EXPECT_NE(faulty.hash(), bare.hash());
 }
 
+TEST(CanonicalSpec, BatchKnobIsHashInert) {
+  // `batch` picks the executor's lockstep width, and batched execution is
+  // byte-identical to unbatched — so two requests differing only in batch
+  // are the same ensemble: same canonical text, same hash, shared cache
+  // shards. The parsed value still reaches the spec for the executor.
+  const CanonicalSpec bare =
+      CanonicalSpec::parse("loads=2,3\nprotocol=wait-for-singleton-LE");
+  const CanonicalSpec batched = CanonicalSpec::parse(
+      "batch=16\nloads=2,3\nprotocol=wait-for-singleton-LE");
+  EXPECT_EQ(batched.batch, 16);
+  EXPECT_EQ(bare.batch, 0);
+  EXPECT_EQ(batched.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(batched.hash(), bare.hash());
+  EXPECT_THROW(CanonicalSpec::parse("batch=-1\nloads=2,3\nprotocol=x"),
+               InvalidArgument);
+}
+
 TEST(CanonicalSpec, DistinctSpecsHashDistinct) {
   const char* specs[] = {
       "loads=2,3\nprotocol=wait-for-singleton-LE",
@@ -208,6 +225,11 @@ TEST(CanonicalSpecGolden, EveryRegistrySpecHasAPinnedFormAndHash) {
        "task=leader-election\nport-policy=random-per-run\nport-seed=42\n"
        "variant=literal\nfault-crashes=1\nfault-window=4\nfault-seed=7\n"
        "sched=random-delay(3)\nsched-seed=11\nrounds=64");
+  // The batch knob canonicalizes away entirely: this block must equal the
+  // plain leader-election spec's, hash included.
+  emit("batched execution knob",
+       "batch=16\nloads=2,3\nprotocol=wait-for-singleton-LE\n"
+       "task=leader-election");
 
   rsb::testing::expect_matches_golden(report, "canonical_specs.txt");
 }

@@ -3,7 +3,10 @@
 // library's "laws"; each encodes a fact the paper's proofs rely on.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "algo/agents.hpp"
 #include "algo/protocol.hpp"
@@ -425,6 +428,99 @@ TEST(SchedulerProperty, OutputIndependentOfThreadCount) {
       parallel.set_parallel({threads, 0});
       EXPECT_EQ(parallel.run_batch(spec), reference)
           << "delay " << delay << " threads " << threads;
+    }
+  }
+}
+
+// A per-run outcome snapshot for byte-identity comparisons, keyed by seed
+// so the comparison is independent of observer delivery order.
+using OutcomeSnapshot =
+    std::tuple<std::vector<std::int64_t>, std::vector<int>, int, bool,
+               std::vector<int>>;
+
+std::map<std::uint64_t, OutcomeSnapshot> snapshot_sweep(Engine& engine,
+                                                        const Experiment& spec) {
+  std::map<std::uint64_t, OutcomeSnapshot> out;
+  engine.run_batch(spec,
+                   [&](const RunView& view, const ProtocolOutcome& outcome) {
+                     out.emplace(view.seed,
+                                 OutcomeSnapshot{outcome.outputs,
+                                                 outcome.decision_round,
+                                                 outcome.rounds,
+                                                 outcome.terminated,
+                                                 outcome.crash_round});
+                   });
+  return out;
+}
+
+// Law 14 — lockstep batched execution is byte-identical to unbatched:
+// for every supported batch width and thread count, per-run outcomes and
+// the merged aggregate equal the serial batch=1 sweep, on both models
+// (fault-free blackboard; message passing under per-run random wirings).
+// 97 seeds is coprime to every width, so each sweep exercises the scalar
+// remainder path too.
+TEST(BatchProperty, BatchedSweepsAreByteIdenticalToUnbatched) {
+  const auto blackboard =
+      Experiment::blackboard(SourceConfiguration::from_loads({2, 2, 1}))
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(300)
+          .with_seeds(1, 97);
+  const auto message =
+      Experiment::message_passing(SourceConfiguration::all_private(5),
+                                  PortPolicy::kRandomPerRun)
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("leader-election")
+          .with_rounds(300)
+          .with_seeds(11, 97);
+  for (const Experiment& spec : {blackboard, message}) {
+    Engine serial;
+    const RunStats reference_stats = serial.run_batch(spec);
+    const auto reference_runs = snapshot_sweep(serial, spec);
+    ASSERT_EQ(reference_runs.size(), 97u);
+    for (const int batch : {1, 2, 7, 16}) {
+      for (const int threads : {1, 4}) {
+        Engine engine;
+        engine.set_parallel({threads, 0, batch});
+        EXPECT_EQ(engine.run_batch(spec), reference_stats)
+            << "batch " << batch << " threads " << threads;
+        EXPECT_EQ(snapshot_sweep(engine, spec), reference_runs)
+            << "batch " << batch << " threads " << threads;
+      }
+    }
+  }
+}
+
+// Law 15 — batched crash sweeps face the scalar path run for run: a
+// faulty lane executes the same crash bookkeeping, round operators, and
+// per-party decides as run_prepared, so outcomes — crash schedules
+// included — are byte-identical at every width.
+TEST(BatchProperty, BatchedCrashSweepsMatchScalarRunForRun) {
+  const auto blackboard =
+      Experiment::blackboard(SourceConfiguration::all_private(6))
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("t-resilient-leader-election(2)")
+          .with_faults(sim::FaultPlan::crash_stop(2, 9))
+          .with_rounds(300)
+          .with_seeds(1, 61);
+  const auto message =
+      Experiment::message_passing(SourceConfiguration::all_private(5),
+                                  PortPolicy::kRandomPerRun)
+          .with_protocol("wait-for-singleton-LE")
+          .with_task("t-resilient-leader-election(1)")
+          .with_faults(sim::FaultPlan::crash_stop(1, 11))
+          .with_rounds(300)
+          .with_seeds(3, 61);
+  for (const Experiment& spec : {blackboard, message}) {
+    Engine serial;
+    const RunStats reference_stats = serial.run_batch(spec);
+    const auto reference_runs = snapshot_sweep(serial, spec);
+    for (const int batch : {2, 16}) {
+      Engine engine;
+      engine.set_parallel({1, 0, batch});
+      EXPECT_EQ(engine.run_batch(spec), reference_stats) << "batch " << batch;
+      EXPECT_EQ(snapshot_sweep(engine, spec), reference_runs)
+          << "batch " << batch;
     }
   }
 }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -177,6 +178,69 @@ TEST(Service, ConcurrentClientsGetReferenceBytes) {
   }
   for (std::size_t i = 0; i < expected_b.size(); ++i) {
     EXPECT_EQ(result_b.rows[i], expected_b[i]) << "client B chunk " << i;
+  }
+  server.stop();
+}
+
+TEST(Service, CrossJobDedupExecutesSharedChunksOnce) {
+  // cache_bytes = 0: the LRU cache retains nothing, so the only way a
+  // chunk can come back "cached" here is the completion-time handover
+  // from another job's execution — the cross-job dedup path, not the
+  // cache. One session means FIFO job order: the slow decoy occupies the
+  // scheduler while A and B queue behind it, so B is provably queued
+  // before any A chunk executes and every A chunk is handed over.
+  Server server({.threads = 2, .cache_bytes = 0});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const std::string decoy =
+      "loads=2,3\nprotocol=wait-for-singleton-LE\nseeds=0+256";
+  client.send_line(submit_request(decoy));
+  client.send_line(submit_request(kSpec));  // job A
+  client.send_line(submit_request(kSpec));  // job B: same spec, same chunks
+
+  std::vector<std::uint64_t> accepted_ids;
+  std::map<std::uint64_t, JobResult> jobs;
+  std::size_t done_seen = 0;
+  while (done_seen < 3) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    const Value msg = Value::parse(*line);
+    const std::string type = msg.find("type")->as_string();
+    if (type == "accepted") {
+      accepted_ids.push_back(msg.find("job")->as_uint());
+      continue;
+    }
+    const std::uint64_t id = msg.find("job")->as_uint();
+    if (type == "row") {
+      jobs[id].rows.push_back(msg.find("row")->serialize());
+      jobs[id].lines.push_back(*line);
+      continue;
+    }
+    ASSERT_EQ(type, "done") << *line;
+    jobs[id].runs_executed = msg.find("runs_executed")->as_uint();
+    jobs[id].runs_cached = msg.find("runs_cached")->as_uint();
+    ++done_seen;
+  }
+  ASSERT_EQ(accepted_ids.size(), 3u);
+  const JobResult& job_a = jobs[accepted_ids[1]];
+  const JobResult& job_b = jobs[accepted_ids[2]];
+
+  // The engine's run counter moved once per distinct chunk: the decoy's
+  // 256 runs plus A's 600 — B's 600 never reached the engine.
+  EXPECT_EQ(server.stats().runs_executed, 256u + 600u);
+  EXPECT_EQ(job_a.runs_executed, 600u);
+  EXPECT_EQ(job_a.runs_cached, 0u);
+  EXPECT_EQ(job_b.runs_executed, 0u);
+  EXPECT_EQ(job_b.runs_cached, 600u);
+  // Handed-over rows are the executed bytes: B's payloads equal A's
+  // chunk-for-chunk (only the row lines' cached flag differs).
+  ASSERT_EQ(job_b.rows.size(), job_a.rows.size());
+  for (std::size_t i = 0; i < job_a.rows.size(); ++i) {
+    EXPECT_EQ(job_b.rows[i], job_a.rows[i]) << "chunk " << i;
+    EXPECT_NE(job_b.lines[i].find("\"cached\":true"), std::string::npos)
+        << "chunk " << i;
   }
   server.stop();
 }
