@@ -1,0 +1,62 @@
+// Sparse-graph symmetry breaking through the topology subsystem.
+//
+// Sweeps Luby MIS over three topology families × crash counts
+// (Grid::over_topologies × Grid::over_fault_counts) and tabulates
+// rounds-to-decide: locality pays — on a bounded-degree graph the phase
+// count barely moves with n — while the mis task judges survivors
+// against the surviving subgraph, so crashes cost validity, not
+// termination.
+//
+// Build & run:  ./build/examples/graph_sweep
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "engine/grid.hpp"
+#include "engine/report.hpp"
+#include "graph/agents.hpp"
+#include "graph/topology.hpp"
+
+using namespace rsb;
+
+namespace {
+
+void mis_sweep() {
+  std::printf("Luby MIS, n = 24, topology × crash-count sweep\n\n");
+  Grid grid(Experiment::message_passing(SourceConfiguration::all_private(24))
+                .with_agents(graph::make_agents("luby-mis"))
+                .with_faults(sim::FaultPlan::crash_stop(0, 6))
+                .with_rounds(300)
+                .with_seeds(1, 200));
+  grid.over_topologies({"ring", "d-regular(3)", "power-law(2)"})
+      .over_fault_counts({0, 1, 3});
+
+  Engine engine;
+  ResultTable table("graph_sweep");
+  for (const GridPoint& point : grid.expand()) {
+    Experiment spec = point.spec;
+    spec.with_task("mis");  // binds to the point's topology
+    const RunStats stats = engine.run_batch(spec);
+    auto row = table.add_row();
+    for (const auto& [axis, value] : point.coords) row.set(axis, value);
+    row.set("edges", spec.topology->num_edges());
+    add_stats_columns(row, stats);
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "   mean-rounds tracks the phase count of the local algorithm, not n:"
+      "\n   every instance decides in a handful of 2-round phases. Crashes"
+      "\n   never block termination, but success-rate dips with the crash"
+      "\n   count: a party that joined the MIS and then crashed leaves its"
+      "\n   surviving neighbors settled-but-uncovered, and the mis task"
+      "\n   judges the survivors' maximality honestly.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sparse topologies & locality tasks (src/graph/)\n");
+  std::printf(
+      "================================================================\n\n");
+  mis_sweep();
+  return 0;
+}

@@ -165,6 +165,14 @@ void run_worker_pool(int workers, Body&& body) {
 /// `batch` lanes; remainder runs — and agent-backend specs, whose state
 /// lives in per-run sim::Networks — take the scalar path. `ports` must be
 /// positioned at `begin`; on return it is positioned at `end`.
+/// The policy the run's PortProvider draws under. A topology spec routes
+/// through the graph's own wiring — its provider produces no assignments
+/// and consumes no port-seed stream, whatever the spec's nominal policy
+/// (validate() pins it to the message-passing default anyway).
+PortPolicy provider_policy(const Experiment& spec) {
+  return spec.topology != nullptr ? PortPolicy::kNone : spec.port_policy;
+}
+
 template <typename PerRun>
 void execute_range(RunContext& ctx, const Experiment& spec,
                    PortProvider& ports, std::uint64_t begin, std::uint64_t end,
@@ -204,7 +212,7 @@ Engine& Engine::set_parallel(ParallelConfig config) {
 
 ProtocolOutcome Engine::run(const Experiment& spec, std::uint64_t seed) {
   spec.validate();
-  PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+  PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                      spec.config, spec.port_seed);
   const ProtocolOutcome outcome = execute_run(ctx_, spec, seed, ports.next());
   store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
@@ -244,7 +252,7 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
   if (workers <= 1) {
     // Serial fast path: the engine's own context, one shard.
     prepare(1);
-    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+    PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
     execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
                   [&](std::uint64_t i, const PortAssignment* assignment,
@@ -266,7 +274,7 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
   ChunkDeque deque(num_chunks, workers);
   run_worker_pool(workers, [&](int w) {
     RunContext& ctx = worker_ctxs_[static_cast<std::size_t>(w)];
-    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+    PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
     std::uint64_t c = 0;
     while (deque.pop(w, c)) {
@@ -315,7 +323,7 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   RunStats stats;
 
   if (workers <= 1) {
-    PortProvider ports(spec.model, spec.port_policy, spec.fixed_ports,
+    PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
     execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
                   [&](std::uint64_t i, const PortAssignment* assignment,
@@ -341,9 +349,13 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   if (worker_ctxs_.size() < static_cast<std::size_t>(workers)) {
     worker_ctxs_.resize(static_cast<std::size_t>(workers));
   }
-  const bool per_run_ports = spec.port_policy == PortPolicy::kRandomPerRun;
+  const bool per_run_ports = spec.topology == nullptr &&
+                             spec.port_policy == PortPolicy::kRandomPerRun;
   std::optional<PortAssignment> shared_ports;
-  if (spec.model == Model::kMessagePassing && !per_run_ports) {
+  // Topology specs carry no assignments at all — the wiring lives on the
+  // spec and reaches the Network directly in run_agent_prepared.
+  if (spec.model == Model::kMessagePassing && spec.topology == nullptr &&
+      !per_run_ports) {
     PortProvider once(spec.model, spec.port_policy, spec.fixed_ports,
                       spec.config, spec.port_seed);
     shared_ports = *once.next();
@@ -356,8 +368,8 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   std::vector<PortProvider> providers;
   providers.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    providers.emplace_back(spec.model, spec.port_policy, spec.fixed_ports,
-                           spec.config, spec.port_seed);
+    providers.emplace_back(spec.model, provider_policy(spec),
+                           spec.fixed_ports, spec.config, spec.port_seed);
   }
 
   // One persistent pool serves every window: workers sleep on a

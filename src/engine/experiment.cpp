@@ -4,6 +4,8 @@
 
 #include "engine/collector.hpp"
 #include "engine/registry.hpp"
+#include "graph/graph_task.hpp"
+#include "graph/topology.hpp"
 #include "util/error.hpp"
 
 namespace rsb {
@@ -77,7 +79,42 @@ Experiment& Experiment::with_task(SymmetricTask t) {
 }
 
 Experiment& Experiment::with_task(const std::string& name) {
+  const std::size_t open = name.find('(');
+  const std::string base = open == std::string::npos ? name
+                                                     : name.substr(0, open);
+  if (!TaskRegistry::global().contains(base) &&
+      graph::GraphTaskRegistry::global().contains(base)) {
+    if (topology == nullptr) {
+      throw InvalidArgument(
+          "graph-task-requires-topology: task '" + name +
+          "' checks validity against an instance adjacency; set a "
+          "non-clique topology= first");
+    }
+    task = graph::make_graph_task(name, topology);
+    return *this;
+  }
   task = make_task(name, config.num_parties());
+  return *this;
+}
+
+Experiment& Experiment::with_topology(
+    std::shared_ptr<const graph::Topology> topo) {
+  // Clique normalizes to null: the all-to-all machinery already IS that
+  // wiring, and collapsing here makes the byte-identity law structural.
+  if (topo != nullptr && topo->kind() == graph::TopologyKind::kClique) {
+    topo = nullptr;
+  }
+  topology = std::move(topo);
+  return *this;
+}
+
+Experiment& Experiment::with_topology(const std::string& name) {
+  return with_topology(
+      graph::make_topology(name, config.num_parties(), topology_seed));
+}
+
+Experiment& Experiment::with_topology_seed(std::uint64_t seed) {
+  topology_seed = seed;
   return *this;
 }
 
@@ -155,6 +192,30 @@ void Experiment::validate() const {
     throw InvalidArgument(
         "Experiment: task party count does not match the configuration");
   }
+  if (topology != nullptr) {
+    if (model != Model::kMessagePassing) {
+      throw InvalidArgument(
+          "topology-requires-message-passing: a sparse topology IS a port "
+          "wiring; blackboard specs have none");
+    }
+    if (backend() != Backend::kAgents) {
+      throw InvalidArgument(
+          "topology-requires-agent-backend: the knowledge recursion is "
+          "defined on the complete graph; run graph workloads with "
+          "with_agents");
+    }
+    if (topology->num_parties() != config.num_parties()) {
+      throw InvalidArgument(
+          "Experiment: topology party count does not match the "
+          "configuration");
+    }
+    if (port_policy != PortPolicy::kRandomPerRun) {
+      throw InvalidArgument(
+          "topology-fixes-the-wiring: the graph's canonical port numbering "
+          "replaces the port policy; leave the policy at the "
+          "message-passing default");
+    }
+  }
   faults.validate(config.num_parties());
   if (faults.any() && faults.crash_window > max_rounds) {
     throw InvalidArgument(
@@ -182,7 +243,11 @@ std::string Experiment::to_string() const {
   }
   if (task.has_value()) out += " task=" + task->name();
   if (model == Model::kMessagePassing) {
-    out += " ports=" + rsb::to_string(port_policy);
+    if (topology != nullptr) {
+      out += " topology=" + topology->name();
+    } else {
+      out += " ports=" + rsb::to_string(port_policy);
+    }
     if (variant == MessageVariant::kLiteral) out += " variant=literal";
   }
   if (faults.any()) out += " faults=" + faults.to_string();

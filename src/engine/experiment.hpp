@@ -42,6 +42,10 @@
 #include "sim/scheduler.hpp"
 #include "tasks/tasks.hpp"
 
+namespace rsb::graph {
+class Topology;
+}  // namespace rsb::graph
+
 namespace rsb {
 
 struct RunView;
@@ -90,6 +94,15 @@ struct Experiment {
   PortPolicy port_policy = PortPolicy::kNone;
   std::optional<PortAssignment> fixed_ports;  // for PortPolicy::kFixed
   std::uint64_t port_seed = 0x9e3779b9;       // for PortPolicy::kRandomPerRun
+  /// Sparse communication graph (agent backend, message passing only).
+  /// Null = the historical all-to-all wiring; a non-null topology replaces
+  /// the port-policy machinery entirely (the graph's canonical numbering
+  /// IS the wiring, identical in every run) and with_task falls back to
+  /// the graph-task registry for names like "mis". with_topology
+  /// normalizes a clique topology back to null, so "topology=clique" is
+  /// byte-identical to the pre-graph path by construction.
+  std::shared_ptr<const graph::Topology> topology;
+  std::uint64_t topology_seed = 0x70b01ULL;  // randomized generators only
   MessageVariant variant = MessageVariant::kPortTagged;  // kProtocol only
   /// Crash-stop fault adversary (default: fault-free). Per-run crash
   /// schedules are drawn from the plan's seed stream keyed on the run
@@ -126,8 +139,23 @@ struct Experiment {
   Experiment& with_agents(sim::Network::AgentFactory f);
   Experiment& with_task(SymmetricTask task);
   /// Looks `name` up in the global TaskRegistry for this spec's
-  /// config.num_parties(); set the configuration first.
+  /// config.num_parties(); set the configuration first. Names the
+  /// TaskRegistry does not know fall back to the graph-task registry
+  /// (mis, coloring, 2-ruling-set) — those are judged against this spec's
+  /// topology, so set a non-clique topology first or get a named
+  /// "graph-task-requires-topology" rejection.
   Experiment& with_task(const std::string& name);
+  /// Attaches a sparse communication graph (agent backend, message
+  /// passing). A clique topology normalizes back to null — the all-to-all
+  /// path — so specs differing only by "topology=clique" are one spec.
+  Experiment& with_topology(std::shared_ptr<const graph::Topology> topo);
+  /// Builds `name` (e.g. "ring", "d-regular(3)") from the global
+  /// TopologyRegistry for config.num_parties() under topology_seed; set
+  /// the configuration (and seed, if non-default) first.
+  Experiment& with_topology(const std::string& name);
+  /// Seed for the randomized generators (d-regular, erdos-renyi,
+  /// power-law); inert for structured ones. Set before with_topology(name).
+  Experiment& with_topology_seed(std::uint64_t seed);
   /// Fixes the wiring for every run (sets PortPolicy::kFixed).
   Experiment& with_ports(PortAssignment ports);
   Experiment& with_port_policy(PortPolicy policy);

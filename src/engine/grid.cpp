@@ -120,6 +120,20 @@ Grid& Grid::over_tasks(std::vector<std::string> names) {
   return over("task", std::move(labels), std::move(apply));
 }
 
+Grid& Grid::over_topologies(std::vector<std::string> names) {
+  std::vector<std::string> labels;
+  std::vector<Apply> apply;
+  labels.reserve(names.size());
+  apply.reserve(names.size());
+  for (const std::string& name : names) {
+    labels.push_back(name);
+    // Resolved at expansion so the graph binds to the point's (possibly
+    // axis-set) configuration and topology seed.
+    apply.push_back([name](Experiment& spec) { spec.with_topology(name); });
+  }
+  return over("topology", std::move(labels), std::move(apply));
+}
+
 Grid& Grid::over_rounds(std::vector<int> rounds) {
   std::vector<std::string> labels;
   std::vector<Apply> apply;

@@ -78,8 +78,14 @@ class Grid {
   /// UnknownName with the known names listed).
   Grid& over_protocols(std::vector<std::string> names);
   /// Tasks by registry name, resolved per point against the point's
-  /// configuration — declare after any configuration axis.
+  /// configuration — declare after any configuration axis. Graph-task
+  /// names (mis, coloring, ...) bind to the point's topology, so declare
+  /// after over_topologies too.
   Grid& over_tasks(std::vector<std::string> names);
+  /// Topologies by generator name ("ring", "d-regular(3)", ...), built per
+  /// point from the point's configuration and topology_seed — declare
+  /// after any configuration axis and before any graph-task axis.
+  Grid& over_topologies(std::vector<std::string> names);
   Grid& over_rounds(std::vector<int> rounds);
   Grid& over_port_seeds(std::vector<std::uint64_t> seeds);
   /// Crash counts t of a t-of-n fault sweep: each entry sets

@@ -283,7 +283,8 @@ ProtocolOutcome run_agent_prepared(RunContext& ctx, const Experiment& spec,
   if (ports != nullptr) run_ports = *ports;
   spec.faults.draw(spec.config.num_parties(), seed, ctx.crash_round);
   sim::Network net(spec.model, spec.config, seed, std::move(run_ports),
-                   spec.factory, spec.scheduler, ctx.crash_round, &ctx.arena);
+                   spec.factory, spec.scheduler, ctx.crash_round, &ctx.arena,
+                   spec.topology.get());
   const sim::Network::Outcome net_outcome = net.run(spec.max_rounds);
   ProtocolOutcome outcome;
   outcome.terminated = net_outcome.all_decided;

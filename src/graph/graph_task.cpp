@@ -1,0 +1,230 @@
+#include "graph/graph_task.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rsb::graph {
+
+namespace {
+
+bool alive_at(std::span<const int> crash_round, int party) {
+  // Empty crash_round = fault-free run; the outcome encoding marks a
+  // crashed party with its crash round (>= 0).
+  return crash_round.empty() || crash_round[static_cast<std::size_t>(party)] < 0;
+}
+
+/// No alive–alive edge has both endpoints selected (value 1). Scans each
+/// vertex's higher-numbered neighbors so every edge is checked once.
+bool independent(const Topology& topo, std::span<const int> values,
+                 std::span<const int> crash_round) {
+  for (int v = 0; v < topo.num_parties(); ++v) {
+    if (values[static_cast<std::size_t>(v)] != 1 || !alive_at(crash_round, v)) {
+      continue;
+    }
+    for (const int u : topo.neighbors(v)) {
+      if (u > v && values[static_cast<std::size_t>(u)] == 1 &&
+          alive_at(crash_round, u)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const Topology> require(std::shared_ptr<const Topology> topo,
+                                        const char* what) {
+  if (topo == nullptr) {
+    throw InvalidArgument(std::string(what) + ": topology must be non-null");
+  }
+  return topo;
+}
+
+}  // namespace
+
+SymmetricTask mis_task(std::shared_ptr<const Topology> topology) {
+  auto topo = require(std::move(topology), "mis_task");
+  const int n = topo->num_parties();
+  return SymmetricTask(
+             "mis@" + topo->name(), n, {0, 1},
+             [](const std::vector<int>&) { return true; })
+      .with_refinement([topo](std::span<const int> values,
+                              std::span<const int> crash_round) {
+        if (!independent(*topo, values, crash_round)) return false;
+        // Maximality over survivors: an alive 0 must see an alive
+        // 1-neighbor (a 0 whose only 1-neighbors crashed is a violation —
+        // the survivors' set is not maximal on the surviving subgraph).
+        for (int v = 0; v < topo->num_parties(); ++v) {
+          if (values[static_cast<std::size_t>(v)] != 0 ||
+              !alive_at(crash_round, v)) {
+            continue;
+          }
+          bool dominated = false;
+          for (const int u : topo->neighbors(v)) {
+            if (values[static_cast<std::size_t>(u)] == 1 &&
+                alive_at(crash_round, u)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) return false;
+        }
+        return true;
+      });
+}
+
+SymmetricTask coloring_task(std::shared_ptr<const Topology> topology) {
+  auto topo = require(std::move(topology), "coloring_task");
+  const int n = topo->num_parties();
+  std::vector<int> palette(static_cast<std::size_t>(topo->max_degree()) + 1);
+  std::iota(palette.begin(), palette.end(), 0);
+  return SymmetricTask(
+             "coloring@" + topo->name(), n, std::move(palette),
+             [](const std::vector<int>&) { return true; })
+      .with_refinement([topo](std::span<const int> values,
+                              std::span<const int> crash_round) {
+        for (int v = 0; v < topo->num_parties(); ++v) {
+          if (!alive_at(crash_round, v)) continue;
+          for (const int u : topo->neighbors(v)) {
+            if (u > v && alive_at(crash_round, u) &&
+                values[static_cast<std::size_t>(u)] ==
+                    values[static_cast<std::size_t>(v)]) {
+              return false;
+            }
+          }
+        }
+        return true;
+      });
+}
+
+SymmetricTask ruling_set_2_task(std::shared_ptr<const Topology> topology) {
+  auto topo = require(std::move(topology), "ruling_set_2_task");
+  const int n = topo->num_parties();
+  return SymmetricTask(
+             "2-ruling-set@" + topo->name(), n, {0, 1},
+             [](const std::vector<int>&) { return true; })
+      .with_refinement([topo](std::span<const int> values,
+                              std::span<const int> crash_round) {
+        if (!independent(*topo, values, crash_round)) return false;
+        // Domination at distance <= 2, routed through alive parties only:
+        // crashed intermediates carry no path on the surviving subgraph.
+        for (int v = 0; v < topo->num_parties(); ++v) {
+          if (values[static_cast<std::size_t>(v)] != 0 ||
+              !alive_at(crash_round, v)) {
+            continue;
+          }
+          bool dominated = false;
+          for (const int u : topo->neighbors(v)) {
+            if (!alive_at(crash_round, u)) continue;
+            if (values[static_cast<std::size_t>(u)] == 1) {
+              dominated = true;
+              break;
+            }
+            for (const int w : topo->neighbors(u)) {
+              if (w != v && values[static_cast<std::size_t>(w)] == 1 &&
+                  alive_at(crash_round, w)) {
+                dominated = true;
+                break;
+              }
+            }
+            if (dominated) break;
+          }
+          if (!dominated) return false;
+        }
+        return true;
+      });
+}
+
+GraphTaskRegistry& GraphTaskRegistry::global() {
+  static GraphTaskRegistry* registry = [] {
+    auto* r = new GraphTaskRegistry();
+    r->add("mis", 0,
+           "maximal independent set over the instance adjacency "
+           "(independence + maximality over survivors)",
+           [](std::shared_ptr<const Topology> topo, const std::vector<int>&) {
+             return mis_task(std::move(topo));
+           });
+    r->add("coloring", 0,
+           "proper (Δ+1)-coloring: alive–alive edge endpoints differ",
+           [](std::shared_ptr<const Topology> topo, const std::vector<int>&) {
+             return coloring_task(std::move(topo));
+           });
+    r->add("2-ruling-set", 0,
+           "(2,2)-ruling set: independent 1s dominating every alive 0 "
+           "within distance 2",
+           [](std::shared_ptr<const Topology> topo, const std::vector<int>&) {
+             return ruling_set_2_task(std::move(topo));
+           });
+    return r;
+  }();
+  return *registry;
+}
+
+void GraphTaskRegistry::add(const std::string& name, int arity,
+                            std::string help, Factory factory) {
+  if (name.empty() || name.find('(') != std::string::npos) {
+    throw InvalidArgument("GraphTaskRegistry::add: bad name '" + name + "'");
+  }
+  entries_[name] = Entry{arity, std::move(help), std::move(factory)};
+}
+
+bool GraphTaskRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+SymmetricTask GraphTaskRegistry::make(
+    const std::string& spec, std::shared_ptr<const Topology> topology) const {
+  // Reuse the registry spec grammar: bare name or name(args).
+  const std::size_t open = spec.find('(');
+  const std::string base = open == std::string::npos ? spec
+                                                     : spec.substr(0, open);
+  const auto it = entries_.find(base);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& name : names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw UnknownName("graph-task registry: unknown name '" + base +
+                      "' (known: " + known + ")");
+  }
+  if (it->second.arity != 0) {
+    throw InvalidArgument("graph-task '" + base +
+                          "': argument parsing not supported yet");
+  }
+  if (open != std::string::npos) {
+    throw InvalidArgument("graph-task '" + base + "' takes no arguments");
+  }
+  return it->second.factory(std::move(topology), {});
+}
+
+std::vector<std::string> GraphTaskRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> GraphTaskRegistry::describe() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    std::string line = name;
+    if (entry.arity > 0) {
+      line += "(";
+      for (int i = 0; i < entry.arity; ++i) line += i == 0 ? "_" : ",_";
+      line += ")";
+    }
+    if (!entry.help.empty()) line += " — " + entry.help;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+SymmetricTask make_graph_task(const std::string& spec,
+                              std::shared_ptr<const Topology> topology) {
+  return GraphTaskRegistry::global().make(spec, std::move(topology));
+}
+
+}  // namespace rsb::graph

@@ -8,6 +8,8 @@
 #include <string_view>
 
 #include "engine/registry.hpp"
+#include "graph/agents.hpp"
+#include "graph/topology.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -18,10 +20,11 @@ namespace {
 // The complete wire vocabulary, sorted — canonical_text() emits in exactly
 // this order and parse() rejects anything else by listing it.
 constexpr const char* kKeys[] = {
-    "batch",         "fault-crashes", "fault-seed", "fault-window",
-    "loads",         "model",         "port-policy", "port-seed",
-    "ports",         "protocol",      "rounds",      "sched",
-    "sched-seed",    "seeds",         "task",        "variant",
+    "agents",     "batch",      "fault-crashes", "fault-seed",
+    "fault-window", "loads",    "model",         "port-policy",
+    "port-seed",  "ports",      "protocol",      "rounds",
+    "sched",      "sched-seed", "seeds",         "task",
+    "topology",   "topology-seed", "variant",
 };
 
 std::string known_keys() {
@@ -208,8 +211,14 @@ CanonicalSpec CanonicalSpec::parse(const std::string& text) {
       spec.loads = parse_int_list(value, key);
     } else if (key == "protocol") {
       spec.protocol = value;
+    } else if (key == "agents") {
+      spec.agents = value;
     } else if (key == "task") {
       spec.task = value;
+    } else if (key == "topology") {
+      spec.topology = value;
+    } else if (key == "topology-seed") {
+      spec.topology_seed = parse_u64(value, key);
     } else if (key == "port-policy") {
       parse_policy(value);  // reject unknown spellings early
       spec.port_policy = value;
@@ -248,8 +257,15 @@ CanonicalSpec CanonicalSpec::parse(const std::string& text) {
   if (spec.loads.empty()) {
     throw InvalidArgument("spec: missing required key 'loads'");
   }
-  if (spec.protocol.empty()) {
-    throw InvalidArgument("spec: missing required key 'protocol'");
+  if (!spec.protocol.empty() && !spec.agents.empty()) {
+    throw InvalidArgument(
+        "spec: 'protocol' and 'agents' are mutually exclusive (one backend "
+        "per spec)");
+  }
+  if (spec.protocol.empty() && spec.agents.empty()) {
+    throw InvalidArgument(
+        "spec: missing required key 'protocol' (or 'agents' for the agent "
+        "backend)");
   }
   return spec;
 }
@@ -265,6 +281,12 @@ std::string CanonicalSpec::canonical_text() const {
   const std::string effective_policy =
       port_policy.empty() ? default_policy(model) : port_policy;
   const std::string sched_canon = canonical_sched(sched);
+  // "clique" IS the all-to-all default wiring, so it normalizes away —
+  // every pre-topology spec keeps its hash. A live topology fixes the
+  // wiring, which makes the port seed inert (omitted); a non-default
+  // port-policy stays, because it is invalid rather than inert and must
+  // hash apart from the spec that to_experiment() accepts.
+  const bool topology_live = !topology.empty() && topology != "clique";
   std::string out;
   const auto emit = [&out](const std::string& key, const std::string& value) {
     out += key;
@@ -272,6 +294,7 @@ std::string CanonicalSpec::canonical_text() const {
     out += value;
     out += '\n';
   };
+  if (!agents.empty()) emit("agents", agents);
   if (fault_crashes != 0) {
     emit("fault-crashes", std::to_string(fault_crashes));
     if (fault_seed != 0xfa017ULL) emit("fault-seed", std::to_string(fault_seed));
@@ -282,11 +305,12 @@ std::string CanonicalSpec::canonical_text() const {
   if (effective_policy != default_policy(model)) {
     emit("port-policy", effective_policy);
   }
-  if (effective_policy == "random-per-run" && port_seed != 0x9e3779b9) {
+  if (effective_policy == "random-per-run" && port_seed != 0x9e3779b9 &&
+      !topology_live) {
     emit("port-seed", std::to_string(port_seed));
   }
   if (effective_policy == "fixed") emit("ports", int_list_to_string(ports));
-  emit("protocol", protocol);
+  if (!protocol.empty()) emit("protocol", protocol);
   if (rounds != 300) emit("rounds", std::to_string(rounds));
   if (sched_canon != "synchronous") {
     emit("sched", sched_canon);
@@ -296,6 +320,13 @@ std::string CanonicalSpec::canonical_text() const {
     }
   }
   if (!task.empty()) emit("task", task);
+  if (topology_live) {
+    emit("topology", topology);
+    if (topology_seed != 0x70b01ULL &&
+        graph::TopologyRegistry::global().is_randomized(topology)) {
+      emit("topology-seed", std::to_string(topology_seed));
+    }
+  }
   if (variant != "port-tagged") emit("variant", variant);
   return out;
 }
@@ -341,7 +372,20 @@ Experiment CanonicalSpec::to_experiment() const {
     spec.with_ports(PortAssignment(std::move(neighbor_of)));
   }
   spec.with_port_seed(port_seed);
-  spec.with_protocol(protocol);
+  if (!topology.empty()) {
+    if (model != "message-passing") {
+      throw InvalidArgument(
+          "topology-requires-message-passing: a sparse topology IS a port "
+          "wiring; blackboard specs have none");
+    }
+    spec.with_topology_seed(topology_seed);
+    spec.with_topology(topology);
+  }
+  if (!protocol.empty()) {
+    spec.with_protocol(protocol);
+  } else {
+    spec.with_agents(graph::make_agents(agents));
+  }
   if (!task.empty()) spec.with_task(task);
   if (variant == "literal") spec.with_variant(MessageVariant::kLiteral);
   if (fault_crashes != 0) {

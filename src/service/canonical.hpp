@@ -50,8 +50,23 @@ namespace rsb::service {
 struct CanonicalSpec {
   std::string model = "blackboard";  // "blackboard" | "message-passing"
   std::vector<int> loads;            // source loads; required, nonempty
-  std::string protocol;              // ProtocolRegistry spec string; required
-  std::string task;                  // TaskRegistry spec string; "" = none
+  /// ProtocolRegistry spec string (knowledge backend). Exactly one of
+  /// `protocol` / `agents` must be set — a spec drives one backend.
+  std::string protocol;
+  /// graph::AgentRegistry spec string (agent backend): "luby-mis",
+  /// "trial-coloring", "ruling-set-2", "gossip-le". "" = knowledge backend.
+  std::string agents;
+  /// TaskRegistry spec string, or a graph::GraphTaskRegistry name ("mis",
+  /// "coloring", "2-ruling-set") when `topology` is set; "" = none.
+  std::string task;
+  /// TopologyRegistry spec string ("ring", "d-regular(3)", ...); "" = the
+  /// all-to-all default. "clique" is normalized away in canonical_text()
+  /// so pre-topology spec hashes are unchanged.
+  std::string topology;
+  /// Seed for randomized generators (d-regular, erdos-renyi, power-law);
+  /// inert — and normalized away — for deterministic ones. Must equal the
+  /// Experiment::topology_seed default.
+  std::uint64_t topology_seed = 0x70b01ULL;
   /// Port policy name (to_string(PortPolicy)); "" = the model's default:
   /// none on the blackboard, random-per-run on message passing.
   std::string port_policy;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/topology.hpp"
 #include "util/error.hpp"
 
 namespace rsb::sim {
@@ -58,10 +59,12 @@ void Agent::decide(std::int64_t value) {
 Network::Network(Model model, const SourceConfiguration& config,
                  std::uint64_t seed, std::optional<PortAssignment> ports,
                  const AgentFactory& factory, const SchedulerSpec& scheduler,
-                 const std::vector<int>& crash_round, PayloadArena* arena)
+                 const std::vector<int>& crash_round, PayloadArena* arena,
+                 const graph::Topology* topology)
     : model_(model),
       config_(config),
       ports_(std::move(ports)),
+      topology_(topology),
       crash_round_(crash_round),
       scheduler_(scheduler, config.num_parties(), seed),
       arena_(arena) {
@@ -70,7 +73,19 @@ Network::Network(Model model, const SourceConfiguration& config,
     arena_ = owned_arena_.get();
   }
   arena_->reset();  // this run starts from an observationally fresh pool
-  if (model_ == Model::kMessagePassing) {
+  if (topology_ != nullptr) {
+    if (model_ != Model::kMessagePassing) {
+      throw InvalidArgument("Network: a topology requires message passing");
+    }
+    if (ports_.has_value()) {
+      throw InvalidArgument(
+          "Network: topology and port assignment are exclusive (the "
+          "topology's canonical numbering IS the wiring)");
+    }
+    if (topology_->num_parties() != config_.num_parties()) {
+      throw InvalidArgument("Network: topology/config party mismatch");
+    }
+  } else if (model_ == Model::kMessagePassing) {
     if (!ports_.has_value()) {
       throw InvalidArgument("Network: message passing requires ports");
     }
@@ -95,6 +110,12 @@ Network::Network(Model model, const SourceConfiguration& config,
   agents_.reserve(static_cast<std::size_t>(config_.num_parties()));
   decision_round_.assign(static_cast<std::size_t>(config_.num_parties()), -1);
   for (int party = 0; party < config_.num_parties(); ++party) {
+    if (model_ == Model::kMessagePassing) {
+      init.num_ports = topology_ != nullptr ? topology_->degree(party)
+                                            : config_.num_parties() - 1;
+      init.max_degree = topology_ != nullptr ? topology_->max_degree()
+                                             : config_.num_parties() - 1;
+    }
     agents_.push_back(factory(party));
     if (!agents_.back()) throw InvalidArgument("Network: factory returned null");
     agents_.back()->begin(init);
@@ -162,8 +183,12 @@ void Network::deliver_message_passing() {
   const int n = config_.num_parties();
   due_sends_.clear();
   for (const Send& send : round_sends_) {
-    const int receiver = ports_->neighbor(send.sender, send.port);
-    const int receiving_port = ports_->port_to(receiver, send.sender);
+    const int receiver = topology_ != nullptr
+                             ? topology_->neighbor(send.sender, send.port)
+                             : ports_->neighbor(send.sender, send.port);
+    const int receiving_port = topology_ != nullptr
+                                   ? topology_->port_of(receiver, send.sender)
+                                   : ports_->port_to(receiver, send.sender);
     const int due = scheduler_.delivery_round(round_, send.sender, receiver);
     if (due <= round_) {
       due_sends_.push_back(
@@ -185,6 +210,7 @@ void Network::deliver_message_passing() {
         RoutedSend{held.receiver, PortMessage{held.port, held.payload}});
   }
   held_sends_.resize(kept);
+  messages_routed_ += static_cast<std::uint64_t>(due_sends_.size());
   std::sort(due_sends_.begin(), due_sends_.end(),
             [this](const RoutedSend& a, const RoutedSend& b) {
               if (a.receiver != b.receiver) return a.receiver < b.receiver;
@@ -238,7 +264,8 @@ bool Network::step() {
   round_sends_.clear();
   for (int party = 0; party < n; ++party) {
     if (!alive_in_round(party, round_)) continue;
-    Outbox out(this, party, model_, n - 1);
+    Outbox out(this, party, model_,
+               topology_ != nullptr ? topology_->degree(party) : n - 1);
     agents_[static_cast<std::size_t>(party)]->send_phase(
         round_,
         word_of_source_[static_cast<std::size_t>(config_.source_of(party))],

@@ -59,6 +59,10 @@
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
+namespace rsb::graph {
+class Topology;
+}  // namespace rsb::graph
+
 namespace rsb::sim {
 
 /// A message delivered on a receiving port. The payload id resolves
@@ -139,6 +143,14 @@ class Agent {
   struct Init {
     int num_parties = 0;
     Model model = Model::kBlackboard;
+    /// Message passing: how many ports THIS party owns — n−1 on the
+    /// all-to-all wiring, its graph degree on a sparse Topology. 0 on the
+    /// blackboard. Locality-aware agents size their fan-out from this
+    /// instead of num_parties.
+    int num_ports = 0;
+    /// Message passing: the largest port count over all parties (Δ on a
+    /// Topology) — the palette bound (Δ+1)-coloring agents need.
+    int max_degree = 0;
   };
 
   /// Called once before round 1.
@@ -174,20 +186,26 @@ class Network {
  public:
   using AgentFactory = std::function<std::unique_ptr<Agent>(int party)>;
 
-  /// `ports` must be set iff model == kMessagePassing. `scheduler` selects
-  /// the delivery adversary (default: synchronous lockstep; the per-run
-  /// delay stream is derived from `seed`). `crash_round` is the run's
-  /// crash schedule — either empty (no faults) or one entry per party,
-  /// crash round or -1 (see sim/fault.hpp; FaultPlan::draw produces it).
-  /// `arena` is the payload pool the run interns into: pass a per-worker
-  /// arena (engine batches lend RunContext::arena) to amortize message
-  /// allocations across runs — it is reset here — or null to let the
-  /// network own a private one.
+  /// `ports` must be set iff model == kMessagePassing and no `topology` is
+  /// given. `scheduler` selects the delivery adversary (default:
+  /// synchronous lockstep; the per-run delay stream is derived from
+  /// `seed`). `crash_round` is the run's crash schedule — either empty (no
+  /// faults) or one entry per party, crash round or -1 (see sim/fault.hpp;
+  /// FaultPlan::draw produces it). `arena` is the payload pool the run
+  /// interns into: pass a per-worker arena (engine batches lend
+  /// RunContext::arena) to amortize message allocations across runs — it
+  /// is reset here — or null to let the network own a private one.
+  /// `topology` (message passing only; must outlive the network, not
+  /// owned) replaces the PortAssignment wiring with the graph's canonical
+  /// port numbering: party p's port k leads to its k-th smallest neighbor,
+  /// so each party owns degree(p) ports and a round's routing work is
+  /// O(messages) = O(edges) on a sparse graph rather than O(n²).
   Network(Model model, const SourceConfiguration& config, std::uint64_t seed,
           std::optional<PortAssignment> ports, const AgentFactory& factory,
           const SchedulerSpec& scheduler = SchedulerSpec{},
           const std::vector<int>& crash_round = {},
-          PayloadArena* arena = nullptr);
+          PayloadArena* arena = nullptr,
+          const graph::Topology* topology = nullptr);
 
   struct Outcome {
     bool all_decided = false;  // every surviving party decided
@@ -209,6 +227,12 @@ class Network {
 
   /// The run's payload pool (diagnostics: arena size pins intern sharing).
   const PayloadArena& arena() const noexcept { return *arena_; }
+
+  /// Total port messages routed to a delivery over the run so far (held
+  /// messages count once, in the round they fall due). On a topology this
+  /// is bounded by 2·|E| per broadcast round — the O(edges) claim
+  /// bench_graph_locality pins.
+  std::uint64_t messages_routed() const noexcept { return messages_routed_; }
 
  private:
   friend class Outbox;
@@ -258,6 +282,7 @@ class Network {
   Model model_;
   SourceConfiguration config_;
   std::optional<PortAssignment> ports_;
+  const graph::Topology* topology_ = nullptr;  // not owned; null = clique
   std::vector<Xoshiro256StarStar> source_words_;  // one word stream per source
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<int> decision_round_;
@@ -274,6 +299,7 @@ class Network {
   std::vector<PayloadId> board_scratch_;   // per-receiver board view
   std::vector<HeldPost> held_posts_;
   std::vector<HeldSend> held_sends_;
+  std::uint64_t messages_routed_ = 0;
   int round_ = 0;
 };
 

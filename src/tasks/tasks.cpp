@@ -1,6 +1,7 @@
 #include "tasks/tasks.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -24,6 +25,11 @@ SymmetricTask::SymmetricTask(std::string name, int num_parties,
       alphabet_.end()) {
     throw InvalidArgument("SymmetricTask: alphabet has duplicates");
   }
+}
+
+SymmetricTask&& SymmetricTask::with_refinement(Refinement refine) && {
+  refine_ = std::move(refine);
+  return std::move(*this);
 }
 
 SymmetricTask SymmetricTask::leader_election(int num_parties) {
@@ -144,7 +150,10 @@ bool SymmetricTask::admits_vector(const std::vector<int>& value_per_party) const
     if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
     ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
   }
-  return admits_(counts);
+  if (!admits_(counts)) return false;
+  return refine_ == nullptr ||
+         refine_(std::span<const int>(value_per_party),
+                 std::span<const int>());
 }
 
 bool SymmetricTask::admits_surviving(const std::vector<int>& value_per_party,
@@ -161,7 +170,17 @@ bool SymmetricTask::admits_surviving(const std::vector<int>& value_per_party,
     if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
     ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
   }
-  return admits_(counts);
+  if (!admits_(counts)) return false;
+  if (refine_ == nullptr) return true;
+  // The refinement takes crash state in the outcome's crash_round encoding
+  // (entry >= 0 means crashed); alive masks translate to -1 / 0.
+  static thread_local std::vector<int> crash_scratch;
+  crash_scratch.assign(alive.size(), -1);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (!alive[i]) crash_scratch[i] = 0;
+  }
+  return refine_(std::span<const int>(value_per_party),
+                 std::span<const int>(crash_scratch));
 }
 
 bool SymmetricTask::admits_outputs(
@@ -179,7 +198,15 @@ bool SymmetricTask::admits_outputs(
     if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
     ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
   }
-  return admits_(counts);
+  if (!admits_(counts)) return false;
+  if (refine_ == nullptr) return true;
+  static thread_local std::vector<int> value_scratch;
+  value_scratch.resize(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    value_scratch[i] = static_cast<int>(outputs[i]);
+  }
+  return refine_(std::span<const int>(value_scratch),
+                 std::span<const int>());
 }
 
 bool SymmetricTask::admits_surviving_outputs(
@@ -199,7 +226,14 @@ bool SymmetricTask::admits_surviving_outputs(
     if (it == alphabet_.end() || *it != v) return false;  // off-alphabet
     ++counts[static_cast<std::size_t>(it - alphabet_.begin())];
   }
-  return admits_(counts);
+  if (!admits_(counts)) return false;
+  if (refine_ == nullptr) return true;
+  static thread_local std::vector<int> value_scratch;
+  value_scratch.resize(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    value_scratch[i] = static_cast<int>(outputs[i]);
+  }
+  return refine_(std::span<const int>(value_scratch), crash_round);
 }
 
 bool SymmetricTask::admits_counts(const std::vector<int>& counts) const {

@@ -32,6 +32,24 @@ class SymmetricTask {
   SymmetricTask(std::string name, int num_parties, std::vector<int> alphabet,
                 std::function<bool(const std::vector<int>&)> admits);
 
+  /// Positional admission predicate for tasks whose validity is NOT a pure
+  /// function of the value census — graph tasks (src/graph/graph_task.hpp)
+  /// need the per-party values to check outputs against an instance
+  /// adjacency (MIS independence, coloring properness, ...). `values` has
+  /// one entry per party; `crash_round` is either empty (fault-free: judge
+  /// every party) or has one entry per party in the outcome's encoding —
+  /// entry >= 0 means the party crashed in that round and its value must
+  /// be ignored. Consulted AFTER the census predicate accepts, by every
+  /// admits_* entry point below; partition_solves and admits_counts remain
+  /// census-only (they have no value vector to refine over).
+  using Refinement = std::function<bool(std::span<const int> values,
+                                        std::span<const int> crash_round)>;
+
+  /// Attaches a refinement; fluent. A task without one (every pre-graph
+  /// task) behaves exactly as before.
+  SymmetricTask&& with_refinement(Refinement refine) &&;
+  bool has_refinement() const noexcept { return refine_ != nullptr; }
+
   /// O_LE: exactly one party outputs 1, the rest output 0. Requires n ≥ 1.
   static SymmetricTask leader_election(int num_parties);
 
@@ -143,6 +161,7 @@ class SymmetricTask {
   int num_parties_;
   std::vector<int> alphabet_;
   std::function<bool(const std::vector<int>&)> admits_;
+  Refinement refine_;
 };
 
 }  // namespace rsb

@@ -14,6 +14,8 @@
 
 #include "engine/registry.hpp"
 #include "golden_util.hpp"
+#include "graph/graph_task.hpp"
+#include "graph/topology.hpp"
 #include "util/error.hpp"
 
 namespace rsb::service {
@@ -94,6 +96,82 @@ TEST(CanonicalSpec, BatchKnobIsHashInert) {
   EXPECT_EQ(batched.hash(), bare.hash());
   EXPECT_THROW(CanonicalSpec::parse("batch=-1\nloads=2,3\nprotocol=x"),
                InvalidArgument);
+}
+
+TEST(CanonicalSpec, BackendKeysAreExclusiveAndRequired) {
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3"), InvalidArgument);
+  EXPECT_THROW(
+      CanonicalSpec::parse(
+          "loads=2,3\nprotocol=wait-for-singleton-LE\nagents=luby-mis"),
+      InvalidArgument);
+  const CanonicalSpec agents = CanonicalSpec::parse(
+      "model=message-passing\nloads=1,1,1,1\nagents=luby-mis\n"
+      "topology=ring\ntask=mis");
+  EXPECT_EQ(agents.agents, "luby-mis");
+  EXPECT_TRUE(agents.protocol.empty());
+}
+
+TEST(CanonicalSpec, CliqueTopologyNormalizesAway) {
+  // All-to-all IS the default wiring, so `topology=clique` is the same
+  // ensemble as no topology line at all — every pre-topology spec hash is
+  // unchanged by the knob's existence.
+  const CanonicalSpec bare = CanonicalSpec::parse(
+      "model=message-passing\nloads=1,1,1,1\nagents=gossip-le\n"
+      "task=leader-election");
+  const CanonicalSpec spelled = CanonicalSpec::parse(
+      "model=message-passing\nloads=1,1,1,1\nagents=gossip-le\n"
+      "task=leader-election\ntopology=clique");
+  EXPECT_EQ(spelled.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(spelled.hash(), bare.hash());
+}
+
+TEST(CanonicalSpec, TopologySeedLiveOnlyForRandomizedGenerators) {
+  const auto with = [](const std::string& extra) {
+    return CanonicalSpec::parse(
+        "model=message-passing\nloads=1,1,1,1,1,1,1,1\nagents=luby-mis\n"
+        "task=mis\n" +
+        extra);
+  };
+  // The seed cannot change a deterministic generator's graph — inert.
+  EXPECT_EQ(with("topology=ring\ntopology-seed=99").hash(),
+            with("topology=ring").hash());
+  // ... but it IS the graph for a randomized one.
+  EXPECT_NE(with("topology=d-regular(3)\ntopology-seed=99").hash(),
+            with("topology=d-regular(3)").hash());
+  // Under a live topology the graph fixes the wiring: port-seed is inert.
+  EXPECT_EQ(with("topology=ring\nport-seed=42").hash(),
+            with("topology=ring").hash());
+}
+
+TEST(CanonicalSpec, ToExperimentResolvesGraphSpecs) {
+  const CanonicalSpec good = CanonicalSpec::parse(
+      "model=message-passing\nloads=1,1,1,1,1,1\nagents=luby-mis\n"
+      "task=mis\ntopology=ring\nseeds=1+4");
+  const Experiment experiment = good.to_experiment();
+  ASSERT_NE(experiment.topology, nullptr);
+  EXPECT_EQ(experiment.topology->name(), "ring");
+  EXPECT_EQ(experiment.backend(), Experiment::Backend::kAgents);
+  // A graph task without a topology rejects with a named reason — the
+  // reject-reason rsbd forwards verbatim to clients.
+  const CanonicalSpec graphless = CanonicalSpec::parse(
+      "model=message-passing\nloads=1,1,1,1,1,1\nagents=luby-mis\ntask=mis");
+  try {
+    graphless.to_experiment();
+    FAIL() << "expected graph-task-requires-topology";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("graph-task-requires-topology"),
+              std::string::npos);
+  }
+  // A topology on the blackboard likewise.
+  const CanonicalSpec board = CanonicalSpec::parse(
+      "loads=1,1,1,1\nagents=luby-mis\ntopology=ring");
+  try {
+    board.to_experiment();
+    FAIL() << "expected topology-requires-message-passing";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("topology-requires-message-passing"),
+              std::string::npos);
+  }
 }
 
 TEST(CanonicalSpec, DistinctSpecsHashDistinct) {
@@ -193,6 +271,28 @@ const std::map<std::string, std::string>& task_examples() {
   return examples;
 }
 
+const std::map<std::string, std::string>& topology_examples() {
+  static const std::map<std::string, std::string> examples = {
+      {"clique", "clique"},
+      {"ring", "ring"},
+      {"path", "path"},
+      {"tree", "tree"},
+      {"d-regular", "d-regular(3)"},
+      {"erdos-renyi", "erdos-renyi(3)"},
+      {"power-law", "power-law(2)"},
+  };
+  return examples;
+}
+
+const std::map<std::string, std::string>& graph_task_examples() {
+  static const std::map<std::string, std::string> examples = {
+      {"mis", "mis"},
+      {"coloring", "coloring"},
+      {"2-ruling-set", "2-ruling-set"},
+  };
+  return examples;
+}
+
 TEST(CanonicalSpecGolden, EveryRegistrySpecHasAPinnedFormAndHash) {
   std::string report;
   const auto emit = [&report](const std::string& title,
@@ -230,6 +330,29 @@ TEST(CanonicalSpecGolden, EveryRegistrySpecHasAPinnedFormAndHash) {
   emit("batched execution knob",
        "batch=16\nloads=2,3\nprotocol=wait-for-singleton-LE\n"
        "task=leader-election");
+  // One section per topology generator, agent backend, graph task bound to
+  // the instance. The clique section canonicalizes with no topology= line
+  // at all — the knob normalizes away at the default wiring.
+  for (const std::string& name : graph::TopologyRegistry::global().names()) {
+    const auto it = topology_examples().find(name);
+    ASSERT_NE(it, topology_examples().end())
+        << "topology '" << name
+        << "' has no golden example; add one to topology_examples()";
+    emit("topology " + name,
+         "model=message-passing\nloads=1,1,1,1,1,1,1,1\nagents=luby-mis\n"
+         "task=mis\ntopology=" +
+             it->second);
+  }
+  for (const std::string& name : graph::GraphTaskRegistry::global().names()) {
+    const auto it = graph_task_examples().find(name);
+    ASSERT_NE(it, graph_task_examples().end())
+        << "graph task '" << name
+        << "' has no golden example; add one to graph_task_examples()";
+    emit("graph task " + name,
+         "model=message-passing\nloads=1,1,1,1,1,1,1,1\nagents=luby-mis\n"
+         "task=" +
+             it->second + "\ntopology=ring");
+  }
 
   rsb::testing::expect_matches_golden(report, "canonical_specs.txt");
 }

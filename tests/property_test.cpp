@@ -10,6 +10,8 @@
 
 #include "algo/agents.hpp"
 #include "algo/protocol.hpp"
+#include "graph/agents.hpp"
+#include "graph/topology.hpp"
 #include "core/consistency.hpp"
 #include "core/deciders.hpp"
 #include "core/probability.hpp"
@@ -523,6 +525,79 @@ TEST(BatchProperty, BatchedCrashSweepsMatchScalarRunForRun) {
           << "batch " << batch;
     }
   }
+}
+
+// Law 16 — topology=clique IS the all-to-all path: with_topology
+// normalizes a clique to the no-topology spec, so sweeps agree byte for
+// byte on every existing task, aggregates and per-run outcomes alike.
+TEST(GraphProperty, CliqueTopologyIsByteIdenticalToAllToAll) {
+  for (const char* task : {"leader-election", "m-leader-election(2)",
+                           "weak-symmetry-breaking", "matching"}) {
+    auto plain =
+        Experiment::message_passing(SourceConfiguration::all_private(6))
+            .with_agents(graph::make_agents("gossip-le"))
+            .with_task(task)
+            .with_rounds(40)
+            .with_seeds(1, 32);
+    Experiment routed = plain;
+    routed.with_topology("clique");
+    EXPECT_EQ(routed.topology, nullptr) << task;
+    Engine engine;
+    EXPECT_EQ(engine.run_batch(routed), engine.run_batch(plain)) << task;
+    EXPECT_EQ(snapshot_sweep(engine, routed), snapshot_sweep(engine, plain))
+        << task;
+  }
+}
+
+// Law 17 — graph-task sweeps are pure functions of (spec, seed): for each
+// delivery scheduler, every thread count and batch width reproduces the
+// serial aggregate and the per-run outcomes byte for byte on a sparse
+// instance. 33 seeds is coprime to both batch widths.
+TEST(GraphProperty, GraphTaskSweepsIndependentOfThreadsBatchAndWorkers) {
+  for (const sim::SchedulerSpec& scheduler :
+       {sim::SchedulerSpec::synchronous(),
+        sim::SchedulerSpec::random_delay(2, 77)}) {
+    auto spec =
+        Experiment::message_passing(SourceConfiguration::all_private(16))
+            .with_agents(graph::make_agents("luby-mis"))
+            .with_topology("d-regular(3)")
+            .with_scheduler(scheduler)
+            .with_rounds(200)
+            .with_seeds(1, 33);
+    spec.with_task("mis");
+    Engine serial;
+    const RunStats reference_stats = serial.run_batch(spec);
+    const auto reference_runs = snapshot_sweep(serial, spec);
+    ASSERT_EQ(reference_runs.size(), 33u);
+    for (const int threads : {1, 2, 4}) {
+      for (const int batch : {1, 7}) {
+        Engine engine;
+        engine.set_parallel({threads, 0, batch});
+        EXPECT_EQ(engine.run_batch(spec), reference_stats)
+            << scheduler.to_string() << " threads " << threads << " batch "
+            << batch;
+        EXPECT_EQ(snapshot_sweep(engine, spec), reference_runs)
+            << scheduler.to_string() << " threads " << threads << " batch "
+            << batch;
+      }
+    }
+  }
+}
+
+// Law 18 — topology generation is a pure function of (spec, n, seed):
+// repeated resolutions build byte-identical adjacency, and the registry
+// spelling equals the direct constructor.
+TEST(GraphProperty, TopologyGenerationIsPure) {
+  for (const char* spec : {"ring", "tree", "d-regular(4)", "erdos-renyi(3)",
+                           "power-law(2)"}) {
+    const auto a = graph::make_topology(spec, 20, 1234);
+    const auto b = graph::make_topology(spec, 20, 1234);
+    EXPECT_EQ(*a, *b) << spec;
+  }
+  EXPECT_EQ(*graph::make_topology("d-regular(4)", 20, 99),
+            graph::Topology::d_regular(20, 4, 99));
+  EXPECT_NE(*graph::make_topology("d-regular(4)", 20, 99),
+            graph::Topology::d_regular(20, 4, 100));
 }
 
 }  // namespace

@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "engine/registry.hpp"
+#include "graph/agents.hpp"
+#include "graph/graph_task.hpp"
+#include "graph/topology.hpp"
 #include "service/client.hpp"
 #include "service/json.hpp"
 #include "util/error.hpp"
@@ -34,8 +38,9 @@ using rsb::service::json::Value;
   std::fprintf(
       stderr,
       "usage: rsbctl --port N submit <spec-file|-> [--format text|csv|json]\n"
-      "       rsbctl --port N run <protocol> <task> <loads> [<seeds>]"
+      "       rsbctl --port N run <protocol|agents> <task> <loads> [<seeds>]"
       " [key=value ...]\n"
+      "       rsbctl run --list\n"
       "       rsbctl --port N (ping|stats|shutdown)\n"
       "The port may also come from $RSBD_PORT.\n");
   std::exit(2);
@@ -149,6 +154,24 @@ int stream_job(rsb::service::Client& client, const std::string& spec,
   return 1;
 }
 
+/// `run --list`: every registry name a `run` invocation can spell, one
+/// section per vocabulary. Purely local — the registries are compiled into
+/// rsbctl, so no daemon (and no port) is needed.
+int list_vocabulary() {
+  const auto section = [](const char* title,
+                          const std::vector<std::string>& lines) {
+    std::printf("%s:\n", title);
+    for (const std::string& line : lines) std::printf("  %s\n", line.c_str());
+  };
+  section("protocols", rsb::ProtocolRegistry::global().describe());
+  section("tasks", rsb::TaskRegistry::global().describe());
+  section("agents", rsb::graph::AgentRegistry::global().describe());
+  section("graph tasks (need topology=)",
+          rsb::graph::GraphTaskRegistry::global().describe());
+  section("topologies", rsb::graph::TopologyRegistry::global().describe());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +188,9 @@ int main(int argc, char** argv) {
     } else {
       rest.push_back(arg);
     }
+  }
+  if (rest.size() == 2 && rest[0] == "run" && rest[1] == "--list") {
+    return list_vocabulary();
   }
   if (rest.empty() || port <= 0) usage();
   if (format != "text" && format != "csv" && format != "json") usage();
@@ -188,7 +214,15 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       if (rest.size() < 4) usage();
-      std::string spec = "protocol=" + rest[1] + "\ntask=" + rest[2] +
+      // Agent names route to the agent backend; everything else stays a
+      // protocol spec, so unknown names still fail with the server's
+      // protocol-registry error listing the known names.
+      const std::string backend_key =
+          rsb::graph::AgentRegistry::global().contains(
+              rest[1].substr(0, rest[1].find('(')))
+              ? "agents"
+              : "protocol";
+      std::string spec = backend_key + "=" + rest[1] + "\ntask=" + rest[2] +
                          "\nloads=" + rest[3];
       spec += "\nseeds=" + (rest.size() > 4 && rest[4].find('=') ==
                                                    std::string::npos
