@@ -56,6 +56,48 @@ concept Collector =
       collector.merge(std::move(shard));
     };
 
+/// Bernoulli success-rate estimator: counts runs and successes under the
+/// same criterion RunStats uses — a run succeeds when it terminated and,
+/// if the spec carries a task, the task admits its outputs (survivors
+/// only on faulty runs). Exposes Wilson score confidence intervals, which
+/// is what run_grid_adaptive (engine/grid.hpp) allocates budget by: the
+/// Wilson interval stays honest at the edges the sweeps actually produce
+/// (p near 0 or 1, tiny n) where the normal approximation collapses to
+/// zero width. n = 0 reports the total-ignorance interval [0, 1].
+///
+/// merge is plain counter addition — associative and commutative — so
+/// estimates are byte-identical across thread counts, batch widths, and
+/// any shard split (pinned by tests/adaptive_grid_test.cpp).
+struct SuccessEstimate {
+  std::uint64_t n = 0;          // runs observed
+  std::uint64_t successes = 0;  // runs that met the success criterion
+
+  void observe(const RunView& view, const ProtocolOutcome& outcome);
+
+  void merge(const SuccessEstimate& other) {
+    n += other.n;
+    successes += other.successes;
+  }
+
+  /// Counter injection for estimates folded from pre-aggregated stats
+  /// (e.g. the service scheduler folding per-chunk RunStats).
+  void add(std::uint64_t runs, std::uint64_t wins) {
+    n += runs;
+    successes += wins;
+  }
+
+  /// successes / n; 0.5 (the center of [0, 1]) when n = 0.
+  double point_estimate() const;
+  /// Wilson score interval half-width at critical value `z`; 0.5 when
+  /// n = 0 (the interval is all of [0, 1]).
+  double half_width(double z = 1.96) const;
+  double ci_lo(double z = 1.96) const;
+  double ci_hi(double z = 1.96) const;
+
+  friend bool operator==(const SuccessEstimate&,
+                         const SuccessEstimate&) = default;
+};
+
 /// Runs several collectors over one batch in a single pass. Each part
 /// observes every run; merge is part-wise (and therefore associative iff
 /// every part's merge is). Access the parts by index after the batch:

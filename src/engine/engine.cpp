@@ -232,7 +232,8 @@ ProtocolOutcome Engine::run(const Experiment& spec) {
 /// timing-dependent worker→chunk map never reaches the observations, and
 /// merging shards in chunk-index order (run_collect) reproduces the
 /// serial aggregate byte for byte.
-void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
+void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
+                   const PrepareShards& prepare,
                    const ShardObserver& observe) {
   const std::uint64_t count = spec.seeds.count;
   int workers = resolve_workers(parallel_, count);
@@ -254,6 +255,7 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
     prepare(1);
     PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
+    if (stream_offset != 0) ports.skip_to(stream_offset);
     execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
                   [&](std::uint64_t i, const PortAssignment* assignment,
                       const ProtocolOutcome& outcome) {
@@ -280,7 +282,7 @@ void Engine::drive(const Experiment& spec, const PrepareShards& prepare,
     while (deque.pop(w, c)) {
       const std::uint64_t begin = c * chunk;
       const std::uint64_t end = std::min(begin + chunk, count);
-      ports.skip_to(begin);
+      ports.skip_to(stream_offset + begin);
       // Chunks are batch-aligned (resolve_chunk), so only the sweep's
       // final chunk can leave remainder lanes for the scalar path.
       execute_range(ctx, spec, ports, begin, end, parallel_.batch,

@@ -46,6 +46,7 @@
 #include "knowledge/knowledge.hpp"
 #include "randomness/source_bank.hpp"
 #include "sim/network.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rsb {
@@ -124,10 +125,39 @@ class Engine {
   /// the chunks.
   template <Collector C>
   C run_collect(const Experiment& spec, C collector) {
-    spec.validate();
+    return run_collect_range(spec, spec.seeds, std::move(collector));
+  }
+
+  /// Sweeps an arbitrary contiguous sub-range of the spec's seed space
+  /// into the collector, resuming a sweep mid-stream without re-running
+  /// the prefix: the port stream is positioned at offset
+  /// `range.first - spec.seeds.first`, so run `range.first + i` draws the
+  /// exact per-run wiring it would draw inside a full run_collect of the
+  /// spec. This gives the resumption law — collecting {first, a} and then
+  /// {first + a, b} and merging equals one {first, a + b} sweep, byte for
+  /// byte (pinned by tests/adaptive_grid_test.cpp) — which is what lets
+  /// run_grid_adaptive (engine/grid.hpp) grow each grid point's sweep in
+  /// installments while staying prefix-identical to the uniform sweep.
+  /// The range must start at or after spec.seeds.first; it may extend
+  /// past the spec's declared count (the declared range is the default
+  /// query, not a hard bound — grid-level callers enforce their own
+  /// caps). All run_collect guarantees (byte-identity across threads ×
+  /// batch widths) carry over unchanged.
+  template <Collector C>
+  C run_collect_range(const Experiment& spec, SeedRange range, C collector) {
+    if (range.first < spec.seeds.first) {
+      throw InvalidArgument(
+          "run_collect_range: range.first " + std::to_string(range.first) +
+          " precedes the spec's first seed " +
+          std::to_string(spec.seeds.first) +
+          " (the port stream cannot be positioned before run 0)");
+    }
+    Experiment sub = spec;
+    sub.seeds = range;
+    sub.validate();
     std::vector<C> shards;
     drive(
-        spec,
+        sub, range.first - spec.seeds.first,
         [&](int workers) {
           // Copy-construct the shards (collectors need not be assignable
           // — lambda-carrying folds are not).
@@ -176,9 +206,13 @@ class Engine {
   /// work-stealing deque, repositions each worker's port provider
   /// draw-for-draw with the serial sweep, executes runs through
   /// execute_run, and reports each run into its chunk's shard. Does not
-  /// validate the spec.
-  void drive(const Experiment& spec, const PrepareShards& prepare,
-             const ShardObserver& observe);
+  /// validate the spec. `stream_offset` is the number of port-stream runs
+  /// consumed before this sweep's run 0 — 0 for a full sweep, and the
+  /// resumed range's distance from the declaring spec's first seed for
+  /// run_collect_range, so providers are positioned at
+  /// stream_offset + chunk begin.
+  void drive(const Experiment& spec, std::uint64_t stream_offset,
+             const PrepareShards& prepare, const ShardObserver& observe);
 
   /// The bounded-window buffered path behind run_batch(spec, observer).
   RunStats run_batch_observed(const Experiment& spec,

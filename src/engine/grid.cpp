@@ -1,5 +1,8 @@
 #include "engine/grid.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "engine/registry.hpp"
 #include "util/error.hpp"
 
@@ -33,7 +36,18 @@ Grid& Grid::over(std::string axis, std::vector<std::string> labels,
   if (labels.empty() || labels.size() != apply.size()) {
     throw InvalidArgument("Grid::over('" + axis +
                           "'): labels and apply must be the same nonempty "
-                          "length");
+                          "length (got " +
+                          std::to_string(labels.size()) + " labels, " +
+                          std::to_string(apply.size()) + " apply entries)");
+  }
+  // A null std::function would pass the length check and crash inside
+  // expand() (std::bad_function_call) with no hint which axis was broken.
+  for (std::size_t i = 0; i < apply.size(); ++i) {
+    if (!apply[i]) {
+      throw InvalidArgument("Grid::over('" + axis + "'): apply entry " +
+                            std::to_string(i) + " ('" + labels[i] +
+                            "') is a null function");
+    }
   }
   axes_.push_back(Axis{std::move(axis), std::move(labels), std::move(apply)});
   return *this;
@@ -222,6 +236,103 @@ std::vector<GridPoint> Grid::expand() const {
 
 std::vector<RunStats> run_grid(Engine& engine, const Grid& grid) {
   return run_grid(engine, grid, RunStats{});
+}
+
+std::vector<std::uint64_t> allocate_adaptive_runs(
+    const std::vector<SuccessEstimate>& estimates,
+    const std::vector<std::uint64_t>& capacity, std::uint64_t round_budget,
+    double z, double target_half_width) {
+  if (estimates.size() != capacity.size()) {
+    throw InvalidArgument(
+        "allocate_adaptive_runs: estimates and capacity must be the same "
+        "length (" +
+        std::to_string(estimates.size()) + " vs " +
+        std::to_string(capacity.size()) + ")");
+  }
+  const std::size_t n = estimates.size();
+  std::vector<std::uint64_t> alloc(n, 0);
+  if (round_budget == 0 || n == 0) return alloc;
+
+  // Eligibility and weights: a point's weight is its Wilson half-width;
+  // capped-out points and (under a target) converged points weigh zero.
+  std::vector<double> weight(n, 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (capacity[i] == 0) continue;
+    const double h = estimates[i].half_width(z);
+    if (target_half_width > 0.0 && h <= target_half_width) continue;
+    weight[i] = h;
+    total_weight += h;
+  }
+  if (total_weight <= 0.0) return alloc;  // nothing eligible
+
+  // Largest remainder: floor the proportional quotas (clamped to both the
+  // point's capacity and the budget still unassigned), remembering each
+  // uncapped point's fractional remainder.
+  struct Remainder {
+    double frac = 0.0;
+    std::size_t index = 0;
+  };
+  std::vector<Remainder> remainders;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weight[i] <= 0.0) continue;
+    const double ideal =
+        static_cast<double>(round_budget) * weight[i] / total_weight;
+    std::uint64_t base = static_cast<std::uint64_t>(ideal);  // floor
+    base = std::min({base, capacity[i], round_budget - assigned});
+    alloc[i] = base;
+    assigned += base;
+    if (alloc[i] < capacity[i]) {
+      remainders.push_back(Remainder{ideal - std::floor(ideal), i});
+    }
+  }
+
+  // Hand the leftover out one run at a time by descending fractional
+  // remainder, ties broken by point index — fully ordered, so the result
+  // never depends on sort stability or container iteration order.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const Remainder& a, const Remainder& b) {
+              if (a.frac != b.frac) return a.frac > b.frac;
+              return a.index < b.index;
+            });
+  for (const Remainder& r : remainders) {
+    if (assigned >= round_budget) break;
+    if (alloc[r.index] < capacity[r.index]) {
+      ++alloc[r.index];
+      ++assigned;
+    }
+  }
+
+  // Capacity clamps can leave budget over even after the remainder pass;
+  // refill in descending-weight order (ties by index) until the budget or
+  // every eligible point's capacity is exhausted.
+  if (assigned < round_budget) {
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (weight[i] > 0.0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (weight[a] != weight[b]) return weight[a] > weight[b];
+                return a < b;
+              });
+    for (const std::size_t i : order) {
+      const std::uint64_t give =
+          std::min(capacity[i] - alloc[i], round_budget - assigned);
+      alloc[i] += give;
+      assigned += give;
+      if (assigned == round_budget) break;
+    }
+  }
+  return alloc;
+}
+
+AdaptiveGridResult<RunStats> run_grid_adaptive(Engine& engine,
+                                               const Grid& grid,
+                                               std::uint64_t total_budget,
+                                               const AdaptiveConfig& config) {
+  return run_grid_adaptive(engine, grid, total_budget, RunStats{}, config);
 }
 
 }  // namespace rsb

@@ -137,4 +137,185 @@ std::vector<C> run_grid(Engine& engine, const Grid& grid, const C& proto) {
 /// RunStats shorthand.
 std::vector<RunStats> run_grid(Engine& engine, const Grid& grid);
 
+// --------------------------------------------------------------- adaptive
+//
+// run_grid gives every point the same budget even when most points'
+// success estimates converged long ago. run_grid_adaptive spends a shared
+// run pool where the variance is: a fixed pilot sweep per point, then
+// `rounds` allocation rounds that split the remaining budget across
+// points proportionally to their Wilson CI half-widths (wide interval =
+// more runs) under a deterministic largest-remainder integer rule.
+//
+// Determinism: the full (point, seed range) schedule is a pure function
+// of (grid declaration, total budget, config). Every installment runs a
+// contiguous seed range through Engine::run_collect_range, which
+// repositions the port stream so resumed ranges are draw-for-draw
+// identical to one long sweep — so per-point results are byte-identical
+// across threads × batch widths AND prefix-identical to the uniform
+// run_grid of the same seed count (both pinned by
+// tests/adaptive_grid_test.cpp).
+
+/// Tuning for run_grid_adaptive. Defaults favor grids of dozens of
+/// points with budgets in the thousands.
+struct AdaptiveConfig {
+  /// Runs every point gets unconditionally before any allocation — the
+  /// variance estimate the first round allocates by. Must be >= 1 and
+  /// <= every point's declared seeds.count.
+  std::uint64_t pilot = 32;
+  /// Allocation rounds after the pilot. More rounds track convergence
+  /// more closely at the cost of shorter (less parallel) installments.
+  int rounds = 4;
+  /// Critical value for the Wilson intervals (1.96 = 95%).
+  double z = 1.96;
+  /// Points whose half-width is already <= this get no further budget;
+  /// when every point is converged the sweep stops early, leaving the
+  /// rest of the budget unspent. 0 = no target, spend the whole budget.
+  double target_half_width = 0.0;
+};
+
+/// One installment of the adaptive schedule: `range` seeds swept at grid
+/// point `point` (expansion index). The concatenation of a point's ranges
+/// is contiguous from its first seed.
+struct AdaptiveAssignment {
+  std::size_t point = 0;
+  SeedRange range;
+
+  friend bool operator==(const AdaptiveAssignment&,
+                         const AdaptiveAssignment&) = default;
+};
+
+/// Per-point outcome of an adaptive sweep: the merged collector result,
+/// the success estimate driving allocation, and the runs spent here.
+template <Collector C>
+struct AdaptiveGridPoint {
+  C result;
+  SuccessEstimate estimate;
+  std::uint64_t runs = 0;
+};
+
+template <Collector C>
+struct AdaptiveGridResult {
+  std::vector<AdaptiveGridPoint<C>> points;  // expansion order
+  std::vector<AdaptiveAssignment> schedule;  // execution order
+  std::uint64_t budget = 0;      // the requested total
+  std::uint64_t runs_spent = 0;  // <= budget; < only on early convergence
+  int rounds_executed = 0;       // allocation rounds run after the pilot
+};
+
+/// The deterministic allocation rule: splits `round_budget` runs across
+/// points proportionally to their Wilson half-widths at `z`, capped per
+/// point by `capacity` (remaining seed-range headroom). Points at zero
+/// capacity — or already at/below `target_half_width` when a target is
+/// set — get nothing. Integerization is largest-remainder (Hamilton):
+/// floor the proportional quotas, then hand out the leftover one run at a
+/// time by descending fractional remainder, ties broken by point index;
+/// capacity freed by clamping is refilled in descending-weight order. The
+/// result is a pure function of the arguments (no RNG, no iteration-order
+/// dependence), so adaptive schedules reproduce bit-for-bit.
+std::vector<std::uint64_t> allocate_adaptive_runs(
+    const std::vector<SuccessEstimate>& estimates,
+    const std::vector<std::uint64_t>& capacity, std::uint64_t round_budget,
+    double z, double target_half_width);
+
+/// Adaptive counterpart of run_grid: sweeps the grid under a shared
+/// `total_budget` run pool (which must cover points × config.pilot),
+/// allocating by CI half-width as described above. Each point's sweep
+/// grows in contiguous installments from its declared first seed and
+/// never past its declared seeds.count (the per-point capacity), so an
+/// adaptive point that ends with k runs is byte-identical to a uniform
+/// sweep of its first k seeds.
+template <Collector C>
+AdaptiveGridResult<C> run_grid_adaptive(Engine& engine, const Grid& grid,
+                                        std::uint64_t total_budget,
+                                        const C& proto,
+                                        const AdaptiveConfig& config = {}) {
+  if (config.pilot < 1) {
+    throw InvalidArgument("run_grid_adaptive: pilot must be >= 1");
+  }
+  if (config.rounds < 1) {
+    throw InvalidArgument("run_grid_adaptive: rounds must be >= 1");
+  }
+  if (!(config.z > 0.0)) {
+    throw InvalidArgument("run_grid_adaptive: z must be > 0");
+  }
+  if (config.target_half_width < 0.0) {
+    throw InvalidArgument("run_grid_adaptive: target_half_width must be >= 0");
+  }
+  const std::vector<GridPoint> points = grid.expand();
+  const std::uint64_t num_points = points.size();
+  if (total_budget < num_points * config.pilot) {
+    throw InvalidArgument(
+        "run_grid_adaptive: total budget " + std::to_string(total_budget) +
+        " cannot cover the pilot (" + std::to_string(num_points) +
+        " points x pilot " + std::to_string(config.pilot) + ")");
+  }
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (points[p].spec.seeds.count < config.pilot) {
+      throw InvalidArgument(
+          "run_grid_adaptive: pilot " + std::to_string(config.pilot) +
+          " exceeds the declared seed range (" +
+          std::to_string(points[p].spec.seeds.count) + " seeds) at point " +
+          std::to_string(p));
+    }
+  }
+
+  AdaptiveGridResult<C> out;
+  out.budget = total_budget;
+  out.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    out.points.push_back(AdaptiveGridPoint<C>{proto, SuccessEstimate{}, 0});
+  }
+
+  // One installment: the next `count` contiguous seeds of point `p`,
+  // observed into both the caller's collector and the estimate in a
+  // single pass.
+  const auto sweep = [&](std::size_t p, std::uint64_t count) {
+    const Experiment& spec = points[p].spec;
+    const SeedRange range =
+        SeedRange::of(spec.seeds.first + out.points[p].runs, count);
+    auto shard = engine.run_collect_range(
+        spec, range, CombineCollectors<C, SuccessEstimate>(proto, {}));
+    out.points[p].result.merge(std::move(shard.template part<0>()));
+    out.points[p].estimate.merge(shard.template part<1>());
+    out.points[p].runs += count;
+    out.runs_spent += count;
+    out.schedule.push_back(AdaptiveAssignment{p, range});
+  };
+
+  for (std::size_t p = 0; p < points.size(); ++p) sweep(p, config.pilot);
+
+  for (int r = 0; r < config.rounds; ++r) {
+    // Even integer split of what is left across the remaining rounds; the
+    // last round absorbs every remainder, so a targetless sweep always
+    // spends the full budget.
+    const std::uint64_t left = total_budget - out.runs_spent;
+    const std::uint64_t round_budget =
+        left / static_cast<std::uint64_t>(config.rounds - r);
+    if (round_budget == 0) continue;
+    std::vector<SuccessEstimate> estimates;
+    std::vector<std::uint64_t> capacity;
+    estimates.reserve(points.size());
+    capacity.reserve(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      estimates.push_back(out.points[p].estimate);
+      capacity.push_back(points[p].spec.seeds.count - out.points[p].runs);
+    }
+    const std::vector<std::uint64_t> alloc = allocate_adaptive_runs(
+        estimates, capacity, round_budget, config.z, config.target_half_width);
+    std::uint64_t allocated = 0;
+    for (const std::uint64_t a : alloc) allocated += a;
+    if (allocated == 0) break;  // every point converged or at capacity
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (alloc[p] > 0) sweep(p, alloc[p]);
+    }
+    ++out.rounds_executed;
+  }
+  return out;
+}
+
+/// RunStats shorthand.
+AdaptiveGridResult<RunStats> run_grid_adaptive(
+    Engine& engine, const Grid& grid, std::uint64_t total_budget,
+    const AdaptiveConfig& config = {});
+
 }  // namespace rsb

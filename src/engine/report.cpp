@@ -287,4 +287,34 @@ ResultTable grid_table(std::string name, const Grid& grid,
   return table;
 }
 
+void add_estimate_columns(ResultTable::Row& row,
+                          const SuccessEstimate& estimate, double z) {
+  row.set("ci_lo", estimate.ci_lo(z))
+      .set("ci_hi", estimate.ci_hi(z))
+      .set("half_width", estimate.half_width(z));
+}
+
+ResultTable grid_table(std::string name, const Grid& grid,
+                       const AdaptiveGridResult<RunStats>& result, double z) {
+  const std::vector<GridPoint> points = grid.expand();
+  if (points.size() != result.points.size()) {
+    throw InvalidArgument(
+        "grid_table: adaptive result size does not match the grid "
+        "expansion (" +
+        std::to_string(result.points.size()) + " vs " +
+        std::to_string(points.size()) + ")");
+  }
+  ResultTable table(std::move(name));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto row = table.add_row();
+    for (const auto& [axis, value] : points[i].coords) {
+      row.set(axis, value);
+    }
+    row.set("runs_spent", result.points[i].runs);
+    add_stats_columns(row, result.points[i].result);
+    add_estimate_columns(row, result.points[i].estimate, z);
+  }
+  return table;
+}
+
 }  // namespace rsb

@@ -24,6 +24,11 @@ std::optional<ResultCache::Entry> ResultCache::lookup(const Key& key) {
 void ResultCache::insert(const Key& key, Entry entry) {
   const std::uint64_t charged = entry.payload.size() + kEntryOverhead;
   std::lock_guard<std::mutex> lock(mutex_);
+  // Oversized entries are rejected before any accounting: counting them
+  // as insertions inflated the stat, and taking the refresh path below
+  // would have evicted every *other* entry just to fail retaining this
+  // one. `insertions` therefore counts retained inserts exactly.
+  if (charged > byte_budget_) return;
   ++stats_.insertions;
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -32,10 +37,10 @@ void ResultCache::insert(const Key& key, Entry entry) {
     it->second->charged = charged;
     stats_.bytes += charged;
     lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.entries = lru_.size();
     evict_to_budget();
     return;
   }
-  if (charged > byte_budget_) return;  // would evict everything else
   lru_.push_front(Node{key, std::move(entry), charged});
   index_.emplace(key, lru_.begin());
   stats_.bytes += charged;

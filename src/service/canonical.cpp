@@ -20,11 +20,12 @@ namespace {
 // The complete wire vocabulary, sorted — canonical_text() emits in exactly
 // this order and parse() rejects anything else by listing it.
 constexpr const char* kKeys[] = {
-    "agents",     "batch",      "fault-crashes", "fault-seed",
-    "fault-window", "loads",    "model",         "port-policy",
-    "port-seed",  "ports",      "protocol",      "rounds",
-    "sched",      "sched-seed", "seeds",         "task",
-    "topology",   "topology-seed", "variant",
+    "adaptive-budget", "agents",     "batch",      "fault-crashes",
+    "fault-seed",      "fault-window", "loads",    "model",
+    "pilot",           "port-policy", "port-seed", "ports",
+    "protocol",        "rounds",     "sched",      "sched-seed",
+    "seeds",           "task",       "topology",   "topology-seed",
+    "variant",
 };
 
 std::string known_keys() {
@@ -196,7 +197,15 @@ CanonicalSpec CanonicalSpec::parse(const std::string& text) {
   }
 
   for (const auto& [key, value] : pairs) {
-    if (key == "batch") {
+    if (key == "adaptive-budget") {
+      spec.adaptive_budget = parse_u64(value, key);
+    } else if (key == "pilot") {
+      spec.pilot = parse_u64(value, key);
+      if (spec.pilot == 0) {
+        throw InvalidArgument(
+            "spec: pilot must be >= 1 (omit the key for the default)");
+      }
+    } else if (key == "batch") {
       const long long parsed = parse_int(value, key);
       if (parsed < 0) {
         throw InvalidArgument("spec: batch must be >= 0, got " + value);
@@ -274,10 +283,12 @@ std::string CanonicalSpec::canonical_text() const {
   // Every pair whose value differs from the default, keys sorted (the
   // kKeys order), one per line. Inert knobs — a port seed under a
   // non-random policy, fault fields with zero crashes, a sched seed under
-  // a non-random scheduler, and `batch` always (batched execution is
-  // byte-identical to unbatched, so the width never changes any result) —
-  // are normalized away: they cannot change any run, so they must not
-  // change the hash.
+  // a non-random scheduler, `batch` always (batched execution is
+  // byte-identical to unbatched, so the width never changes any result),
+  // and `adaptive-budget`/`pilot` always (adaptive sweeps execute a
+  // subset of the same pure (spec, chunk) shards, so the knobs change
+  // which chunks run, never any chunk's bytes) — are normalized away:
+  // they cannot change any run, so they must not change the hash.
   const std::string effective_policy =
       port_policy.empty() ? default_policy(model) : port_policy;
   const std::string sched_canon = canonical_sched(sched);

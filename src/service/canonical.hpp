@@ -83,6 +83,20 @@ struct CanonicalSpec {
   /// spec hash — two requests differing only in batch are the same
   /// ensemble and share cache shards.
   int batch = 0;
+  /// Total adaptive run budget across every point of the request
+  /// (engine/grid.hpp, run_grid_adaptive); 0 = uniform sweep (every point
+  /// runs its full seed range). When set, the daemon pilots each point
+  /// with `pilot` runs and grows the widest-CI points in rounds, capping
+  /// each point at its seeds count. Like `batch`, this is an
+  /// execution-strategy knob normalized out of canonical_text() and the
+  /// hash: adaptive sweeps execute pure (spec, seed-range) shards keyed
+  /// under the same spec hash a uniform sweep uses, so adaptive and
+  /// uniform requests over one ensemble share the cache namespace (and
+  /// whole entries whenever their chunk ranges coincide).
+  std::uint64_t adaptive_budget = 0;
+  /// Pilot runs per point for adaptive sweeps; 0 = the daemon's default.
+  /// Inert (and normalized away) when adaptive_budget is 0.
+  std::uint64_t pilot = 0;
   /// Scheduler spec in SchedulerSpec::to_string form: "synchronous",
   /// "random-delay(3)", "starve{0,2}(4)".
   std::string sched = "synchronous";

@@ -290,7 +290,15 @@ struct Parser {
             }
           }
           if (code > 0x7f) {
-            fail("\\u escape above ASCII is not supported on this wire");
+            // Never mangle: emitting `code & 0x7f` (or a lone UTF-8 byte)
+            // would silently corrupt the string, and the byte-exact
+            // round-trip contract above forbids transcoding. Non-ASCII
+            // text travels as raw UTF-8 bytes, not \u escapes.
+            char spelled[8];
+            std::snprintf(spelled, sizeof(spelled), "\\u%04x", code);
+            fail(std::string(spelled) +
+                 " escapes above ASCII are not supported on this wire "
+                 "(send non-ASCII text as raw UTF-8 bytes)");
           }
           out += static_cast<char>(code);
           break;

@@ -13,7 +13,9 @@
 //    are plain vectors and strings.
 //
 // Only what the wire needs: objects, arrays, strings (with the standard
-// escapes; \uXXXX is parsed for ASCII code points only), integers (raw),
+// escapes; \uXXXX is parsed for ASCII code points only — an escape above
+// 0x7F is an explicit parse error, never a silent mangle, and non-ASCII
+// text travels as raw UTF-8 bytes instead), integers (raw),
 // true/false/null. parse() throws InvalidArgument on malformed input.
 #pragma once
 

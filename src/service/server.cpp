@@ -14,6 +14,7 @@
 #include <optional>
 #include <tuple>
 
+#include "engine/grid.hpp"
 #include "service/canonical.hpp"
 #include "service/json.hpp"
 #include "service/rows.hpp"
@@ -79,7 +80,11 @@ struct Server::Session {
   }
 };
 
-/// One admitted submit: the expanded points, each with its chunk plan.
+/// One admitted submit: the expanded points and a flat chunk plan — one
+/// (point index, seed range) entry per row the job will stream, in
+/// point-then-chunk order. Uniform jobs materialize the whole plan at
+/// submit; adaptive jobs start with the pilot entries and the scheduler
+/// appends allocation rounds as estimates come in (extend_adaptive_plan).
 /// Progress cursors are guarded by sched_mutex_ and advanced only by the
 /// scheduler thread.
 struct Server::Job {
@@ -87,12 +92,16 @@ struct Server::Job {
     std::string label;
     std::uint64_t hash = 0;
     Experiment spec;
-    std::vector<SeedRange> chunks;
+  };
+  struct PlanEntry {
+    std::size_t point = 0;
+    SeedRange chunk;
   };
 
   std::uint64_t id = 0;
   std::shared_ptr<Session> session;
   std::vector<Point> points;
+  std::vector<PlanEntry> plan;
   SeedRange request_seeds;  // shared by every point (seeds is not an axis)
 
   /// Chunks another job's execution already produced (cross-job dedup),
@@ -105,8 +114,7 @@ struct Server::Job {
            ResultCache::Entry>
       fulfilled;
 
-  std::size_t next_point = 0;
-  std::size_t next_chunk = 0;
+  std::size_t next_entry = 0;
   std::size_t rows_emitted = 0;
   std::uint64_t total_chunks = 0;
   std::uint64_t runs_total = 0;
@@ -114,7 +122,19 @@ struct Server::Job {
   std::uint64_t runs_cached = 0;
   RunStats summary;
 
-  bool finished() const noexcept { return next_point == points.size(); }
+  // Adaptive sweeps (`adaptive-budget=` on the spec): the shared budget,
+  // pilot, per-point success estimates folded from each chunk's stats,
+  // per-point runs planned so far, and the allocation round counter. All
+  // guarded by sched_mutex_.
+  bool adaptive = false;
+  std::uint64_t adaptive_budget = 0;
+  std::uint64_t pilot = 0;
+  std::uint64_t runs_planned = 0;
+  int adaptive_round = 0;
+  std::vector<SuccessEstimate> estimates;
+  std::vector<std::uint64_t> point_runs;
+
+  bool finished() const noexcept { return next_entry == plan.size(); }
 };
 
 Server::Server(ServerConfig config)
@@ -292,6 +312,49 @@ std::string Server::handle_request(const std::shared_ptr<Session>& session,
   }
 }
 
+void Server::append_point_plan(Job& job, std::size_t point, SeedRange range) {
+  for (const SeedRange& chunk : chunk_plan(range)) {
+    job.plan.push_back(Job::PlanEntry{point, chunk});
+  }
+  job.total_chunks = job.plan.size();
+  job.runs_planned += range.count;
+  if (point < job.point_runs.size()) job.point_runs[point] += range.count;
+}
+
+void Server::extend_adaptive_plan(Job& job) {
+  // Round budgets follow run_grid_adaptive exactly: the remaining budget
+  // split evenly over the remaining rounds, the last round absorbing the
+  // integer remainder. Every range starts at the point's next unexecuted
+  // seed, so extension chunks are the same absolute-aligned shards a
+  // uniform sweep over the point would produce.
+  const AdaptiveConfig defaults{};
+  while (job.next_entry == job.plan.size() &&
+         job.adaptive_round < defaults.rounds &&
+         job.runs_planned < job.adaptive_budget) {
+    const std::uint64_t left = job.adaptive_budget - job.runs_planned;
+    const std::uint64_t round_budget =
+        left / static_cast<std::uint64_t>(defaults.rounds - job.adaptive_round);
+    ++job.adaptive_round;
+    if (round_budget == 0) continue;
+    std::vector<std::uint64_t> capacity(job.points.size());
+    for (std::size_t p = 0; p < job.points.size(); ++p) {
+      capacity[p] = job.request_seeds.count - job.point_runs[p];
+    }
+    const std::vector<std::uint64_t> alloc =
+        allocate_adaptive_runs(job.estimates, capacity, round_budget,
+                               defaults.z, defaults.target_half_width);
+    std::uint64_t allocated = 0;
+    for (std::size_t p = 0; p < job.points.size(); ++p) {
+      if (alloc[p] == 0) continue;
+      append_point_plan(
+          job, p,
+          SeedRange::of(job.request_seeds.first + job.point_runs[p], alloc[p]));
+      allocated += alloc[p];
+    }
+    if (allocated == 0) return;  // every eligible point is capped
+  }
+}
+
 std::string Server::handle_submit(const std::shared_ptr<Session>& session,
                                   const std::string& spec_text) {
   // Expansion and validation happen before admission: a malformed spec is
@@ -299,19 +362,64 @@ std::string Server::handle_submit(const std::shared_ptr<Session>& session,
   auto job = std::make_shared<Job>();
   std::string hashes;
   for (SpecPoint& point : expand_request(spec_text, config_.max_points)) {
+    if (job->points.empty()) {
+      job->adaptive = point.spec.adaptive_budget != 0;
+      job->adaptive_budget = point.spec.adaptive_budget;
+      job->pilot = point.spec.pilot;
+    } else if (point.spec.adaptive_budget != job->adaptive_budget ||
+               point.spec.pilot != job->pilot) {
+      throw InvalidArgument(
+          "spec: adaptive-budget/pilot cannot be grid axes — one budget is "
+          "shared by every point of the request");
+    }
     Job::Point expanded;
     expanded.label = std::move(point.label);
     expanded.hash = point.spec.hash();
     expanded.spec = point.spec.to_experiment();
-    expanded.chunks = chunk_plan(point.spec.seeds);
     job->request_seeds = point.spec.seeds;
-    job->total_chunks += expanded.chunks.size();
-    job->runs_total += point.spec.seeds.count;
     if (!hashes.empty()) hashes += ',';
     hashes += quoted(point.spec.hash_hex());
     job->points.push_back(std::move(expanded));
   }
   job->session = session;
+
+  if (job->adaptive) {
+    const AdaptiveConfig defaults{};
+    if (job->pilot == 0) job->pilot = defaults.pilot;
+    const std::uint64_t n_points = job->points.size();
+    if (job->pilot > job->request_seeds.count) {
+      throw InvalidArgument("spec: pilot=" + std::to_string(job->pilot) +
+                            " exceeds the per-point seed count " +
+                            std::to_string(job->request_seeds.count));
+    }
+    if (job->adaptive_budget < n_points * job->pilot) {
+      throw InvalidArgument(
+          "spec: adaptive-budget=" + std::to_string(job->adaptive_budget) +
+          " cannot cover the pilot (" + std::to_string(n_points) +
+          " points x pilot=" + std::to_string(job->pilot) + " = " +
+          std::to_string(n_points * job->pilot) + " runs)");
+    }
+    if (job->adaptive_budget > n_points * job->request_seeds.count) {
+      throw InvalidArgument(
+          "spec: adaptive-budget=" + std::to_string(job->adaptive_budget) +
+          " exceeds the request's seed capacity (" + std::to_string(n_points) +
+          " points x seeds=" + std::to_string(job->request_seeds.count) +
+          " = " + std::to_string(n_points * job->request_seeds.count) +
+          " runs)");
+    }
+    job->estimates.resize(job->points.size());
+    job->point_runs.assign(job->points.size(), 0);
+    for (std::size_t p = 0; p < job->points.size(); ++p) {
+      append_point_plan(*job, p,
+                        SeedRange::of(job->request_seeds.first, job->pilot));
+    }
+    job->runs_total = job->adaptive_budget;
+  } else {
+    for (std::size_t p = 0; p < job->points.size(); ++p) {
+      append_point_plan(*job, p, job->request_seeds);
+    }
+    job->runs_total = job->runs_planned;
+  }
 
   {
     // Admit (or reject) and reserve the queue slot, but do NOT make the
@@ -337,11 +445,16 @@ std::string Server::handle_submit(const std::shared_ptr<Session>& session,
     ++stats_.jobs_submitted;
   }
 
+  // For adaptive jobs `chunks` counts the pilot plan only (the schedule
+  // grows as estimates come in) while `runs` is the full budget.
   std::string out = "{\"type\":\"accepted\",\"ok\":true";
   out += ",\"job\":" + std::to_string(job->id);
   out += ",\"points\":" + std::to_string(job->points.size());
   out += ",\"chunks\":" + std::to_string(job->total_chunks);
   out += ",\"runs\":" + std::to_string(job->runs_total);
+  if (job->adaptive) {
+    out += ",\"adaptive\":true,\"pilot\":" + std::to_string(job->pilot);
+  }
   out += ",\"spec_hashes\":[" + hashes + "]}";
   if (!session->send_line(out)) {
     // Client vanished between request and reply: release the reservation.
@@ -388,8 +501,7 @@ Server::Pick Server::pick_next() {
     pick.any_pending = true;
     if (visited != 0) session.deficit += config_.quantum_runs;
     const Job& job = *session.jobs.front();
-    const std::uint64_t cost =
-        job.points[job.next_point].chunks[job.next_chunk].count;
+    const std::uint64_t cost = job.plan[job.next_entry].chunk.count;
     if (session.deficit >= cost) {
       rr_cursor_ = idx;
       pick.job = session.jobs.front();
@@ -418,15 +530,15 @@ void Server::scheduler_loop() {
         if (pick.any_pending) continue;  // deficits grow per rotation
         work_cv_.wait_for(lock, std::chrono::milliseconds(kPollMillis));
       }
-      // Claim the chunk and advance the cursors while still locked; only
-      // this thread executes, so the claim cannot race.
-      point_index = job->next_point;
+      // Claim the plan entry and advance the cursor while still locked;
+      // only this thread executes, so the claim cannot race. An adaptive
+      // job whose plan is momentarily exhausted never appears here: the
+      // post-merge section below extends the plan (or finishes the job)
+      // before the scheduler returns to pick_next.
+      point_index = job->plan[job->next_entry].point;
+      chunk = job->plan[job->next_entry].chunk;
+      ++job->next_entry;
       row_index = job->rows_emitted++;
-      chunk = job->points[point_index].chunks[job->next_chunk];
-      if (++job->next_chunk == job->points[point_index].chunks.size()) {
-        job->next_chunk = 0;
-        ++job->next_point;
-      }
       // Cross-job dedup, consume side: another job already executed this
       // exact shard and handed it over — serve it without touching the
       // engine or the cache (the bytes may have been evicted since).
@@ -479,24 +591,30 @@ void Server::scheduler_loop() {
         for (const auto& other_session : sessions_) {
           for (const auto& other : other_session->jobs) {
             if (other == job) continue;
-            for (std::size_t p = other->next_point; p < other->points.size();
-                 ++p) {
-              if (other->points[p].hash != point.hash) continue;
-              const std::vector<SeedRange>& chunks = other->points[p].chunks;
-              for (std::size_t c = p == other->next_point ? other->next_chunk
-                                                          : 0;
-                   c < chunks.size(); ++c) {
-                if (chunks[c].first == chunk.first &&
-                    chunks[c].count == chunk.count) {
-                  other->fulfilled.emplace(dedup_key,
-                                           ResultCache::Entry{payload, stats});
-                }
+            for (std::size_t e = other->next_entry; e < other->plan.size();
+                 ++e) {
+              const Job::PlanEntry& entry = other->plan[e];
+              if (other->points[entry.point].hash == point.hash &&
+                  entry.chunk.first == chunk.first &&
+                  entry.chunk.count == chunk.count) {
+                other->fulfilled.emplace(dedup_key,
+                                         ResultCache::Entry{payload, stats});
               }
             }
           }
         }
       }
       job->summary.merge(stats);
+      if (job->adaptive) {
+        // Fold the chunk into the point's success estimate (successes =
+        // task admissions when a task is checked, bare terminations
+        // otherwise — the same reading SuccessEstimate::observe applies),
+        // then grow the plan once the last planned chunk has merged.
+        job->estimates[point_index].add(
+            stats.runs,
+            stats.task_checked ? stats.task_successes : stats.terminated);
+        if (job->next_entry == job->plan.size()) extend_adaptive_plan(*job);
+      }
       if (cached) {
         job->runs_cached += chunk.count;
       } else {
@@ -528,7 +646,14 @@ void Server::scheduler_loop() {
       done += ",\"runs\":" + std::to_string(job->runs_total);
       done += ",\"runs_executed\":" + std::to_string(job->runs_executed);
       done += ",\"runs_cached\":" + std::to_string(job->runs_cached);
-      done += ",\"summary\":" + row_payload(job->request_seeds, job->summary);
+      // An adaptive summary spans the runs the budget bought, not the full
+      // declared range (points stop at different seeds; `seeds` reports
+      // the aggregate run count with the shared first seed).
+      const SeedRange summary_seeds =
+          job->adaptive ? SeedRange::of(job->request_seeds.first,
+                                        job->summary.runs)
+                        : job->request_seeds;
+      done += ",\"summary\":" + row_payload(summary_seeds, job->summary);
       done += "}";
       job->session->send_line(done);
       drain_cv_.notify_all();

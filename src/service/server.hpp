@@ -42,7 +42,15 @@
 //    completed shard to that job at completion time, so concurrent
 //    queries over one ensemble execute each chunk once — even when the
 //    LRU cache is too small to retain the bytes until the second job's
-//    turn comes around.
+//    turn comes around;
+//  * adaptive sweeps — a spec carrying `adaptive-budget=B` (and optionally
+//    `pilot=P`; both hash-inert, see canonical.hpp) runs every grid point
+//    for P pilot runs, then spends the remaining budget in allocation
+//    rounds proportional to each point's Wilson CI half-width
+//    (engine/grid.hpp allocate_adaptive_runs). Every scheduled range
+//    starts at the point's next unexecuted seed, so the chunks stay
+//    seed-range-aligned and byte-identical to a uniform sweep's prefix —
+//    adaptive and uniform requests over one ensemble share cache entries.
 //
 // Determinism: a row's bytes are a pure function of (spec, chunk) — the
 // engine is deterministic for any thread count, cached bytes are the
@@ -150,6 +158,15 @@ class Server {
     bool any_pending = false;
   };
   Pick pick_next();  // caller holds sched_mutex_
+
+  /// Appends `range` for point `point` to the job's plan as cache-aligned
+  /// chunks (rows.hpp chunk_plan) and advances the planning accounting.
+  static void append_point_plan(Job& job, std::size_t point, SeedRange range);
+
+  /// Runs adaptive allocation rounds until the plan grows or the job's
+  /// rounds/budget are exhausted. Called with sched_mutex_ held, after the
+  /// last planned chunk's stats merged.
+  static void extend_adaptive_plan(Job& job);
 
   ServerConfig config_;
   int listen_fd_ = -1;

@@ -78,6 +78,29 @@ TEST(Grid, GenericAxisAndValidationErrors) {
   EXPECT_THROW(
       grid.over("ragged", {"a", "b"}, {[](Experiment&) {}}),
       InvalidArgument);
+  // The length error must name the axis and both sizes, so a sweep author
+  // sees which declaration is ragged without a debugger.
+  try {
+    grid.over("ragged", {"a", "b"}, {[](Experiment&) {}});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ragged"), std::string::npos) << what;
+    EXPECT_NE(what.find('2'), std::string::npos) << what;
+    EXPECT_NE(what.find('1'), std::string::npos) << what;
+  }
+  // A null std::function entry is a declaration bug; it must fail here
+  // with the axis and entry named, not as std::bad_function_call deep in
+  // expand().
+  try {
+    grid.over("nulled", {"ok", "broken"},
+              {[](Experiment&) {}, Grid::Apply{}});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nulled"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken"), std::string::npos) << what;
+  }
   grid.over("variant", {"tagged", "literal"},
             {[](Experiment& spec) { spec.variant = MessageVariant::kPortTagged; },
              [](Experiment& spec) { spec.variant = MessageVariant::kLiteral; }});

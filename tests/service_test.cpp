@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "service/cache.hpp"
 #include "service/canonical.hpp"
 #include "service/client.hpp"
 #include "service/json.hpp"
@@ -374,6 +375,213 @@ TEST(Service, ShutdownOpRequestsDaemonExit) {
   const Value ack = Value::parse(client.request("{\"op\":\"shutdown\"}"));
   EXPECT_EQ(ack.find("type")->as_string(), "shutdown-ack");
   EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+// -------------------------------------------------------- result cache
+
+TEST(ResultCache, StatsTrackInsertsUpdatesAndRejections) {
+  ResultCache cache(2 * ResultCache::kEntryOverhead + 64);
+  const ResultCache::Key key{1, 0, 256};
+
+  // An entry larger than the whole budget is rejected before any
+  // accounting: no insertion counted, nothing retained, bytes untouched.
+  cache.insert(key, {std::string(4096, 'x'), RunStats{}});
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  // Insert + refresh of the same key: two insertions, still one entry,
+  // and the charged bytes track the refreshed payload, not the sum.
+  cache.insert(key, {"aa", RunStats{}});
+  cache.insert(key, {"bbbb", RunStats{}});
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, ResultCache::kEntryOverhead + 4);
+  ASSERT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.lookup(key)->payload, "bbbb");
+
+  // A second key fits; a third evicts the least-recently-used (the
+  // budget holds two) and the entry count stays honest.
+  cache.insert({2, 0, 256}, {"cc", RunStats{}});
+  cache.insert({3, 0, 256}, {"dd", RunStats{}});
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().insertions, 4u);
+
+  // An oversized refresh of a *live* key must not take the update path
+  // either — the old entry survives untouched.
+  cache.insert({3, 0, 256}, {std::string(4096, 'y'), RunStats{}});
+  EXPECT_EQ(cache.stats().entries, 2u);
+  ASSERT_TRUE(cache.lookup({3, 0, 256}).has_value());
+  EXPECT_EQ(cache.lookup({3, 0, 256})->payload, "dd");
+}
+
+// ---------------------------------------------------------- json escapes
+
+TEST(Json, UnicodeEscapesAboveAsciiAreExplicitParseErrors) {
+  // ASCII escapes decode; anything above 0x7F is an error naming the
+  // offending escape and the supported alternative — never a silent
+  // mangle into a wrong byte.
+  EXPECT_EQ(Value::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Value::parse("\"\\u007f\"").as_string(), "\x7f");
+  try {
+    Value::parse("\"\\u0080\"");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("\\u0080"), std::string::npos) << what;
+    EXPECT_NE(what.find("raw UTF-8"), std::string::npos) << what;
+  }
+  EXPECT_THROW(Value::parse("\"\\ud83d\""), InvalidArgument);  // surrogate
+  EXPECT_THROW(Value::parse("\"\\uFFFF\""), InvalidArgument);
+  EXPECT_THROW(Value::parse("\"\\u00\""), InvalidArgument);    // truncated
+  EXPECT_THROW(Value::parse("\"\\u00zz\""), InvalidArgument);  // bad hex
+}
+
+TEST(Service, NonAsciiEscapeInRequestIsARejectLineNotADeadDaemon) {
+  Server server({.threads = 1});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const Value reject =
+      Value::parse(client.request("{\"op\":\"ping\",\"note\":\"\\u00e9\"}"));
+  EXPECT_EQ(reject.find("type")->as_string(), "error");
+  EXPECT_NE(reject.find("reason")->as_string().find("escapes above ASCII"),
+            std::string::npos);
+  // The session survives; raw UTF-8 bytes in the same position are fine.
+  const Value pong =
+      Value::parse(client.request("{\"op\":\"ping\",\"note\":\"caf\xc3\xa9\"}"));
+  EXPECT_EQ(pong.find("type")->as_string(), "pong");
+  server.stop();
+}
+
+// ------------------------------------------------------- adaptive sweeps
+
+TEST(Service, AdaptiveSweepSpendsTheBudgetAndStreamsReferenceBytes) {
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  // Two points, budget 200, pilot 50: the pilot covers 100 runs, four
+  // allocation rounds spend the other 100.
+  const std::string adaptive =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "rounds=30|50\nseeds=0+600\nadaptive-budget=200\npilot=50";
+  const Value accepted =
+      Value::parse(client.request(submit_request(adaptive)));
+  ASSERT_EQ(accepted.find("type")->as_string(), "accepted");
+  EXPECT_EQ(accepted.find("points")->as_uint(), 2u);
+  EXPECT_EQ(accepted.find("runs")->as_uint(), 200u);  // the budget
+  ASSERT_NE(accepted.find("adaptive"), nullptr);
+  EXPECT_TRUE(accepted.find("adaptive")->as_bool());
+  EXPECT_EQ(accepted.find("pilot")->as_uint(), 50u);
+
+  // Per-point experiments for reference row computation.
+  std::vector<Experiment> specs;
+  for (const SpecPoint& point : expand_request(adaptive)) {
+    specs.push_back(point.spec.to_experiment());
+  }
+  Engine reference_engine;
+
+  std::vector<std::uint64_t> point_runs(2, 0);
+  std::uint64_t total = 0;
+  std::string done_line;
+  while (auto line = client.read_line()) {
+    const Value msg = Value::parse(*line);
+    if (msg.find("type")->as_string() != "row") {
+      done_line = *line;
+      break;
+    }
+    const std::uint64_t point = msg.find("point")->as_uint();
+    const Value* row = msg.find("row");
+    const SeedRange chunk = SeedRange::of(row->find("seed_first")->as_uint(),
+                                          row->find("seeds")->as_uint());
+    // Every streamed chunk is byte-identical to executing that exact
+    // (spec, range) in process — adaptivity never reaches row content.
+    EXPECT_EQ(row->serialize(),
+              run_chunk(reference_engine, specs[point], chunk, nullptr))
+        << "point " << point << " first " << chunk.first;
+    point_runs[point] += chunk.count;
+    total += chunk.count;
+  }
+  EXPECT_EQ(total, 200u);
+  for (const std::uint64_t runs : point_runs) EXPECT_GE(runs, 50u);
+  const Value done = Value::parse(done_line);
+  EXPECT_EQ(done.find("type")->as_string(), "done");
+  EXPECT_EQ(done.find("runs")->as_uint(), 200u);
+  EXPECT_EQ(done.find("runs_executed")->as_uint() +
+                done.find("runs_cached")->as_uint(),
+            200u);
+  EXPECT_EQ(done.find("summary")->find("seeds")->as_uint(), 200u);
+
+  // The schedule is deterministic, so a repeat of the same request plans
+  // the same chunks and streams entirely from cache.
+  const std::uint64_t executed_after_cold = server.stats().runs_executed;
+  const JobResult warm = run_job(client, adaptive);
+  EXPECT_EQ(server.stats().runs_executed, executed_after_cold);
+  EXPECT_EQ(warm.runs_executed, 0u);
+  EXPECT_EQ(warm.runs_cached, 200u);
+  server.stop();
+}
+
+TEST(Service, AdaptiveKnobsAreHashInertAndShareTheCacheNamespace) {
+  // The adaptive knobs must not reach the canonical identity: the same
+  // ensemble with and without them hashes identically, so an adaptive
+  // sweep's chunks prime the cache for uniform requests (and vice versa
+  // when ranges align).
+  const std::string base =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n"
+      "seeds=0+600";
+  const CanonicalSpec plain = CanonicalSpec::parse(base);
+  const CanonicalSpec knobbed =
+      CanonicalSpec::parse(base + "\nadaptive-budget=300\npilot=50");
+  EXPECT_EQ(plain.hash(), knobbed.hash());
+  EXPECT_EQ(plain.canonical_text(), knobbed.canonical_text());
+  EXPECT_EQ(knobbed.adaptive_budget, 300u);
+  EXPECT_EQ(knobbed.pilot, 50u);
+  // pilot=0 is a spelled-out error, not a silent default.
+  EXPECT_THROW(CanonicalSpec::parse(base + "\npilot=0"), InvalidArgument);
+}
+
+TEST(Service, AdaptiveSubmitValidationRejectsWithReasons) {
+  Server server({.threads = 1});
+  server.start();
+  Client client;
+  client.connect(server.port());
+  const std::string base =
+      "loads=1,2\nprotocol=wait-for-singleton-LE\ntask=leader-election\n";
+
+  // Budget below points x pilot.
+  const Value small = Value::parse(client.request(
+      submit_request(base + "seeds=0+600\nadaptive-budget=40\npilot=50")));
+  EXPECT_EQ(small.find("type")->as_string(), "error");
+  EXPECT_NE(small.find("reason")->as_string().find("cannot cover the pilot"),
+            std::string::npos);
+  // Pilot past the declared seed range.
+  const Value deep = Value::parse(client.request(
+      submit_request(base + "seeds=0+40\nadaptive-budget=100\npilot=50")));
+  EXPECT_EQ(deep.find("type")->as_string(), "error");
+  EXPECT_NE(deep.find("reason")->as_string().find("exceeds the per-point"),
+            std::string::npos);
+  // Budget past the request's total seed capacity.
+  const Value fat = Value::parse(client.request(
+      submit_request(base + "seeds=0+60\nadaptive-budget=100\npilot=20")));
+  EXPECT_EQ(fat.find("type")->as_string(), "error");
+  EXPECT_NE(fat.find("reason")->as_string().find("seed capacity"),
+            std::string::npos);
+  // The budget cannot be a grid axis — one pool is shared by the request.
+  const Value axis = Value::parse(client.request(submit_request(
+      base + "seeds=0+600\nadaptive-budget=100|200\npilot=20")));
+  EXPECT_EQ(axis.find("type")->as_string(), "error");
+  EXPECT_NE(axis.find("reason")->as_string().find("grid axes"),
+            std::string::npos);
+  // None of it was admitted; the daemon is still serving.
+  const Value pong = Value::parse(client.request("{\"op\":\"ping\"}"));
+  EXPECT_EQ(pong.find("type")->as_string(), "pong");
   server.stop();
 }
 
