@@ -36,6 +36,22 @@ class AnonymousProtocol {
   virtual std::optional<std::int64_t> decide(const KnowledgeStore& store,
                                              KnowledgeId knowledge) const = 0;
 
+  /// True iff decide() depends on the knowledge value's *content* only —
+  /// the bit strings and multiset structure reachable through the store —
+  /// and never on the numeric order of interned ids. Ids are insertion-
+  /// order handles (parties intern in index order each round), so an
+  /// id-order rule like "the smallest unique knowledge value" silently
+  /// reads the party labeling: relabeling the parties of a run permutes
+  /// which value was interned first and can move the verdicts to different
+  /// holders. Content-only rules are equivariant — relabeling a run's
+  /// initial configuration relabels its outcome, nothing more — which is
+  /// what lets the orbit-dedup layer (engine/orbit.hpp) replicate one
+  /// executed run across its whole isomorphism class. Declaring true here
+  /// is a promise pinned by the orbit byte-identity tests; the
+  /// conservative default keeps id-order protocols on the literal-match
+  /// path, which is always sound.
+  virtual bool knowledge_order_invariant() const { return false; }
+
   /// Whole-round decision hook for the lockstep batched engine path:
   /// fills verdicts[i] = decide(store, knowledge[i]) for every party at
   /// once. `knowledge` must be the complete party vector produced by one
@@ -114,6 +130,10 @@ class BlackboardUniqueStringLE final : public AnonymousProtocol {
   std::string name() const override { return "blackboard-unique-string-LE"; }
   std::optional<std::int64_t> decide(const KnowledgeStore& store,
                                      KnowledgeId knowledge) const override;
+  /// The rule ranges over randomness *strings* compared lexicographically —
+  /// pure content, no interned-id order — so relabeled runs produce
+  /// relabeled outcomes and orbit dedup may quotient by the full group.
+  bool knowledge_order_invariant() const override { return true; }
 };
 
 /// Model-agnostic leader election: a party decides once the knowledge
@@ -124,6 +144,13 @@ class BlackboardUniqueStringLE final : public AnonymousProtocol {
 /// port-tagged message-passing model it subsumes the Euclid/CreateMatching
 /// procedure because the full-information consistency partition refines at
 /// least as fast as any explicit protocol's (see DESIGN.md).
+/// Note: "canonically-smallest" means smallest interned id, and ids are
+/// insertion-order handles — among several singleton classes the winner is
+/// the one first attained in party-index order. The rule is name-
+/// independent (every party applies it to the same multiset) but *not*
+/// id-order invariant: relabeling a run can crown a different singleton,
+/// so knowledge_order_invariant() stays false and orbit dedup matches this
+/// protocol's runs literally.
 class WaitForSingletonLE final : public AnonymousProtocol {
  public:
   std::string name() const override { return "wait-for-singleton-LE"; }

@@ -176,8 +176,66 @@ PortPolicy provider_policy(const Experiment& spec) {
 template <typename PerRun>
 void execute_range(RunContext& ctx, const Experiment& spec,
                    PortProvider& ports, std::uint64_t begin, std::uint64_t end,
-                   int batch, const PerRun& per_run) {
+                   int batch, OrbitTable* orbit, const PerRun& per_run) {
   std::uint64_t i = begin;
+  if (orbit != nullptr) {
+    // Deduped sweep (eligible specs are knowledge-backend by construction):
+    // every candidate is probed against the orbit memo first; only the
+    // misses execute — lockstep when batching, scalar otherwise — and each
+    // executed representative is inserted at its consumed-round level.
+    // Reporting stays in run-index order with the candidate's own wiring
+    // and crash draw, so per_run sees bytes identical to the brute sweep.
+    const std::size_t probes = static_cast<std::size_t>(std::max(batch, 1));
+    if (ctx.orbit_probes.size() < probes) ctx.orbit_probes.resize(probes);
+    if (batch > 1) {
+      BatchedRunContext& b = ctx.batched;
+      while (end - i >= static_cast<std::uint64_t>(batch)) {
+        b.requests.clear();
+        for (int l = 0; l < batch; ++l) {
+          OrbitProbe& probe = ctx.orbit_probes[static_cast<std::size_t>(l)];
+          orbit->prepare(
+              probe, spec.seeds.first + i + static_cast<std::uint64_t>(l),
+              ports.next());
+          if (!orbit->lookup(probe)) {
+            b.requests.push_back(
+                {spec.seeds.first + i + static_cast<std::uint64_t>(l),
+                 probe.ports});
+          }
+        }
+        if (!b.requests.empty()) {
+          run_prepared_batch(ctx, spec,
+                             std::span<const LaneRequest>(b.requests));
+        }
+        std::size_t miss = 0;
+        for (int l = 0; l < batch; ++l) {
+          OrbitProbe& probe = ctx.orbit_probes[static_cast<std::size_t>(l)];
+          if (probe.hit) {
+            per_run(i + static_cast<std::uint64_t>(l), probe.ports,
+                    probe.outcome);
+          } else {
+            BatchedRunContext::Lane& lane = b.lanes[miss++];
+            orbit->insert(probe, lane.outcome, lane.consumed);
+            per_run(i + static_cast<std::uint64_t>(l), probe.ports,
+                    lane.outcome);
+          }
+        }
+        i += static_cast<std::uint64_t>(batch);
+      }
+    }
+    for (; i < end; ++i) {
+      OrbitProbe& probe = ctx.orbit_probes[0];
+      orbit->prepare(probe, spec.seeds.first + i, ports.next());
+      if (orbit->lookup(probe)) {
+        per_run(i, probe.ports, probe.outcome);
+      } else {
+        const ProtocolOutcome outcome =
+            execute_run(ctx, spec, spec.seeds.first + i, probe.ports);
+        orbit->insert(probe, outcome, ctx.consumed_rounds);
+        per_run(i, probe.ports, outcome);
+      }
+    }
+    return;
+  }
   if (batch > 1 && spec.backend() == Experiment::Backend::kProtocol) {
     while (end - i >= static_cast<std::uint64_t>(batch)) {
       run_prepared_batch(ctx, spec, spec.seeds.first + i, batch, ports);
@@ -236,6 +294,22 @@ void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
                    const PrepareShards& prepare,
                    const ShardObserver& observe) {
   const std::uint64_t count = spec.seeds.count;
+  // One memo table per drive, shared by every worker: per-drive scoping is
+  // what keeps the resumption law trivial (a resumed sub-range dedups only
+  // within itself, so split-and-merge equals the one-shot sweep byte for
+  // byte). Ineligible specs never construct one.
+  std::optional<OrbitTable> orbit_store;
+  OrbitTable* orbit = nullptr;
+  if (parallel_.orbit && OrbitTable::eligible(spec)) {
+    orbit_store.emplace(spec);
+    orbit = &*orbit_store;
+  }
+  const auto account_orbit = [&] {
+    if (orbit != nullptr) {
+      orbit_hits_ += orbit->hits();
+      orbit_reps_ += orbit->reps();
+    }
+  };
   int workers = resolve_workers(parallel_, count);
   std::uint64_t chunk = count;
   std::uint64_t num_chunks = 1;
@@ -256,7 +330,7 @@ void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
     PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
     if (stream_offset != 0) ports.skip_to(stream_offset);
-    execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
+    execute_range(ctx_, spec, ports, 0, count, parallel_.batch, orbit,
                   [&](std::uint64_t i, const PortAssignment* assignment,
                       const ProtocolOutcome& outcome) {
                     observe(0, RunView{spec.seeds.first + i, i, assignment,
@@ -264,6 +338,7 @@ void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
                             outcome);
                   });
     store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
+    account_orbit();
     return;
   }
 
@@ -285,7 +360,7 @@ void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
       ports.skip_to(stream_offset + begin);
       // Chunks are batch-aligned (resolve_chunk), so only the sweep's
       // final chunk can leave remainder lanes for the scalar path.
-      execute_range(ctx, spec, ports, begin, end, parallel_.batch,
+      execute_range(ctx, spec, ports, begin, end, parallel_.batch, orbit,
                     [&](std::uint64_t i, const PortAssignment* assignment,
                         const ProtocolOutcome& outcome) {
                       observe(static_cast<int>(c),
@@ -298,6 +373,7 @@ void Engine::drive(const Experiment& spec, std::uint64_t stream_offset,
   for (const RunContext& ctx : worker_ctxs_) {
     store_high_water_ = std::max(store_high_water_, ctx.store_high_water);
   }
+  account_orbit();
 }
 
 RunStats Engine::run_batch(const Experiment& spec,
@@ -324,10 +400,25 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   const int workers = resolve_workers(parallel_, count);
   RunStats stats;
 
+  // Like drive(): one table for the whole observed sweep — it spans every
+  // window, so late windows replicate off early representatives.
+  std::optional<OrbitTable> orbit_store;
+  OrbitTable* orbit = nullptr;
+  if (parallel_.orbit && OrbitTable::eligible(spec)) {
+    orbit_store.emplace(spec);
+    orbit = &*orbit_store;
+  }
+  const auto account_orbit = [&] {
+    if (orbit != nullptr) {
+      orbit_hits_ += orbit->hits();
+      orbit_reps_ += orbit->reps();
+    }
+  };
+
   if (workers <= 1) {
     PortProvider ports(spec.model, provider_policy(spec), spec.fixed_ports,
                        spec.config, spec.port_seed);
-    execute_range(ctx_, spec, ports, 0, count, parallel_.batch,
+    execute_range(ctx_, spec, ports, 0, count, parallel_.batch, orbit,
                   [&](std::uint64_t i, const PortAssignment* assignment,
                       const ProtocolOutcome& outcome) {
                     stats.record(outcome, task);
@@ -336,6 +427,7 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
                              outcome);
                   });
     store_high_water_ = std::max(store_high_water_, ctx_.store_high_water);
+    account_orbit();
     return stats;
   }
 
@@ -415,7 +507,7 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
             const std::uint64_t chunk_end = std::min(begin + chunk, end);
             ports.skip_to(begin);
             execute_range(
-                ctx, spec, ports, begin, chunk_end, parallel_.batch,
+                ctx, spec, ports, begin, chunk_end, parallel_.batch, orbit,
                 [&](std::uint64_t i, const PortAssignment* assignment,
                     const ProtocolOutcome& outcome) {
                   RunRecord& record =
@@ -486,6 +578,7 @@ RunStats Engine::run_batch_observed(const Experiment& spec,
   for (const RunContext& ctx : worker_ctxs_) {
     store_high_water_ = std::max(store_high_water_, ctx.store_high_water);
   }
+  account_orbit();
   return stats;
 }
 

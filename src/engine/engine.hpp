@@ -91,6 +91,15 @@ struct ParallelConfig {
   /// by the property laws); the knob only trades locality for lane-state
   /// memory. 1 = scalar.
   int batch = 1;
+  /// Orbit-level run deduplication (engine/orbit.hpp): when true, sweeps
+  /// of symmetry-eligible specs execute one run per initial-configuration
+  /// orbit and replicate the outcome across the orbit with the relabeling
+  /// applied. Results stay byte-identical to the brute-force sweep for
+  /// every collector (pinned by tests/orbit_test.cpp); ineligible specs —
+  /// fixed/cyclic/adversarial wirings, agent backends, topologies — take
+  /// the identity path and never pay for a table. Purely an execution-
+  /// strategy knob, like batch.
+  bool orbit = false;
 };
 
 class Engine {
@@ -189,6 +198,15 @@ class Engine {
   /// worker context the engine has run.
   std::size_t store_high_water() const noexcept { return store_high_water_; }
 
+  /// Cumulative orbit-dedup accounting across this engine's sweeps: runs
+  /// served by replicating a memoized representative, and representatives
+  /// actually executed. hits + reps equals the total runs swept with the
+  /// orbit pass active (the split between them is timing-dependent under
+  /// threads > 1 — results never are). Both stay 0 while parallel().orbit
+  /// is false or every spec is ineligible.
+  std::uint64_t orbit_hits() const noexcept { return orbit_hits_; }
+  std::uint64_t orbit_reps() const noexcept { return orbit_reps_; }
+
  private:
   /// Sizes the shard set for the batch (called exactly once, before any
   /// run executes): one shard per scheduling chunk — serial batches use a
@@ -222,6 +240,8 @@ class Engine {
   std::vector<RunContext> worker_ctxs_;  // parallel-mode, reused per batch
   ParallelConfig parallel_;
   std::size_t store_high_water_ = 0;
+  std::uint64_t orbit_hits_ = 0;
+  std::uint64_t orbit_reps_ = 0;
 };
 
 }  // namespace rsb

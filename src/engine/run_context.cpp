@@ -29,6 +29,7 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
   // plan clears the scratch and the loop below is the exact pre-fault
   // path (pinned byte-for-byte by the fault/scheduler tests).
   spec.faults.draw(n, seed, ctx.crash_round);
+  ctx.consumed_rounds = 0;
   const bool faulty = !ctx.crash_round.empty();
   const auto crashed_by = [&](int party, int round) {
     return faulty &&
@@ -57,6 +58,7 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
     for (int party = 0; party < n; ++party) {
       bits.push_back(ctx.bank->party_bit(party, round));
     }
+    ++ctx.consumed_rounds;
     if (spec.model == Model::kBlackboard) {
       if (faulty) {
         knowledge = blackboard_round_crash(ctx.store, knowledge, bits,
@@ -100,8 +102,32 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
 void run_prepared_batch(RunContext& ctx, const Experiment& spec,
                         std::uint64_t first_seed, int lanes,
                         PortProvider& ports) {
+  BatchedRunContext& batch = ctx.batched;
+  if (batch.lanes.size() < static_cast<std::size_t>(lanes)) {
+    batch.lanes.resize(static_cast<std::size_t>(lanes));
+  }
+  batch.requests.clear();
+  for (int l = 0; l < lanes; ++l) {
+    BatchedRunContext::Lane& lane = batch.lanes[static_cast<std::size_t>(l)];
+    const PortAssignment* assignment = ports.next();
+    if (assignment != nullptr &&
+        spec.port_policy == PortPolicy::kRandomPerRun) {
+      // next() hands back a pointer into the provider's storage, which the
+      // next lane's draw overwrites: keep a per-lane copy.
+      lane.ports_storage = *assignment;
+      assignment = &*lane.ports_storage;
+    }
+    batch.requests.push_back(
+        {first_seed + static_cast<std::uint64_t>(l), assignment});
+  }
+  run_prepared_batch(ctx, spec, batch.requests);
+}
+
+void run_prepared_batch(RunContext& ctx, const Experiment& spec,
+                        std::span<const LaneRequest> requests) {
   const int n = spec.config.num_parties();
   const int sources = spec.config.num_sources();
+  const int lanes = static_cast<int>(requests.size());
   BatchedRunContext& batch = ctx.batched;
   if (batch.lanes.size() < static_cast<std::size_t>(lanes)) {
     batch.lanes.resize(static_cast<std::size_t>(lanes));
@@ -111,7 +137,7 @@ void run_prepared_batch(RunContext& ctx, const Experiment& spec,
   int live = lanes;
   for (int l = 0; l < lanes; ++l) {
     BatchedRunContext::Lane& lane = batch.lanes[static_cast<std::size_t>(l)];
-    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(l);
+    const std::uint64_t seed = requests[static_cast<std::size_t>(l)].seed;
     // Fresh lanes inherit the serial context's high-water sizing so the
     // first batch pre-sizes like a steady-state one.
     lane.store.adopt_peaks(ctx.store);
@@ -132,17 +158,9 @@ void run_prepared_batch(RunContext& ctx, const Experiment& spec,
     lane.outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
     lane.outcome.crash_round.clear();
     lane.undecided = n;
+    lane.consumed = 0;
     lane.done = false;
-    const PortAssignment* assignment = ports.next();
-    if (assignment != nullptr &&
-        spec.port_policy == PortPolicy::kRandomPerRun) {
-      // next() hands back a pointer into the provider's storage, which the
-      // next lane's draw overwrites: keep a per-lane copy.
-      lane.ports_storage = *assignment;
-      lane.ports = &*lane.ports_storage;
-    } else {
-      lane.ports = assignment;
-    }
+    lane.ports = requests[static_cast<std::size_t>(l)].ports;
   }
 
   const AnonymousProtocol& protocol = *spec.protocol;
@@ -170,6 +188,7 @@ void run_prepared_batch(RunContext& ctx, const Experiment& spec,
       // One draw per source per executed round — exactly the SourceBank's
       // lazy extension — then fan the source bits out over the parties.
       const auto draw_bits = [&] {
+        ++lane.consumed;
         for (int source = 0; source < sources; ++source) {
           batch.source_bits[static_cast<std::size_t>(source)] =
               lane.coins[static_cast<std::size_t>(source)].next_bit() ? 1 : 0;

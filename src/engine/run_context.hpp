@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "engine/experiment.hpp"
+#include "engine/orbit.hpp"
 #include "knowledge/knowledge.hpp"
 #include "model/models.hpp"
 #include "randomness/source_bank.hpp"
@@ -28,6 +30,15 @@
 namespace rsb {
 
 class PortProvider;
+
+/// One lane's worth of input to the span form of run_prepared_batch: the
+/// run seed plus its port wiring (null on the blackboard). The pointee
+/// must stay valid for the whole batch — callers point into storage they
+/// own (lane ports_storage, or an OrbitProbe's wiring copy).
+struct LaneRequest {
+  std::uint64_t seed = 0;
+  const PortAssignment* ports = nullptr;
+};
 
 /// Structure-of-arrays state for lockstep batched execution
 /// (run_prepared_batch): B lanes of one spec advance through a shared
@@ -53,10 +64,16 @@ struct BatchedRunContext {
     const PortAssignment* ports = nullptr;
     ProtocolOutcome outcome;
     int undecided = 0;
+    /// Rounds of source bits this lane drew — the run's consumed-prefix
+    /// length, the level an orbit memo entry lives at (engine/orbit.hpp).
+    int consumed = 0;
     bool faulty = false;
     bool done = false;
   };
   std::vector<Lane> lanes;
+  /// Scratch for the provider-driven wrapper's span of lane inputs; the
+  /// orbit-deduped batch path fills it with only the lookup misses.
+  std::vector<LaneRequest> requests;
   std::vector<unsigned char> source_bits;  // per-round per-source scratch
   std::vector<std::optional<std::int64_t>> verdicts;  // decide_all output
   std::vector<KnowledgeId> decide_scratch;            // decide_all scratch
@@ -78,6 +95,10 @@ struct RunContext {
   std::vector<KnowledgeId> knowledge;  // per-run knowledge-vector scratch
   RoundScratch round_scratch;       // in-place round-operator buffers
   BatchedRunContext batched;        // lockstep-lane state (run_prepared_batch)
+  /// Rounds of source bits the last run_prepared call drew (its orbit memo
+  /// level); left untouched by the agent backend.
+  int consumed_rounds = 0;
+  std::vector<OrbitProbe> orbit_probes;  // per-batch-lane dedup scratch
   sim::PayloadArena arena;          // agent-backend payload pool (lent to
                                     // each run's sim::Network)
 };
@@ -105,6 +126,15 @@ ProtocolOutcome run_prepared(RunContext& ctx, const Experiment& spec,
 void run_prepared_batch(RunContext& ctx, const Experiment& spec,
                         std::uint64_t first_seed, int lanes,
                         PortProvider& ports);
+
+/// The same lockstep execution over an explicit, possibly non-contiguous
+/// set of lane inputs: requests[l] drives ctx.batched.lanes[l]. This is
+/// the primary — the provider form above draws its assignments, parks
+/// kRandomPerRun copies in lane storage, and delegates here. The orbit-
+/// deduped sweep calls this directly with only its lookup misses, so a
+/// batch's survivors still execute shoulder-to-shoulder.
+void run_prepared_batch(RunContext& ctx, const Experiment& spec,
+                        std::span<const LaneRequest> requests);
 
 /// One agent-level run of `spec` at `seed` through a fresh sim::Network,
 /// under the spec's scheduler and fault plan. The network owns its own

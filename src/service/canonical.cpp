@@ -22,10 +22,10 @@ namespace {
 constexpr const char* kKeys[] = {
     "adaptive-budget", "agents",     "batch",      "fault-crashes",
     "fault-seed",      "fault-window", "loads",    "model",
-    "pilot",           "port-policy", "port-seed", "ports",
-    "protocol",        "rounds",     "sched",      "sched-seed",
-    "seeds",           "task",       "topology",   "topology-seed",
-    "variant",
+    "orbit",           "pilot",      "port-policy", "port-seed",
+    "ports",           "protocol",   "rounds",     "sched",
+    "sched-seed",      "seeds",      "task",       "topology",
+    "topology-seed",   "variant",
 };
 
 std::string known_keys() {
@@ -211,6 +211,12 @@ CanonicalSpec CanonicalSpec::parse(const std::string& text) {
         throw InvalidArgument("spec: batch must be >= 0, got " + value);
       }
       spec.batch = static_cast<int>(parsed);
+    } else if (key == "orbit") {
+      if (value != "on" && value != "off") {
+        throw InvalidArgument("spec: orbit must be 'on' or 'off', got '" +
+                              value + "'");
+      }
+      spec.orbit = value;
     } else if (key == "model") {
       if (value != "blackboard" && value != "message-passing") {
         throw InvalidArgument("spec: unknown model '" + value + "'");
@@ -283,12 +289,13 @@ std::string CanonicalSpec::canonical_text() const {
   // Every pair whose value differs from the default, keys sorted (the
   // kKeys order), one per line. Inert knobs — a port seed under a
   // non-random policy, fault fields with zero crashes, a sched seed under
-  // a non-random scheduler, `batch` always (batched execution is
-  // byte-identical to unbatched, so the width never changes any result),
-  // and `adaptive-budget`/`pilot` always (adaptive sweeps execute a
-  // subset of the same pure (spec, chunk) shards, so the knobs change
-  // which chunks run, never any chunk's bytes) — are normalized away:
-  // they cannot change any run, so they must not change the hash.
+  // a non-random scheduler, `batch` and `orbit` always (batched and
+  // orbit-deduplicated execution are byte-identical to the plain sweep,
+  // so neither knob changes any result), and `adaptive-budget`/`pilot`
+  // always (adaptive sweeps execute a subset of the same pure
+  // (spec, chunk) shards, so the knobs change which chunks run, never any
+  // chunk's bytes) — are normalized away: they cannot change any run, so
+  // they must not change the hash.
   const std::string effective_policy =
       port_policy.empty() ? default_policy(model) : port_policy;
   const std::string sched_canon = canonical_sched(sched);

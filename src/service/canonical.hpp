@@ -83,6 +83,14 @@ struct CanonicalSpec {
   /// spec hash — two requests differing only in batch are the same
   /// ensemble and share cache shards.
   int batch = 0;
+  /// Orbit-level run deduplication preference ("on" | "off"); "" = leave
+  /// it to the daemon's default. Like `batch`, purely an
+  /// execution-strategy knob: the orbit pass replicates canonical-
+  /// representative outcomes so the merged results are byte-identical to
+  /// the brute-force sweep (pinned by tests/orbit_test.cpp), so `orbit`
+  /// is normalized out of canonical_text() and the spec hash — requests
+  /// differing only in orbit share cache shards.
+  std::string orbit;
   /// Total adaptive run budget across every point of the request
   /// (engine/grid.hpp, run_grid_adaptive); 0 = uniform sweep (every point
   /// runs its full seed range). When set, the daemon pilots each point

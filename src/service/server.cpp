@@ -92,6 +92,10 @@ struct Server::Job {
     std::string label;
     std::uint64_t hash = 0;
     Experiment spec;
+    /// Orbit dedup for this point's chunks, resolved at submit: the
+    /// spec's `orbit=` override when present, the server default
+    /// otherwise. Hash-inert — points differing only here share `hash`.
+    bool orbit = true;
   };
   struct PlanEntry {
     std::size_t point = 0;
@@ -120,6 +124,7 @@ struct Server::Job {
   std::uint64_t runs_total = 0;
   std::uint64_t runs_executed = 0;
   std::uint64_t runs_cached = 0;
+  std::uint64_t runs_deduped = 0;  // orbit memo hits inside executed chunks
   RunStats summary;
 
   // Adaptive sweeps (`adaptive-budget=` on the spec): the shared budget,
@@ -144,7 +149,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.exchange(true)) return;
-  engine_.set_parallel({config_.threads, 0, config_.batch});
+  engine_.set_parallel({config_.threads, 0, config_.batch, config_.orbit});
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -283,6 +288,8 @@ std::string Server::handle_request(const std::shared_ptr<Session>& session,
       out += ",\"jobs_completed\":" + std::to_string(s.jobs_completed);
       out += ",\"runs_executed\":" + std::to_string(s.runs_executed);
       out += ",\"runs_cached\":" + std::to_string(s.runs_cached);
+      out += ",\"runs_deduped\":" + std::to_string(s.runs_deduped);
+      out += ",\"orbit_hits\":" + std::to_string(s.orbit_hits);
       out += ",\"draining\":";
       out += s.draining ? "true" : "false";
       out += ",\"cache\":{\"hits\":" + std::to_string(s.cache.hits);
@@ -376,6 +383,8 @@ std::string Server::handle_submit(const std::shared_ptr<Session>& session,
     expanded.label = std::move(point.label);
     expanded.hash = point.spec.hash();
     expanded.spec = point.spec.to_experiment();
+    expanded.orbit =
+        point.spec.orbit.empty() ? config_.orbit : point.spec.orbit == "on";
     job->request_seeds = point.spec.seeds;
     if (!hashes.empty()) hashes += ',';
     hashes += quoted(point.spec.hash_hex());
@@ -555,6 +564,7 @@ void Server::scheduler_loop() {
     RunStats stats;
     std::string payload;
     bool cached = false;
+    std::uint64_t deduped = 0;
     if (prefilled.has_value()) {
       payload = std::move(prefilled->payload);
       stats = std::move(prefilled->stats);
@@ -564,7 +574,17 @@ void Server::scheduler_loop() {
       stats = std::move(hit->stats);
       cached = true;
     } else {
+      // Only the scheduler thread touches the engine, so the knob flip
+      // and the hit-counter delta below cannot race a sweep; stats() must
+      // read the accumulated ServerStats counters, never the engine.
+      if (engine_.parallel().orbit != point.orbit) {
+        ParallelConfig parallel = engine_.parallel();
+        parallel.orbit = point.orbit;
+        engine_.set_parallel(parallel);
+      }
+      const std::uint64_t hits_before = engine_.orbit_hits();
       payload = run_chunk(engine_, point.spec, chunk, &stats);
+      deduped = engine_.orbit_hits() - hits_before;
       cache_.insert(key, ResultCache::Entry{payload, stats});
     }
 
@@ -619,6 +639,7 @@ void Server::scheduler_loop() {
         job->runs_cached += chunk.count;
       } else {
         job->runs_executed += chunk.count;
+        job->runs_deduped += deduped;
         Session& session = *job->session;
         session.deficit -= std::min(session.deficit, chunk.count);
       }
@@ -637,6 +658,8 @@ void Server::scheduler_loop() {
         stats_.runs_cached += chunk.count;
       } else {
         stats_.runs_executed += chunk.count;
+        stats_.runs_deduped += deduped;
+        stats_.orbit_hits += deduped;
       }
       if (finished) ++stats_.jobs_completed;
     }
@@ -646,6 +669,7 @@ void Server::scheduler_loop() {
       done += ",\"runs\":" + std::to_string(job->runs_total);
       done += ",\"runs_executed\":" + std::to_string(job->runs_executed);
       done += ",\"runs_cached\":" + std::to_string(job->runs_cached);
+      done += ",\"runs_deduped\":" + std::to_string(job->runs_deduped);
       // An adaptive summary spans the runs the budget bought, not the full
       // declared range (points stop at different seeds; `seeds` reports
       // the aggregate run count with the shared first seed).

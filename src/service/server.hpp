@@ -19,7 +19,7 @@
 //   {"type":"row","job":1,"point":0,"label":"","chunk":0,"cached":false,
 //    "row":{...}}                      (row payload: rows.hpp)
 //   {"type":"done","job":1,"chunks":4,"runs":1000,"runs_executed":1000,
-//    "runs_cached":0,"summary":{...}}
+//    "runs_cached":0,"runs_deduped":0,"summary":{...}}
 //   {"type":"error","ok":false,"reason":"..."}
 //
 // Four server-side policies:
@@ -87,6 +87,12 @@ struct ServerConfig {
   /// execution is byte-identical to unbatched, so this is invisible on the
   /// wire — rows and cache shards do not change with the width.
   int batch = 16;
+  /// Default for orbit-level run deduplication (ParallelConfig::orbit).
+  /// A spec may override per request with the hash-inert `orbit=on|off`
+  /// knob (canonical.hpp). Like batch, invisible on the wire: deduped
+  /// sweeps are byte-identical to brute force, so rows and cache shards
+  /// do not change with the setting — only the counters below move.
+  bool orbit = true;
   /// Admission bound: pending (queued + running) jobs across all clients.
   std::size_t max_queue_jobs = 64;
   /// Result-cache byte budget.
@@ -103,6 +109,15 @@ struct ServerStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t runs_executed = 0;  // runs actually swept by the engine
   std::uint64_t runs_cached = 0;    // runs served from the result cache
+  /// Runs inside executed chunks whose outcome was replicated from the
+  /// orbit memo instead of re-run (counted toward runs_executed too: the
+  /// chunk's run count is what the client asked for; this is how many of
+  /// those the engine never had to execute).
+  std::uint64_t runs_deduped = 0;
+  /// Orbit memo probe hits across every executed chunk (engine
+  /// orbit_hits() deltas, accumulated here so stats() never touches the
+  /// engine while the scheduler thread is sweeping).
+  std::uint64_t orbit_hits = 0;
   bool draining = false;
   ResultCache::Stats cache;
 };

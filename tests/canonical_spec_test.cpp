@@ -98,6 +98,28 @@ TEST(CanonicalSpec, BatchKnobIsHashInert) {
                InvalidArgument);
 }
 
+TEST(CanonicalSpec, OrbitKnobIsHashInert) {
+  // `orbit` picks whether the executor deduplicates runs by configuration
+  // orbit, and deduped sweeps are byte-identical to brute force — so, like
+  // batch, the knob never reaches the canonical text or the hash. The
+  // parsed preference still reaches the spec for the executor.
+  const CanonicalSpec bare =
+      CanonicalSpec::parse("loads=2,3\nprotocol=wait-for-singleton-LE");
+  const CanonicalSpec on = CanonicalSpec::parse(
+      "loads=2,3\norbit=on\nprotocol=wait-for-singleton-LE");
+  const CanonicalSpec off = CanonicalSpec::parse(
+      "loads=2,3\norbit=off\nprotocol=wait-for-singleton-LE");
+  EXPECT_EQ(bare.orbit, "");
+  EXPECT_EQ(on.orbit, "on");
+  EXPECT_EQ(off.orbit, "off");
+  EXPECT_EQ(on.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(off.canonical_text(), bare.canonical_text());
+  EXPECT_EQ(on.hash(), bare.hash());
+  EXPECT_EQ(off.hash(), bare.hash());
+  EXPECT_THROW(CanonicalSpec::parse("loads=2,3\norbit=maybe\nprotocol=x"),
+               InvalidArgument);
+}
+
 TEST(CanonicalSpec, BackendKeysAreExclusiveAndRequired) {
   EXPECT_THROW(CanonicalSpec::parse("loads=2,3"), InvalidArgument);
   EXPECT_THROW(

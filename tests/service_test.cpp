@@ -39,6 +39,7 @@ struct JobResult {
   std::vector<std::string> lines;  // the raw row lines
   std::uint64_t runs_executed = 0;
   std::uint64_t runs_cached = 0;
+  std::uint64_t runs_deduped = 0;
   std::string done_line;
 };
 
@@ -61,6 +62,7 @@ JobResult run_job(Client& client, const std::string& spec) {
     EXPECT_EQ(type, "done") << *line;
     result.runs_executed = msg.find("runs_executed")->as_uint();
     result.runs_cached = msg.find("runs_cached")->as_uint();
+    result.runs_deduped = msg.find("runs_deduped")->as_uint();
     result.done_line = *line;
     break;
   }
@@ -545,6 +547,77 @@ TEST(Service, AdaptiveKnobsAreHashInertAndShareTheCacheNamespace) {
   EXPECT_EQ(knobbed.pilot, 50u);
   // pilot=0 is a spelled-out error, not a silent default.
   EXPECT_THROW(CanonicalSpec::parse(base + "\npilot=0"), InvalidArgument);
+}
+
+TEST(Service, OrbitDedupServesReferenceBytesAndReportsCounters) {
+  // An orbit-eligible spec (content-equivariant protocol, per-run random
+  // wiring irrelevant on the blackboard) sweeps deduped by default; the
+  // rows must still be the brute-force reference bytes, and the dedup
+  // shows up only in the counters: the done line's runs_deduped and the
+  // stats op's runs_deduped/orbit_hits.
+  const std::string spec =
+      "loads=1,1,1,1,1,1\nprotocol=blackboard-unique-string-LE\n"
+      "task=leader-election\nseeds=0+600";
+  Server server({.threads = 2});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const JobResult job = run_job(client, spec);
+  const std::vector<std::string> expected = reference_for(spec);
+  ASSERT_EQ(job.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(job.rows[i], expected[i]) << "chunk " << i;
+  }
+  EXPECT_EQ(job.runs_executed, 600u);
+  EXPECT_GT(job.runs_deduped, 0u);
+
+  const Value stats = Value::parse(client.request("{\"op\":\"stats\"}"));
+  EXPECT_EQ(stats.find("runs_deduped")->as_uint(), job.runs_deduped);
+  EXPECT_EQ(stats.find("orbit_hits")->as_uint(), job.runs_deduped);
+
+  // `orbit=off` is the same ensemble (hash-inert), so the brute request
+  // is served from the shards the deduped sweep cached — zero new runs.
+  const JobResult brute = run_job(client, spec + "\norbit=off");
+  EXPECT_EQ(brute.runs_cached, 600u);
+  EXPECT_EQ(brute.runs_executed, 0u);
+  EXPECT_EQ(brute.runs_deduped, 0u);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(brute.rows[i], expected[i]) << "chunk " << i;
+  }
+  server.stop();
+}
+
+TEST(Service, OrbitKnobOverridesTheServerDefaultPerSpec) {
+  // A daemon started with orbit off (rsbd --no-orbit) executes brute
+  // force unless the spec opts in; the opt-in job's bytes still match the
+  // brute job's bytes run for run (disjoint seed ranges so neither is a
+  // cache replay of the other).
+  const std::string base =
+      "loads=1,1,1,1,1,1\nprotocol=blackboard-unique-string-LE\n"
+      "task=leader-election\n";
+  Server server({.threads = 2, .orbit = false});
+  server.start();
+  Client client;
+  client.connect(server.port());
+
+  const JobResult brute = run_job(client, base + "seeds=0+256");
+  EXPECT_EQ(brute.runs_executed, 256u);
+  EXPECT_EQ(brute.runs_deduped, 0u);
+
+  const JobResult deduped = run_job(client, base + "seeds=0+256\norbit=on");
+  EXPECT_EQ(deduped.runs_cached, 256u);  // hash-inert: same shards
+
+  const JobResult cold = run_job(client, base + "seeds=1024+256\norbit=on");
+  EXPECT_EQ(cold.runs_executed, 256u);
+  EXPECT_GT(cold.runs_deduped, 0u);
+  const std::vector<std::string> expected =
+      reference_for(base + "seeds=1024+256");
+  ASSERT_EQ(cold.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cold.rows[i], expected[i]) << "chunk " << i;
+  }
+  server.stop();
 }
 
 TEST(Service, AdaptiveSubmitValidationRejectsWithReasons) {

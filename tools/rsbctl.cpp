@@ -169,6 +169,14 @@ int list_vocabulary() {
   section("graph tasks (need topology=)",
           rsb::graph::GraphTaskRegistry::global().describe());
   section("topologies", rsb::graph::TopologyRegistry::global().describe());
+  section("execution knobs (hash-inert: results are byte-identical either "
+          "way, so they never change the spec hash or cache shard)",
+          {"batch=N           lockstep batch width; 0 = daemon default",
+           "orbit=on|off      orbit-level run dedup: execute one run per "
+           "initial-configuration orbit, replicate the rest; omit for the "
+           "daemon default",
+           "adaptive-budget=N total adaptive run budget (0 = uniform sweep)",
+           "pilot=N           pilot runs per point for adaptive sweeps"});
   return 0;
 }
 

@@ -29,7 +29,7 @@ void on_signal(int) { g_signalled = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--threads N] [--cache-mb N]"
-               " [--max-queue N] [--quantum RUNS]\n",
+               " [--max-queue N] [--quantum RUNS] [--no-orbit]\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +67,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--quantum" && has_value) {
       config.quantum_runs = static_cast<std::uint64_t>(
           parse_number(argv[0], "--quantum", argv[++i]));
+    } else if (arg == "--no-orbit") {
+      // Default-off orbit dedup; a spec's own `orbit=on` still enables it.
+      config.orbit = false;
     } else {
       usage(argv[0]);
     }
@@ -94,11 +97,12 @@ int main(int argc, char** argv) {
 
   const rsb::service::ServerStats stats = server.stats();
   std::fprintf(stderr,
-               "rsbd: served %llu jobs (%llu rejected), %llu runs executed,"
-               " %llu runs from cache\n",
+               "rsbd: served %llu jobs (%llu rejected), %llu runs executed"
+               " (%llu orbit-deduped), %llu runs from cache\n",
                static_cast<unsigned long long>(stats.jobs_completed),
                static_cast<unsigned long long>(stats.jobs_rejected),
                static_cast<unsigned long long>(stats.runs_executed),
+               static_cast<unsigned long long>(stats.runs_deduped),
                static_cast<unsigned long long>(stats.runs_cached));
   return 0;
 }
